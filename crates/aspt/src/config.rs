@@ -1,0 +1,88 @@
+//! ASpT construction parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the adaptive-sparse-tiling decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsptConfig {
+    /// Rows per panel. On the GPU a panel maps to the rows one thread
+    /// block cooperates on; the paper's illustration uses 3, real
+    /// kernels use tens of rows.
+    pub panel_height: usize,
+    /// Minimum nonzeros a column needs within a panel to be *dense*
+    /// (the paper's example uses 2: staging a row of `X` pays off once
+    /// it is reused at least once).
+    pub min_col_nnz: usize,
+    /// Maximum dense columns per tile. Bounds the shared-memory
+    /// footprint of one tile: `tile_width × K` elements of `X` are
+    /// staged at a time.
+    pub tile_width: usize,
+}
+
+impl Default for AsptConfig {
+    fn default() -> Self {
+        Self {
+            panel_height: 64,
+            min_col_nnz: 2,
+            tile_width: 32,
+        }
+    }
+}
+
+impl AsptConfig {
+    /// The paper's illustrative configuration (Fig 3): panels of 3 rows,
+    /// columns dense at ≥ 2 nonzeros.
+    pub fn paper_figure() -> Self {
+        Self {
+            panel_height: 3,
+            min_col_nnz: 2,
+            tile_width: 32,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if any field is zero or `min_col_nnz < 2` (a "dense"
+    /// column with one nonzero has no reuse to exploit).
+    pub fn validate(&self) {
+        assert!(self.panel_height >= 1, "panel_height must be >= 1");
+        assert!(
+            self.min_col_nnz >= 2,
+            "min_col_nnz must be >= 2 (no reuse below that)"
+        );
+        assert!(self.tile_width >= 1, "tile_width must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        AsptConfig::default().validate();
+        AsptConfig::paper_figure().validate();
+        assert_eq!(AsptConfig::paper_figure().panel_height, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_col_nnz")]
+    fn rejects_min_col_nnz_one() {
+        AsptConfig {
+            min_col_nnz: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "panel_height")]
+    fn rejects_zero_panel() {
+        AsptConfig {
+            panel_height: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,25 @@
+//! Adaptive Sparse Tiling (ASpT), the substrate the paper's row
+//! reordering builds on (paper §2.3, Fig 3; originally Hong et al.,
+//! PPoPP '19).
+//!
+//! ASpT splits a sparse matrix into **row panels** of consecutive rows.
+//! Within each panel, columns holding at least
+//! [`AsptConfig::min_col_nnz`] nonzeros are *dense columns*: their
+//! nonzeros go into **dense tiles** whose `X` rows a GPU kernel stages
+//! through shared memory (each staged row is loaded from global memory
+//! once per tile instead of once per nonzero). All remaining nonzeros
+//! form the **sparse remainder**, processed row-wise.
+//!
+//! The fraction of nonzeros captured by dense tiles
+//! ([`AsptMatrix::dense_ratio`]) is the quantity the whole paper turns
+//! on: row reordering exists to raise it.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod stats;
+pub mod tiling;
+
+pub use config::AsptConfig;
+pub use stats::AsptStats;
+pub use tiling::{dense_ratio_of, AsptMatrix, DenseTile, Panel};

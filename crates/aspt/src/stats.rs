@@ -1,0 +1,96 @@
+//! Summary statistics of an ASpT decomposition.
+
+use crate::tiling::AsptMatrix;
+use serde::{Deserialize, Serialize};
+use spmm_sparse::Scalar;
+
+/// Aggregate shape of a decomposition, reported next to experiment
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsptStats {
+    /// Total nonzeros of the source matrix.
+    pub nnz: usize,
+    /// Nonzeros captured by dense tiles.
+    pub nnz_dense: usize,
+    /// `nnz_dense / nnz` (the paper's DenseRatio).
+    pub dense_ratio: f64,
+    /// Number of row panels.
+    pub n_panels: usize,
+    /// Total number of dense tiles across panels.
+    pub n_tiles: usize,
+    /// Panels that produced no dense tile at all.
+    pub empty_panels: usize,
+    /// Mean nonzeros per staged column across all tiles — the average
+    /// reuse each shared-memory load of an `X` row gets.
+    pub avg_col_reuse: f64,
+}
+
+impl AsptStats {
+    /// Computes the statistics for a decomposition.
+    pub fn compute<T: Scalar>(aspt: &AsptMatrix<T>) -> Self {
+        let mut n_tiles = 0usize;
+        let mut empty_panels = 0usize;
+        let mut staged_cols = 0usize;
+        for panel in aspt.panels() {
+            if panel.tiles.is_empty() {
+                empty_panels += 1;
+            }
+            n_tiles += panel.tiles.len();
+            staged_cols += panel.tiles.iter().map(|t| t.cols.len()).sum::<usize>();
+        }
+        Self {
+            nnz: aspt.nnz(),
+            nnz_dense: aspt.nnz_dense(),
+            dense_ratio: aspt.dense_ratio(),
+            n_panels: aspt.panels().len(),
+            n_tiles,
+            empty_panels,
+            avg_col_reuse: if staged_cols == 0 {
+                0.0
+            } else {
+                aspt.nnz_dense() as f64 / staged_cols as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AsptConfig;
+    use spmm_sparse::{CooMatrix, CsrMatrix};
+
+    fn fig1() -> CsrMatrix<f64> {
+        let rows: &[&[u32]] = &[&[0, 4], &[1, 3, 5], &[2, 4], &[1, 2], &[0, 3, 4], &[5]];
+        let mut coo = CooMatrix::new(6, 6).unwrap();
+        for (r, cols) in rows.iter().enumerate() {
+            for &c in *cols {
+                coo.push(r as u32, c, 1.0).unwrap();
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn stats_of_fig3() {
+        let aspt = AsptMatrix::build(&fig1(), &AsptConfig::paper_figure());
+        let s = AsptStats::compute(&aspt);
+        assert_eq!(s.nnz, 13);
+        assert_eq!(s.nnz_dense, 2);
+        assert_eq!(s.n_panels, 2);
+        assert_eq!(s.n_tiles, 1);
+        assert_eq!(s.empty_panels, 1);
+        // one staged column (col 4) reused by 2 nonzeros
+        assert_eq!(s.avg_col_reuse, 2.0);
+    }
+
+    #[test]
+    fn stats_of_identity() {
+        let aspt = AsptMatrix::build(&CsrMatrix::<f64>::identity(10), &AsptConfig::paper_figure());
+        let s = AsptStats::compute(&aspt);
+        assert_eq!(s.nnz_dense, 0);
+        assert_eq!(s.n_tiles, 0);
+        assert_eq!(s.avg_col_reuse, 0.0);
+        assert_eq!(s.empty_panels, s.n_panels);
+    }
+}

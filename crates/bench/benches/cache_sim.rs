@@ -1,0 +1,43 @@
+//! Simulator overhead: how fast the L2 model and the wave scheduler
+//! chew through kernel traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmm_core::gpu_sim::kernels::{simulate_spmm_aspt, simulate_spmm_rowwise};
+use spmm_core::gpu_sim::CacheSim;
+use spmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(10);
+
+    let n_accesses = 1_000_000u64;
+    group.throughput(Throughput::Elements(n_accesses));
+    group.bench_function("raw_access_stream", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(4 << 20, 16, 128);
+            for i in 0..n_accesses {
+                // a strided pattern mixing hits and misses
+                black_box(cache.access((i * 937) % (64 << 20)));
+            }
+            black_box(cache.hits())
+        })
+    });
+
+    let m = generators::power_law::<f32>(8192, 8192, 128 * 1024, 0.8, 3);
+    let device = DeviceConfig::p100();
+    for k in [64usize, 256] {
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("simulate_spmm_rowwise", k), &k, |b, &k| {
+            b.iter(|| black_box(simulate_spmm_rowwise(&m, k, &device)))
+        });
+    }
+    let aspt = AsptMatrix::build(&m, &AsptConfig::default());
+    group.bench_function("simulate_spmm_aspt_k64", |b| {
+        b.iter(|| black_box(simulate_spmm_aspt(&aspt, None, 64, &device)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Format conversion and kernel throughput: ELL / SELL-P / CSB vs CSR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmm_core::prelude::*;
+use std::hint::black_box;
+
+const K: usize = 64;
+
+fn bench_formats(c: &mut Criterion) {
+    let m = generators::power_law::<f32>(8192, 8192, 96 * 1024, 0.8, 3);
+    let x = generators::random_dense::<f32>(m.ncols(), K, 5);
+
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+
+    group.bench_function("convert/ell", |b| {
+        b.iter(|| black_box(EllMatrix::from_csr(&m)))
+    });
+    group.bench_function("convert/sellp_sigma", |b| {
+        b.iter(|| black_box(SellPMatrix::from_csr(&m, 32, 256)))
+    });
+    group.bench_function("convert/csb", |b| {
+        b.iter(|| black_box(CsbMatrix::from_csr(&m, 64)))
+    });
+
+    let ell = EllMatrix::from_csr(&m);
+    let sell = SellPMatrix::from_csr(&m, 32, 256);
+    let csb = CsbMatrix::from_csr(&m, 64);
+    group.throughput(Throughput::Elements(2 * m.nnz() as u64 * K as u64));
+    group.bench_with_input(BenchmarkId::new("spmm_par", "csr"), &m, |b, m| {
+        b.iter(|| black_box(spmm_rowwise_par(m, &x).unwrap()))
+    });
+    group.bench_function("spmm_par/ell", |b| {
+        b.iter(|| black_box(ell.spmm_par(&x).unwrap()))
+    });
+    group.bench_function("spmm_par/sellp_sigma", |b| {
+        b.iter(|| black_box(sell.spmm_par(&x).unwrap()))
+    });
+    group.bench_function("spmm_par/csb", |b| {
+        b.iter(|| black_box(csb.spmm_par(&x).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Corpus-generator throughput (matters for experiment turnaround).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(8192 * 16));
+    group.bench_function("uniform_random_8k", |b| {
+        b.iter(|| black_box(generators::uniform_random::<f32>(8192, 8192, 16, 1)))
+    });
+    group.bench_function("power_law_8k", |b| {
+        b.iter(|| black_box(generators::power_law::<f32>(8192, 8192, 128 * 1024, 0.8, 1)))
+    });
+    group.bench_function("shuffled_block_diagonal_8k", |b| {
+        b.iter(|| black_box(generators::shuffled_block_diagonal::<f32>(512, 16, 48, 16, 1)))
+    });
+    group.bench_function("laplacian_2d_90x90", |b| {
+        b.iter(|| black_box(generators::laplacian_2d::<f32>(90, 90)))
+    });
+    group.bench_function("quick_corpus", |b| {
+        b.iter(|| black_box(Corpus::<f32>::generate(CorpusProfile::Quick, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Preprocessing-cost benches: MinHash signatures, banding, the Alg 3
+//! clustering, and the full pipeline (the paper's §5.4 cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmm_core::lsh::{generate_candidates, MinHasher};
+use spmm_core::prelude::*;
+use spmm_core::reorder::cluster_rows;
+use std::hint::black_box;
+
+fn bench_reorder(c: &mut Criterion) {
+    let m = generators::shuffled_block_diagonal::<f32>(256, 16, 48, 16, 7);
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+
+    for siglen in [32usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("minhash_signatures", siglen),
+            &siglen,
+            |b, &siglen| {
+                let hasher = MinHasher::new(siglen, 1);
+                b.iter(|| black_box(hasher.signatures(&m)))
+            },
+        );
+    }
+
+    group.bench_function("lsh_candidates_default", |b| {
+        b.iter(|| black_box(generate_candidates(&m, &LshConfig::default())))
+    });
+
+    let pairs = generate_candidates(&m, &LshConfig::default());
+    group.bench_function("cluster_rows", |b| {
+        b.iter(|| black_box(cluster_rows(&m, &pairs, 256)))
+    });
+
+    group.bench_function("full_pipeline_plan", |b| {
+        b.iter(|| black_box(plan_reordering(&m, &ReorderConfig::default())))
+    });
+
+    group.bench_function("aspt_build", |b| {
+        b.iter(|| black_box(AsptMatrix::build(&m, &AsptConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>... [--profile quick|standard|large] [--seed N]
+//!             [--k K1,K2] [--out DIR]
+//!
+//! ids: fig8 fig9 fig10 fig11 fig12 table1 table2 table3 table4
+//!      ablate-panel ablate-lsh ablate-threshold ablate-heuristics
+//!      all           (every id above)
+//! ```
+//!
+//! Text tables go to stdout; JSON records to `<out>/<id>.json`
+//! (default `results/`).
+
+use spmm_bench::{ablations, evaluate_corpus, experiments, EvalOptions};
+use spmm_core::prelude::CorpusProfile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const ALL_IDS: &[&str] = &[
+    "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "table2", "table3", "table4",
+    "ablate-panel", "ablate-lsh", "ablate-threshold", "ablate-heuristics",
+    "ablate-reorder-alg", "formats", "spmv-vertex", "sensitivity", "scaling",
+];
+
+struct Args {
+    ids: Vec<String>,
+    options: EvalOptions,
+    out_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>... [--profile quick|standard|large] [--seed N] \
+         [--k K1,K2] [--out DIR]\n       ids: {} all",
+        ALL_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut ids = Vec::new();
+    let mut options = EvalOptions::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--profile" => {
+                options.profile = match argv.next().as_deref() {
+                    Some("quick") => CorpusProfile::Quick,
+                    Some("standard") => CorpusProfile::Standard,
+                    Some("large") => CorpusProfile::Large,
+                    _ => usage(),
+                }
+            }
+            "--seed" => {
+                options.seed = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--k" => {
+                let spec = argv.next().unwrap_or_else(|| usage());
+                options.ks = spec
+                    .split(',')
+                    .map(|t| t.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if options.ks.is_empty() {
+                    usage();
+                }
+            }
+            "--out" => out_dir = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_string()),
+            _ => usage(),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+    Args {
+        ids,
+        options,
+        out_dir,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    println!(
+        "# corpus profile {:?}, seed {}, K = {:?}, device {}",
+        args.options.profile, args.options.seed, args.options.ks, args.options.device.name
+    );
+
+    // the shared evaluation pass, only when a summary id needs it
+    let standalone = |id: &str| {
+        id.starts_with("ablate-")
+            || id == "formats"
+            || id == "spmv-vertex"
+            || id == "sensitivity"
+            || id == "scaling"
+    };
+    let needs_eval = args.ids.iter().any(|id| !standalone(id));
+    let evals = if needs_eval {
+        eprintln!("# evaluating corpus ...");
+        let e = evaluate_corpus(&args.options);
+        eprintln!(
+            "# evaluated {} matrices ({} need reordering)",
+            e.len(),
+            e.iter().filter(|m| m.needs_reordering).count()
+        );
+        e
+    } else {
+        Vec::new()
+    };
+
+    for id in &args.ids {
+        let output = match id.as_str() {
+            "fig8" => experiments::fig8(&evals),
+            "fig9" => experiments::fig9(&evals, &args.options),
+            "fig10" => experiments::fig10(&evals),
+            "fig11" => experiments::fig11(&evals),
+            "fig12" => experiments::fig12(&evals),
+            "table1" => experiments::table1(&evals),
+            "table2" => experiments::table2(&evals),
+            "table3" => experiments::table3(&evals),
+            "table4" => experiments::table4(&evals),
+            "ablate-panel" => ablations::ablate_panel(&args.options),
+            "ablate-lsh" => ablations::ablate_lsh(&args.options),
+            "ablate-threshold" => ablations::ablate_threshold(&args.options),
+            "ablate-heuristics" => ablations::ablate_heuristics(&args.options),
+            "ablate-reorder-alg" => ablations::ablate_reorder_alg(&args.options),
+            "formats" => spmm_bench::related::formats(&args.options),
+            "spmv-vertex" => spmm_bench::related::spmv_vertex(&args.options),
+            "sensitivity" => spmm_bench::related::sensitivity(&args.options),
+            "scaling" => spmm_bench::related::scaling(&args.options),
+            _ => unreachable!("ids validated in parse_args"),
+        };
+        println!("\n{}", output.text);
+        if let Err(e) = output.save(&args.out_dir) {
+            eprintln!("failed to save {}: {e}", output.id);
+            return ExitCode::FAILURE;
+        }
+        println!("# saved {}/{}.json", args.out_dir.display(), output.id);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the paper
+//! against the synthetic corpus and the simulated P100.
+//!
+//! The heavy lifting happens once in [`eval::evaluate_corpus`], which
+//! runs the reordering pipeline and all kernel simulations for every
+//! corpus matrix; each experiment ([`experiments`]) is then a pure
+//! summarisation of those measurements, printed as a text table and
+//! saved as JSON under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod eval;
+pub mod experiments;
+pub mod related;
+pub mod stats;
+
+pub use eval::{evaluate_corpus, EvalOptions, KernelEval, KEval, MatrixEval};

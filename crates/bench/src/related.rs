@@ -1,0 +1,412 @@
+//! Experiments beyond the paper's own figures that test its *framing*
+//! claims against the related work (§1, §6):
+//!
+//! * [`formats`] — ELLPACK / SELL-P "assume the nonzeros are somewhat
+//!   clustered; for matrices without block or cluster structures these
+//!   techniques may not be very helpful" (§6).
+//! * [`spmv_vertex`] — "vertex-reordering techniques are unlikely to
+//!   help SpMM … because the dense matrix may have hundreds or
+//!   thousands of columns — little spatial locality among the elements
+//!   in a column no matter how the vertices are reordered" (§6) — while
+//!   the same reordering *does* help SpMV, whose operand is a vector
+//!   with line-level spatial locality.
+
+use crate::eval::EvalOptions;
+use crate::experiments::ExperimentOutput;
+use serde_json::json;
+use spmm_core::prelude::*;
+use spmm_core::reorder::baselines;
+use spmm_core::gpu_sim::kernels::{spmm_rowwise_blocks, DEFAULT_ROWS_PER_BLOCK};
+use spmm_core::gpu_sim::run_blocks;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Format comparison: padding factors and simulated SpMM time for CSR
+/// row-wise, ELL, SELL-P, SELL-C-σ and ASpT-RR across corpus classes.
+pub fn formats(options: &EvalOptions) -> ExperimentOutput {
+    let corpus = Corpus::<f32>::generate(options.profile, options.seed);
+    let k = options.ks[0];
+    let device = &options.device;
+    let mut text = format!(
+        "Formats comparison (K = {k}) — §6: ELL-family formats assume clustered nonzeros\n\
+         padding = stored slots / nnz; csb_occ = entries per nonempty 64x64 block;\n\
+         times simulated on {}\n\n\
+         {:<28} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        device.name, "matrix", "ell_pad", "sell_pad", "sigma_pad", "csb_occ", "csr_us", "ell_us", "sellp_us", "sigma_us", "csb_us", "asptrr_us"
+    );
+    let mut records = Vec::new();
+    // one representative per class keeps the table readable
+    let mut seen = std::collections::HashSet::new();
+    for entry in corpus.iter() {
+        if !seen.insert(entry.class) {
+            continue;
+        }
+        let m = &entry.matrix;
+        let ell = EllMatrix::from_csr(m);
+        let sell = SellPMatrix::from_csr(m, 32, 0);
+        let sigma = SellPMatrix::from_csr(m, 32, 32 * 8);
+        let csb = CsbMatrix::from_csr(m, 64);
+
+        let csr = run_blocks(
+            &spmm_rowwise_blocks(m, k, None, DEFAULT_ROWS_PER_BLOCK),
+            k,
+            4,
+            device,
+        );
+        let r_ell = ell.simulate_spmm(k, device);
+        let r_sell = sell.simulate_spmm(k, device);
+        let r_sigma = sigma.simulate_spmm(k, device);
+        let r_csb = csb.simulate_spmm(k, device);
+        let engine = Engine::prepare(m, &EngineConfig { reorder: options.reorder });
+        let r_rr = engine.simulate_spmm(k, device);
+
+        let _ = writeln!(
+            text,
+            "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            entry.name,
+            ell.padding_factor(),
+            sell.padding_factor(),
+            sigma.padding_factor(),
+            csb.avg_block_occupancy(),
+            csr.time_s * 1e6,
+            r_ell.time_s * 1e6,
+            r_sell.time_s * 1e6,
+            r_sigma.time_s * 1e6,
+            r_csb.time_s * 1e6,
+            r_rr.time_s * 1e6,
+        );
+        records.push(json!({
+            "name": entry.name, "class": entry.class.label(),
+            "ell_padding": ell.padding_factor(),
+            "sellp_padding": sell.padding_factor(),
+            "sigma_padding": sigma.padding_factor(),
+            "csb_occupancy": csb.avg_block_occupancy(),
+            "csr_us": csr.time_s * 1e6,
+            "ell_us": r_ell.time_s * 1e6,
+            "sellp_us": r_sell.time_s * 1e6,
+            "sigma_us": r_sigma.time_s * 1e6,
+            "csb_us": r_csb.time_s * 1e6,
+            "aspt_rr_us": r_rr.time_s * 1e6,
+        }));
+    }
+    text.push_str(
+        "\nexpected shape: ELL competitive on regular rows (scattered/banded/stencil), \
+         padding-inflated on power-law; ASpT-RR ahead on recoverable (shuffled/noisy) classes\n",
+    );
+    ExperimentOutput {
+        id: "formats".into(),
+        text,
+        json: json!({"id": "formats", "records": records}),
+    }
+}
+
+/// SpMV vs SpMM under vertex reordering. The same RCM permutation that
+/// compacts a sparse matrix's bandwidth speeds up SpMV (the dense
+/// vector has line-level spatial locality) but does nothing for SpMM
+/// (each column of `S` maps to a K-wide row of `X` with no cross-row
+/// line sharing) — the paper's §1/§6 argument for why *row* reordering
+/// is the right tool for SpMM.
+pub fn spmv_vertex(options: &EvalOptions) -> ExperimentOutput {
+    let corpus = Corpus::<f32>::generate(options.profile, options.seed);
+    let k = options.ks[0];
+    // SpMV's dense operand is nrows × 4 bytes — corpus-sized vectors
+    // vanish into a 4 MiB L2 (a 10 K-row vector is 40 KiB). Run this
+    // experiment on a 1:8-scaled device so the vector-vs-L2 pressure
+    // matches what million-row matrices see on a real P100.
+    let device = &DeviceConfig {
+        num_sms: 7,
+        l2_bytes: 512 << 10,
+        ..options.device.clone()
+    };
+    let mut text = format!(
+        "SpMV vs SpMM under vertex reordering (RCM; SpMM K = {k})\n\
+         device: P100 scaled 1:8 (7 SMs, 512 KiB L2) so corpus-sized vectors exert\n\
+         the L2 pressure million-row vectors would on the full chip\n\
+         speedup = time(original order) / time(vertex reordered)\n\n\
+         {:<28} {:>12} {:>12}\n",
+        "matrix", "spmv_speedup", "spmm_speedup"
+    );
+    let mut records = Vec::new();
+    let mut spmv_helped = 0usize;
+    let mut spmm_helped = 0usize;
+    let mut total = 0usize;
+
+    // The clean demonstration of the paper's claim: a random
+    // permutation matrix. Rows share NO columns, so row reordering (and
+    // any row-similarity channel) is powerless; RCM walks the
+    // permutation's cycles, making the matrix near-diagonal. SpMV then
+    // reads the vector almost sequentially (32 entries per 128 B line)
+    // while each SpMM nonzero still needs its own K-wide X row — the
+    // vertex reordering can only ever help the K=1 case.
+    let n = 262_144usize;
+    let perm_matrix = generators::shuffle_rows(
+        &CsrMatrix::<f32>::identity(n),
+        options.seed ^ 0x0ddba11,
+    );
+    // secondary case: a banded matrix scrambled by a random *symmetric*
+    // permutation — here RCM restores consecutive-row similarity, so
+    // both kernels gain (the row-similarity channel the paper's row
+    // reordering exploits directly, without requiring symmetry)
+    let banded = generators::banded::<f32>(n, 24, 10, options.seed ^ 0x5ca1ab1e);
+    let scramble = baselines::random_order(banded.nrows(), options.seed ^ 0x0ddba11);
+    let scrambled = baselines::apply_symmetric(&banded, &scramble);
+
+    let cases: Vec<(String, CsrMatrix<f32>)> = [
+        (format!("permutation-{n}"), perm_matrix),
+        (format!("scrambled-banded-{n}"), scrambled),
+    ]
+    .into_iter()
+    .chain(
+        corpus
+            .iter()
+            .filter(|e| e.matrix.nrows() == e.matrix.ncols())
+            .map(|e| (e.name.clone(), e.matrix.clone())),
+    )
+    .collect();
+
+    for (name, m) in &cases {
+        let m: &CsrMatrix<f32> = m;
+        let reordered = baselines::apply_symmetric(m, &baselines::rcm(m));
+
+        // SpMV: the dense operand is one column (k = 1) — adjacent
+        // matrix columns share 128-byte lines of the vector
+        let spmv = |mat: &CsrMatrix<f32>| {
+            run_blocks(
+                &spmm_rowwise_blocks(mat, 1, None, DEFAULT_ROWS_PER_BLOCK),
+                1,
+                4,
+                device,
+            )
+        };
+        let spmm = |mat: &CsrMatrix<f32>| {
+            run_blocks(
+                &spmm_rowwise_blocks(mat, k, None, DEFAULT_ROWS_PER_BLOCK),
+                k,
+                4,
+                device,
+            )
+        };
+        let spmv_speedup = spmv(m).time_s / spmv(&reordered).time_s;
+        let spmm_speedup = spmm(m).time_s / spmm(&reordered).time_s;
+        if spmv_speedup > 1.02 {
+            spmv_helped += 1;
+        }
+        if spmm_speedup > 1.02 {
+            spmm_helped += 1;
+        }
+        total += 1;
+        let _ = writeln!(
+            text,
+            "{:<28} {:>11.2}x {:>11.2}x",
+            name, spmv_speedup, spmm_speedup
+        );
+        records.push(json!({
+            "name": name,
+            "spmv_speedup": spmv_speedup,
+            "spmm_speedup": spmm_speedup,
+        }));
+    }
+    let _ = writeln!(
+        text,
+        "\nvertex reordering helped (>2%) SpMV on {spmv_helped}/{total} and SpMM on \
+         {spmm_helped}/{total} cases.\n\
+         reading: the permutation matrix isolates the paper's claim — spatial locality in\n\
+         the dense operand exists only at K=1, so vertex reordering speeds up SpMV and\n\
+         does nothing for SpMM. Where vertex reordering does move SpMM (scrambled-banded,\n\
+         rmat) it is because the symmetric permutation happens to regroup similar rows —\n\
+         the channel the paper's row reordering exploits directly, without needing the\n\
+         scramble to be symmetric."
+    );
+    ExperimentOutput {
+        id: "spmv-vertex".into(),
+        text,
+        json: json!({"id": "spmv-vertex", "records": records,
+                     "spmv_helped": spmv_helped, "spmm_helped": spmm_helped, "total": total}),
+    }
+}
+
+/// Device sensitivity: does the RR-vs-NR ordering survive a different
+/// GPU? Runs the Table 1 aggregate on the P100 model and on a V100
+/// model (more SMs, larger L2, higher bandwidth).
+pub fn sensitivity(options: &EvalOptions) -> ExperimentOutput {
+    let k = options.ks[0];
+    let mut text = format!(
+        "Device sensitivity — Table 1 aggregates on P100 vs V100 (K = {k})\n\n\
+         {:<8} {:>8} {:>8} {:>8} {:>10}\n",
+        "device", "median", "geomean", "max", "rr_wins"
+    );
+    let mut records = Vec::new();
+    // isolated L1 toggle: Pascal bypasses L1 for global loads; the
+    // "P100+L1" row asks whether that modeling choice moves conclusions
+    let p100_l1 = DeviceConfig {
+        name: "P100+L1".to_string(),
+        l1_enabled: true,
+        ..DeviceConfig::p100()
+    };
+    for device in [DeviceConfig::p100(), p100_l1, DeviceConfig::v100()] {
+        let opts = EvalOptions {
+            device: device.clone(),
+            ks: vec![k],
+            ..options.clone()
+        };
+        let evals = crate::eval::evaluate_corpus(&opts);
+        let sp: Vec<f64> = evals
+            .iter()
+            .filter(|e| e.needs_reordering)
+            .map(|e| e.per_k[0].spmm.rr_vs_best_other())
+            .collect();
+        let wins = sp.iter().filter(|&&s| s > 1.0).count();
+        let _ = writeln!(
+            text,
+            "{:<8} {:>7.2}x {:>7.2}x {:>7.2}x {:>6}/{:<3}",
+            device.name,
+            crate::stats::median(&sp),
+            crate::stats::geomean(&sp),
+            crate::stats::max(&sp),
+            wins,
+            sp.len()
+        );
+        records.push(json!({
+            "device": device.name,
+            "median": crate::stats::median(&sp),
+            "geomean": crate::stats::geomean(&sp),
+            "max": crate::stats::max(&sp),
+            "wins": wins, "subset": sp.len(),
+        }));
+    }
+    text.push_str(
+        "\nexpected shape: the larger V100 L2 absorbs more of the locality deficit, so RR's \
+         margin shrinks but its ordering (who wins) is stable\n",
+    );
+    ExperimentOutput {
+        id: "sensitivity".into(),
+        text,
+        json: json!({"id": "sensitivity", "records": records}),
+    }
+}
+
+/// Preprocessing scaling: §3.2 argues the clustering is
+/// `O(N log N)`-ish when LSH keeps `E ∝ N` — "almost as fast as
+/// sorting the N rows". Times the full pipeline on geometrically
+/// growing shuffled-cluster matrices and reports the log–log slope
+/// (1.0 = linear, 2.0 = quadratic).
+pub fn scaling(options: &EvalOptions) -> ExperimentOutput {
+    let mut text = String::from(
+        "Preprocessing scaling on shuffled clusters (paper §3.2: ~O(N log N))\n\n",
+    );
+    let _ = writeln!(text, "{:>8} {:>10} {:>10}", "rows", "nnz", "prep_ms");
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut records = Vec::new();
+    for blocks in [64usize, 128, 256, 512, 1024] {
+        let m = spmm_core::prelude::generators::shuffled_block_diagonal::<f32>(
+            blocks,
+            16,
+            48,
+            16,
+            options.seed ^ blocks as u64,
+        );
+        // median of 3 runs to tame timer noise
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = spmm_core::prelude::plan_reordering(&m, &options.reorder);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let t = times[1];
+        let _ = writeln!(
+            text,
+            "{:>8} {:>10} {:>10.1}",
+            m.nrows(),
+            m.nnz(),
+            t * 1e3
+        );
+        points.push(((m.nrows() as f64).ln(), t.ln()));
+        records.push(json!({"rows": m.nrows(), "nnz": m.nnz(), "prep_s": t}));
+    }
+    // least-squares slope in log-log space
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let _ = writeln!(
+        text,
+        "\nlog-log slope: {slope:.2} (1.0 = linear, 2.0 = quadratic; the paper's bound \
+         predicts slightly superlinear)"
+    );
+    ExperimentOutput {
+        id: "scaling".into(),
+        text,
+        json: json!({"id": "scaling", "records": records, "loglog_slope": slope}),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> EvalOptions {
+        EvalOptions {
+            profile: CorpusProfile::Quick,
+            ks: vec![64],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn formats_experiment_covers_each_class_once() {
+        let out = formats(&quick_options());
+        let records = out.json["records"].as_array().unwrap();
+        assert_eq!(records.len(), MatrixClass::ALL.len());
+        // ELL padding must dominate SELL-P padding everywhere
+        for r in records {
+            let ell = r["ell_padding"].as_f64().unwrap();
+            let sell = r["sellp_padding"].as_f64().unwrap();
+            assert!(ell + 1e-9 >= sell, "{r}");
+            assert!(sell >= 1.0 - 1e-9);
+        }
+        // power-law padding must exceed the scattered class's
+        let pad_of = |class: &str| {
+            records
+                .iter()
+                .find(|r| r["class"] == class)
+                .unwrap()["ell_padding"]
+                .as_f64()
+                .unwrap()
+        };
+        assert!(pad_of("powerlaw") > 2.0 * pad_of("scattered"));
+    }
+
+    #[test]
+    fn spmv_vertex_shows_the_asymmetry() {
+        let mut opts = quick_options();
+        // scale the device down so quick-corpus vectors (1024 × 4 B =
+        // 32 lines) overflow the L2 (16 lines) and spatial locality in
+        // the vector matters
+        opts.device = DeviceConfig {
+            num_sms: 2,
+            blocks_per_sm: 2,
+            l2_bytes: 2 << 10,
+            ..DeviceConfig::p100()
+        };
+        let out = spmv_vertex(&opts);
+        let records = out.json["records"].as_array().unwrap();
+        let case = records
+            .iter()
+            .find(|r| r["name"].as_str().unwrap().starts_with("permutation-"))
+            .expect("the permutation-matrix case must be present");
+        let spmv = case["spmv_speedup"].as_f64().unwrap();
+        let spmm = case["spmm_speedup"].as_f64().unwrap();
+        assert!(
+            spmv > 1.10,
+            "RCM must speed up SpMV on the permutation matrix, got {spmv:.3}x"
+        );
+        assert!(
+            spmm < 1.05,
+            "SpMM must not benefit (no row shares a column), got {spmm:.3}x"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Small statistics helpers shared by the experiment summaries.
+
+/// Geometric mean; 0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Median (average of the middle two for even lengths); 0 when empty.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Maximum; 0 when empty.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// A labelled histogram bucket over half-open ranges.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Human-readable label, e.g. `"10%~50%"`.
+    pub label: &'static str,
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+}
+
+/// Counts values into buckets; returns `(label, count, percent)` rows.
+pub fn bucketize(values: &[f64], buckets: &[Bucket]) -> Vec<(String, usize, f64)> {
+    let n = values.len().max(1);
+    buckets
+        .iter()
+        .map(|b| {
+            let count = values.iter().filter(|&&v| v >= b.lo && v < b.hi).count();
+            (
+                b.label.to_string(),
+                count,
+                100.0 * count as f64 / n as f64,
+            )
+        })
+        .collect()
+}
+
+/// The paper's Table 1 speedup buckets (speedup expressed as a ratio,
+/// e.g. 1.25 = 25 % speedup).
+pub fn table1_buckets() -> Vec<Bucket> {
+    vec![
+        Bucket {
+            label: "slowdown 0%~10%",
+            lo: 0.9,
+            hi: 1.0,
+        },
+        Bucket {
+            label: "slowdown >10%",
+            lo: 0.0,
+            hi: 0.9,
+        },
+        Bucket {
+            label: "speedup 0%~10%",
+            lo: 1.0,
+            hi: 1.1,
+        },
+        Bucket {
+            label: "speedup 10%~50%",
+            lo: 1.1,
+            hi: 1.5,
+        },
+        Bucket {
+            label: "speedup 50%~100%",
+            lo: 1.5,
+            hi: 2.0,
+        },
+        Bucket {
+            label: "speedup >100%",
+            lo: 2.0,
+            hi: f64::INFINITY,
+        },
+    ]
+}
+
+/// The Tables 3/4 preprocessing-to-compute ratio buckets.
+pub fn ratio_buckets() -> Vec<Bucket> {
+    vec![
+        Bucket {
+            label: "0x~5x",
+            lo: 0.0,
+            hi: 5.0,
+        },
+        Bucket {
+            label: "5x~10x",
+            lo: 5.0,
+            hi: 10.0,
+        },
+        Bucket {
+            label: "10x~100x",
+            lo: 10.0,
+            hi: 100.0,
+        },
+        Bucket {
+            label: ">100x",
+            lo: 100.0,
+            hi: f64::INFINITY,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 4.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn bucketize_counts_and_percentages() {
+        let rows = bucketize(&[0.95, 1.05, 1.2, 1.3, 3.0], &table1_buckets());
+        let total: usize = rows.iter().map(|r| r.1).sum();
+        assert_eq!(total, 5);
+        let pct: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+        // 1.2 and 1.3 in the 10%~50% bucket
+        let b = rows.iter().find(|r| r.0.contains("10%~50%")).unwrap();
+        assert_eq!(b.1, 2);
+    }
+
+    #[test]
+    fn ratio_buckets_cover_everything() {
+        let rows = bucketize(&[0.1, 7.0, 50.0, 1e6], &ratio_buckets());
+        assert!(rows.iter().all(|r| r.1 == 1));
+    }
+}

@@ -1,0 +1,394 @@
+//! Library half of the `spmm-rr` CLI: argument parsing and command
+//! execution, kept out of `main.rs` so every path is unit-testable.
+
+#![warn(missing_docs)]
+
+use spmm_core::prelude::*;
+use spmm_core::sparse::mm_io;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Usage text shared by `main` and error paths.
+pub const USAGE: &str = "\
+usage:
+  spmm-rr analyze  <matrix.mtx> [--k N] [--device p100|v100]
+  spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
+  spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
+  spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
+      classes: scattered powerlaw rmat banded stencil clustered
+               shuffled noisy diagonal cf";
+
+/// A parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Invocation {
+    /// `analyze <path> [--k N] [--device D]`
+    Analyze {
+        /// Matrix Market input path.
+        path: PathBuf,
+        /// Dense-operand width.
+        k: usize,
+        /// Simulated device name (`p100` / `v100`).
+        device: String,
+    },
+    /// `reorder <in> --out <out> [--order <path>]`
+    Reorder {
+        /// Input path.
+        input: PathBuf,
+        /// Output matrix path.
+        out: PathBuf,
+        /// Optional path to write the row order (one original index per
+        /// line, in new order).
+        order: Option<PathBuf>,
+    },
+    /// `bench <path> [--k N] [--device D]`
+    Bench {
+        /// Matrix Market input path.
+        path: PathBuf,
+        /// Dense-operand width.
+        k: usize,
+        /// Simulated device name.
+        device: String,
+    },
+    /// `generate <class> --out <out> [--seed N] [--scale N]`
+    Generate {
+        /// Corpus class label.
+        class: String,
+        /// Output path.
+        out: PathBuf,
+        /// Generator seed.
+        seed: u64,
+        /// Size scale multiplier.
+        scale: usize,
+    },
+}
+
+impl Invocation {
+    /// Parses an argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter();
+        let cmd = it.next().ok_or("missing command")?;
+        let mut positional: Vec<String> = Vec::new();
+        let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), v.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        let get_k = |flags: &std::collections::HashMap<String, String>| -> Result<usize, String> {
+            match flags.get("k") {
+                Some(v) => v.parse().map_err(|_| format!("bad --k value '{v}'")),
+                None => Ok(256),
+            }
+        };
+        let get_device =
+            |flags: &std::collections::HashMap<String, String>| -> Result<String, String> {
+                let d = flags.get("device").cloned().unwrap_or_else(|| "p100".into());
+                if d != "p100" && d != "v100" {
+                    return Err(format!("unknown device '{d}' (p100 or v100)"));
+                }
+                Ok(d)
+            };
+        match cmd.as_str() {
+            "analyze" | "bench" => {
+                let path = positional
+                    .first()
+                    .ok_or("missing matrix path")?
+                    .into();
+                let inv = if cmd == "analyze" {
+                    Invocation::Analyze {
+                        path,
+                        k: get_k(&flags)?,
+                        device: get_device(&flags)?,
+                    }
+                } else {
+                    Invocation::Bench {
+                        path,
+                        k: get_k(&flags)?,
+                        device: get_device(&flags)?,
+                    }
+                };
+                Ok(inv)
+            }
+            "reorder" => Ok(Invocation::Reorder {
+                input: positional.first().ok_or("missing input path")?.into(),
+                out: flags.get("out").ok_or("reorder requires --out")?.into(),
+                order: flags.get("order").map(PathBuf::from),
+            }),
+            "generate" => Ok(Invocation::Generate {
+                class: positional.first().ok_or("missing class")?.clone(),
+                out: flags.get("out").ok_or("generate requires --out")?.into(),
+                seed: match flags.get("seed") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --seed '{v}'"))?,
+                    None => 42,
+                },
+                scale: match flags.get("scale") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --scale '{v}'"))?,
+                    None => 4,
+                },
+            }),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+fn device_by_name(name: &str) -> DeviceConfig {
+    if name == "v100" {
+        DeviceConfig::v100()
+    } else {
+        DeviceConfig::p100()
+    }
+}
+
+/// Builds a synthetic matrix by class label (scaled from the corpus
+/// base dimensions).
+pub fn generate_matrix(class: &str, scale: usize, seed: u64) -> Result<CsrMatrix<f32>, String> {
+    let s = scale.max(1);
+    Ok(match class {
+        "scattered" => generators::uniform_random(1024 * s, 1024 * s, 12, seed),
+        "powerlaw" => generators::power_law(1024 * s, 1024 * s, 16 * 1024 * s, 0.75, seed),
+        "rmat" => generators::rmat(
+            10 + s.ilog2(),
+            12,
+            (0.57, 0.19, 0.19, 0.05),
+            seed,
+        ),
+        "banded" => generators::banded(1024 * s, 24, 10, seed),
+        "stencil" => generators::laplacian_2d(32 * s, 32 * s),
+        "clustered" => generators::block_diagonal(16 * s, 64, 96, 24, seed),
+        "shuffled" => generators::shuffled_block_diagonal(64 * s, 16, 48, 16, seed),
+        "noisy" => generators::noisy_shuffled_clusters(16 * s, 64, 96, 20, 4, seed),
+        "diagonal" => generators::diagonal(1024 * s, seed),
+        "cf" => generators::bipartite_cf(1024 * s, 512 * s, 12, 0.8, seed),
+        other => return Err(format!("unknown class '{other}'")),
+    })
+}
+
+/// Executes an invocation, returning the textual report.
+pub fn run(inv: &Invocation) -> Result<String, String> {
+    match inv {
+        Invocation::Analyze { path, k, device } => {
+            let m: CsrMatrix<f32> =
+                mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            Ok(analyze(&m, *k, &device_by_name(device)))
+        }
+        Invocation::Bench { path, k, device } => {
+            let m: CsrMatrix<f32> =
+                mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            Ok(bench(&m, *k, &device_by_name(device)))
+        }
+        Invocation::Reorder { input, out, order } => {
+            let m: CsrMatrix<f32> =
+                mm_io::read_matrix_market_file(input).map_err(|e| e.to_string())?;
+            let plan = plan_reordering(&m, &ReorderConfig::default());
+            let reordered = m.permute_rows(&plan.row_perm);
+            mm_io::write_matrix_market_file(&reordered, out).map_err(|e| e.to_string())?;
+            if let Some(order_path) = order {
+                let mut txt = String::new();
+                for &o in plan.row_perm.order() {
+                    let _ = writeln!(txt, "{o}");
+                }
+                std::fs::write(order_path, txt).map_err(|e| e.to_string())?;
+            }
+            Ok(format!(
+                "reordered {} rows (round1 {}, round2 {}); dense ratio {:.3} -> {:.3}; wrote {}",
+                m.nrows(),
+                plan.round1_applied,
+                plan.round2_applied,
+                plan.dense_ratio_before,
+                plan.dense_ratio_after,
+                out.display()
+            ))
+        }
+        Invocation::Generate {
+            class,
+            out,
+            seed,
+            scale,
+        } => {
+            let m = generate_matrix(class, *scale, *seed)?;
+            mm_io::write_matrix_market_file(&m, out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {class} matrix {} x {} with {} nonzeros to {}",
+                m.nrows(),
+                m.ncols(),
+                m.nnz(),
+                out.display()
+            ))
+        }
+    }
+}
+
+/// The `analyze` report body.
+pub fn analyze(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
+    use spmm_core::sparse::stats::MatrixStats;
+    let stats = MatrixStats::compute(m);
+    let engine = Engine::prepare(m, &EngineConfig::default());
+    let plan = engine.plan();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "matrix: {} x {}, {} nonzeros (density {:.2e})",
+        stats.nrows, stats.ncols, stats.nnz, stats.density
+    );
+    let _ = writeln!(
+        out,
+        "rows: avg {:.1} nnz, max {}, stddev {:.1}, {} empty",
+        stats.avg_row_nnz, stats.max_row_nnz, stats.row_nnz_stddev, stats.empty_rows
+    );
+    let _ = writeln!(
+        out,
+        "locality: avg consecutive-row similarity {:.3}, avg bandwidth {:.0}",
+        stats.avg_consecutive_similarity, stats.avg_bandwidth
+    );
+    let _ = writeln!(
+        out,
+        "pipeline: round1 {} (dense ratio {:.3} -> {:.3}), round2 {} (avg sim {:.3} -> {:.3})",
+        if plan.round1_applied { "applied" } else { "skipped" },
+        plan.dense_ratio_before,
+        plan.dense_ratio_after,
+        if plan.round2_applied { "applied" } else { "skipped" },
+        plan.avgsim_before,
+        plan.avgsim_after,
+    );
+    let _ = writeln!(
+        out,
+        "preprocessing: {:.1} ms",
+        engine.preprocessing_time().as_secs_f64() * 1e3
+    );
+    out.push_str(&bench(m, k, device));
+    out
+}
+
+/// The `bench` report body: the §4 trial.
+pub fn bench(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
+    let trial = choose_variant(m, Kernel::Spmm, k, device, &ReorderConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "simulated {} SpMM, K = {k}:", device.name);
+    if let Some(c) = &trial.cusparse_like {
+        let _ = writeln!(out, "  cuSPARSE-like  {:>9.1} GFLOP/s", c.gflops);
+    }
+    let _ = writeln!(out, "  ASpT-NR        {:>9.1} GFLOP/s", trial.aspt_nr.gflops);
+    let _ = writeln!(out, "  ASpT-RR        {:>9.1} GFLOP/s", trial.aspt_rr.gflops);
+    let _ = writeln!(
+        out,
+        "recommendation: {:?} (RR vs best other: {:.2}x)",
+        trial.chosen,
+        trial.rr_speedup_vs_best_other()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_analyze_defaults() {
+        let inv = Invocation::parse(&s(&["analyze", "m.mtx"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Analyze {
+                path: "m.mtx".into(),
+                k: 256,
+                device: "p100".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_flags() {
+        let inv =
+            Invocation::parse(&s(&["bench", "m.mtx", "--k", "512", "--device", "v100"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Bench {
+                path: "m.mtx".into(),
+                k: 512,
+                device: "v100".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Invocation::parse(&[]).is_err());
+        assert!(Invocation::parse(&s(&["frobnicate"])).is_err());
+        assert!(Invocation::parse(&s(&["analyze"])).is_err());
+        assert!(Invocation::parse(&s(&["analyze", "m.mtx", "--k"])).is_err());
+        assert!(Invocation::parse(&s(&["analyze", "m.mtx", "--k", "abc"])).is_err());
+        assert!(Invocation::parse(&s(&["analyze", "m.mtx", "--device", "h100"])).is_err());
+        assert!(Invocation::parse(&s(&["reorder", "m.mtx"])).is_err()); // no --out
+        assert!(Invocation::parse(&s(&["generate", "nosuch", "--out", "x.mtx"])).is_ok());
+        // class validity is checked at run time:
+        assert!(generate_matrix("nosuch", 1, 1).is_err());
+    }
+
+    #[test]
+    fn generate_all_classes() {
+        for class in [
+            "scattered", "powerlaw", "rmat", "banded", "stencil", "clustered", "shuffled",
+            "noisy", "diagonal", "cf",
+        ] {
+            let m = generate_matrix(class, 1, 7).unwrap();
+            assert!(m.nnz() > 0, "{class} empty");
+        }
+    }
+
+    #[test]
+    fn end_to_end_generate_reorder_analyze() {
+        let dir = std::env::temp_dir().join("spmm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.mtx");
+        let output = dir.join("out.mtx");
+        let order = dir.join("order.txt");
+
+        let r = run(&Invocation::Generate {
+            class: "shuffled".into(),
+            out: input.clone(),
+            seed: 3,
+            scale: 1,
+        })
+        .unwrap();
+        assert!(r.contains("wrote shuffled"));
+
+        let r = run(&Invocation::Reorder {
+            input: input.clone(),
+            out: output.clone(),
+            order: Some(order.clone()),
+        })
+        .unwrap();
+        assert!(r.contains("reordered"), "{r}");
+        // order file has one index per row
+        let lines = std::fs::read_to_string(&order).unwrap();
+        let m: CsrMatrix<f32> = mm_io::read_matrix_market_file(&input).unwrap();
+        assert_eq!(lines.lines().count(), m.nrows());
+
+        let r = run(&Invocation::Analyze {
+            path: input,
+            k: 64,
+            device: "p100".into(),
+        })
+        .unwrap();
+        assert!(r.contains("recommendation"), "{r}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        let r = run(&Invocation::Analyze {
+            path: "/nonexistent/m.mtx".into(),
+            k: 64,
+            device: "p100".into(),
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `spmm-rr` — command-line front end for the ASpT-RR pipeline.
+//!
+//! ```text
+//! spmm-rr analyze  <matrix.mtx> [--k N] [--device p100|v100]
+//! spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
+//! spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
+//! spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
+//! ```
+//!
+//! `analyze` prints structure statistics, the Fig 5 pipeline decisions
+//! and the simulated variant comparison; `reorder` writes the reordered
+//! matrix (and optionally the row order) for use in other tools;
+//! `bench` runs the §4 trial and recommends a variant; `generate`
+//! writes one of the synthetic corpus classes as Matrix Market.
+
+use spmm_cli::{run, Invocation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Invocation::parse(&args) {
+        Ok(inv) => match run(&inv) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{}", spmm_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Seeded generators for the structural classes found in SuiteSparse /
+//! Network Repository.
+//!
+//! All generators are deterministic functions of their parameters and
+//! `seed`. Values are uniform in `[-1, 1)`; the structure, not the
+//! values, is what the reproduction studies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar};
+use std::collections::HashSet;
+
+fn rng_for(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+fn random_value<T: Scalar>(rng: &mut SmallRng) -> T {
+    T::from_f64(rng.random_range(-1.0..1.0))
+}
+
+/// Samples `k` distinct column indices in `0..ncols` (ascending not
+/// required; caller dedups via COO).
+fn distinct_cols(rng: &mut SmallRng, ncols: usize, k: usize) -> Vec<u32> {
+    let k = k.min(ncols);
+    if k * 4 >= ncols {
+        // dense-ish row: Fisher-Yates over the full range
+        let mut all: Vec<u32> = (0..ncols as u32).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..ncols);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    } else {
+        let mut set = HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let c = rng.random_range(0..ncols) as u32;
+            if set.insert(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn csr_from_pairs<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    mut pairs: Vec<(u32, u32)>,
+    rng: &mut SmallRng,
+) -> CsrMatrix<T> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut coo = CooMatrix::new(nrows, ncols).expect("valid dims");
+    coo.reserve(pairs.len());
+    for (r, c) in pairs {
+        coo.push(r, c, random_value(rng)).expect("in-bounds pair");
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Uniform random matrix: every row has exactly `row_nnz` nonzeros at
+/// uniformly random columns. The "extremely scattered" end of the
+/// spectrum (Fig 7b): rows share columns only by chance.
+pub fn uniform_random<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    row_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let mut coo = CooMatrix::new(nrows, ncols).expect("valid dims");
+    coo.reserve(nrows * row_nnz);
+    for r in 0..nrows {
+        for c in distinct_cols(&mut rng, ncols, row_nnz) {
+            coo.push(r as u32, c, random_value(&mut rng))
+                .expect("in-bounds");
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Chung–Lu power-law graph: endpoint `i` of each edge is drawn with
+/// probability ∝ `(i+1)^-exponent`. Models social / web graphs whose
+/// hub columns make some panels dense while leaving most rows scattered.
+pub fn power_law<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    nedges: usize,
+    exponent: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let cum_row = cumulative_weights(nrows, exponent);
+    let cum_col = cumulative_weights(ncols, exponent);
+    let mut pairs = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let r = sample_cumulative(&cum_row, &mut rng) as u32;
+        let c = sample_cumulative(&cum_col, &mut rng) as u32;
+        pairs.push((r, c));
+    }
+    csr_from_pairs(nrows, ncols, pairs, &mut rng)
+}
+
+fn cumulative_weights(n: usize, exponent: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += ((i + 1) as f64).powf(-exponent);
+        cum.push(acc);
+    }
+    cum
+}
+
+fn sample_cumulative(cum: &[f64], rng: &mut SmallRng) -> usize {
+    let total = *cum.last().expect("non-empty weights");
+    let x = rng.random_range(0.0..total);
+    cum.partition_point(|&c| c <= x).min(cum.len() - 1)
+}
+
+/// R-MAT recursive matrix (Graph500 style) with partition probabilities
+/// `(a, b, c, d)`, `a+b+c+d = 1`. `scale` gives `2^scale` rows/cols.
+pub fn rmat<T: Scalar>(
+    scale: u32,
+    edge_factor: usize,
+    probs: (f64, f64, f64, f64),
+    seed: u64,
+) -> CsrMatrix<T> {
+    let n = 1usize << scale;
+    let nedges = n * edge_factor;
+    let (a, b, c, _d) = probs;
+    let mut rng = rng_for(seed);
+    let mut pairs = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let (mut r, mut cidx) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let x: f64 = rng.random();
+            let (dr, dc) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            cidx |= dc << level;
+        }
+        pairs.push((r as u32, cidx as u32));
+    }
+    csr_from_pairs(n, n, pairs, &mut rng)
+}
+
+/// Banded matrix: each row has `row_nnz` nonzeros at random offsets
+/// within `±half_bandwidth` of the diagonal. Consecutive rows overlap
+/// heavily, so the matrix is *already well clustered* (Fig 7a regime).
+pub fn banded<T: Scalar>(
+    n: usize,
+    half_bandwidth: usize,
+    row_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let mut pairs = Vec::with_capacity(n * row_nnz);
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth + 1).min(n);
+        let width = hi - lo;
+        let take = row_nnz.min(width);
+        let mut offs: Vec<usize> = (0..width).collect();
+        for i in 0..take {
+            let j = rng.random_range(i..width);
+            offs.swap(i, j);
+        }
+        for &o in offs.iter().take(take) {
+            pairs.push((r as u32, (lo + o) as u32));
+        }
+    }
+    csr_from_pairs(n, n, pairs, &mut rng)
+}
+
+/// 5-point 2-D Laplacian stencil on an `nx × ny` grid — the classic
+/// scientific-computing matrix (deterministic; no seed).
+pub fn laplacian_2d<T: Scalar>(nx: usize, ny: usize) -> CsrMatrix<T> {
+    let n = nx * ny;
+    let mut coo = CooMatrix::new(n, n).expect("valid dims");
+    coo.reserve(5 * n);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, T::from_f64(4.0)).expect("in-bounds");
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), T::from_f64(-1.0)).expect("in-bounds");
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), T::from_f64(-1.0)).expect("in-bounds");
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), T::from_f64(-1.0)).expect("in-bounds");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), T::from_f64(-1.0)).expect("in-bounds");
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Block-diagonal clustered matrix: rows of block `b` draw their columns
+/// from a shared pool of `block_cols` columns, so rows *within* a block
+/// have high Jaccard similarity and rows across blocks share nothing.
+/// This is the "well clustered" case where ASpT alone performs well.
+pub fn block_diagonal<T: Scalar>(
+    nblocks: usize,
+    rows_per_block: usize,
+    block_cols: usize,
+    row_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let nrows = nblocks * rows_per_block;
+    let ncols = nblocks * block_cols;
+    let mut rng = rng_for(seed);
+    let mut pairs = Vec::with_capacity(nrows * row_nnz);
+    for b in 0..nblocks {
+        let col_base = (b * block_cols) as u32;
+        for rb in 0..rows_per_block {
+            let r = (b * rows_per_block + rb) as u32;
+            for c in distinct_cols(&mut rng, block_cols, row_nnz) {
+                pairs.push((r, col_base + c));
+            }
+        }
+    }
+    csr_from_pairs(nrows, ncols, pairs, &mut rng)
+}
+
+/// [`block_diagonal`] followed by a random row shuffle: the cluster
+/// structure exists but consecutive rows no longer share columns. This
+/// is the *recoverable* case the paper's row reordering targets.
+pub fn shuffled_block_diagonal<T: Scalar>(
+    nblocks: usize,
+    rows_per_block: usize,
+    block_cols: usize,
+    row_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let m = block_diagonal::<T>(nblocks, rows_per_block, block_cols, row_nnz, seed);
+    shuffle_rows(&m, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Clustered matrix with per-row noise: each row takes most columns from
+/// its block pool plus a few uniformly random "noise" columns, then rows
+/// are shuffled. Models community-structured graphs with cross edges.
+pub fn noisy_shuffled_clusters<T: Scalar>(
+    nblocks: usize,
+    rows_per_block: usize,
+    block_cols: usize,
+    row_nnz: usize,
+    noise_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let nrows = nblocks * rows_per_block;
+    let ncols = nblocks * block_cols;
+    let mut rng = rng_for(seed);
+    let mut pairs = Vec::with_capacity(nrows * (row_nnz + noise_nnz));
+    for b in 0..nblocks {
+        let col_base = (b * block_cols) as u32;
+        for rb in 0..rows_per_block {
+            let r = (b * rows_per_block + rb) as u32;
+            for c in distinct_cols(&mut rng, block_cols, row_nnz) {
+                pairs.push((r, col_base + c));
+            }
+            for _ in 0..noise_nnz {
+                pairs.push((r, rng.random_range(0..ncols) as u32));
+            }
+        }
+    }
+    let m = csr_from_pairs::<T>(nrows, ncols, pairs, &mut rng);
+    shuffle_rows(&m, seed ^ 0x85eb_ca6b_27d4_eb4f)
+}
+
+/// Pure diagonal matrix — zero row similarity, the degenerate case of
+/// Fig 7b where no reordering can help.
+pub fn diagonal<T: Scalar>(n: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let diag: Vec<T> = (0..n).map(|_| random_value(&mut rng)).collect();
+    CsrMatrix::from_diagonal(&diag)
+}
+
+/// Bipartite user × item ratings matrix with Zipf-skewed item
+/// popularity — the collaborative-filtering workload of the paper's
+/// intro. Popular items are shared across many users, giving partial
+/// row similarity recoverable by clustering.
+pub fn bipartite_cf<T: Scalar>(
+    nusers: usize,
+    nitems: usize,
+    avg_ratings: usize,
+    zipf_exponent: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let cum = cumulative_weights(nitems, zipf_exponent);
+    let mut pairs = Vec::with_capacity(nusers * avg_ratings);
+    for u in 0..nusers {
+        // 1..2*avg ratings per user (uniform), at Zipf-sampled items
+        let k = rng.random_range(1..=avg_ratings * 2);
+        for _ in 0..k {
+            pairs.push((u as u32, sample_cumulative(&cum, &mut rng) as u32));
+        }
+    }
+    csr_from_pairs(nusers, nitems, pairs, &mut rng)
+}
+
+/// Applies a uniformly random row permutation.
+pub fn shuffle_rows<T: Scalar>(m: &CsrMatrix<T>, seed: u64) -> CsrMatrix<T> {
+    let mut rng = rng_for(seed);
+    let mut order: Vec<u32> = (0..m.nrows() as u32).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    m.permute_rows(&Permutation::from_order(order).expect("shuffle is a bijection"))
+}
+
+/// Random dense matrix with entries uniform in `[-1, 1)` — the `X` (and
+/// SDDMM `Y`) operand ("randomly generated dense matrices", §5.2).
+pub fn random_dense<T: Scalar>(nrows: usize, ncols: usize, seed: u64) -> DenseMatrix<T> {
+    let mut rng = rng_for(seed);
+    DenseMatrix::from_fn(nrows, ncols, |_, _| random_value(&mut rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_sparse::similarity::avg_consecutive_similarity;
+    use spmm_sparse::stats::MatrixStats;
+
+    #[test]
+    fn uniform_random_shape_and_determinism() {
+        let a = uniform_random::<f64>(100, 200, 8, 42);
+        let b = uniform_random::<f64>(100, 200, 8, 42);
+        let c = uniform_random::<f64>(100, 200, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.nrows(), 100);
+        assert_eq!(a.ncols(), 200);
+        assert_eq!(a.nnz(), 800);
+        for i in 0..a.nrows() {
+            assert_eq!(a.row_nnz(i), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_random_row_nnz_clamped_to_ncols() {
+        let m = uniform_random::<f32>(4, 3, 10, 1);
+        for i in 0..4 {
+            assert_eq!(m.row_nnz(i), 3);
+        }
+    }
+
+    #[test]
+    fn power_law_has_skewed_degrees() {
+        let m = power_law::<f64>(500, 500, 4000, 0.8, 7);
+        let s = MatrixStats::compute(&m);
+        assert!(s.nnz > 1000, "dedup should keep most edges: {}", s.nnz);
+        // hub rows exist: max row length far above the mean
+        assert!(
+            s.max_row_nnz as f64 > 4.0 * s.avg_row_nnz,
+            "max {} vs avg {}",
+            s.max_row_nnz,
+            s.avg_row_nnz
+        );
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let m = rmat::<f64>(8, 8, (0.57, 0.19, 0.19, 0.05), 3);
+        assert_eq!(m.nrows(), 256);
+        assert_eq!(m.ncols(), 256);
+        assert!(m.nnz() > 256); // duplicates removed but most edges survive
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = banded::<f64>(300, 10, 6, 11);
+        for (r, c, _) in m.iter() {
+            assert!((r as i64 - c as i64).abs() <= 10);
+        }
+        // banded matrices are well clustered
+        assert!(avg_consecutive_similarity(&m) > 0.1);
+    }
+
+    #[test]
+    fn laplacian_2d_structure() {
+        let m = laplacian_2d::<f64>(4, 3);
+        assert_eq!(m.nrows(), 12);
+        // interior point has 5 entries
+        assert_eq!(m.row_nnz(5), 5);
+        // corner has 3
+        assert_eq!(m.row_nnz(0), 3);
+        // symmetric structure
+        assert!(m.same_structure(&m.transpose()));
+        // row sums: 4 - (#neighbours)
+        let (cols, vals) = m.row(5);
+        assert_eq!(cols.len(), vals.len());
+        let sum: f64 = vals.iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn block_diagonal_is_well_clustered() {
+        let m = block_diagonal::<f64>(10, 30, 40, 20, 5);
+        assert_eq!(m.nrows(), 300);
+        assert_eq!(m.ncols(), 400);
+        // rows within a block share a 40-column pool with 20 picks →
+        // expected Jaccard ≈ 1/3; far above random.
+        assert!(avg_consecutive_similarity(&m) > 0.2);
+        // entries stay inside their block's column range
+        for (r, c, _) in m.iter() {
+            let block = (r as usize) / 30;
+            assert!((c as usize) / 40 == block, "row {r} col {c} escapes block");
+        }
+    }
+
+    #[test]
+    fn shuffled_block_diagonal_destroys_adjacency_not_structure() {
+        let clustered = block_diagonal::<f64>(10, 30, 40, 20, 5);
+        let shuffled = shuffled_block_diagonal::<f64>(10, 30, 40, 20, 5);
+        assert_eq!(clustered.nnz(), shuffled.nnz());
+        let sim_clustered = avg_consecutive_similarity(&clustered);
+        let sim_shuffled = avg_consecutive_similarity(&shuffled);
+        assert!(
+            sim_shuffled < sim_clustered / 2.0,
+            "shuffle should destroy consecutive similarity: {sim_clustered} -> {sim_shuffled}"
+        );
+    }
+
+    #[test]
+    fn noisy_clusters_have_noise_columns() {
+        let m = noisy_shuffled_clusters::<f64>(5, 20, 30, 10, 3, 9);
+        assert_eq!(m.nrows(), 100);
+        // at least one entry escapes its (identity-ordered) block —
+        // rows are shuffled, so check total out-of-pool edges exist by
+        // density: pure block diagonal would cap ncols per row at 30.
+        assert!(m.nnz() > 100 * 10);
+    }
+
+    #[test]
+    fn diagonal_has_zero_similarity() {
+        let m = diagonal::<f32>(64, 2);
+        assert_eq!(m.nnz(), 64);
+        assert_eq!(avg_consecutive_similarity(&m), 0.0);
+    }
+
+    #[test]
+    fn bipartite_cf_popularity_skew() {
+        let m = bipartite_cf::<f64>(400, 300, 10, 0.9, 21);
+        assert_eq!(m.nrows(), 400);
+        assert_eq!(m.ncols(), 300);
+        // column 0 (most popular item) should be referenced far more
+        // than a tail column
+        let t = m.transpose();
+        assert!(t.row_nnz(0) > t.row_nnz(299));
+    }
+
+    #[test]
+    fn shuffle_rows_is_permutation() {
+        let m = laplacian_2d::<f64>(8, 8);
+        let s = shuffle_rows(&m, 77);
+        assert_eq!(m.nnz(), s.nnz());
+        // multiset of row lengths preserved
+        let mut a: Vec<usize> = (0..m.nrows()).map(|i| m.row_nnz(i)).collect();
+        let mut b: Vec<usize> = (0..s.nrows()).map(|i| s.row_nnz(i)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_dense_deterministic() {
+        let a = random_dense::<f32>(10, 16, 1);
+        let b = random_dense::<f32>(10, 16, 1);
+        assert_eq!(a, b);
+        assert!(a.all_finite());
+        assert!(a.data().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic sparse-matrix generators and corpus builder.
+//!
+//! The paper evaluates on 1084 real matrices from the SuiteSparse
+//! collection and the Network Repository (rows ≥ 10 K, cols ≥ 10 K,
+//! nnz ≥ 100 K). Those downloads are not available offline, so this
+//! crate produces a **seeded synthetic corpus** that spans the same
+//! structural classes those collections contain:
+//!
+//! * *scattered* matrices (uniform random, high-exponent power law) —
+//!   where neither tiling nor reordering finds reuse (Fig 7b);
+//! * *well-clustered* matrices (block diagonal, banded stencils) — where
+//!   plain ASpT already wins and reordering must be skipped (§4, Fig 7a);
+//! * *recoverable* matrices (cluster structure destroyed by a random row
+//!   permutation, overlapping community graphs) — the case the paper's
+//!   row reordering is built for.
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generators;
+
+pub use corpus::{Corpus, CorpusMatrix, CorpusProfile, MatrixClass};

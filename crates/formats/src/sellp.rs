@@ -1,0 +1,386 @@
+//! SELL-P / sliced ELLPACK (MAGMA's SpMM format) with the optional
+//! SELL-C-σ row sort.
+//!
+//! Rows are grouped into fixed-height *slices*; each slice is padded
+//! only to its own longest row, bounding the padding that plain ELL
+//! pays globally. With `sigma > slice_height`, rows are sorted by
+//! length within σ-sized windows before slicing, so slices hold
+//! similar-length rows (SELL-C-σ). The σ sort is a *row permutation* —
+//! like the paper's reordering it must be undone on output, which the
+//! SpMM kernels here do transparently.
+
+use rayon::prelude::*;
+use spmm_gpu_sim::{BlockTrace, DeviceConfig, SimReport};
+use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
+
+/// Sentinel column index marking a padding slot.
+pub const PAD: u32 = u32::MAX;
+
+/// One slice's geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slice {
+    /// First (permuted) row of the slice.
+    row_start: usize,
+    /// Rows in the slice.
+    height: usize,
+    /// Padded width of the slice.
+    width: usize,
+    /// Offset of the slice's data in `colidx`/`values`.
+    offset: usize,
+}
+
+/// A sparse matrix in SELL-P layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellPMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    slice_height: usize,
+    slices: Vec<Slice>,
+    /// Within a slice: `colidx[offset + k * height + r]` is entry `k`
+    /// of the slice's `r`-th row.
+    colidx: Vec<u32>,
+    values: Vec<T>,
+    /// `perm.old_of(p) = original row stored at permuted position p`
+    /// (identity when σ sorting is off).
+    perm: Permutation,
+    nnz: usize,
+}
+
+impl<T: Scalar> SellPMatrix<T> {
+    /// Converts from CSR with the given slice height and σ window.
+    /// `sigma == 0` or `sigma <= slice_height` disables sorting.
+    ///
+    /// # Panics
+    /// Panics if `slice_height == 0`.
+    pub fn from_csr(m: &CsrMatrix<T>, slice_height: usize, sigma: usize) -> Self {
+        assert!(slice_height >= 1, "slice_height must be >= 1");
+        let nrows = m.nrows();
+
+        // σ-window sort by descending row length (stable for determinism)
+        let mut order: Vec<u32> = (0..nrows as u32).collect();
+        if sigma > slice_height {
+            for window in order.chunks_mut(sigma) {
+                window.sort_by_key(|&r| std::cmp::Reverse(m.row_nnz(r as usize)));
+            }
+        }
+        let perm = Permutation::from_order(order).expect("chunk sort keeps the index set");
+
+        let nslices = nrows.div_ceil(slice_height);
+        let mut slices = Vec::with_capacity(nslices);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for s in 0..nslices {
+            let row_start = s * slice_height;
+            let height = (row_start + slice_height).min(nrows) - row_start;
+            let width = (0..height)
+                .map(|r| m.row_nnz(perm.old_of(row_start + r) as usize))
+                .max()
+                .unwrap_or(0);
+            let offset = colidx.len();
+            colidx.resize(offset + height * width, PAD);
+            values.resize(offset + height * width, T::ZERO);
+            for r in 0..height {
+                let (cols, vals) = m.row(perm.old_of(row_start + r) as usize);
+                for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                    colidx[offset + k * height + r] = c;
+                    values[offset + k * height + r] = v;
+                }
+            }
+            slices.push(Slice {
+                row_start,
+                height,
+                width,
+                offset,
+            });
+        }
+        Self {
+            nrows,
+            ncols: m.ncols(),
+            slice_height,
+            slices,
+            colidx,
+            values,
+            perm,
+            nnz: m.nnz(),
+        }
+    }
+
+    /// Converts back to CSR, undoing the σ permutation.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // collect rows in permuted order, then invert
+        let mut rows: Vec<(Vec<u32>, Vec<T>)> = vec![(Vec::new(), Vec::new()); self.nrows];
+        for slice in &self.slices {
+            for r in 0..slice.height {
+                let original = self.perm.old_of(slice.row_start + r) as usize;
+                let (cols, vals) = &mut rows[original];
+                for k in 0..slice.width {
+                    let c = self.colidx[slice.offset + k * slice.height + r];
+                    if c != PAD {
+                        cols.push(c);
+                        vals.push(self.values[slice.offset + k * slice.height + r]);
+                    }
+                }
+            }
+        }
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for (cols, vals) in rows {
+            colidx.extend(cols);
+            values.extend(vals);
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix::from_parts(self.nrows, self.ncols, rowptr, colidx, values)
+            .expect("SELL-P preserves CSR invariants")
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Slice height (the `C` of SELL-C-σ).
+    pub fn slice_height(&self) -> usize {
+        self.slice_height
+    }
+
+    /// Real nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored slots including padding.
+    pub fn stored_slots(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// `stored_slots / nnz` — strictly between ELL's factor and 1.
+    pub fn padding_factor(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.stored_slots() as f64 / self.nnz as f64
+        }
+    }
+
+    /// Sequential SpMM `Y = S · X`, output in original row order.
+    pub fn spmm_seq(&self, x: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        self.check_dims(x)?;
+        let k = x.ncols();
+        let mut y = DenseMatrix::zeros(self.nrows, k);
+        for slice in &self.slices {
+            for r in 0..slice.height {
+                let original = self.perm.old_of(slice.row_start + r) as usize;
+                let y_row = y.row_mut(original);
+                for slot in 0..slice.width {
+                    let c = self.colidx[slice.offset + slot * slice.height + r];
+                    if c == PAD {
+                        continue;
+                    }
+                    let v = self.values[slice.offset + slot * slice.height + r];
+                    for (yj, &xj) in y_row.iter_mut().zip(x.row(c as usize)) {
+                        *yj = v.mul_add(xj, *yj);
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Slice-parallel SpMM, output in original row order.
+    pub fn spmm_par(&self, x: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        self.check_dims(x)?;
+        let k = x.ncols();
+        // compute in permuted order (slice-contiguous chunks), then
+        // scatter back
+        let mut y_perm = DenseMatrix::zeros(self.nrows, k);
+        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(self.slices.len());
+        let mut rest: &mut [T] = y_perm.data_mut();
+        for slice in &self.slices {
+            let (head, tail) = rest.split_at_mut(slice.height * k);
+            chunks.push(head);
+            rest = tail;
+        }
+        self.slices
+            .par_iter()
+            .zip(chunks)
+            .for_each(|(slice, y_chunk)| {
+                for r in 0..slice.height {
+                    let y_row = &mut y_chunk[r * k..(r + 1) * k];
+                    for slot in 0..slice.width {
+                        let c = self.colidx[slice.offset + slot * slice.height + r];
+                        if c == PAD {
+                            continue;
+                        }
+                        let v = self.values[slice.offset + slot * slice.height + r];
+                        for (yj, &xj) in y_row.iter_mut().zip(x.row(c as usize)) {
+                            *yj = v.mul_add(xj, *yj);
+                        }
+                    }
+                }
+            });
+        let mut y = DenseMatrix::zeros(self.nrows, k);
+        for p in 0..self.nrows {
+            let original = self.perm.old_of(p) as usize;
+            y.row_mut(original).copy_from_slice(y_perm.row(p));
+        }
+        Ok(y)
+    }
+
+    fn check_dims(&self, x: &DenseMatrix<T>) -> Result<(), SparseError> {
+        if self.ncols != x.nrows() {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("S.ncols ({}) == X.nrows", self.ncols),
+                got: format!("{}", x.nrows()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Simulator blocks: one block per slice; padded slots stream,
+    /// real entries read `X` rows.
+    pub fn spmm_blocks(&self, k: usize) -> Vec<BlockTrace> {
+        let e = T::BYTES as u64;
+        self.slices
+            .iter()
+            .map(|slice| {
+                let mut b = BlockTrace::default();
+                let mut real = 0u64;
+                for r in 0..slice.height {
+                    for slot in 0..slice.width {
+                        let c = self.colidx[slice.offset + slot * slice.height + r];
+                        if c != PAD {
+                            b.x_rows.push(c);
+                            real += 1;
+                        }
+                    }
+                }
+                b.stream_read_bytes = (slice.height * slice.width) as u64 * (4 + e);
+                b.stream_write_bytes = (slice.height * k) as u64 * e;
+                b.flops = 2 * real * k as u64;
+                b
+            })
+            .collect()
+    }
+
+    /// Simulated SpMM performance.
+    pub fn simulate_spmm(&self, k: usize, device: &DeviceConfig) -> SimReport {
+        spmm_gpu_sim::run_blocks(&self.spmm_blocks(k), k, T::BYTES, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ell::EllMatrix;
+    use spmm_data::generators;
+
+    #[test]
+    fn roundtrip_without_sigma() {
+        let m = generators::power_law::<f64>(200, 160, 1500, 0.85, 1);
+        let s = SellPMatrix::from_csr(&m, 8, 0);
+        assert_eq!(s.to_csr(), m);
+        assert!(s.perm.is_identity());
+    }
+
+    #[test]
+    fn roundtrip_with_sigma_sort() {
+        let m = generators::power_law::<f64>(200, 160, 1500, 0.85, 2);
+        let s = SellPMatrix::from_csr(&m, 8, 64);
+        assert!(!s.perm.is_identity(), "σ sort should permute skewed rows");
+        assert_eq!(s.to_csr(), m, "permutation must be undone exactly");
+    }
+
+    #[test]
+    fn padding_between_one_and_ell() {
+        let m = generators::power_law::<f64>(512, 512, 4000, 0.9, 3);
+        let ell = EllMatrix::from_csr(&m);
+        let sell = SellPMatrix::from_csr(&m, 8, 0);
+        let sell_sorted = SellPMatrix::from_csr(&m, 8, 128);
+        assert!(sell.padding_factor() >= 1.0);
+        assert!(sell.padding_factor() <= ell.padding_factor());
+        assert!(
+            sell_sorted.padding_factor() <= sell.padding_factor(),
+            "σ sorting must not worsen padding: {} vs {}",
+            sell_sorted.padding_factor(),
+            sell.padding_factor()
+        );
+    }
+
+    #[test]
+    fn spmm_matches_reference_with_and_without_sigma() {
+        let m = generators::power_law::<f64>(96, 80, 800, 0.85, 4);
+        let x = generators::random_dense::<f64>(80, 8, 5);
+        let reference = EllMatrix::from_csr(&m).spmm_seq(&x).unwrap();
+        for sigma in [0usize, 32, 96] {
+            let s = SellPMatrix::from_csr(&m, 8, sigma);
+            let seq = s.spmm_seq(&x).unwrap();
+            let par = s.spmm_par(&x).unwrap();
+            assert!(
+                reference.max_abs_diff(&seq) < 1e-10,
+                "sigma {sigma} seq deviates"
+            );
+            assert!(seq.max_abs_diff(&par) < 1e-12, "sigma {sigma} par deviates");
+        }
+    }
+
+    #[test]
+    fn ragged_last_slice() {
+        let m = generators::uniform_random::<f64>(13, 16, 3, 6);
+        let s = SellPMatrix::from_csr(&m, 4, 0);
+        assert_eq!(s.slices.len(), 4);
+        assert_eq!(s.slices[3].height, 1);
+        assert_eq!(s.to_csr(), m);
+    }
+
+    #[test]
+    fn trace_flops_count_real_entries_only() {
+        let m = generators::power_law::<f32>(64, 64, 400, 0.9, 7);
+        let s = SellPMatrix::from_csr(&m, 8, 0);
+        let blocks = s.spmm_blocks(16);
+        let flops: u64 = blocks.iter().map(|b| b.flops).sum();
+        assert_eq!(flops, 2 * m.nnz() as u64 * 16);
+        let x_reads: usize = blocks.iter().map(|b| b.x_rows.len()).sum();
+        assert_eq!(x_reads, m.nnz());
+        // streams exceed the real payload when padded
+        let stream: u64 = blocks.iter().map(|b| b.stream_read_bytes).sum();
+        assert!(stream >= m.nnz() as u64 * 8);
+    }
+
+    #[test]
+    fn sigma_sort_reduces_simulated_stream_traffic() {
+        let m = generators::power_law::<f32>(2048, 2048, 40_000, 0.95, 8);
+        let device = DeviceConfig::p100();
+        let unsorted = SellPMatrix::from_csr(&m, 32, 0);
+        let sorted = SellPMatrix::from_csr(&m, 32, 512);
+        let ru = unsorted.simulate_spmm(64, &device);
+        let rs = sorted.simulate_spmm(64, &device);
+        assert!(
+            rs.traffic.dram_bytes <= ru.traffic.dram_bytes,
+            "σ sort should reduce padded streaming: {} vs {}",
+            rs.traffic.dram_bytes,
+            ru.traffic.dram_bytes
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let m = CsrMatrix::<f64>::from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).unwrap();
+        let s = SellPMatrix::from_csr(&m, 2, 0);
+        assert_eq!(s.padding_factor(), 1.0);
+        assert_eq!(s.to_csr(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_height")]
+    fn zero_slice_height_panics() {
+        let m = CsrMatrix::<f64>::identity(4);
+        let _ = SellPMatrix::from_csr(&m, 0, 0);
+    }
+}

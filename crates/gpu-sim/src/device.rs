@@ -1,0 +1,144 @@
+//! Device parameter sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Thread blocks concurrently resident per SM (sets the scheduling
+    /// wave width together with `num_sms`).
+    pub blocks_per_sm: usize,
+    /// DRAM bandwidth in bytes/second.
+    pub dram_bandwidth: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 line size in bytes.
+    pub l2_line_bytes: usize,
+    /// L2 associativity (ways).
+    pub l2_ways: usize,
+    /// L2 bandwidth in bytes/second.
+    pub l2_bandwidth: f64,
+    /// Whether global loads are cached in the per-SM L1. On Pascal
+    /// (compute capability 6.0) global loads bypass L1 by default and
+    /// are cached in L2 only; Volta and later cache them in L1.
+    pub l1_enabled: bool,
+    /// Per-SM L1 capacity in bytes (used only when `l1_enabled`).
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: usize,
+    /// Aggregate shared-memory bandwidth in bytes/second.
+    pub shared_bandwidth: f64,
+    /// Peak single-precision FLOP/s.
+    pub peak_flops_f32: f64,
+    /// Peak double-precision FLOP/s.
+    pub peak_flops_f64: f64,
+    /// Fraction of peak FLOP/s irregular sparse kernels sustain.
+    pub compute_efficiency: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Threads per warp.
+    pub warp_size: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation platform (§5.1): P100 with 56 Pascal SMs,
+    /// 16 GB @ 732 GB/s, 4 MiB L2, 64 KiB shared memory per SM.
+    pub fn p100() -> Self {
+        Self {
+            name: "P100".to_string(),
+            num_sms: 56,
+            blocks_per_sm: 8,
+            dram_bandwidth: 732e9,
+            l2_bytes: 4 << 20,
+            l2_line_bytes: 128,
+            l2_ways: 16,
+            l2_bandwidth: 1800e9,
+            l1_enabled: false,
+            l1_bytes: 24 << 10,
+            l1_ways: 8,
+            shared_mem_per_sm: 64 << 10,
+            shared_bandwidth: 8000e9,
+            peak_flops_f32: 9.3e12,
+            peak_flops_f64: 4.7e12,
+            compute_efficiency: 0.25,
+            launch_overhead: 5e-6,
+            warp_size: 32,
+        }
+    }
+
+    /// A V100 variant, for sensitivity checks.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".to_string(),
+            num_sms: 80,
+            blocks_per_sm: 8,
+            dram_bandwidth: 900e9,
+            l2_bytes: 6 << 20,
+            l2_line_bytes: 128,
+            l2_ways: 16,
+            l2_bandwidth: 2500e9,
+            l1_enabled: true,
+            l1_bytes: 32 << 10,
+            l1_ways: 8,
+            shared_mem_per_sm: 96 << 10,
+            shared_bandwidth: 12000e9,
+            peak_flops_f32: 15.7e12,
+            peak_flops_f64: 7.8e12,
+            compute_efficiency: 0.25,
+            launch_overhead: 5e-6,
+            warp_size: 32,
+        }
+    }
+
+    /// Peak FLOP/s for an element size (4 → f32, 8 → f64).
+    pub fn peak_flops(&self, elem_bytes: usize) -> f64 {
+        if elem_bytes >= 8 {
+            self.peak_flops_f64
+        } else {
+            self.peak_flops_f32
+        }
+    }
+
+    /// Wave width of the block scheduler: how many thread blocks run
+    /// concurrently.
+    pub fn wave_width(&self) -> usize {
+        (self.num_sms * self.blocks_per_sm).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_matches_paper_spec() {
+        let d = DeviceConfig::p100();
+        assert_eq!(d.num_sms, 56);
+        assert_eq!(d.l2_bytes, 4 * 1024 * 1024);
+        assert_eq!(d.shared_mem_per_sm, 64 * 1024);
+        assert_eq!(d.dram_bandwidth, 732e9);
+        assert_eq!(d.wave_width(), 56 * 8);
+    }
+
+    #[test]
+    fn peak_flops_selects_precision() {
+        let d = DeviceConfig::p100();
+        assert_eq!(d.peak_flops(4), d.peak_flops_f32);
+        assert_eq!(d.peak_flops(8), d.peak_flops_f64);
+        assert!(d.peak_flops(4) > d.peak_flops(8));
+    }
+
+    #[test]
+    fn v100_is_bigger() {
+        let p = DeviceConfig::p100();
+        let v = DeviceConfig::v100();
+        assert!(v.dram_bandwidth > p.dram_bandwidth);
+        assert!(v.l2_bytes > p.l2_bytes);
+    }
+}

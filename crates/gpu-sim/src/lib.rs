@@ -1,0 +1,38 @@
+//! GPU memory-hierarchy simulator.
+//!
+//! The paper's results come from CUDA kernels on an Nvidia P100; its
+//! speedups are driven by **global-memory transactions avoided** when
+//! dense tiles stage `X` rows through shared memory and when similar
+//! rows are processed close together in time (better L2 reuse). This
+//! crate reproduces that mechanism without a GPU:
+//!
+//! * [`device`] — device parameter sets (P100 as in the paper §5.1,
+//!   plus V100 for sensitivity checks).
+//! * [`cache`] — a set-associative LRU cache standing in for the 4 MiB
+//!   L2.
+//! * [`engine`] — thread-block traces, the wave scheduler that
+//!   interleaves concurrently-resident blocks, the traffic counters and
+//!   the roofline timing model.
+//! * [`kernels`] — trace builders for the kernels the paper compares:
+//!   row-wise SpMM/SDDMM (the cuSPARSE-like baseline and the sparse
+//!   remainder kernel) and ASpT SpMM/SDDMM (dense tiles through shared
+//!   memory + remainder row-wise, optionally in the round-2 processing
+//!   order).
+//!
+//! What is modeled: X-operand reuse through L2, shared-memory staging
+//! of dense tiles, streaming traffic for the sparse matrix and outputs,
+//! a roofline execution-time estimate. What is not: warp divergence,
+//! L1/texture caches, DRAM banking, instruction issue. The omissions
+//! shift absolute numbers, not the memory-movement ordering the paper's
+//! conclusions rest on.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod device;
+pub mod engine;
+pub mod kernels;
+
+pub use cache::CacheSim;
+pub use device::DeviceConfig;
+pub use engine::{run_blocks, BlockTrace, SimReport, Traffic};

@@ -1,0 +1,214 @@
+//! The §4 trial-and-error strategy.
+//!
+//! "One can perform row-reordering in the first iteration and do SpMM
+//! or SDDMM on both the reordered matrix and the original matrix. If
+//! the reordered matrix is faster, keep the row-reordering for the rest
+//! of iterations; otherwise, discard the row-reordering." This module
+//! runs that trial against the simulated device and reports which
+//! variant wins.
+
+use crate::engine::{Engine, EngineConfig};
+use serde::{Deserialize, Serialize};
+use spmm_aspt::AsptMatrix;
+use spmm_gpu_sim::kernels::{
+    simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_rowwise,
+};
+use spmm_gpu_sim::{DeviceConfig, SimReport};
+use spmm_reorder::{ReorderConfig, ReorderPolicy};
+use spmm_sparse::{CsrMatrix, Scalar};
+
+/// Which kernel family to tune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Sparse × dense multiplication.
+    Spmm,
+    /// Sampled dense-dense multiplication.
+    Sddmm,
+}
+
+/// One of the execution strategies the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// Row-wise kernel on the original matrix (the cuSPARSE-like
+    /// baseline; SpMM only — cuSPARSE has no SDDMM, §5.3).
+    CusparseLike,
+    /// ASpT without reordering (Hong et al.).
+    AsptNr,
+    /// ASpT with row reordering (this paper).
+    AsptRr,
+}
+
+/// Simulated outcomes of the trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialReport {
+    /// The fastest variant under the simulated device.
+    pub chosen: Variant,
+    /// cuSPARSE-like report (SpMM trials only).
+    pub cusparse_like: Option<SimReport>,
+    /// ASpT-NR report.
+    pub aspt_nr: SimReport,
+    /// ASpT-RR report.
+    pub aspt_rr: SimReport,
+    /// Whether the reordering plan actually changed anything — when it
+    /// did not, RR ≡ NR and the trial is decided by noise-free
+    /// simulation ties (NR wins ties).
+    pub reordering_applied: bool,
+}
+
+impl TrialReport {
+    /// Speedup of ASpT-RR over the best competing variant (the paper's
+    /// Table 1 quantity for SpMM, Table 2 for SDDMM).
+    pub fn rr_speedup_vs_best_other(&self) -> f64 {
+        let mut best_other = self.aspt_nr.time_s;
+        if let Some(c) = &self.cusparse_like {
+            best_other = best_other.min(c.time_s);
+        }
+        best_other / self.aspt_rr.time_s
+    }
+}
+
+/// Runs the trial for `m`: simulate every variant, pick the fastest.
+pub fn choose_variant<T: Scalar>(
+    m: &CsrMatrix<T>,
+    kernel: Kernel,
+    k: usize,
+    device: &DeviceConfig,
+    reorder: &ReorderConfig,
+) -> TrialReport {
+    let nr_aspt = AsptMatrix::build(m, &reorder.aspt);
+    let engine = Engine::prepare(m, &EngineConfig { reorder: *reorder });
+
+    let (cusparse_like, aspt_nr, aspt_rr) = match kernel {
+        Kernel::Spmm => (
+            Some(simulate_spmm_rowwise(m, k, device)),
+            simulate_spmm_aspt(&nr_aspt, None, k, device),
+            engine.simulate_spmm(k, device),
+        ),
+        Kernel::Sddmm => (
+            None,
+            simulate_sddmm_aspt(&nr_aspt, None, k, device),
+            engine.simulate_sddmm(k, device),
+        ),
+    };
+
+    let mut chosen = Variant::AsptNr;
+    let mut best = aspt_nr.time_s;
+    if let Some(c) = &cusparse_like {
+        if c.time_s < best {
+            best = c.time_s;
+            chosen = Variant::CusparseLike;
+        }
+    }
+    if aspt_rr.time_s < best {
+        chosen = Variant::AsptRr;
+    }
+
+    TrialReport {
+        chosen,
+        cusparse_like,
+        aspt_nr,
+        aspt_rr,
+        reordering_applied: engine.plan().needs_reordering(),
+    }
+}
+
+/// Convenience: the §4 policy plus trial — reorder only when the trial
+/// confirms a win. Returns the engine to use for the remaining
+/// iterations.
+pub fn tuned_engine<T: Scalar>(
+    m: &CsrMatrix<T>,
+    kernel: Kernel,
+    k: usize,
+    device: &DeviceConfig,
+    reorder: &ReorderConfig,
+) -> (Engine<T>, TrialReport) {
+    let report = choose_variant(m, kernel, k, device, reorder);
+    let engine = if report.chosen == Variant::AsptRr {
+        Engine::prepare(m, &EngineConfig { reorder: *reorder })
+    } else {
+        // fall back to no reordering
+        let no_reorder = ReorderConfig {
+            policy: ReorderPolicy {
+                skip_round1_dense_ratio: -1.0, // always skip
+                skip_round2_avgsim: -1.0,
+                force_round1: false,
+                force_round2: false,
+            },
+            ..*reorder
+        };
+        Engine::prepare(m, &EngineConfig { reorder: no_reorder })
+    };
+    (engine, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_aspt::AsptConfig;
+    use spmm_data::generators;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig {
+            num_sms: 4,
+            blocks_per_sm: 2,
+            l2_bytes: 16 << 10,
+            launch_overhead: 0.0,
+            ..DeviceConfig::p100()
+        }
+    }
+
+    fn reorder_cfg() -> ReorderConfig {
+        ReorderConfig {
+            aspt: AsptConfig {
+                panel_height: 16,
+                min_col_nnz: 2,
+                tile_width: 32,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rr_wins_on_shuffled_clusters() {
+        let m = generators::shuffled_block_diagonal::<f32>(32, 16, 96, 24, 7);
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        assert!(report.reordering_applied);
+        assert_eq!(report.chosen, Variant::AsptRr, "report: {:?}", report.chosen);
+        assert!(report.rr_speedup_vs_best_other() > 1.0);
+    }
+
+    #[test]
+    fn rr_never_chosen_when_no_reordering_happened() {
+        let m = generators::diagonal::<f32>(512, 3);
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        assert!(!report.reordering_applied);
+        assert_ne!(report.chosen, Variant::AsptRr, "identical plans tie to NR");
+    }
+
+    #[test]
+    fn sddmm_trial_has_no_cusparse() {
+        let m = generators::uniform_random::<f32>(256, 256, 8, 5);
+        let report = choose_variant(&m, Kernel::Sddmm, 32, &device(), &reorder_cfg());
+        assert!(report.cusparse_like.is_none());
+    }
+
+    #[test]
+    fn tuned_engine_matches_trial_choice() {
+        let m = generators::shuffled_block_diagonal::<f32>(32, 16, 96, 24, 9);
+        let (engine, report) = tuned_engine(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        if report.chosen == Variant::AsptRr {
+            assert!(engine.plan().needs_reordering());
+        } else {
+            assert!(!engine.plan().needs_reordering());
+        }
+    }
+
+    #[test]
+    fn trial_reports_all_positive_times() {
+        let m = generators::power_law::<f32>(512, 512, 6000, 0.8, 11);
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        assert!(report.aspt_nr.time_s > 0.0);
+        assert!(report.aspt_rr.time_s > 0.0);
+        assert!(report.cusparse_like.unwrap().time_s > 0.0);
+    }
+}

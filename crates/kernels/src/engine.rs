@@ -1,0 +1,391 @@
+//! The end-to-end execution engine: Fig 5 as an object.
+//!
+//! [`Engine::prepare`] plans the reordering (with the §4 skip
+//! heuristics), materialises the reordered matrix, builds the ASpT
+//! decomposition and records the preprocessing wall-clock time (the
+//! quantity of Fig 12 / Tables 3–4). The `spmm`/`sddmm` methods then
+//! execute against the decomposition and return outputs **in the
+//! caller's original row / nonzero order**, so reordering is invisible
+//! to users of the results.
+
+use spmm_aspt::AsptMatrix;
+use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt};
+use spmm_gpu_sim::{DeviceConfig, SimReport};
+use spmm_reorder::{plan_reordering, ReorderConfig, ReorderPlan};
+use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
+use std::time::{Duration, Instant};
+
+use crate::sddmm::sddmm_aspt;
+use crate::spmm::spmm_aspt;
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Reordering pipeline configuration (LSH, clustering, ASpT, skip
+    /// policy).
+    pub reorder: ReorderConfig,
+}
+
+/// A prepared SpMM/SDDMM executor for one sparse matrix.
+///
+/// ```
+/// use spmm_data::generators;
+/// use spmm_kernels::{Engine, EngineConfig};
+/// use spmm_kernels::spmm::spmm_rowwise_seq;
+///
+/// // cluster structure hidden by a row shuffle — the engine's
+/// // reordering recovers it, and the results come back in the
+/// // caller's original row order
+/// let s = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 7);
+/// let x = generators::random_dense::<f64>(s.ncols(), 8, 1);
+///
+/// let engine = Engine::prepare(&s, &EngineConfig::default());
+/// assert!(engine.plan().needs_reordering());
+///
+/// let y = engine.spmm(&x)?;
+/// let reference = spmm_rowwise_seq(&s, &x)?;
+/// assert!(reference.max_abs_diff(&y) < 1e-10);
+/// # Ok::<(), spmm_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<T> {
+    plan: ReorderPlan,
+    aspt: AsptMatrix<T>,
+    /// The reordered matrix (identity reorder when round 1 skipped).
+    reordered: CsrMatrix<T>,
+    /// `nnz_map[reordered_nnz] = original_nnz`.
+    nnz_map: Vec<usize>,
+    preprocessing: Duration,
+    original_ncols: usize,
+}
+
+impl<T: Scalar> Engine<T> {
+    /// Plans, reorders and tiles `m`. This is the preprocessing step
+    /// whose cost the paper reports separately (§5.4).
+    pub fn prepare(m: &CsrMatrix<T>, config: &EngineConfig) -> Self {
+        let start = Instant::now();
+        let plan = plan_reordering(m, &config.reorder);
+        let (reordered, nnz_map) = m.permute_rows_with_map(&plan.row_perm);
+        let aspt = AsptMatrix::build(&reordered, &config.reorder.aspt);
+        let preprocessing = start.elapsed();
+        Self {
+            plan,
+            aspt,
+            reordered,
+            nnz_map,
+            preprocessing,
+            original_ncols: m.ncols(),
+        }
+    }
+
+    /// The reordering plan that was applied.
+    pub fn plan(&self) -> &ReorderPlan {
+        &self.plan
+    }
+
+    /// The ASpT decomposition executed by the kernels.
+    pub fn aspt(&self) -> &AsptMatrix<T> {
+        &self.aspt
+    }
+
+    /// Wall-clock preprocessing time (reorder planning + permutation +
+    /// tiling).
+    pub fn preprocessing_time(&self) -> Duration {
+        self.preprocessing
+    }
+
+    /// Remainder processing order, if round 2 chose one.
+    fn remainder_order(&self) -> Option<&Permutation> {
+        self.plan
+            .round2_applied
+            .then_some(&self.plan.remainder_order)
+    }
+
+    /// `Y = S · X`, rows of `Y` in the original row order of `S`.
+    pub fn spmm(&self, x: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
+        self.spmm_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Like [`Self::spmm`], writing into a caller-provided output —
+    /// iterative applications reuse one allocation across iterations.
+    ///
+    /// # Errors
+    /// Fails on operand shape mismatches (`y` must be
+    /// `S.nrows × x.ncols`).
+    pub fn spmm_into(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &mut DenseMatrix<T>,
+    ) -> Result<(), SparseError> {
+        if y.nrows() != self.aspt.nrows() || y.ncols() != x.ncols() {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("Y of {} x {}", self.aspt.nrows(), x.ncols()),
+                got: format!("{} x {}", y.nrows(), y.ncols()),
+            });
+        }
+        let y_reord = spmm_aspt(&self.aspt, x)?;
+        if self.plan.row_perm.is_identity() {
+            y.data_mut().copy_from_slice(y_reord.data());
+            return Ok(());
+        }
+        for new in 0..y_reord.nrows() {
+            let old = self.plan.row_perm.old_of(new) as usize;
+            y.row_mut(old).copy_from_slice(y_reord.row(new));
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::sddmm`], writing into a caller-provided output
+    /// buffer of length `nnz` (original nonzero order).
+    ///
+    /// # Errors
+    /// Fails on operand shape mismatches or a wrong output length.
+    pub fn sddmm_into(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &DenseMatrix<T>,
+        out: &mut [T],
+    ) -> Result<(), SparseError> {
+        if out.len() != self.nnz_map.len() {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("output of length nnz ({})", self.nnz_map.len()),
+                got: format!("{}", out.len()),
+            });
+        }
+        let vals = self.sddmm(x, y)?;
+        out.copy_from_slice(&vals);
+        Ok(())
+    }
+
+    /// Alg 2 SDDMM; the returned values parallel the *original*
+    /// matrix's `values()` array.
+    pub fn sddmm(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<Vec<T>, SparseError> {
+        // the kernel reads Y rows in reordered row space
+        let y_perm;
+        let y_for_kernel = if self.plan.row_perm.is_identity() {
+            y
+        } else {
+            let k = y.ncols();
+            let mut p = DenseMatrix::zeros(y.nrows(), k);
+            for new in 0..y.nrows() {
+                let old = self.plan.row_perm.old_of(new) as usize;
+                p.row_mut(new).copy_from_slice(y.row(old));
+            }
+            y_perm = p;
+            &y_perm
+        };
+        let vals_reord = sddmm_aspt(&self.aspt, x, y_for_kernel, self.reordered.rowptr())?;
+        if self.plan.row_perm.is_identity() {
+            return Ok(vals_reord);
+        }
+        let mut out = vec![T::ZERO; vals_reord.len()];
+        for (j, v) in vals_reord.into_iter().enumerate() {
+            out[self.nnz_map[j]] = v;
+        }
+        Ok(out)
+    }
+
+    /// Simulated SpMM performance of this engine's configuration
+    /// (ASpT-RR when reordering was applied, ASpT-NR otherwise).
+    pub fn simulate_spmm(&self, k: usize, device: &DeviceConfig) -> SimReport {
+        simulate_spmm_aspt(&self.aspt, self.remainder_order(), k, device)
+    }
+
+    /// Simulated SDDMM performance.
+    pub fn simulate_sddmm(&self, k: usize, device: &DeviceConfig) -> SimReport {
+        simulate_sddmm_aspt(&self.aspt, self.remainder_order(), k, device)
+    }
+
+    /// Number of columns of the original matrix (`X` must have this
+    /// many rows).
+    pub fn ncols(&self) -> usize {
+        self.original_ncols
+    }
+
+    /// Refreshes the sparse matrix's values (structure unchanged),
+    /// keeping the reordering and tiling. `values` is in the *original*
+    /// matrix's nonzero order. This is how iterative applications
+    /// (gradient descent, §5.4) amortise preprocessing: pay for
+    /// reorder+tile once, update values every iteration.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the matrix's nnz.
+    pub fn update_values(&mut self, values: &[T]) {
+        assert_eq!(
+            values.len(),
+            self.nnz_map.len(),
+            "value array must match the matrix's nnz"
+        );
+        let reordered_vals = self.reordered.values_mut();
+        for (j, &old) in self.nnz_map.iter().enumerate() {
+            reordered_vals[j] = values[old];
+        }
+        // borrow juggling: clone the (small) value slice for the tiles
+        let vals: Vec<T> = self.reordered.values().to_vec();
+        self.aspt.update_values(&vals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sddmm::sddmm_rowwise_seq;
+    use crate::spmm::spmm_rowwise_seq;
+    use spmm_aspt::AsptConfig;
+    use spmm_data::generators;
+    use spmm_reorder::ReorderPolicy;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            reorder: ReorderConfig {
+                aspt: AsptConfig {
+                    panel_height: 16,
+                    min_col_nnz: 2,
+                    tile_width: 32,
+                },
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn spmm_results_match_reference_despite_reordering() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg());
+        assert!(engine.plan().round1_applied, "fixture must trigger reordering");
+        let x = generators::random_dense::<f64>(m.ncols(), 16, 7);
+        let expected = spmm_rowwise_seq(&m, &x).unwrap();
+        let got = engine.spmm(&x).unwrap();
+        assert!(
+            expected.max_abs_diff(&got) < 1e-10,
+            "reordering must be invisible in results"
+        );
+    }
+
+    #[test]
+    fn sddmm_results_match_reference_despite_reordering() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 5);
+        let engine = Engine::prepare(&m, &cfg());
+        assert!(engine.plan().round1_applied);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 1);
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 2);
+        let expected = sddmm_rowwise_seq(&m, &x, &y).unwrap();
+        let got = engine.sddmm(&x, &y).unwrap();
+        let max = expected
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max < 1e-10, "max deviation {max}");
+    }
+
+    #[test]
+    fn identity_reorder_path() {
+        // well-clustered matrix: both rounds skipped, outputs flow
+        // through without permutation
+        let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg());
+        assert!(!engine.plan().needs_reordering());
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 9);
+        let expected = spmm_rowwise_seq(&m, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn preprocessing_time_is_recorded() {
+        let m = generators::uniform_random::<f64>(256, 256, 8, 1);
+        let engine = Engine::prepare(&m, &cfg());
+        assert!(engine.preprocessing_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn simulation_reports_are_consistent() {
+        let m = generators::shuffled_block_diagonal::<f32>(16, 16, 32, 12, 9);
+        let engine = Engine::prepare(&m, &cfg());
+        let device = DeviceConfig::p100();
+        let spmm = engine.simulate_spmm(32, &device);
+        let sddmm = engine.simulate_sddmm(32, &device);
+        assert_eq!(spmm.flops, 2 * m.nnz() as u64 * 32);
+        assert!(sddmm.flops >= 2 * m.nnz() as u64 * 32);
+        assert!(spmm.time_s > 0.0 && sddmm.time_s > 0.0);
+    }
+
+    #[test]
+    fn spmm_into_reuses_buffer_and_checks_shape() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 11);
+        let engine = Engine::prepare(&m, &cfg());
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 2);
+        let mut y = DenseMatrix::zeros(m.nrows(), 8);
+        engine.spmm_into(&x, &mut y).unwrap();
+        assert!(spmm_rowwise_seq(&m, &x).unwrap().max_abs_diff(&y) < 1e-10);
+        // reuse: second call overwrites, not accumulates
+        engine.spmm_into(&x, &mut y).unwrap();
+        assert!(spmm_rowwise_seq(&m, &x).unwrap().max_abs_diff(&y) < 1e-10);
+        // wrong shape rejected
+        let mut bad = DenseMatrix::zeros(m.nrows() + 1, 8);
+        assert!(engine.spmm_into(&x, &mut bad).is_err());
+    }
+
+    #[test]
+    fn sddmm_into_matches_sddmm() {
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 13);
+        let engine = Engine::prepare(&m, &cfg());
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 1);
+        let y = generators::random_dense::<f64>(m.nrows(), 4, 2);
+        let expected = engine.sddmm(&x, &y).unwrap();
+        let mut out = vec![0.0f64; m.nnz()];
+        engine.sddmm_into(&x, &y, &mut out).unwrap();
+        assert_eq!(out, expected);
+        let mut short = vec![0.0f64; m.nnz() - 1];
+        assert!(engine.sddmm_into(&x, &y, &mut short).is_err());
+    }
+
+    #[test]
+    fn update_values_preserves_correctness() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 7);
+        let mut engine = Engine::prepare(&m, &cfg());
+        assert!(engine.plan().round1_applied);
+        // change every value; the engine must track without re-tiling
+        let new_values: Vec<f64> = (0..m.nnz()).map(|i| (i % 17) as f64 - 8.0).collect();
+        engine.update_values(&new_values);
+        let mut m2 = m.clone();
+        m2.values_mut().copy_from_slice(&new_values);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 5);
+        let expected = spmm_rowwise_seq(&m2, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        // SDDMM values scale too
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 6);
+        let e = sddmm_rowwise_seq(&m2, &x, &y).unwrap();
+        let g = engine.sddmm(&x, &y).unwrap();
+        assert!(e.iter().zip(&g).all(|(a, b)| (a - b).abs() < 1e-10));
+    }
+
+    #[test]
+    fn forced_reordering_still_correct() {
+        let m = generators::block_diagonal::<f64>(8, 16, 24, 10, 11);
+        let config = EngineConfig {
+            reorder: ReorderConfig {
+                policy: ReorderPolicy::always(),
+                aspt: AsptConfig {
+                    panel_height: 8,
+                    min_col_nnz: 2,
+                    tile_width: 16,
+                },
+                ..Default::default()
+            },
+        };
+        let engine = Engine::prepare(&m, &config);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 3);
+        let expected = spmm_rowwise_seq(&m, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 4);
+        let e2 = sddmm_rowwise_seq(&m, &x, &y).unwrap();
+        let g2 = engine.sddmm(&x, &y).unwrap();
+        assert!(e2
+            .iter()
+            .zip(&g2)
+            .all(|(a, b)| (a - b).abs() < 1e-10));
+    }
+}

@@ -1,0 +1,27 @@
+//! Numerically exact CPU kernels and the end-to-end execution engine.
+//!
+//! The GPU is simulated ([`spmm_gpu_sim`]) for *performance*; this crate
+//! supplies the *numerics* with the same execution structure, proving
+//! every transformation (row reordering, tiling, remainder ordering)
+//! preserves results:
+//!
+//! * [`spmm`] — Alg 1 row-wise SpMM (sequential reference + rayon
+//!   row-parallel) and the ASpT-structured kernel (dense tiles
+//!   accumulated panel-parallel + remainder).
+//! * [`sddmm`] — Alg 2 SDDMM, same three variants.
+//! * [`engine`] — [`engine::Engine`]: plans the reordering (Fig 5),
+//!   builds the ASpT decomposition, executes SpMM/SDDMM returning
+//!   outputs **in the original row/nonzero order**, and exposes the
+//!   simulated performance reports.
+//! * [`autotune`] — the §4 trial-and-error strategy: run the candidate
+//!   variants, keep the fastest.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod engine;
+pub mod sddmm;
+pub mod spmm;
+
+pub use autotune::{choose_variant, Kernel, TrialReport, Variant};
+pub use engine::{Engine, EngineConfig};

@@ -1,0 +1,141 @@
+//! Hash primitives: seed derivation, universal hashing for MinHash, and
+//! a fast mixer for band-bucket keys.
+
+/// Mersenne prime `2^61 - 1`, the modulus of the universal hash family.
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// SplitMix64 step — used to derive independent sub-seeds from one user
+/// seed deterministically.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One member of the universal hash family
+/// `h(x) = ((a·x + b) mod (2^61 - 1))`, with `a ∈ [1, p)`, `b ∈ [0, p)`.
+///
+/// For MinHash this family is a standard substitute for a random
+/// permutation of the column universe: the column minimising `h` is
+/// (approximately) uniform over the row's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+}
+
+impl UniversalHash {
+    /// Draws a hash function from the family using the seed stream.
+    pub fn from_seed_stream(state: &mut u64) -> Self {
+        // rejection-free: reduce into range, avoid a == 0
+        let a = splitmix64(state) % (MERSENNE_61 - 1) + 1;
+        let b = splitmix64(state) % MERSENNE_61;
+        Self { a, b }
+    }
+
+    /// Evaluates the hash at `x`.
+    #[inline]
+    pub fn eval(&self, x: u32) -> u64 {
+        // (a * x + b) mod 2^61-1 via u128 intermediate
+        let v = (self.a as u128 * x as u128 + self.b as u128) % MERSENNE_61 as u128;
+        v as u64
+    }
+}
+
+/// Fast non-cryptographic mixer for band keys (FxHash-style multiply +
+/// rotate over a `u32` slice, finalised with an avalanche step).
+#[inline]
+pub fn hash_u32_slice(slice: &[u32], seed: u64) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = seed ^ (slice.len() as u64).wrapping_mul(K);
+    for &v in slice {
+        h = (h.rotate_left(5) ^ v as u64).wrapping_mul(K);
+    }
+    // final avalanche (from splitmix64)
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 31)
+}
+
+/// Fast non-cryptographic mixer over a `u64` slice (band keys over
+/// MinHash signature components).
+#[inline]
+pub fn hash_u64_slice(slice: &[u64], seed: u64) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = seed ^ (slice.len() as u64).wrapping_mul(K);
+    for &v in slice {
+        h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_slice_hash_properties() {
+        let a = hash_u64_slice(&[1, 2, 3], 0);
+        assert_eq!(a, hash_u64_slice(&[1, 2, 3], 0));
+        assert_ne!(a, hash_u64_slice(&[1, 2, 4], 0));
+        assert_ne!(a, hash_u64_slice(&[1, 2, 3], 9));
+    }
+
+    #[test]
+    fn splitmix_deterministic_and_spread() {
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        let a: Vec<u64> = (0..8).map(|_| splitmix64(&mut s1)).collect();
+        let b: Vec<u64> = (0..8).map(|_| splitmix64(&mut s2)).collect();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 8, "collisions in tiny stream are a bug");
+    }
+
+    #[test]
+    fn universal_hash_in_range_and_deterministic() {
+        let mut s = 7u64;
+        let h = UniversalHash::from_seed_stream(&mut s);
+        for x in [0u32, 1, 17, u32::MAX] {
+            let v = h.eval(x);
+            assert!(v < MERSENNE_61);
+            assert_eq!(v, h.eval(x));
+        }
+    }
+
+    #[test]
+    fn universal_hash_distinct_functions() {
+        let mut s = 7u64;
+        let h1 = UniversalHash::from_seed_stream(&mut s);
+        let h2 = UniversalHash::from_seed_stream(&mut s);
+        assert_ne!(h1, h2);
+        // the two functions disagree somewhere
+        assert!((0..100u32).any(|x| h1.eval(x) != h2.eval(x)));
+    }
+
+    #[test]
+    fn universal_hash_injective_on_small_domain() {
+        // a*x+b mod p is injective for x < p; check a small domain
+        let mut s = 3u64;
+        let h = UniversalHash::from_seed_stream(&mut s);
+        let mut vals: Vec<u64> = (0..1000u32).map(|x| h.eval(x)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 1000);
+    }
+
+    #[test]
+    fn slice_hash_sensitive_to_content_order_and_seed() {
+        let a = hash_u32_slice(&[1, 2, 3], 0);
+        assert_eq!(a, hash_u32_slice(&[1, 2, 3], 0));
+        assert_ne!(a, hash_u32_slice(&[1, 2, 4], 0));
+        assert_ne!(a, hash_u32_slice(&[3, 2, 1], 0));
+        assert_ne!(a, hash_u32_slice(&[1, 2, 3], 1));
+        assert_ne!(hash_u32_slice(&[], 0), hash_u32_slice(&[0], 0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Vertex-reordering baselines.
+//!
+//! The paper contrasts its row reordering with *vertex* reordering
+//! (METIS and friends): a symmetric permutation applied to both rows
+//! and columns, the classic locality treatment for SpMV and graph
+//! algorithms. Its §5.2 experiment shows every matrix slows down for
+//! SpMM after METIS reordering. These implementations fill the METIS
+//! role offline: all are locality-seeking symmetric orders.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spmm_sparse::{CsrMatrix, Permutation, Scalar};
+
+/// Symmetrized adjacency of a square matrix: union of out- and
+/// in-neighbours per vertex, sorted, self-loops removed.
+fn symmetric_neighbors<T: Scalar>(m: &CsrMatrix<T>) -> Vec<Vec<u32>> {
+    assert_eq!(
+        m.nrows(),
+        m.ncols(),
+        "vertex reordering requires a square matrix"
+    );
+    let t = m.transpose();
+    (0..m.nrows())
+        .map(|i| {
+            let mut nbrs: Vec<u32> = m
+                .row_cols(i)
+                .iter()
+                .chain(t.row_cols(i))
+                .copied()
+                .filter(|&c| c as usize != i)
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            nbrs
+        })
+        .collect()
+}
+
+/// Rows sorted by descending degree (ties by index). The simplest hub
+/// -grouping order.
+pub fn degree_sort<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
+    let mut order: Vec<u32> = (0..m.nrows() as u32).collect();
+    order.sort_by_key(|&r| (std::cmp::Reverse(m.row_nnz(r as usize)), r));
+    Permutation::from_order(order).expect("sort preserves the index set")
+}
+
+/// Plain BFS order over the symmetrized adjacency, restarting from the
+/// lowest-index unvisited vertex for disconnected graphs.
+pub fn bfs_order<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
+    let nbrs = symmetric_neighbors(m);
+    bfs_with(&nbrs, |candidates| candidates.to_vec())
+}
+
+/// Cuthill–McKee order (BFS with neighbours visited in ascending-degree
+/// order), reversed — the classic bandwidth-minimising reordering.
+pub fn rcm<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
+    let nbrs = symmetric_neighbors(m);
+    let perm = bfs_with(&nbrs, |candidates| {
+        let mut sorted = candidates.to_vec();
+        sorted.sort_by_key(|&c| (nbrs[c as usize].len(), c));
+        sorted
+    });
+    let mut order = perm.order().to_vec();
+    order.reverse();
+    Permutation::from_order(order).expect("reversal preserves the index set")
+}
+
+/// BFS skeleton parameterised by the neighbour visit order.
+fn bfs_with(nbrs: &[Vec<u32>], visit_order: impl Fn(&[u32]) -> Vec<u32>) -> Permutation {
+    let n = nbrs.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let fresh: Vec<u32> = nbrs[v as usize]
+                .iter()
+                .copied()
+                .filter(|&c| !visited[c as usize])
+                .collect();
+            for c in visit_order(&fresh) {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    Permutation::from_order(order).expect("BFS visits each vertex once")
+}
+
+/// Recursive graph bisection: BFS levels from the first vertex split
+/// the part at its median, recursing until parts reach `min_part`.
+/// The crude stand-in for a multilevel partitioner such as METIS.
+pub fn recursive_bisection<T: Scalar>(m: &CsrMatrix<T>, min_part: usize) -> Permutation {
+    assert!(min_part >= 1, "min_part must be >= 1");
+    let nbrs = symmetric_neighbors(m);
+    let all: Vec<u32> = (0..m.nrows() as u32).collect();
+    let mut order = Vec::with_capacity(all.len());
+    bisect(&nbrs, all, min_part, &mut order);
+    Permutation::from_order(order).expect("bisection emits each vertex once")
+}
+
+fn bisect(nbrs: &[Vec<u32>], part: Vec<u32>, min_part: usize, out: &mut Vec<u32>) {
+    if part.len() <= min_part {
+        out.extend(part);
+        return;
+    }
+    // BFS distances within the part from its first vertex
+    let in_part: std::collections::HashSet<u32> = part.iter().copied().collect();
+    let mut dist: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &seed in &part {
+        if dist.contains_key(&seed) {
+            continue;
+        }
+        dist.insert(seed, 0);
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for &c in &nbrs[v as usize] {
+                if in_part.contains(&c) && !dist.contains_key(&c) {
+                    dist.insert(c, d + 1);
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    // order by (distance, id) and split at the middle
+    let mut ranked = part;
+    ranked.sort_by_key(|v| (dist[v], *v));
+    let mid = ranked.len() / 2;
+    let right = ranked.split_off(mid);
+    // guard against non-progress on pathological splits
+    if ranked.is_empty() || right.is_empty() {
+        out.extend(ranked);
+        out.extend(right);
+        return;
+    }
+    bisect(nbrs, ranked, min_part, out);
+    bisect(nbrs, right, min_part, out);
+}
+
+/// Groups rows with *identical* column sets together (hash of the
+/// column list), preserving first-encounter order of groups.
+///
+/// The cheap row-reordering baseline: it recovers duplicated rows but,
+/// unlike the paper's clustering, does nothing for rows that are merely
+/// *similar* — the gap the `ablate-reorder-alg` experiment measures.
+pub fn group_identical_rows<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
+    let mut groups: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+    let mut first_seen: Vec<u64> = Vec::new();
+    for i in 0..m.nrows() {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &c in m.row_cols(i) {
+            h = (h ^ c as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let entry = groups.entry(h).or_default();
+        if entry.is_empty() {
+            first_seen.push(h);
+        }
+        entry.push(i as u32);
+    }
+    let mut order = Vec::with_capacity(m.nrows());
+    for h in first_seen {
+        order.extend(groups.remove(&h).expect("recorded on first sight"));
+    }
+    Permutation::from_order(order).expect("each row appears in exactly one group")
+}
+
+/// Greedy similarity ordering in the spirit of GOrder / ReCALL: place
+/// rows one at a time, always choosing the unplaced row sharing the
+/// most columns with the *previously placed* row (candidates come from
+/// a column→rows index, so the scan is local). Quadratic worst case is
+/// avoided by capping the candidate scan per step.
+pub fn greedy_similarity_order<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
+    const MAX_CANDIDATES: usize = 64;
+    let n = m.nrows();
+    // column → rows index (CSC structure of the pattern)
+    let t = m.transpose();
+    let mut placed = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut next_fresh = 0usize;
+    let mut current: Option<u32> = None;
+    while order.len() < n {
+        let pick = match current {
+            Some(cur) => {
+                // candidates: rows sharing a column with `cur`
+                let mut best: Option<(usize, u32)> = None;
+                let mut scanned = 0usize;
+                'outer: for &c in m.row_cols(cur as usize) {
+                    for &cand in t.row_cols(c as usize) {
+                        if placed[cand as usize] || cand == cur {
+                            continue;
+                        }
+                        scanned += 1;
+                        let overlap = spmm_sparse::similarity::intersection_size(
+                            m.row_cols(cur as usize),
+                            m.row_cols(cand as usize),
+                        );
+                        if best.map_or(true, |(b, _)| overlap > b) {
+                            best = Some((overlap, cand));
+                        }
+                        if scanned >= MAX_CANDIDATES {
+                            break 'outer;
+                        }
+                    }
+                }
+                best.map(|(_, cand)| cand)
+            }
+            None => None,
+        };
+        let next = match pick {
+            Some(r) => r,
+            None => {
+                while placed[next_fresh] {
+                    next_fresh += 1;
+                }
+                next_fresh as u32
+            }
+        };
+        placed[next as usize] = true;
+        order.push(next);
+        current = Some(next);
+    }
+    Permutation::from_order(order).expect("every row placed exactly once")
+}
+
+/// Uniformly random permutation (control baseline).
+pub fn random_order(n: usize, seed: u64) -> Permutation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    Permutation::from_order(order).expect("shuffle is a bijection")
+}
+
+/// Applies a vertex reordering: the permutation hits rows *and*
+/// columns, as vertex reordering renumbers the graph. (Row reordering,
+/// by contrast, leaves the dense matrix's indexing untouched — the
+/// paper's key distinction.)
+pub fn apply_symmetric<T: Scalar>(m: &CsrMatrix<T>, perm: &Permutation) -> CsrMatrix<T> {
+    m.permute_rows(perm).permute_cols(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_data::generators;
+    use spmm_sparse::stats::MatrixStats;
+
+    fn grid() -> CsrMatrix<f64> {
+        generators::laplacian_2d::<f64>(12, 12)
+    }
+
+    #[test]
+    fn degree_sort_orders_by_degree() {
+        let m = generators::power_law::<f64>(200, 200, 2000, 0.9, 1);
+        let p = degree_sort(&m);
+        let degs: Vec<usize> = p
+            .order()
+            .iter()
+            .map(|&r| m.row_nnz(r as usize))
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn bfs_and_rcm_are_permutations() {
+        let m = grid();
+        for p in [bfs_order(&m), rcm(&m), recursive_bisection(&m, 8)] {
+            assert_eq!(p.len(), m.nrows()); // from_order validated bijection
+        }
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_shuffled_grid() {
+        let shuffled = generators::shuffle_rows(&grid(), 5);
+        // shuffle rows only → not symmetric; build a symmetric shuffle
+        let m = grid();
+        let p = random_order(m.nrows(), 7);
+        let scrambled = apply_symmetric(&m, &p);
+        let before = MatrixStats::compute(&scrambled).avg_bandwidth;
+        let reordered = apply_symmetric(&scrambled, &rcm(&scrambled));
+        let after = MatrixStats::compute(&reordered).avg_bandwidth;
+        assert!(
+            after < before / 2.0,
+            "RCM should shrink bandwidth: {before} -> {after}"
+        );
+        let _ = shuffled;
+    }
+
+    #[test]
+    fn bisection_groups_grid_neighbourhoods() {
+        // after bisection, the first half of the order should be a
+        // connected-ish region: average index distance of neighbours
+        // within the new order is far below random.
+        let m = grid();
+        let p = recursive_bisection(&m, 4);
+        let inv = p.inverse();
+        let mut total_dist = 0f64;
+        let mut count = 0usize;
+        for (r, c, _) in m.iter() {
+            if r != c {
+                let dr = inv.old_of(r as usize) as i64;
+                let dc = inv.old_of(c as usize) as i64;
+                total_dist += (dr - dc).unsigned_abs() as f64;
+                count += 1;
+            }
+        }
+        let avg = total_dist / count as f64;
+        assert!(
+            avg < m.nrows() as f64 / 4.0,
+            "partitioned neighbours should be close in the order, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn bfs_covers_disconnected_graphs() {
+        let m = generators::block_diagonal::<f64>(4, 8, 8, 4, 2);
+        let p = bfs_order(&m);
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn group_identical_rows_clusters_duplicates() {
+        // interleaved duplicates: rows 0,2,4 identical and 1,3,5 identical
+        let mut coo = spmm_sparse::CooMatrix::new(6, 8).unwrap();
+        for r in [0u32, 2, 4] {
+            for c in [1u32, 3] {
+                coo.push(r, c, 1.0f64).unwrap();
+            }
+        }
+        for r in [1u32, 3, 5] {
+            for c in [5u32, 7] {
+                coo.push(r, c, 1.0f64).unwrap();
+            }
+        }
+        let m = CsrMatrix::from_coo(&coo);
+        let p = group_identical_rows(&m);
+        assert_eq!(p.order(), &[0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn group_identical_rows_is_identity_when_all_distinct() {
+        let m = generators::diagonal::<f64>(32, 1);
+        assert!(group_identical_rows(&m).is_identity());
+    }
+
+    #[test]
+    fn greedy_order_lifts_consecutive_similarity() {
+        use spmm_sparse::similarity::avg_consecutive_similarity;
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 10, 5);
+        let before = avg_consecutive_similarity(&m);
+        let reordered = m.permute_rows(&greedy_similarity_order(&m));
+        let after = avg_consecutive_similarity(&reordered);
+        assert!(
+            after > before * 2.0,
+            "greedy ordering should group similar rows: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn greedy_order_handles_disconnected_and_empty_rows() {
+        let m = CsrMatrix::<f64>::from_parts(
+            5,
+            4,
+            vec![0, 1, 1, 2, 2, 3],
+            vec![2, 0, 3],
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let p = greedy_similarity_order(&m);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn random_order_deterministic() {
+        assert_eq!(random_order(50, 9), random_order(50, 9));
+        assert_ne!(random_order(50, 9), random_order(50, 10));
+    }
+
+    #[test]
+    fn apply_symmetric_preserves_diagonal_multiset() {
+        // symmetric permutation maps diagonal to diagonal
+        let m = grid();
+        let p = random_order(m.nrows(), 3);
+        let s = apply_symmetric(&m, &p);
+        let diag_count_before = m.iter().filter(|&(r, c, _)| r == c).count();
+        let diag_count_after = s.iter().filter(|&(r, c, _)| r == c).count();
+        assert_eq!(diag_count_before, diag_count_after);
+        assert_eq!(m.nnz(), s.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let m = generators::uniform_random::<f64>(10, 20, 3, 1);
+        let _ = bfs_order(&m);
+    }
+}

@@ -1,0 +1,364 @@
+//! The clustering-based row reordering of the paper's Algorithm 3.
+//!
+//! Candidate pairs from LSH seed a max-heap keyed on exact Jaccard
+//! similarity. Each iteration pops the most similar pair and:
+//!
+//! * if both rows are cluster representatives, merges the smaller
+//!   cluster into the larger (ties keep the smaller row index as
+//!   representative, because pairs are ordered `i < j`); a cluster
+//!   reaching `threshold_size` is *retired* — it stops participating in
+//!   future merges;
+//! * otherwise, resolves both rows to their representatives and, if the
+//!   resulting pair is new, scores it and pushes it back into the heap
+//!   (Fig 6's `(2,4) → (2,0)` step).
+//!
+//! Finally rows are emitted cluster by cluster, clusters ordered by
+//! their first-encountered member — for the paper's running example
+//! this yields exactly `[0, 2, 4, 1, 3, 5]`.
+
+use crate::union_find::UnionFind;
+use serde::{Deserialize, Serialize};
+use spmm_lsh::CandidatePair;
+use spmm_sparse::similarity::jaccard;
+use spmm_sparse::{CsrMatrix, Permutation, Scalar};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Heap entry ordered by similarity, ties broken by `(i, j)` so the
+/// procedure is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    sim: f64,
+    i: u32,
+    j: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| other.i.cmp(&self.i))
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Counters describing one clustering run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Candidate pairs received from LSH.
+    pub initial_pairs: usize,
+    /// Merges performed (Alg 3 'then' branch taken with a live pair).
+    pub merges: usize,
+    /// Representative pairs re-enqueued (Alg 3 line 28).
+    pub requeued: usize,
+    /// Clusters retired at `threshold_size`.
+    pub retired: usize,
+    /// Number of output clusters (groups in the final order).
+    pub clusters: usize,
+}
+
+/// Runs Algorithm 3 and returns the row order (`order[new] = old`) plus
+/// run counters.
+///
+/// ```
+/// use spmm_lsh::CandidatePair;
+/// use spmm_reorder::cluster_rows;
+/// use spmm_sparse::CsrMatrix;
+///
+/// // the paper's Fig 6 walk-through: pairs (0,4) and (2,4) on the
+/// // Fig 1a matrix yield the order [0, 2, 4, 1, 3, 5]
+/// let m = CsrMatrix::from_parts(
+///     6, 6,
+///     vec![0, 2, 5, 7, 9, 12, 13],
+///     vec![0, 4, 1, 3, 5, 2, 4, 1, 2, 0, 3, 4, 5],
+///     vec![1.0f64; 13],
+/// )?;
+/// let pairs = [
+///     CandidatePair { i: 0, j: 4, similarity: 2.0 / 3.0 },
+///     CandidatePair { i: 2, j: 4, similarity: 0.25 },
+/// ];
+/// let (perm, stats) = cluster_rows(&m, &pairs, 256);
+/// assert_eq!(perm.order(), &[0, 2, 4, 1, 3, 5]);
+/// assert_eq!(stats.merges, 2);
+/// # Ok::<(), spmm_sparse::SparseError>(())
+/// ```
+///
+/// # Panics
+/// Panics if `threshold_size < 2` or any pair references a row out of
+/// range.
+pub fn cluster_rows<T: Scalar>(
+    m: &CsrMatrix<T>,
+    pairs: &[CandidatePair],
+    threshold_size: usize,
+) -> (Permutation, ClusterStats) {
+    assert!(threshold_size >= 2, "threshold_size must be at least 2");
+    let n = m.nrows();
+    let mut stats = ClusterStats {
+        initial_pairs: pairs.len(),
+        ..Default::default()
+    };
+
+    let mut heap: BinaryHeap<HeapEntry> = pairs
+        .iter()
+        .map(|p| {
+            assert!((p.i as usize) < n && (p.j as usize) < n, "pair out of range");
+            HeapEntry {
+                sim: p.similarity,
+                i: p.i.min(p.j),
+                j: p.i.max(p.j),
+            }
+        })
+        .collect();
+    let mut known: HashSet<(u32, u32)> = pairs
+        .iter()
+        .map(|p| (p.i.min(p.j), p.i.max(p.j)))
+        .collect();
+
+    let mut uf = UnionFind::new(n);
+    let mut deleted = vec![false; n];
+    let mut nclusters = n;
+
+    while let Some(HeapEntry { i, j, .. }) = heap.pop() {
+        if nclusters == 0 {
+            break;
+        }
+        if uf.is_root(i) && uf.is_root(j) {
+            // Alg 3 lines 14–23: merge the smaller cluster into the
+            // larger; equal sizes keep the smaller index (i < j) as
+            // representative.
+            if deleted[i as usize] || deleted[j as usize] {
+                continue;
+            }
+            if i == j {
+                continue;
+            }
+            let (child, parent) = if uf.size_of_root(i) < uf.size_of_root(j) {
+                (i, j)
+            } else {
+                (j, i)
+            };
+            uf.attach(child, parent);
+            nclusters -= 1;
+            stats.merges += 1;
+            if uf.size_of_root(parent) as usize >= threshold_size {
+                deleted[parent as usize] = true;
+                nclusters -= 1;
+                stats.retired += 1;
+            }
+        } else {
+            // Alg 3 lines 24–29: resolve to representatives; enqueue the
+            // representative pair if it is new.
+            let ri = uf.root(i);
+            let rj = uf.root(j);
+            if deleted[ri as usize] || deleted[rj as usize] {
+                continue;
+            }
+            if ri != rj {
+                let key = (ri.min(rj), ri.max(rj));
+                if known.insert(key) {
+                    let sim = jaccard(m.row_cols(ri as usize), m.row_cols(rj as usize));
+                    heap.push(HeapEntry {
+                        sim,
+                        i: key.0,
+                        j: key.1,
+                    });
+                    stats.requeued += 1;
+                }
+            }
+        }
+    }
+
+    // Alg 3 lines 30–34: output rows cluster by cluster.
+    let groups = uf.groups();
+    stats.clusters = groups.len();
+    let order: Vec<u32> = groups.into_iter().flatten().collect();
+    (
+        Permutation::from_order(order).expect("groups() emits each row exactly once"),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_lsh::{generate_candidates, LshConfig};
+    use spmm_sparse::CooMatrix;
+
+    fn matrix_of_rows(rows: &[&[u32]], ncols: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(rows.len(), ncols).unwrap();
+        for (r, cols) in rows.iter().enumerate() {
+            for &c in *cols {
+                coo.push(r as u32, c, 1.0).unwrap();
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn fig1() -> CsrMatrix<f64> {
+        matrix_of_rows(
+            &[&[0, 4], &[1, 3, 5], &[2, 4], &[1, 2], &[0, 3, 4], &[5]],
+            6,
+        )
+    }
+
+    fn pair(i: u32, j: u32, similarity: f64) -> CandidatePair {
+        CandidatePair { i, j, similarity }
+    }
+
+    #[test]
+    fn reproduces_the_papers_fig6_trace() {
+        // "Suppose LSH generates two candidate pairs: (0,4) with J=2/3
+        // and (2,4) with J=1/4 … the algorithm returns [0,2,4,1,3,5]".
+        let m = fig1();
+        let (perm, stats) = cluster_rows(&m, &[pair(0, 4, 2.0 / 3.0), pair(2, 4, 0.25)], 256);
+        assert_eq!(perm.order(), &[0, 2, 4, 1, 3, 5]);
+        assert_eq!(stats.merges, 2);
+        assert_eq!(stats.requeued, 1); // (2,4) re-enqueued as (0,2)
+        assert_eq!(stats.retired, 0);
+        assert_eq!(stats.clusters, 4); // {0,2,4}, {1}, {3}, {5}
+    }
+
+    #[test]
+    fn no_pairs_yields_identity() {
+        let m = fig1();
+        let (perm, stats) = cluster_rows(&m, &[], 256);
+        assert!(perm.is_identity());
+        assert_eq!(stats.merges, 0);
+        assert_eq!(stats.clusters, 6);
+    }
+
+    #[test]
+    fn output_is_always_a_permutation() {
+        let m = fig1();
+        let pairs = vec![
+            pair(0, 4, 0.9),
+            pair(1, 5, 0.8),
+            pair(2, 3, 0.7),
+            pair(0, 2, 0.6),
+            pair(3, 4, 0.5),
+        ];
+        let (perm, _) = cluster_rows(&m, &pairs, 256);
+        assert_eq!(perm.len(), 6); // Permutation::from_order validated it
+    }
+
+    #[test]
+    fn threshold_retires_clusters() {
+        // 6 identical rows, all-pairs candidates, threshold 2: after a
+        // cluster reaches 2 members it stops merging.
+        let rows: Vec<&[u32]> = vec![&[1, 2]; 6];
+        let m = matrix_of_rows(&rows, 4);
+        let mut pairs = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                pairs.push(pair(i, j, 1.0));
+            }
+        }
+        let (perm, stats) = cluster_rows(&m, &pairs, 2);
+        assert!(stats.retired >= 2, "stats: {stats:?}");
+        assert_eq!(perm.len(), 6);
+        // no output group may exceed 2·(threshold-1) = 2 members here
+        // (a merge of two size-1 clusters reaches exactly 2 → retired)
+        let mut uf_check: Vec<Vec<u32>> = Vec::new();
+        let mut current = vec![perm.order()[0]];
+        for &r in &perm.order()[1..] {
+            current.push(r);
+            if current.len() == 2 {
+                uf_check.push(std::mem::take(&mut current));
+            }
+        }
+        assert!(stats.merges <= 3);
+    }
+
+    #[test]
+    fn merge_prefers_larger_cluster_as_representative() {
+        // build cluster {0,1} first (rep 0), then candidate (2,1):
+        // requeued as (2,0) — wait, rep resolution gives (0,2); cluster
+        // {0,1} is larger than {2}, so 2 merges INTO 0.
+        let m = matrix_of_rows(&[&[1, 2], &[1, 2], &[1, 2, 3], &[9]], 16);
+        let pairs = vec![pair(0, 1, 1.0), pair(1, 2, 0.5)];
+        let (perm, stats) = cluster_rows(&m, &pairs, 256);
+        assert_eq!(stats.merges, 2);
+        assert_eq!(stats.requeued, 1);
+        // all three similar rows come out adjacent, led by row 0
+        assert_eq!(&perm.order()[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn deleted_clusters_ignore_late_pairs() {
+        // threshold 2: {0,1} merges then retires; pair (1,2) must not
+        // grow it further.
+        let m = matrix_of_rows(&[&[1, 2], &[1, 2], &[1, 2]], 4);
+        let pairs = vec![pair(0, 1, 1.0), pair(1, 2, 0.9)];
+        let (perm, stats) = cluster_rows(&m, &pairs, 2);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(stats.retired, 1);
+        // row 2 stays its own cluster
+        assert_eq!(perm.order(), &[0, 1, 2]);
+        assert_eq!(stats.clusters, 2);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_harmless() {
+        let m = fig1();
+        let pairs = vec![pair(0, 4, 0.9), pair(4, 0, 0.9), pair(0, 4, 0.9)];
+        let (perm, stats) = cluster_rows(&m, &pairs, 256);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(perm.len(), 6);
+    }
+
+    #[test]
+    fn end_to_end_with_real_lsh_groups_similar_rows() {
+        // four copies of two distinct row patterns, interleaved;
+        // clustering must bring each pattern's copies together.
+        let m = matrix_of_rows(
+            &[
+                &[0, 1, 2, 3],
+                &[10, 11, 12, 13],
+                &[0, 1, 2, 3],
+                &[10, 11, 12, 13],
+                &[0, 1, 2, 3],
+                &[10, 11, 12, 13],
+            ],
+            16,
+        );
+        let pairs = generate_candidates(&m, &LshConfig::default());
+        let (perm, _) = cluster_rows(&m, &pairs, 256);
+        let order = perm.order();
+        // rows {0,2,4} adjacent and rows {1,3,5} adjacent
+        let pos: Vec<usize> = (0..6)
+            .map(|r| order.iter().position(|&o| o == r as u32).unwrap())
+            .collect();
+        let even: Vec<usize> = vec![pos[0], pos[2], pos[4]];
+        let spread = even.iter().max().unwrap() - even.iter().min().unwrap();
+        assert_eq!(spread, 2, "pattern A rows not adjacent: {order:?}");
+        let odd: Vec<usize> = vec![pos[1], pos[3], pos[5]];
+        let spread = odd.iter().max().unwrap() - odd.iter().min().unwrap();
+        assert_eq!(spread, 2, "pattern B rows not adjacent: {order:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold_size")]
+    fn rejects_tiny_threshold() {
+        let m = fig1();
+        let _ = cluster_rows(&m, &[], 1);
+    }
+
+    #[test]
+    fn determinism_under_pair_shuffling() {
+        let m = fig1();
+        let a = vec![pair(0, 4, 0.9), pair(2, 4, 0.25), pair(1, 5, 1.0 / 3.0)];
+        let mut b = a.clone();
+        b.reverse();
+        let (pa, _) = cluster_rows(&m, &a, 256);
+        let (pb, _) = cluster_rows(&m, &b, 256);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,32 @@
+//! Row reordering by LSH-accelerated hierarchical clustering — the
+//! paper's primary contribution (§3, Alg 3) — plus the §4 skip
+//! heuristics and the vertex-reordering baselines it is compared
+//! against.
+//!
+//! * [`union_find`] — the disjoint-set forest of Alg 3 (path-halving
+//!   `root`, size-aware merging).
+//! * [`cluster`] — Alg 3 line for line: a max-heap of candidate pairs,
+//!   merge the most-similar clusters first, retire clusters at
+//!   `threshold_size`, emit rows cluster-major.
+//! * [`pipeline`] — the Fig 5 workflow: round 1 reorders the whole
+//!   matrix before ASpT; round 2 chooses a processing order for the
+//!   sparse remainder. Each round can be skipped by the §4 heuristics
+//!   (dense ratio > 10 %, or remainder average similarity > 0.1).
+//! * [`metrics`] — the ΔDenseRatio / ΔAvgSim quantities of Fig 9.
+//! * [`baselines`] — vertex (symmetric) reorderings: BFS, Reverse
+//!   Cuthill–McKee, degree sort, recursive bisection, random. The paper
+//!   uses METIS to show vertex reordering does *not* help SpMM; these
+//!   play that role here.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cluster;
+pub mod metrics;
+pub mod pipeline;
+pub mod union_find;
+
+pub use cluster::{cluster_rows, ClusterStats};
+pub use metrics::ReorderMetrics;
+pub use pipeline::{plan_reordering, ReorderConfig, ReorderPlan, ReorderPolicy};
+pub use union_find::UnionFind;

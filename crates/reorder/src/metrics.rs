@@ -1,0 +1,83 @@
+//! The Fig 9 quantities: how a reordering changed the dense ratio and
+//! the sparse remainder's consecutive-row similarity.
+
+use crate::pipeline::ReorderPlan;
+use serde::{Deserialize, Serialize};
+
+/// Change metrics of one reordering (the axes of the paper's Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderMetrics {
+    /// Dense ratio of the original matrix.
+    pub dense_ratio_before: f64,
+    /// Dense ratio after round 1.
+    pub dense_ratio_after: f64,
+    /// `ΔDenseRatio = after - before` (Fig 9 x-axis).
+    pub delta_dense_ratio: f64,
+    /// Remainder average consecutive similarity before round 2.
+    pub avgsim_before: f64,
+    /// Remainder average consecutive similarity after round 2.
+    pub avgsim_after: f64,
+    /// `ΔAvgSim = after - before` (Fig 9 y-axis).
+    pub delta_avgsim: f64,
+}
+
+impl ReorderMetrics {
+    /// Extracts the metrics from a plan.
+    pub fn from_plan(plan: &ReorderPlan) -> Self {
+        Self {
+            dense_ratio_before: plan.dense_ratio_before,
+            dense_ratio_after: plan.dense_ratio_after,
+            delta_dense_ratio: plan.dense_ratio_after - plan.dense_ratio_before,
+            avgsim_before: plan.avgsim_before,
+            avgsim_after: plan.avgsim_after,
+            delta_avgsim: plan.avgsim_after - plan.avgsim_before,
+        }
+    }
+
+    /// Fig 9 quadrant: `(Δdense > 0, Δavgsim > 0)`. The paper finds
+    /// `(true, true)` correlates with speedup and `(false, false)` with
+    /// slowdown.
+    pub fn quadrant(&self) -> (bool, bool) {
+        (self.delta_dense_ratio > 0.0, self.delta_avgsim > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{plan_reordering, ReorderConfig};
+    use spmm_aspt::AsptConfig;
+    use spmm_data::generators;
+
+    #[test]
+    fn recoverable_matrix_lands_in_positive_quadrant() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let cfg = ReorderConfig {
+            aspt: AsptConfig {
+                panel_height: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plan = plan_reordering(&m, &cfg);
+        let metrics = ReorderMetrics::from_plan(&plan);
+        assert!(metrics.delta_dense_ratio > 0.0);
+        assert!(metrics.quadrant().0);
+        assert!(
+            (metrics.delta_dense_ratio
+                - (metrics.dense_ratio_after - metrics.dense_ratio_before))
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn skipped_rounds_give_zero_deltas() {
+        let m = generators::diagonal::<f64>(128, 1);
+        let plan = plan_reordering(&m, &ReorderConfig::default());
+        let metrics = ReorderMetrics::from_plan(&plan);
+        assert_eq!(metrics.delta_dense_ratio, 0.0);
+        assert_eq!(metrics.delta_avgsim, 0.0);
+        assert_eq!(metrics.quadrant(), (false, false));
+    }
+}

@@ -1,0 +1,295 @@
+//! The Fig 5 workflow: two rounds of row reordering around ASpT, with
+//! the §4 skip heuristics.
+//!
+//! * **Round 1** reorders the rows of the whole matrix so that similar
+//!   rows share a panel, then ASpT extracts dense tiles. Skipped when
+//!   the matrix's dense ratio is already above
+//!   [`ReorderPolicy::skip_round1_dense_ratio`] (the paper found every
+//!   slowdown case had an original dense ratio > 10 %).
+//! * **Round 2** chooses a *processing order* for the rows of the
+//!   sparse remainder so that similar remainder rows are handled by the
+//!   same thread block. It changes scheduling, not the matrix: the
+//!   tiles extracted in round 1 are untouched. Skipped when the
+//!   remainder's average consecutive-row similarity already exceeds
+//!   [`ReorderPolicy::skip_round2_avgsim`].
+
+use crate::cluster::{cluster_rows, ClusterStats};
+use serde::{Deserialize, Serialize};
+use spmm_aspt::{dense_ratio_of, AsptConfig, AsptMatrix};
+use spmm_lsh::{generate_candidates, LshConfig};
+use spmm_sparse::similarity::{avg_consecutive_similarity, avg_consecutive_similarity_ordered};
+use spmm_sparse::{CsrMatrix, Permutation, Scalar};
+
+/// When to *skip* each reordering round (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderPolicy {
+    /// Skip round 1 when the original dense ratio exceeds this
+    /// (paper: 0.10).
+    pub skip_round1_dense_ratio: f64,
+    /// Skip round 2 when the remainder's average consecutive-row
+    /// similarity exceeds this (paper: 0.1).
+    pub skip_round2_avgsim: f64,
+    /// Run round 1 regardless of the heuristic (used by experiments
+    /// that need the unconditional variant).
+    pub force_round1: bool,
+    /// Run round 2 regardless of the heuristic.
+    pub force_round2: bool,
+}
+
+impl Default for ReorderPolicy {
+    fn default() -> Self {
+        Self {
+            skip_round1_dense_ratio: 0.10,
+            skip_round2_avgsim: 0.10,
+            force_round1: false,
+            force_round2: false,
+        }
+    }
+}
+
+impl ReorderPolicy {
+    /// A policy that always reorders (both rounds unconditionally).
+    pub fn always() -> Self {
+        Self {
+            force_round1: true,
+            force_round2: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Full configuration of the reordering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderConfig {
+    /// LSH parameters (paper defaults: `siglen = 128`, `bsize = 2`).
+    pub lsh: LshConfig,
+    /// Cluster retirement size (paper default: 256).
+    pub threshold_size: usize,
+    /// ASpT decomposition parameters.
+    pub aspt: AsptConfig,
+    /// Skip heuristics.
+    pub policy: ReorderPolicy,
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        Self {
+            lsh: LshConfig::default(),
+            threshold_size: 256,
+            aspt: AsptConfig::default(),
+            policy: ReorderPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of planning: the permutations to apply and the measured
+/// indicators that drove each decision.
+#[derive(Debug, Clone)]
+pub struct ReorderPlan {
+    /// Row permutation applied to the matrix before ASpT (identity when
+    /// round 1 was skipped).
+    pub row_perm: Permutation,
+    /// Processing order for the remainder's rows, in *post-round-1* row
+    /// space (identity when round 2 was skipped).
+    pub remainder_order: Permutation,
+    /// Whether round 1 actually reordered.
+    pub round1_applied: bool,
+    /// Whether round 2 actually reordered.
+    pub round2_applied: bool,
+    /// Dense ratio of the original matrix (the round-1 indicator).
+    pub dense_ratio_before: f64,
+    /// Dense ratio after round 1 (== before when skipped).
+    pub dense_ratio_after: f64,
+    /// Remainder average consecutive similarity before round 2.
+    pub avgsim_before: f64,
+    /// Remainder average consecutive similarity under the round-2
+    /// processing order.
+    pub avgsim_after: f64,
+    /// Clustering counters for round 1, when it ran.
+    pub round1_stats: Option<ClusterStats>,
+    /// Clustering counters for round 2, when it ran.
+    pub round2_stats: Option<ClusterStats>,
+}
+
+impl ReorderPlan {
+    /// `true` if at least one round reordered — the paper's "matrices
+    /// that need row-reordering" (416 of 1084).
+    pub fn needs_reordering(&self) -> bool {
+        self.round1_applied || self.round2_applied
+    }
+}
+
+/// Plans both reordering rounds for `m` (Fig 5).
+///
+/// Returns the plan; the caller applies `row_perm` to the matrix,
+/// builds the ASpT decomposition, and hands `remainder_order` to the
+/// kernel/scheduler.
+pub fn plan_reordering<T: Scalar>(m: &CsrMatrix<T>, config: &ReorderConfig) -> ReorderPlan {
+    let dense_ratio_before = dense_ratio_of(m, &config.aspt);
+
+    // ---- round 1: reorder the whole matrix --------------------------
+    let run_round1 = config.policy.force_round1
+        || dense_ratio_before <= config.policy.skip_round1_dense_ratio;
+    let (row_perm, round1_stats, round1_applied) = if run_round1 {
+        let pairs = generate_candidates(m, &config.lsh);
+        let (perm, stats) = cluster_rows(m, &pairs, config.threshold_size);
+        let applied = !perm.is_identity();
+        (perm, Some(stats), applied)
+    } else {
+        (Permutation::identity(m.nrows()), None, false)
+    };
+
+    let reordered;
+    let m1: &CsrMatrix<T> = if round1_applied {
+        reordered = m.permute_rows(&row_perm);
+        &reordered
+    } else {
+        m
+    };
+    let dense_ratio_after = if round1_applied {
+        dense_ratio_of(m1, &config.aspt)
+    } else {
+        dense_ratio_before
+    };
+
+    // ---- round 2: order the sparse remainder ------------------------
+    let aspt = AsptMatrix::build(m1, &config.aspt);
+    let remainder = aspt.remainder();
+    let avgsim_before = avg_consecutive_similarity(remainder);
+    let run_round2 =
+        config.policy.force_round2 || avgsim_before <= config.policy.skip_round2_avgsim;
+    let (remainder_order, round2_stats, round2_applied) = if run_round2 {
+        let pairs = generate_candidates(remainder, &config.lsh);
+        let (perm, stats) = cluster_rows(remainder, &pairs, config.threshold_size);
+        let applied = !perm.is_identity();
+        (perm, Some(stats), applied)
+    } else {
+        (Permutation::identity(m.nrows()), None, false)
+    };
+    let avgsim_after = if round2_applied {
+        avg_consecutive_similarity_ordered(remainder, remainder_order.order())
+    } else {
+        avgsim_before
+    };
+
+    ReorderPlan {
+        row_perm,
+        remainder_order,
+        round1_applied,
+        round2_applied,
+        dense_ratio_before,
+        dense_ratio_after,
+        avgsim_before,
+        avgsim_after,
+        round1_stats,
+        round2_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_data::generators;
+
+    fn quick_config() -> ReorderConfig {
+        ReorderConfig {
+            aspt: AsptConfig {
+                panel_height: 16,
+                min_col_nnz: 2,
+                tile_width: 32,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn well_clustered_matrix_skips_round1() {
+        // block-diagonal: dense ratio far above 10 % → round 1 skipped
+        let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
+        let plan = plan_reordering(&m, &quick_config());
+        assert!(plan.dense_ratio_before > 0.10);
+        assert!(!plan.round1_applied);
+        assert!(plan.row_perm.is_identity());
+        assert_eq!(plan.dense_ratio_before, plan.dense_ratio_after);
+    }
+
+    #[test]
+    fn shuffled_clusters_get_round1_and_recover_dense_ratio() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let plan = plan_reordering(&m, &quick_config());
+        assert!(
+            plan.dense_ratio_before < 0.5,
+            "shuffling should hurt the dense ratio, got {}",
+            plan.dense_ratio_before
+        );
+        assert!(plan.round1_applied);
+        assert!(
+            plan.dense_ratio_after > plan.dense_ratio_before + 0.2,
+            "reordering should recover dense ratio: {} -> {}",
+            plan.dense_ratio_before,
+            plan.dense_ratio_after
+        );
+        assert!(plan.round1_stats.unwrap().merges > 0);
+    }
+
+    #[test]
+    fn diagonal_matrix_reorders_nothing() {
+        // LSH finds no candidates → identity permutations even though
+        // the heuristics would allow both rounds.
+        let m = generators::diagonal::<f64>(256, 1);
+        let plan = plan_reordering(&m, &quick_config());
+        assert!(!plan.round1_applied);
+        assert!(!plan.round2_applied);
+        assert!(!plan.needs_reordering());
+        assert!(plan.row_perm.is_identity());
+        assert!(plan.remainder_order.is_identity());
+    }
+
+    #[test]
+    fn remainder_order_lives_in_round1_space() {
+        let m = generators::shuffled_block_diagonal::<f64>(6, 24, 32, 12, 9);
+        let plan = plan_reordering(&m, &quick_config());
+        assert_eq!(plan.row_perm.len(), m.nrows());
+        assert_eq!(plan.remainder_order.len(), m.nrows());
+    }
+
+    #[test]
+    fn round2_improves_remainder_similarity_when_applied() {
+        // scattered matrix with hidden duplicate rows: round 1 helps a
+        // bit, remainder still scattered → round 2 runs.
+        let m = generators::noisy_shuffled_clusters::<f64>(6, 24, 48, 10, 4, 17);
+        let plan = plan_reordering(&m, &quick_config());
+        if plan.round2_applied {
+            assert!(
+                plan.avgsim_after >= plan.avgsim_before,
+                "round 2 must not reduce remainder similarity: {} -> {}",
+                plan.avgsim_before,
+                plan.avgsim_after
+            );
+        }
+    }
+
+    #[test]
+    fn force_flags_override_heuristics() {
+        let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
+        let cfg = ReorderConfig {
+            policy: ReorderPolicy::always(),
+            ..quick_config()
+        };
+        let plan = plan_reordering(&m, &cfg);
+        // round 1 runs even though dense ratio is high (it may or may
+        // not produce identity, but stats must exist)
+        assert!(plan.round1_stats.is_some());
+        assert!(plan.round2_stats.is_some());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let m = generators::shuffled_block_diagonal::<f64>(6, 24, 32, 12, 4);
+        let a = plan_reordering(&m, &quick_config());
+        let b = plan_reordering(&m, &quick_config());
+        assert_eq!(a.row_perm, b.row_perm);
+        assert_eq!(a.remainder_order, b.remainder_order);
+        assert_eq!(a.dense_ratio_after, b.dense_ratio_after);
+    }
+}

@@ -1,0 +1,186 @@
+//! Disjoint-set forest with the exact operations Alg 3 needs.
+//!
+//! The paper stores clusters as trees in a `cluster_id` array; `root`
+//! walks to the representative with *path halving* (line 9's
+//! "optimization \[that\] brings the subtree closer to the root").
+//! Merge direction is decided by the caller (Alg 3 merges the smaller
+//! cluster into the larger), so [`UnionFind::attach`] exposes the raw
+//! link operation rather than a by-size union.
+
+/// Disjoint-set forest over `0..n` with per-root set sizes.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    n_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            n_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently alive.
+    pub fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    /// Representative of `i`'s set, compressing with path halving
+    /// (Alg 3 lines 7–10).
+    pub fn root(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            let grandparent = self.parent[self.parent[i as usize] as usize];
+            self.parent[i as usize] = grandparent;
+            i = grandparent;
+        }
+        i
+    }
+
+    /// `true` if `i` is currently the representative of its set.
+    #[inline]
+    pub fn is_root(&self, i: u32) -> bool {
+        self.parent[i as usize] == i
+    }
+
+    /// Size of the set whose *root* is `r`.
+    ///
+    /// Only meaningful when `r` is a root (sizes of non-roots are
+    /// stale, exactly as in the paper's `cluster_sz` array).
+    #[inline]
+    pub fn size_of_root(&self, r: u32) -> u32 {
+        self.size[r as usize]
+    }
+
+    /// Links root `child` under root `parent`
+    /// (`cluster_id[child] = parent` in Alg 3 lines 17/21).
+    ///
+    /// # Panics
+    /// Panics (debug) if either argument is not a root or they are
+    /// equal.
+    pub fn attach(&mut self, child: u32, parent: u32) {
+        debug_assert!(self.is_root(child), "child must be a root");
+        debug_assert!(self.is_root(parent), "parent must be a root");
+        debug_assert_ne!(child, parent, "cannot attach a set to itself");
+        self.parent[child as usize] = parent;
+        self.size[parent as usize] += self.size[child as usize];
+        self.n_sets -= 1;
+    }
+
+    /// `true` if `i` and `j` are in the same set.
+    pub fn same_set(&mut self, i: u32, j: u32) -> bool {
+        self.root(i) == self.root(j)
+    }
+
+    /// Groups all elements by representative, in order of each group's
+    /// first-encountered member (ascending element order) — the output
+    /// convention of Alg 3 lines 30–34.
+    pub fn groups(&mut self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut index_of_root: Vec<Option<usize>> = vec![None; n];
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for i in 0..n as u32 {
+            let r = self.root(i) as usize;
+            let gi = match index_of_root[r] {
+                Some(gi) => gi,
+                None => {
+                    index_of_root[r] = Some(groups.len());
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                }
+            };
+            groups[gi].push(i);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.n_sets(), 4);
+        assert_eq!(uf.len(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.root(i), i);
+            assert!(uf.is_root(i));
+            assert_eq!(uf.size_of_root(i), 1);
+        }
+        assert!(!uf.same_set(0, 1));
+    }
+
+    #[test]
+    fn attach_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        uf.attach(1, 0);
+        assert_eq!(uf.n_sets(), 4);
+        assert_eq!(uf.root(1), 0);
+        assert_eq!(uf.size_of_root(0), 2);
+        assert!(uf.same_set(0, 1));
+        uf.attach(2, 0);
+        uf.attach(4, 3);
+        assert_eq!(uf.n_sets(), 2);
+        assert_eq!(uf.size_of_root(0), 3);
+        assert_eq!(uf.size_of_root(3), 2);
+        assert!(!uf.same_set(0, 3));
+    }
+
+    #[test]
+    fn path_halving_compresses() {
+        // chain 3 -> 2 -> 1 -> 0, built root-to-root
+        let mut uf = UnionFind::new(4);
+        uf.attach(3, 2);
+        uf.attach(2, 1);
+        uf.attach(1, 0);
+        assert_eq!(uf.root(3), 0);
+        // after the walk, 3's parent skips at least one level
+        assert_ne!(uf.root(3), 3);
+        assert!(uf.same_set(3, 0));
+        assert_eq!(uf.size_of_root(0), 4);
+    }
+
+    #[test]
+    fn groups_order_is_first_encounter() {
+        let mut uf = UnionFind::new(6);
+        uf.attach(4, 0); // {0,4}
+        uf.attach(5, 2); // {2,5}
+        let groups = uf.groups();
+        assert_eq!(groups, vec![vec![0, 4], vec![1], vec![2, 5], vec![3]]);
+    }
+
+    #[test]
+    fn groups_cover_all_elements_exactly_once() {
+        let mut uf = UnionFind::new(10);
+        uf.attach(1, 0);
+        uf.attach(3, 2);
+        uf.attach(2, 0);
+        let mut all: Vec<u32> = uf.groups().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn attach_non_root_panics_in_debug() {
+        let mut uf = UnionFind::new(3);
+        uf.attach(1, 0);
+        uf.attach(1, 2); // 1 is not a root anymore
+    }
+}

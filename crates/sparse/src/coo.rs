@@ -1,0 +1,195 @@
+//! Coordinate (triplet) sparse matrix format.
+//!
+//! COO is the assembly format: generators and the Matrix Market reader
+//! emit triplets, which are then converted to [`crate::CsrMatrix`] for
+//! computation. Duplicate entries are summed during conversion, matching
+//! the usual sparse-assembly convention.
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// A sparse matrix stored as unordered `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Creates an empty COO matrix of the given shape.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidStructure`] if `ncols` exceeds
+    /// `u32::MAX` (column indices are stored as `u32`).
+    pub fn new(nrows: usize, ncols: usize) -> Result<Self, SparseError> {
+        if ncols > u32::MAX as usize || nrows > u32::MAX as usize {
+            return Err(SparseError::InvalidStructure(format!(
+                "dimensions {nrows}x{ncols} exceed u32 index range"
+            )));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Creates a COO matrix from pre-built triplets, validating bounds.
+    pub fn from_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<(u32, u32, T)>,
+    ) -> Result<Self, SparseError> {
+        let mut m = Self::new(nrows, ncols)?;
+        for &(r, c, _) in &entries {
+            m.check_bounds(r, c)?;
+        }
+        m.entries = entries;
+        Ok(m)
+    }
+
+    fn check_bounds(&self, r: u32, c: u32) -> Result<(), SparseError> {
+        if (r as usize) >= self.nrows || (c as usize) >= self.ncols {
+            return Err(SparseError::InvalidStructure(format!(
+                "entry ({r},{c}) out of bounds for {}x{} matrix",
+                self.nrows, self.ncols
+            )));
+        }
+        Ok(())
+    }
+
+    /// Appends one triplet.
+    ///
+    /// # Errors
+    /// Fails if the coordinates fall outside the matrix shape.
+    pub fn push(&mut self, row: u32, col: u32, value: T) -> Result<(), SparseError> {
+        self.check_bounds(row, col)?;
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Reserves capacity for `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrowed view of the triplets.
+    pub fn entries(&self) -> &[(u32, u32, T)] {
+        &self.entries
+    }
+
+    /// Consumes the matrix, returning its triplets.
+    pub fn into_entries(self) -> Vec<(u32, u32, T)> {
+        self.entries
+    }
+
+    /// Sorts triplets by `(row, col)` and sums duplicates in place.
+    pub fn sum_duplicates(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut out = 0usize;
+        for i in 1..self.entries.len() {
+            if self.entries[i].0 == self.entries[out].0 && self.entries[i].1 == self.entries[out].1
+            {
+                let v = self.entries[i].2;
+                self.entries[out].2 += v;
+            } else {
+                out += 1;
+                self.entries[out] = self.entries[i];
+            }
+        }
+        self.entries.truncate(out + 1);
+    }
+
+    /// Returns the transposed matrix (swaps row/column of each triplet).
+    pub fn transpose(&self) -> Self {
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut m = CooMatrix::<f64>::new(2, 3).unwrap();
+        m.push(0, 0, 1.0).unwrap();
+        m.push(1, 2, 2.0).unwrap();
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 3, 1.0).is_err());
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        assert!(CooMatrix::from_entries(2, 2, vec![(0, 0, 1.0f32), (1, 1, 2.0)]).is_ok());
+        assert!(CooMatrix::from_entries(2, 2, vec![(0, 2, 1.0f32)]).is_err());
+    }
+
+    #[test]
+    fn sum_duplicates_merges_and_sorts() {
+        let mut m = CooMatrix::from_entries(
+            3,
+            3,
+            vec![
+                (2, 1, 1.0f64),
+                (0, 0, 1.0),
+                (2, 1, 2.5),
+                (0, 2, -1.0),
+                (0, 0, 4.0),
+            ],
+        )
+        .unwrap();
+        m.sum_duplicates();
+        let want: &[(u32, u32, f64)] = &[(0, 0, 5.0), (0, 2, -1.0), (2, 1, 3.5)];
+        assert_eq!(m.entries(), want);
+    }
+
+    #[test]
+    fn sum_duplicates_empty_is_noop() {
+        let mut m = CooMatrix::<f64>::new(4, 4).unwrap();
+        m.sum_duplicates();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let m = CooMatrix::from_entries(2, 3, vec![(0, 2, 1.0f64), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        let want: &[(u32, u32, f64)] = &[(2, 0, 1.0), (0, 1, 2.0)];
+        assert_eq!(t.entries(), want);
+    }
+
+    #[test]
+    fn rejects_oversized_dims() {
+        assert!(CooMatrix::<f32>::new(usize::MAX, 2).is_err());
+    }
+}

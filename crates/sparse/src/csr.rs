@@ -1,0 +1,668 @@
+//! Compressed Sparse Row matrix (paper §2.1, Fig 1).
+//!
+//! Invariants maintained by every constructor:
+//!
+//! 1. `rowptr.len() == nrows + 1`, `rowptr[0] == 0`,
+//!    `rowptr[nrows] == nnz`, and `rowptr` is non-decreasing.
+//! 2. `colidx.len() == values.len() == nnz`, every column index is
+//!    `< ncols`.
+//! 3. Within each row, column indices are strictly increasing (sorted,
+//!    no duplicates).
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::perm::Permutation;
+use crate::scalar::Scalar;
+
+/// A sparse matrix in CSR format.
+///
+/// ```
+/// use spmm_sparse::{CooMatrix, CsrMatrix};
+///
+/// // assemble via COO (duplicates are summed on conversion)
+/// let mut coo = CooMatrix::new(2, 3)?;
+/// coo.push(0, 2, 1.5)?;
+/// coo.push(1, 0, -2.0)?;
+/// coo.push(1, 2, 0.5)?;
+/// let m = CsrMatrix::from_coo(&coo);
+///
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row_cols(1), &[0, 2]);
+/// assert_eq!(m.row(0), (&[2u32] as &[_], &[1.5] as &[_]));
+/// # Ok::<(), spmm_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if ncols > u32::MAX as usize || nrows > u32::MAX as usize {
+            return Err(SparseError::InvalidStructure(format!(
+                "dimensions {nrows}x{ncols} exceed u32 index range"
+            )));
+        }
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr has length {}, expected nrows+1 = {}",
+                rowptr.len(),
+                nrows + 1
+            )));
+        }
+        if rowptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "rowptr[0] must be 0".to_string(),
+            ));
+        }
+        if colidx.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "colidx ({}) and values ({}) lengths differ",
+                colidx.len(),
+                values.len()
+            )));
+        }
+        if *rowptr.last().expect("non-empty rowptr") != colidx.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr[nrows] = {} but nnz = {}",
+                rowptr[nrows],
+                colidx.len()
+            )));
+        }
+        for i in 0..nrows {
+            if rowptr[i] > rowptr[i + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "rowptr not monotone at row {i}"
+                )));
+            }
+            let row = &colidx[rowptr[i]..rowptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {i} columns not strictly increasing ({} then {})",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {i} has column {last} >= ncols {ncols}"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from COO triplets; duplicates are summed.
+    pub fn from_coo(coo: &CooMatrix<T>) -> Self {
+        let mut coo = coo.clone();
+        coo.sum_duplicates();
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let entries = coo.into_entries();
+        let nnz = entries.len();
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in &entries {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colidx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        // entries are already sorted by (row, col) after sum_duplicates
+        for (_, c, v) in entries {
+            colidx.push(c);
+            values.push(v);
+        }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as u32).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// A square diagonal matrix with the given diagonal values.
+    pub fn from_diagonal(diag: &[T]) -> Self {
+        let n = diag.len();
+        Self {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as u32).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Converts a dense matrix to CSR, keeping entries with
+    /// `|a_ij| > 0`.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self {
+        let mut rowptr = Vec::with_capacity(dense.nrows() + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..dense.nrows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != T::ZERO {
+                    colidx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        Self {
+            nrows: dense.nrows(),
+            ncols: dense.ncols(),
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column-index array (one entry per nonzero, row-major).
+    #[inline]
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// The value array (parallel to [`Self::colidx`]).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+        (&self.colidx[s..e], &self.values[s..e])
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Number of nonzeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Maximum number of nonzeros in any row (`d_max` in the paper's LSH
+    /// complexity bound). Zero for an empty matrix.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Iterates over all nonzeros as `(row, col, value)` in row-major
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (i as u32, c, v))
+        })
+    }
+
+    /// Converts back to COO triplets.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols).expect("dims already validated");
+        coo.reserve(self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("indices already validated");
+        }
+        coo
+    }
+
+    /// Materialises the matrix densely (use only for small matrices /
+    /// tests).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r as usize, c as usize) = v;
+        }
+        d
+    }
+
+    /// Returns the transpose (CSC view of the same data, re-expressed as
+    /// CSR of the transposed matrix).
+    pub fn transpose(&self) -> Self {
+        let nnz = self.nnz();
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            rowptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut next = rowptr.clone();
+        let mut colidx = vec![0u32; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        for (r, c, v) in self.iter() {
+            let dst = next[c as usize];
+            colidx[dst] = r;
+            values[dst] = v;
+            next[c as usize] += 1;
+        }
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Reorders the rows: new row `k` is old row `perm.old_of(k)`.
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != nrows`.
+    pub fn permute_rows(&self, perm: &Permutation) -> Self {
+        self.permute_rows_with_map(perm).0
+    }
+
+    /// Like [`Self::permute_rows`], additionally returning the nonzero
+    /// mapping `map[new_nnz_index] = old_nnz_index`. SDDMM uses this to
+    /// return output values in the original nonzero order.
+    pub fn permute_rows_with_map(&self, perm: &Permutation) -> (Self, Vec<usize>) {
+        assert_eq!(
+            perm.len(),
+            self.nrows,
+            "permutation length must equal nrows"
+        );
+        let nnz = self.nnz();
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut map = Vec::with_capacity(nnz);
+        for new in 0..self.nrows {
+            let old = perm.old_of(new) as usize;
+            let (s, e) = (self.rowptr[old], self.rowptr[old + 1]);
+            colidx.extend_from_slice(&self.colidx[s..e]);
+            values.extend_from_slice(&self.values[s..e]);
+            map.extend(s..e);
+            rowptr.push(colidx.len());
+        }
+        (
+            Self {
+                nrows: self.nrows,
+                ncols: self.ncols,
+                rowptr,
+                colidx,
+                values,
+            },
+            map,
+        )
+    }
+
+    /// Reorders the columns: new column `k` holds old column
+    /// `perm.old_of(k)`. Rows are re-sorted to preserve the CSR
+    /// invariant.
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != ncols`.
+    pub fn permute_cols(&self, perm: &Permutation) -> Self {
+        assert_eq!(
+            perm.len(),
+            self.ncols,
+            "permutation length must equal ncols"
+        );
+        let inv = perm.inverse();
+        let mut out = self.clone();
+        let mut scratch: Vec<(u32, T)> = Vec::new();
+        for i in 0..self.nrows {
+            let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+            scratch.clear();
+            scratch.extend(
+                self.colidx[s..e]
+                    .iter()
+                    .zip(&self.values[s..e])
+                    .map(|(&c, &v)| (inv.old_of(c as usize), v)),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for (k, &(c, v)) in scratch.iter().enumerate() {
+                out.colidx[s + k] = c;
+                out.values[s + k] = v;
+            }
+        }
+        out
+    }
+
+    /// Extracts the submatrix made of the given rows (in the given
+    /// order); column space is unchanged.
+    pub fn extract_rows(&self, rows: &[u32]) -> Self {
+        let mut rowptr = Vec::with_capacity(rows.len() + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for &r in rows {
+            let (s, e) = (self.rowptr[r as usize], self.rowptr[r as usize + 1]);
+            colidx.extend_from_slice(&self.colidx[s..e]);
+            values.extend_from_slice(&self.values[s..e]);
+            rowptr.push(colidx.len());
+        }
+        Self {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// `true` if the two matrices have identical sparsity structure
+    /// (shape, rowptr and colidx), ignoring values.
+    pub fn same_structure(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+    }
+
+    /// Density of the matrix: `nnz / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// Converts values to another scalar type through `f64`.
+    pub fn cast<U: Scalar>(&self) -> CsrMatrix<U> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            values: self.values.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig 1 example matrix: 6x6,
+    /// row 0: {0,4}, row 1: {1,3,5}, row 2: {2,4},
+    /// row 3: {1,2}, row 4: {0,3,4}, row 5: {5}.
+    ///
+    /// This is the unique 13-nonzero structure consistent with all the
+    /// paper's claims: panel 0 has column 4 as its only dense column,
+    /// panel 1 has no repeated column, J(0,4) = 2/3, J(2,4) = 1/4,
+    /// J(1,5) = 1/3, and swapping rows 1 and 4 puts 9 nonzeros into
+    /// dense tiles (Fig 4b).
+    pub(crate) fn fig1() -> CsrMatrix<f64> {
+        let entries: Vec<(u32, u32, f64)> = [
+            (0, 0),
+            (0, 4),
+            (1, 1),
+            (1, 3),
+            (1, 5),
+            (2, 2),
+            (2, 4),
+            (3, 1),
+            (3, 2),
+            (4, 0),
+            (4, 3),
+            (4, 4),
+            (5, 5),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(k, &(r, c))| (r, c, (k + 1) as f64))
+        .collect();
+        CsrMatrix::from_coo(&CooMatrix::from_entries(6, 6, entries).unwrap())
+    }
+
+    #[test]
+    fn fig1_structure_matches_paper() {
+        let m = fig1();
+        assert_eq!(m.nrows(), 6);
+        assert_eq!(m.ncols(), 6);
+        assert_eq!(m.nnz(), 13);
+        assert_eq!(m.rowptr(), &[0, 2, 5, 7, 9, 12, 13]);
+        assert_eq!(m.row_cols(0), &[0, 4]);
+        assert_eq!(m.row_cols(1), &[1, 3, 5]);
+        assert_eq!(m.row_cols(4), &[0, 3, 4]);
+        assert_eq!(m.max_row_nnz(), 3);
+    }
+
+    #[test]
+    fn from_parts_validates_invariants() {
+        // valid
+        assert!(CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
+        // rowptr length
+        assert!(CsrMatrix::from_parts(2, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
+        // rowptr[0] != 0
+        assert!(CsrMatrix::from_parts(2, 3, vec![1, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
+        // non-monotone rowptr
+        assert!(
+            CsrMatrix::from_parts(2, 3, vec![0, 2, 1], vec![0, 2, 1], vec![1.0; 3]).is_err()
+        );
+        // unsorted row
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // duplicate column
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // column out of range
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // nnz mismatch
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // values/colidx mismatch
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = fig1();
+        let rt = CsrMatrix::from_coo(&m.to_coo());
+        assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = fig1();
+        let rt = CsrMatrix::from_dense(&m.to_dense());
+        assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let coo =
+            CooMatrix::from_entries(2, 2, vec![(0, 1, 1.0f64), (0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), (&[1u32] as &[_], &[3.0] as &[_]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = fig1();
+        assert_eq!(m.transpose().transpose(), m);
+        // spot-check: column 4 of fig1 has rows {0, 2, 4}
+        let t = m.transpose();
+        assert_eq!(t.row_cols(4), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = CsrMatrix::<f64>::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.row(1), (&[1u32] as &[_], &[1.0] as &[_]));
+        let d = CsrMatrix::from_diagonal(&[2.0, 3.0]);
+        assert_eq!(d.row(1), (&[1u32] as &[_], &[3.0] as &[_]));
+    }
+
+    #[test]
+    fn permute_rows_matches_paper_example() {
+        // Paper §3.1: exchanging rows 1 and 4 of Fig 1a gives Fig 4a.
+        let m = fig1();
+        let perm = Permutation::from_order(vec![0, 4, 2, 3, 1, 5]).unwrap();
+        let p = m.permute_rows(&perm);
+        assert_eq!(p.row_cols(0), &[0, 4]); // old row 0
+        assert_eq!(p.row_cols(1), &[0, 3, 4]); // old row 4
+        assert_eq!(p.row_cols(4), &[1, 3, 5]); // old row 1
+        assert_eq!(p.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn permute_rows_map_tracks_nonzeros() {
+        let m = fig1();
+        let perm = Permutation::from_order(vec![0, 4, 2, 3, 1, 5]).unwrap();
+        let (p, map) = m.permute_rows_with_map(&perm);
+        for (new_idx, &old_idx) in map.iter().enumerate() {
+            assert_eq!(p.values()[new_idx], m.values()[old_idx]);
+        }
+    }
+
+    #[test]
+    fn permute_rows_identity_is_noop() {
+        let m = fig1();
+        assert_eq!(m.permute_rows(&Permutation::identity(6)), m);
+    }
+
+    #[test]
+    fn permute_then_inverse_restores() {
+        let m = fig1();
+        let perm = Permutation::from_order(vec![5, 3, 1, 0, 2, 4]).unwrap();
+        let p = m.permute_rows(&perm);
+        let restored = p.permute_rows(&perm.inverse());
+        assert_eq!(restored, m);
+    }
+
+    #[test]
+    fn permute_cols_preserves_sorted_rows() {
+        let m = fig1();
+        let perm = Permutation::from_order(vec![4, 0, 3, 1, 5, 2]).unwrap();
+        let p = m.permute_cols(&perm);
+        assert_eq!(p.nnz(), m.nnz());
+        for i in 0..p.nrows() {
+            let cols = p.row_cols(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+        // dense check: permuting columns of dense form gives same result
+        let dm = m.to_dense();
+        let dp = p.to_dense();
+        for i in 0..6 {
+            for newc in 0..6 {
+                assert_eq!(dp.get(i, newc), dm.get(i, perm.old_of(newc) as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn extract_rows_subset() {
+        let m = fig1();
+        let sub = m.extract_rows(&[4, 0]);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.row_cols(0), &[0, 3, 4]);
+        assert_eq!(sub.row_cols(1), &[0, 4]);
+    }
+
+    #[test]
+    fn same_structure_ignores_values() {
+        let m = fig1();
+        let mut m2 = m.clone();
+        for v in m2.values_mut() {
+            *v += 1.0;
+        }
+        assert!(m.same_structure(&m2));
+        let t = m.transpose();
+        assert!(!m.same_structure(&t));
+    }
+
+    #[test]
+    fn density_and_empty() {
+        let m = fig1();
+        assert!((m.density() - 13.0 / 36.0).abs() < 1e-12);
+        let e = CsrMatrix::<f64>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(e.density(), 0.0);
+        assert_eq!(e.max_row_nnz(), 0);
+    }
+
+    #[test]
+    fn cast_f64_to_f32() {
+        let m = fig1();
+        let f: CsrMatrix<f32> = m.cast();
+        assert!(m.same_structure(&f.cast::<f64>()));
+        assert_eq!(f.values()[0], 1.0f32);
+    }
+
+    #[test]
+    fn iter_visits_all_nonzeros_in_order() {
+        let m = fig1();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples.len(), 13);
+        assert_eq!(triples[0], (0, 0, 1.0));
+        assert_eq!(triples[12], (5, 5, 13.0));
+        // row-major ordering
+        assert!(triples.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Structural invariant of a CSR/COO matrix is violated.
+    InvalidStructure(String),
+    /// A dimension does not match (e.g. SpMM operand shapes).
+    DimensionMismatch {
+        /// What was expected, e.g. "S.ncols == X.nrows".
+        expected: String,
+        /// The offending sizes.
+        got: String,
+    },
+    /// A permutation array is not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// Matrix Market parse failure with 1-based line number.
+    Parse {
+        /// Line at which parsing failed (1-based; 0 when unknown).
+        line: usize,
+        /// Description of the failure.
+        msg: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
+            SparseError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Parse { line, msg } => {
+                write!(f, "matrix market parse error at line {line}: {msg}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SparseError::InvalidStructure("rowptr not monotone".into());
+        assert!(e.to_string().contains("rowptr not monotone"));
+        let e = SparseError::DimensionMismatch {
+            expected: "4".into(),
+            got: "5".into(),
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = SparseError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

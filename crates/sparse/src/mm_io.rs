@@ -1,0 +1,326 @@
+//! Matrix Market exchange-format I/O.
+//!
+//! Supports the `coordinate` layout with `real`, `integer` and `pattern`
+//! fields, and `general` / `symmetric` / `skew-symmetric` symmetry — the
+//! variants that cover the SuiteSparse and Network Repository downloads
+//! the paper evaluates on. Pattern entries get value 1. Symmetric
+//! entries are mirrored (diagonal entries are not duplicated).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market stream into CSR.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: "empty input".into(),
+                })
+            }
+        }
+    };
+
+    let head: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("bad header: {header}"),
+        });
+    }
+    if head[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("unsupported layout '{}' (only coordinate)", head[2]),
+        });
+    }
+    let field = match head[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported field '{other}'"),
+            })
+        }
+    };
+    let symmetry = match head[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+
+    // size line (skipping comments)
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|e| SparseError::Parse {
+                line: lineno,
+                msg: format!("bad size token '{t}': {e}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("size line needs 3 tokens, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::<T>::new(nrows, ncols)?;
+    coo.reserve(if symmetry == Symmetry::General {
+        declared_nnz
+    } else {
+        declared_nnz * 2
+    });
+
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_idx = |tok: Option<&str>, lineno: usize| -> Result<usize, SparseError> {
+            let tok = tok.ok_or(SparseError::Parse {
+                line: lineno,
+                msg: "missing index".into(),
+            })?;
+            tok.parse::<usize>().map_err(|e| SparseError::Parse {
+                line: lineno,
+                msg: format!("bad index '{tok}': {e}"),
+            })
+        };
+        let r = parse_idx(it.next(), lineno)?;
+        let c = parse_idx(it.next(), lineno)?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: "matrix market indices are 1-based".into(),
+            });
+        }
+        let v = match field {
+            Field::Pattern => T::ONE,
+            Field::Real | Field::Integer => {
+                let tok = it.next().ok_or(SparseError::Parse {
+                    line: lineno,
+                    msg: "missing value".into(),
+                })?;
+                let f: f64 = tok.parse().map_err(|e| SparseError::Parse {
+                    line: lineno,
+                    msg: format!("bad value '{tok}': {e}"),
+                })?;
+                T::from_f64(f)
+            }
+        };
+        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        coo.push(r0, c0, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r0 != c0 {
+                    coo.push(c0, r0, v)?;
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r0 != c0 {
+                    coo.push(c0, r0, T::ZERO - v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("declared {declared_nnz} entries but found {seen}"),
+        });
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: &Path) -> Result<CsrMatrix<T>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a CSR matrix as `coordinate real general` Matrix Market.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    m: &CsrMatrix<T>,
+    writer: W,
+) -> Result<(), SparseError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a CSR matrix to a Matrix Market file on disk.
+pub fn write_matrix_market_file<T: Scalar>(m: &CsrMatrix<T>, path: &Path) -> Result<(), SparseError> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(m, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 4 3\n\
+                    1 1 1.5\n\
+                    2 4 -2.0\n\
+                    3 2 0.25\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(1), (&[3u32] as &[_], &[-2.0] as &[_]));
+    }
+
+    #[test]
+    fn parse_pattern_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let m: CsrMatrix<f32> = read_matrix_market(text.as_bytes()).unwrap();
+        // (1,0) mirrored to (0,1); diagonal (2,2) not duplicated
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_cols(0), &[1]);
+        assert_eq!(m.row_cols(1), &[0]);
+        assert_eq!(m.row_cols(2), &[2]);
+        assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.row(0), (&[1u32] as &[_], &[-3.0] as &[_]));
+        assert_eq!(m.row(1), (&[0u32] as &[_], &[3.0] as &[_]));
+    }
+
+    #[test]
+    fn parse_integer_field() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    1 1 1\n\
+                    1 1 7\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[7.0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cases: &[&str] = &[
+            "",                                                      // empty
+            "%%MatrixMarket matrix array real general\n1 1 1\n",     // array layout
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n", // complex
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", // hermitian
+            "not a header\n1 1 0\n",                                 // bad header
+            "%%MatrixMarket matrix coordinate real general\n2 2\n",  // short size line
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", // 0-based
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // count mismatch
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",     // missing value
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", // out of bounds
+        ];
+        for c in cases {
+            assert!(
+                read_matrix_market::<f64, _>(c.as_bytes()).is_err(),
+                "should reject: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut coo = crate::coo::CooMatrix::new(3, 3).unwrap();
+        coo.push(0, 2, 1.25f64).unwrap();
+        coo.push(2, 0, -4.0).unwrap();
+        coo.push(1, 1, 0.5).unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let rt: CsrMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("spmm_sparse_mmio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        let m = CsrMatrix::from_diagonal(&[1.0f32, 2.0, 3.0]);
+        write_matrix_market_file(&m, &path).unwrap();
+        let rt: CsrMatrix<f32> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(m, rt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

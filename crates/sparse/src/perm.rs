@@ -1,0 +1,186 @@
+//! Permutations of row (or column) indices.
+//!
+//! The reordering pipeline expresses its result as a [`Permutation`]: the
+//! *order* array, where `order[new] = old`. This matches the
+//! `reordered_rows` output of the paper's Alg 3 — position `k` of the
+//! output holds the original index of the row now placed at `k`.
+
+use crate::error::SparseError;
+
+/// A bijection on `0..n`, stored as `order[new_position] = old_index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    order: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            order: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds a permutation from an `order` array (`order[new] = old`),
+    /// validating that it is a bijection on `0..order.len()`.
+    pub fn from_order(order: Vec<u32>) -> Result<Self, SparseError> {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &o in &order {
+            let o = o as usize;
+            if o >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "index {o} out of range for length {n}"
+                )));
+            }
+            if seen[o] {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "index {o} appears twice"
+                )));
+            }
+            seen[o] = true;
+        }
+        Ok(Self { order })
+    }
+
+    /// Number of elements permuted.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the zero-length permutation.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The raw order array: `order()[new] = old`.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Original index of the element now at `new_pos`.
+    #[inline]
+    pub fn old_of(&self, new_pos: usize) -> u32 {
+        self.order[new_pos]
+    }
+
+    /// `true` if this permutation maps every index to itself.
+    pub fn is_identity(&self) -> bool {
+        self.order.iter().enumerate().all(|(i, &o)| i as u32 == o)
+    }
+
+    /// The inverse permutation: if `self.order[new] = old`, the inverse
+    /// satisfies `inv.order[old] = new`.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u32; self.order.len()];
+        for (new, &old) in self.order.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        Self { order: inv }
+    }
+
+    /// Composition `self ∘ other`: applies `other` first, then `self`.
+    ///
+    /// If `other` reorders the original data and `self` reorders the
+    /// result of that, `compose` yields the single permutation with the
+    /// same effect: `result.order[new] = other.order[self.order[new]]`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Self {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compose permutations of different length"
+        );
+        Self {
+            order: self
+                .order
+                .iter()
+                .map(|&mid| other.order[mid as usize])
+                .collect(),
+        }
+    }
+
+    /// Applies the permutation to a slice, producing the reordered copy:
+    /// `out[new] = data[order[new]]`.
+    pub fn apply_to_slice<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "slice length mismatch");
+        self.order.iter().map(|&o| data[o as usize].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.inverse(), p);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert!(Permutation::identity(0).is_empty());
+    }
+
+    #[test]
+    fn from_order_validates() {
+        assert!(Permutation::from_order(vec![1, 0, 2]).is_ok());
+        assert!(Permutation::from_order(vec![1, 1, 2]).is_err());
+        assert!(Permutation::from_order(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        let p = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+        assert_eq!(p.inverse().inverse(), p);
+        // inverse ∘ p applied to a slice restores the original
+        let data = vec!["a", "b", "c", "d"];
+        let shuffled = p.apply_to_slice(&data);
+        let restored = p.inverse().apply_to_slice(&shuffled);
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn apply_to_slice_semantics() {
+        // order[new] = old: new row 0 is old row 2.
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply_to_slice(&[10, 20, 30]), vec![30, 10, 20]);
+        assert_eq!(p.old_of(0), 2);
+    }
+
+    #[test]
+    fn compose_applies_other_then_self() {
+        let first = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        let second = Permutation::from_order(vec![1, 2, 0]).unwrap();
+        let both = second.compose(&first);
+        let data = vec![10, 20, 30];
+        let step = first.apply_to_slice(&data);
+        let two_step = second.apply_to_slice(&step);
+        assert_eq!(both.apply_to_slice(&data), two_step);
+    }
+
+    #[test]
+    #[should_panic(expected = "different length")]
+    fn compose_length_mismatch_panics() {
+        let a = Permutation::identity(3);
+        let b = Permutation::identity(4);
+        let _ = a.compose(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length mismatch")]
+    fn apply_to_slice_length_mismatch_panics() {
+        let p = Permutation::identity(3);
+        let _ = p.apply_to_slice(&[1, 2]);
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        let id = Permutation::identity(3);
+        assert_eq!(p.compose(&id), p);
+        assert_eq!(id.compose(&p), p);
+    }
+}

@@ -1,0 +1,130 @@
+//! Numeric element trait abstracting over `f32` and `f64`.
+//!
+//! GPUs typically run SpMM/SDDMM in single precision; tests and reference
+//! checks prefer double precision. Kernels in this workspace are generic
+//! over [`Scalar`] so both are first-class.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable in all kernels of this workspace.
+///
+/// The bound set is deliberately minimal: arithmetic, comparison,
+/// conversion to/from `f64` for test tolerances, and `Send + Sync` so
+/// values can cross rayon task boundaries.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (4 for `f32`, 8 for `f64`); used by
+    /// the memory-traffic model.
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (used by generators and tests).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used for error norms).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` if the value is finite (not NaN/±inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $bytes:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: usize = $bytes;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, 4);
+impl_scalar!(f64, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        let x = T::from_f64(2.5);
+        assert_eq!(x.to_f64(), 2.5);
+        assert_eq!((x + x).to_f64(), 5.0);
+        assert_eq!((-x).abs().to_f64(), 2.5);
+        assert_eq!(T::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert!(x.is_finite());
+        assert!(!T::from_f64(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn f32_impl() {
+        roundtrip::<f32>();
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_impl() {
+        roundtrip::<f64>();
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded() {
+        let a = 3.0f64;
+        assert_eq!(Scalar::mul_add(a, 2.0, 1.0), 7.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Structural statistics of sparse matrices.
+//!
+//! Used to characterise corpus matrices (the paper filters SuiteSparse /
+//! Network Repository by rows ≥ 10 K, cols ≥ 10 K, nnz ≥ 100 K) and to
+//! report per-matrix metadata next to experiment results.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use crate::similarity::avg_consecutive_similarity;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// `nnz / (nrows * ncols)`.
+    pub density: f64,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Largest row length (`d_max`).
+    pub max_row_nnz: usize,
+    /// Smallest row length.
+    pub min_row_nnz: usize,
+    /// Number of rows with no nonzeros.
+    pub empty_rows: usize,
+    /// Population standard deviation of row lengths.
+    pub row_nnz_stddev: f64,
+    /// Mean |col - row| over nonzeros — small for banded matrices.
+    pub avg_bandwidth: f64,
+    /// Max |col - row| over nonzeros.
+    pub max_bandwidth: usize,
+    /// Average Jaccard similarity between consecutive rows (§4 metric).
+    pub avg_consecutive_similarity: f64,
+}
+
+impl MatrixStats {
+    /// Computes all statistics for a matrix.
+    pub fn compute<T: Scalar>(m: &CsrMatrix<T>) -> Self {
+        let nrows = m.nrows();
+        let nnz = m.nnz();
+        let mut max_row = 0usize;
+        let mut min_row = usize::MAX;
+        let mut empty = 0usize;
+        let mut sum_sq = 0.0f64;
+        for i in 0..nrows {
+            let r = m.row_nnz(i);
+            max_row = max_row.max(r);
+            min_row = min_row.min(r);
+            if r == 0 {
+                empty += 1;
+            }
+            sum_sq += (r * r) as f64;
+        }
+        if nrows == 0 {
+            min_row = 0;
+        }
+        let avg_row = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+        let var = if nrows == 0 {
+            0.0
+        } else {
+            (sum_sq / nrows as f64 - avg_row * avg_row).max(0.0)
+        };
+        let mut bw_sum = 0.0f64;
+        let mut bw_max = 0usize;
+        for (r, c, _) in m.iter() {
+            let bw = (r as i64 - c as i64).unsigned_abs() as usize;
+            bw_sum += bw as f64;
+            bw_max = bw_max.max(bw);
+        }
+        Self {
+            nrows,
+            ncols: m.ncols(),
+            nnz,
+            density: m.density(),
+            avg_row_nnz: avg_row,
+            max_row_nnz: max_row,
+            min_row_nnz: min_row,
+            empty_rows: empty,
+            row_nnz_stddev: var.sqrt(),
+            avg_bandwidth: if nnz == 0 { 0.0 } else { bw_sum / nnz as f64 },
+            max_bandwidth: bw_max,
+            avg_consecutive_similarity: avg_consecutive_similarity(m),
+        }
+    }
+}
+
+/// Histogram of row lengths in power-of-two buckets
+/// (`[0], [1], [2,3], [4,7], ...`); useful for spotting power-law degree
+/// distributions.
+pub fn row_nnz_histogram<T: Scalar>(m: &CsrMatrix<T>) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for i in 0..m.nrows() {
+        let r = m.row_nnz(i);
+        let b = if r == 0 {
+            0
+        } else {
+            (usize::BITS - r.leading_zeros()) as usize
+        };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(b, count)| {
+            let lo = if b == 0 { 0 } else { 1usize << (b - 1) };
+            (lo, count)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn fig1() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(6, 6).unwrap();
+        for &(r, c) in &[
+            (0u32, 0u32),
+            (0, 4),
+            (1, 1),
+            (1, 3),
+            (1, 5),
+            (2, 2),
+            (2, 4),
+            (3, 1),
+            (3, 2),
+            (4, 0),
+            (4, 3),
+            (4, 4),
+            (5, 5),
+        ] {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn stats_of_fig1() {
+        let s = MatrixStats::compute(&fig1());
+        assert_eq!(s.nrows, 6);
+        assert_eq!(s.nnz, 13);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 1);
+        assert_eq!(s.empty_rows, 0);
+        assert!((s.avg_row_nnz - 13.0 / 6.0).abs() < 1e-12);
+        assert!(s.density > 0.0);
+        assert!(s.row_nnz_stddev > 0.0);
+    }
+
+    #[test]
+    fn stats_of_identity() {
+        let s = MatrixStats::compute(&CsrMatrix::<f32>::identity(5));
+        assert_eq!(s.max_row_nnz, 1);
+        assert_eq!(s.min_row_nnz, 1);
+        assert_eq!(s.avg_bandwidth, 0.0);
+        assert_eq!(s.max_bandwidth, 0);
+        assert_eq!(s.avg_consecutive_similarity, 0.0);
+        assert_eq!(s.row_nnz_stddev, 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let e = CsrMatrix::<f64>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        let s = MatrixStats::compute(&e);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.avg_row_nnz, 0.0);
+        assert_eq!(s.min_row_nnz, 0);
+    }
+
+    #[test]
+    fn bandwidth_of_offdiagonal() {
+        let mut coo = CooMatrix::new(4, 4).unwrap();
+        coo.push(0, 3, 1.0f64).unwrap();
+        coo.push(3, 0, 1.0).unwrap();
+        let s = MatrixStats::compute(&CsrMatrix::from_coo(&coo));
+        assert_eq!(s.max_bandwidth, 3);
+        assert_eq!(s.avg_bandwidth, 3.0);
+        assert_eq!(s.empty_rows, 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = row_nnz_histogram(&fig1());
+        // rows of lengths 2,3,2,2,3,1 → bucket 1:[1]=1, bucket [2,3]=5
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 6);
+        assert_eq!(h[1], (1, 1));
+        assert_eq!(h[2], (2, 5));
+    }
+
+    #[test]
+    fn histogram_empty_rows_bucket() {
+        let mut coo = CooMatrix::new(3, 3).unwrap();
+        coo.push(1, 1, 1.0f64).unwrap();
+        let h = row_nnz_histogram(&CsrMatrix::from_coo(&coo));
+        assert_eq!(h[0], (0, 2)); // two empty rows
+    }
+}

@@ -1,0 +1,109 @@
+//! Collaborative filtering by gradient descent — the paper's
+//! motivating SDDMM workload (§1: "the computation of the gradient in
+//! each iteration involves an SDDMM").
+//!
+//! Matrix factorisation R ≈ U·Vᵀ on a bipartite ratings matrix:
+//!
+//! * predictions on observed entries: `P = (U · Vᵀ) ⊙ mask` — an SDDMM
+//!   over the rating mask;
+//! * factor updates: `U += η · E · V` and `V += η · Eᵀ · U` — SpMMs with
+//!   the sparse error matrix `E`, whose *structure* is fixed across
+//!   epochs (only its values change).
+//!
+//! The fixed structure is exactly why the paper's preprocessing
+//! amortises: reorder/tile once, update values every epoch.
+//!
+//! Run with: `cargo run --release --example collaborative_filtering`
+
+use spmm_rr::prelude::*;
+
+fn main() {
+    let (nusers, nitems, k) = (2048, 1024, 32);
+    let ratings = generators::bipartite_cf::<f32>(nusers, nitems, 16, 0.8, 3);
+    println!(
+        "ratings: {} users x {} items, {} observed entries",
+        nusers,
+        nitems,
+        ratings.nnz()
+    );
+
+    // the mask matrix (same structure, unit values) drives the SDDMM
+    let mut mask = ratings.clone();
+    mask.values_mut().fill(1.0);
+
+    // prepare engines ONCE; structure never changes across epochs
+    let cfg = EngineConfig::default();
+    let sddmm_engine = Engine::prepare(&mask, &cfg);
+    println!(
+        "preprocessing: {:.1} ms (reordering {})",
+        sddmm_engine.preprocessing_time().as_secs_f64() * 1e3,
+        if sddmm_engine.plan().needs_reordering() {
+            "applied"
+        } else {
+            "skipped"
+        }
+    );
+
+    let mut u = generators::random_dense::<f32>(nusers, k, 1);
+    let mut v = generators::random_dense::<f32>(nitems, k, 2);
+    // scale factors down so the first predictions are small
+    for val in u.data_mut() {
+        *val *= 0.1;
+    }
+    for val in v.data_mut() {
+        *val *= 0.1;
+    }
+
+    let lr = 0.05f32 / k as f32;
+    // the error matrix E shares R's structure: prepare its engine once
+    // and refresh only the values each epoch (Engine::update_values)
+    let mut err_engine = Engine::prepare(&ratings, &cfg);
+
+    let mut last_rmse = f32::INFINITY;
+    for epoch in 0..8 {
+        // P = (U · Vᵀ) ⊙ mask  — predictions at observed entries only
+        let pred = sddmm_engine.sddmm(&v, &u).expect("shapes match");
+
+        // E = R - P on the observed entries (same structure as R)
+        let mut err = ratings.clone();
+        let mut sq = 0.0f64;
+        for (e, (&r, &p)) in err
+            .values_mut()
+            .iter_mut()
+            .zip(ratings.values().iter().zip(&pred))
+        {
+            *e = r - p;
+            sq += (*e as f64) * (*e as f64);
+        }
+        let rmse = (sq / ratings.nnz() as f64).sqrt() as f32;
+        println!("epoch {epoch}: rmse = {rmse:.4}");
+        assert!(
+            rmse < last_rmse || epoch > 5,
+            "gradient descent must make progress"
+        );
+        last_rmse = rmse;
+
+        // U += lr * E · V ; V += lr * Eᵀ · U (structure fixed, values new)
+        err_engine.update_values(err.values());
+        let grad_u = err_engine.spmm(&v).expect("shapes match");
+        let err_t = err.transpose();
+        let grad_v = spmm_rowwise_par(&err_t, &u).expect("shapes match");
+        for (uv, g) in u.data_mut().iter_mut().zip(grad_u.data()) {
+            *uv += lr * g;
+        }
+        for (vv, g) in v.data_mut().iter_mut().zip(grad_v.data()) {
+            *vv += lr * g;
+        }
+    }
+
+    // simulated amortisation story (§5.4): preprocessing vs per-epoch cost
+    let device = DeviceConfig::p100();
+    let sddmm_cost = sddmm_engine.simulate_sddmm(k, &device);
+    println!(
+        "\nsimulated P100 SDDMM per epoch: {:.0} us; preprocessing {:.1} ms \
+         amortises over {:.0} epochs",
+        sddmm_cost.time_s * 1e6,
+        sddmm_engine.preprocessing_time().as_secs_f64() * 1e3,
+        sddmm_engine.preprocessing_time().as_secs_f64() / sddmm_cost.time_s
+    );
+}

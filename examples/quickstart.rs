@@ -1,0 +1,80 @@
+//! Quickstart: prepare a matrix, run SpMM/SDDMM, inspect what the
+//! pipeline decided and what the simulated P100 thinks of it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spmm_rr::prelude::*;
+
+fn main() {
+    // A matrix with hidden cluster structure destroyed by a row
+    // shuffle — the case the paper's row reordering is built for.
+    let s = generators::shuffled_block_diagonal::<f32>(512, 16, 48, 16, 42);
+    let k = 256;
+    println!(
+        "matrix: {} x {}, {} nonzeros, K = {k}",
+        s.nrows(),
+        s.ncols(),
+        s.nnz()
+    );
+
+    // ---- prepare: plan reordering (Fig 5), tile ----------------------
+    let engine = Engine::prepare(&s, &EngineConfig::default());
+    let plan = engine.plan();
+    println!("\npipeline decisions:");
+    println!(
+        "  round 1 (reorder rows):      {} (dense ratio {:.3} -> {:.3})",
+        if plan.round1_applied { "applied" } else { "skipped" },
+        plan.dense_ratio_before,
+        plan.dense_ratio_after
+    );
+    println!(
+        "  round 2 (order remainder):   {} (avg similarity {:.3} -> {:.3})",
+        if plan.round2_applied { "applied" } else { "skipped" },
+        plan.avgsim_before,
+        plan.avgsim_after
+    );
+    println!(
+        "  preprocessing took {:.1} ms",
+        engine.preprocessing_time().as_secs_f64() * 1e3
+    );
+
+    // ---- numerics: results come back in the original row order -------
+    let x = generators::random_dense::<f32>(s.ncols(), k, 7);
+    let y = engine.spmm(&x).expect("shapes match");
+    let reference = spmm_rowwise_seq(&s, &x).expect("shapes match");
+    println!(
+        "\nSpMM max deviation vs naive reference: {:.2e}",
+        reference.max_abs_diff(&y)
+    );
+
+    let yd = generators::random_dense::<f32>(s.nrows(), k, 9);
+    let o = engine.sddmm(&x, &yd).expect("shapes match");
+    println!("SDDMM produced {} output values (one per nonzero)", o.len());
+
+    // ---- simulated P100: the paper's comparison ----------------------
+    let device = DeviceConfig::p100();
+    let trial = choose_variant(&s, Kernel::Spmm, k, &device, &EngineConfig::default().reorder);
+    println!("\nsimulated P100 SpMM ({k} columns):");
+    if let Some(c) = &trial.cusparse_like {
+        println!(
+            "  cuSPARSE-like: {:>8.2} GFLOP/s  ({:.0} MiB DRAM)",
+            c.gflops,
+            c.traffic.dram_bytes as f64 / (1 << 20) as f64
+        );
+    }
+    println!(
+        "  ASpT-NR:       {:>8.2} GFLOP/s  ({:.0} MiB DRAM)",
+        trial.aspt_nr.gflops,
+        trial.aspt_nr.traffic.dram_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  ASpT-RR:       {:>8.2} GFLOP/s  ({:.0} MiB DRAM)",
+        trial.aspt_rr.gflops,
+        trial.aspt_rr.traffic.dram_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  trial-and-error picks {:?} (RR speedup vs best other: {:.2}x)",
+        trial.chosen,
+        trial.rr_speedup_vs_best_other()
+    );
+}

@@ -1,0 +1,16 @@
+//! # spmm-rr — umbrella crate
+//!
+//! Re-exports [`spmm_core`] and hosts the workspace's runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! See the crate-level documentation of [`spmm_core`] for the library
+//! overview, `README.md` for the project guide, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record.
+
+#![warn(missing_docs)]
+
+pub use spmm_core::*;
+
+/// The library version, for binaries that report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,123 @@
+//! Property tests over the related-work formats (ELL / SELL-P / CSB):
+//! lossless conversion and kernel agreement for arbitrary matrices.
+
+use proptest::prelude::*;
+use spmm_rr::kernels::spmm::spmm_rowwise_seq;
+use spmm_rr::prelude::*;
+
+fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nrows, ncols)| {
+        proptest::collection::vec(
+            (0..nrows as u32, 0..ncols as u32, -4.0f64..4.0),
+            0..max_nnz,
+        )
+        .prop_map(move |entries| {
+            let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
+            CsrMatrix::from_coo(&coo)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ell_roundtrip(m in sparse_matrix(40, 250)) {
+        let ell = EllMatrix::from_csr(&m);
+        prop_assert_eq!(ell.to_csr(), m);
+        prop_assert!(ell.padding_factor() >= 1.0 || ell.nnz() == 0);
+    }
+
+    #[test]
+    fn sellp_roundtrip_with_arbitrary_slice_and_sigma(
+        m in sparse_matrix(40, 250),
+        slice_height in 1usize..12,
+        sigma in 0usize..48,
+    ) {
+        let s = SellPMatrix::from_csr(&m, slice_height, sigma);
+        prop_assert_eq!(s.to_csr(), m);
+        prop_assert!(s.padding_factor() >= 1.0 || s.nnz() == 0);
+    }
+
+    #[test]
+    fn csb_roundtrip_with_arbitrary_beta(
+        m in sparse_matrix(40, 250),
+        beta in 1usize..48,
+    ) {
+        let csb = CsbMatrix::from_csr(&m, beta);
+        prop_assert_eq!(csb.nnz(), m.nnz());
+        prop_assert_eq!(csb.to_csr(), m);
+    }
+
+    #[test]
+    fn all_format_kernels_agree(
+        m in sparse_matrix(28, 150),
+        k in 1usize..8,
+        seed in 0u64..1000,
+        slice_height in 1usize..8,
+        beta in 1usize..24,
+    ) {
+        let x = generators::random_dense::<f64>(m.ncols(), k, seed);
+        let reference = spmm_rowwise_seq(&m, &x).unwrap();
+
+        let ell = EllMatrix::from_csr(&m);
+        prop_assert!(reference.max_abs_diff(&ell.spmm_seq(&x).unwrap()) < 1e-10);
+        prop_assert!(reference.max_abs_diff(&ell.spmm_par(&x).unwrap()) < 1e-10);
+
+        let sell = SellPMatrix::from_csr(&m, slice_height, slice_height * 3);
+        prop_assert!(reference.max_abs_diff(&sell.spmm_seq(&x).unwrap()) < 1e-10);
+        prop_assert!(reference.max_abs_diff(&sell.spmm_par(&x).unwrap()) < 1e-10);
+
+        let csb = CsbMatrix::from_csr(&m, beta);
+        prop_assert!(reference.max_abs_diff(&csb.spmm_seq(&x).unwrap()) < 1e-10);
+        prop_assert!(reference.max_abs_diff(&csb.spmm_par(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn format_traces_conserve_flops(
+        m in sparse_matrix(32, 200),
+        k in 1usize..6,
+    ) {
+        let k = k * 8;
+        let expected = 2 * m.nnz() as u64 * k as u64;
+        let mf: CsrMatrix<f32> = m.cast();
+        let ell = EllMatrix::from_csr(&mf);
+        let flops: u64 = ell.spmm_blocks(k, 4).iter().map(|b| b.flops).sum();
+        prop_assert_eq!(flops, expected);
+        let sell = SellPMatrix::from_csr(&mf, 4, 0);
+        let flops: u64 = sell.spmm_blocks(k).iter().map(|b| b.flops).sum();
+        prop_assert_eq!(flops, expected);
+        let csb = CsbMatrix::from_csr(&mf, 8);
+        let flops: u64 = csb.spmm_blocks(k).iter().map(|b| b.flops).sum();
+        prop_assert_eq!(flops, expected);
+    }
+
+    #[test]
+    fn mm_parser_never_panics_on_garbage(s in ".{0,300}") {
+        // arbitrary input must produce Ok or Err, never a panic
+        let _ = spmm_rr::sparse::mm_io::read_matrix_market::<f64, _>(s.as_bytes());
+    }
+
+    #[test]
+    fn mm_parser_never_panics_on_headerish_garbage(
+        body in proptest::collection::vec((0usize..50, 0usize..50, -10.0f64..10.0), 0..30),
+        nrows in 0usize..40,
+        ncols in 0usize..40,
+        declared in 0usize..40,
+    ) {
+        let mut text = format!("%%MatrixMarket matrix coordinate real general\n{nrows} {ncols} {declared}\n");
+        for (r, c, v) in body {
+            text.push_str(&format!("{r} {c} {v}\n"));
+        }
+        let _ = spmm_rr::sparse::mm_io::read_matrix_market::<f64, _>(text.as_bytes());
+    }
+
+    #[test]
+    fn mm_io_roundtrip(m in sparse_matrix(40, 250)) {
+        let mut buf = Vec::new();
+        spmm_rr::sparse::mm_io::write_matrix_market(&m, &mut buf).unwrap();
+        let rt: CsrMatrix<f64> =
+            spmm_rr::sparse::mm_io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(rt, m);
+    }
+}

@@ -1,0 +1,103 @@
+//! The paper's running example, end to end across crates: Fig 1a →
+//! ASpT (Fig 3) → clustering (Fig 6) → reordered tiling (Fig 4b).
+
+use spmm_rr::lsh::CandidatePair;
+use spmm_rr::prelude::*;
+use spmm_rr::reorder::cluster_rows;
+
+fn fig1() -> CsrMatrix<f64> {
+    let rows: &[&[u32]] = &[&[0, 4], &[1, 3, 5], &[2, 4], &[1, 2], &[0, 3, 4], &[5]];
+    let mut coo = CooMatrix::new(6, 6).unwrap();
+    for (r, cols) in rows.iter().enumerate() {
+        for (j, &c) in cols.iter().enumerate() {
+            coo.push(r as u32, c, (r * 10 + j) as f64 + 1.0).unwrap();
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[test]
+fn full_paper_walkthrough() {
+    let m = fig1();
+
+    // §3.2: the paper's similarity values
+    use spmm_rr::sparse::similarity::row_jaccard;
+    assert!((row_jaccard(&m, 0, 4) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((row_jaccard(&m, 2, 4) - 0.25).abs() < 1e-12);
+    assert!((row_jaccard(&m, 1, 5) - 1.0 / 3.0).abs() < 1e-12);
+
+    // Fig 3: ASpT with 3-row panels puts 2 of 13 nonzeros in tiles
+    let cfg = AsptConfig::paper_figure();
+    let before = AsptMatrix::build(&m, &cfg);
+    assert_eq!(before.nnz_dense(), 2);
+
+    // Fig 6: clustering with the paper's two candidate pairs
+    let pairs = vec![
+        CandidatePair {
+            i: 0,
+            j: 4,
+            similarity: 2.0 / 3.0,
+        },
+        CandidatePair {
+            i: 2,
+            j: 4,
+            similarity: 0.25,
+        },
+    ];
+    let (perm, _) = cluster_rows(&m, &pairs, 256);
+    assert_eq!(perm.order(), &[0, 2, 4, 1, 3, 5]);
+
+    // Fig 4b: the reordered matrix has 9 nonzeros in dense tiles
+    let reordered = m.permute_rows(&perm);
+    let after = AsptMatrix::build(&reordered, &cfg);
+    assert_eq!(after.nnz_dense(), 9);
+
+    // and the transformation is numerically invisible
+    let x = generators::random_dense::<f64>(6, 4, 1);
+    let y_ref = spmm_rowwise_seq(&m, &x).unwrap();
+    let y_tiled = spmm_rr::kernels::spmm::spmm_aspt(&after, &x).unwrap();
+    // rows of y_tiled are in reordered space: map back
+    for new in 0..6 {
+        let old = perm.old_of(new) as usize;
+        let diff: f64 = y_ref
+            .row(old)
+            .iter()
+            .zip(y_tiled.row(new))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-12);
+    }
+}
+
+#[test]
+fn fig7a_well_clustered_matrix_is_left_alone() {
+    // Fig 7a: identical consecutive rows; §4 computes avg similarity
+    // 0.8 and skips reordering.
+    let rows: &[&[u32]] = &[&[0, 1], &[0, 1], &[0, 1], &[2, 3], &[2, 3], &[2, 3]];
+    let mut coo = CooMatrix::new(6, 4).unwrap();
+    for (r, cols) in rows.iter().enumerate() {
+        for &c in *cols {
+            coo.push(r as u32, c, 1.0f64).unwrap();
+        }
+    }
+    let m = CsrMatrix::from_coo(&coo);
+    use spmm_rr::sparse::similarity::avg_consecutive_similarity;
+    assert!((avg_consecutive_similarity(&m) - 0.8).abs() < 1e-12);
+
+    let plan = plan_reordering(
+        &m,
+        &ReorderConfig {
+            aspt: AsptConfig::paper_figure(),
+            ..Default::default()
+        },
+    );
+    assert!(!plan.round1_applied, "dense ratio 1.0 > 10% threshold");
+    assert!(!plan.round2_applied, "no remainder left to reorder");
+}
+
+#[test]
+fn fig7b_diagonal_matrix_generates_no_candidates() {
+    let m = generators::diagonal::<f64>(64, 1);
+    let pairs = spmm_rr::lsh::generate_candidates(&m, &LshConfig::default());
+    assert!(pairs.is_empty(), "LSH detects the scattered case automatically");
+}

@@ -3,6 +3,7 @@
 use crate::config::AsptConfig;
 use rayon::prelude::*;
 use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_telemetry::TelemetryHandle;
 use std::collections::HashMap;
 
 /// One dense tile: a set of staged columns and the panel's nonzeros
@@ -88,6 +89,28 @@ pub struct AsptMatrix<T> {
 impl<T: Scalar> AsptMatrix<T> {
     /// Decomposes `m` (panels are processed in parallel).
     pub fn build(m: &CsrMatrix<T>, config: &AsptConfig) -> Self {
+        Self::build_with(m, config, &TelemetryHandle::noop())
+    }
+
+    /// [`AsptMatrix::build`] with telemetry: records tiling counters
+    /// (`aspt.nnz_dense`, `aspt.nnz_sparse`, `aspt.panels`,
+    /// `aspt.tiles`) and the `aspt.dense_ratio` gauge into whatever
+    /// span the caller currently has open — the decomposition is one
+    /// stage of the pipeline, so it does not open a span of its own.
+    pub fn build_with(m: &CsrMatrix<T>, config: &AsptConfig, telemetry: &TelemetryHandle) -> Self {
+        let aspt = Self::build_inner(m, config);
+        if telemetry.is_enabled() {
+            telemetry.counter("aspt.nnz_dense", aspt.nnz_dense as u64);
+            telemetry.counter("aspt.nnz_sparse", (aspt.nnz_total - aspt.nnz_dense) as u64);
+            telemetry.counter("aspt.panels", aspt.panels.len() as u64);
+            let tiles: usize = aspt.panels.iter().map(|p| p.tiles.len()).sum();
+            telemetry.counter("aspt.tiles", tiles as u64);
+            telemetry.gauge("aspt.dense_ratio", aspt.dense_ratio());
+        }
+        aspt
+    }
+
+    fn build_inner(m: &CsrMatrix<T>, config: &AsptConfig) -> Self {
         config.validate();
         let nrows = m.nrows();
         let npanels = nrows.div_ceil(config.panel_height);
@@ -301,7 +324,12 @@ impl<T: Scalar> AsptMatrix<T> {
                 let rel = r - panel.row_start;
                 for tile in &panel.tiles {
                     let (s, e) = (tile.rowptr[rel], tile.rowptr[rel + 1]);
-                    row_buf.extend(tile.colidx[s..e].iter().copied().zip(tile.values[s..e].iter().copied()));
+                    row_buf.extend(
+                        tile.colidx[s..e]
+                            .iter()
+                            .copied()
+                            .zip(tile.values[s..e].iter().copied()),
+                    );
                 }
                 let (rc, rv) = self.remainder.row(r);
                 row_buf.extend(rc.iter().copied().zip(rv.iter().copied()));
@@ -378,7 +406,10 @@ mod tests {
         assert_eq!(p0.tiles.len(), 1);
         assert_eq!(p0.tiles[0].cols, vec![4]);
         assert_eq!(p0.tiles[0].nnz(), 2);
-        assert!(aspt.panels()[1].tiles.is_empty(), "panel 1 has no dense column");
+        assert!(
+            aspt.panels()[1].tiles.is_empty(),
+            "panel 1 has no dense column"
+        );
         assert_eq!(aspt.nnz_dense(), 2);
         assert!((aspt.dense_ratio() - 2.0 / 13.0).abs() < 1e-12);
         assert_eq!(aspt.remainder().nnz(), 11);

@@ -16,7 +16,11 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| black_box(generators::power_law::<f32>(8192, 8192, 128 * 1024, 0.8, 1)))
     });
     group.bench_function("shuffled_block_diagonal_8k", |b| {
-        b.iter(|| black_box(generators::shuffled_block_diagonal::<f32>(512, 16, 48, 16, 1)))
+        b.iter(|| {
+            black_box(generators::shuffled_block_diagonal::<f32>(
+                512, 16, 48, 16, 1,
+            ))
+        })
     });
     group.bench_function("laplacian_2d_90x90", |b| {
         b.iter(|| black_box(generators::laplacian_2d::<f32>(90, 90)))

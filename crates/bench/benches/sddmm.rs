@@ -33,9 +33,7 @@ fn bench_sddmm(c: &mut Criterion) {
         let aspt = AsptMatrix::build(m, &AsptConfig::default());
         group.bench_with_input(BenchmarkId::new("aspt", name), m, |b, m| {
             b.iter(|| {
-                black_box(
-                    spmm_core::kernels::sddmm::sddmm_aspt(&aspt, &x, &y, m.rowptr()).unwrap(),
-                )
+                black_box(spmm_core::kernels::sddmm::sddmm_aspt(&aspt, &x, &y, m.rowptr()).unwrap())
             })
         });
     }

@@ -40,14 +40,13 @@ pub fn ablate_panel(options: &EvalOptions) -> ExperimentOutput {
     for panel_height in [8usize, 16, 32, 64, 128] {
         let _ = writeln!(text, "\npanel_height = {panel_height}");
         for (name, m) in &matrices {
-            let reorder = ReorderConfig {
-                aspt: AsptConfig {
-                    panel_height,
-                    ..options.reorder.aspt
-                },
-                ..options.reorder
+            let mut reorder = options.reorder;
+            reorder.aspt = AsptConfig {
+                panel_height,
+                ..options.reorder.aspt
             };
-            let engine = Engine::prepare(m, &EngineConfig { reorder });
+            let engine = Engine::prepare(m, &EngineConfig::builder().reorder(reorder).build())
+                .expect("ablation matrices satisfy CSR invariants");
             let report = engine.simulate_spmm(k, &options.device);
             let _ = writeln!(
                 text,
@@ -76,8 +75,8 @@ pub fn ablate_panel(options: &EvalOptions) -> ExperimentOutput {
 /// recovered dense ratio.
 pub fn ablate_lsh(options: &EvalOptions) -> ExperimentOutput {
     let m = &ablation_matrices(options.seed)[0].1; // the shuffled matrix
-    // ground truth for recall: every pair with meaningful similarity
-    // (affordable exactly at this scale; the oracle LSH approximates)
+                                                   // ground truth for recall: every pair with meaningful similarity
+                                                   // (affordable exactly at this scale; the oracle LSH approximates)
     let ground_truth = spmm_core::lsh::exact_pairs(m, 0.25);
     let mut text = format!(
         "Ablation — LSH parameters on the shuffled-clusters matrix\n\
@@ -95,13 +94,12 @@ pub fn ablate_lsh(options: &EvalOptions) -> ExperimentOutput {
             };
             let start = Instant::now();
             let pairs = spmm_core::lsh::generate_candidates(m, &lsh);
-            let (perm, _) = spmm_core::reorder::cluster_rows(m, &pairs, options.reorder.threshold_size);
+            let (perm, _) =
+                spmm_core::reorder::cluster_rows(m, &pairs, options.reorder.threshold_size);
             let prep = start.elapsed().as_secs_f64();
             let recall = spmm_core::lsh::recall(&pairs, &ground_truth);
-            let dense_after = spmm_core::aspt::dense_ratio_of(
-                &m.permute_rows(&perm),
-                &options.reorder.aspt,
-            );
+            let dense_after =
+                spmm_core::aspt::dense_ratio_of(&m.permute_rows(&perm), &options.reorder.aspt);
             let _ = writeln!(
                 text,
                 "  {:>4} {:>5} {:>10} {:>8.3} {:>9.1} {:>12.3}",
@@ -134,18 +132,15 @@ pub fn ablate_lsh(options: &EvalOptions) -> ExperimentOutput {
 pub fn ablate_threshold(options: &EvalOptions) -> ExperimentOutput {
     let matrices = ablation_matrices(options.seed);
     let k = options.ks[0];
-    let mut text = format!(
-        "Ablation — cluster threshold_size (paper default 256), K = {k}\n"
-    );
+    let mut text = format!("Ablation — cluster threshold_size (paper default 256), K = {k}\n");
     let mut records = Vec::new();
     for threshold in [8usize, 32, 128, 256, 1024] {
         let _ = writeln!(text, "\nthreshold_size = {threshold}");
         for (name, m) in &matrices {
-            let reorder = ReorderConfig {
-                threshold_size: threshold,
-                ..options.reorder
-            };
-            let engine = Engine::prepare(m, &EngineConfig { reorder });
+            let mut reorder = options.reorder;
+            reorder.threshold_size = threshold;
+            let engine = Engine::prepare(m, &EngineConfig::builder().reorder(reorder).build())
+                .expect("ablation matrices satisfy CSR invariants");
             let report = engine.simulate_spmm(k, &options.device);
             let _ = writeln!(
                 text,
@@ -258,21 +253,18 @@ pub fn ablate_heuristics(options: &EvalOptions) -> ExperimentOutput {
         let nr_aspt = AsptMatrix::build(m, &options.reorder.aspt);
         let nr = simulate_spmm_aspt(&nr_aspt, None, k, &options.device);
 
-        let heuristic = Engine::prepare(m, &EngineConfig { reorder: options.reorder });
+        let heuristic =
+            Engine::prepare(m, &EngineConfig::builder().reorder(options.reorder).build())
+                .expect("corpus matrices satisfy CSR invariants");
         let heuristic_reorders = heuristic.plan().needs_reordering();
         // what the heuristic's own decision costs/gains vs ASpT-NR
         let heuristic_speedup = nr.time_s / heuristic.simulate_spmm(k, &options.device).time_s;
 
         // what an unconditional reorder would have achieved
-        let forced = Engine::prepare(
-            m,
-            &EngineConfig {
-                reorder: ReorderConfig {
-                    policy: ReorderPolicy::always(),
-                    ..options.reorder
-                },
-            },
-        );
+        let mut forced_reorder = options.reorder;
+        forced_reorder.policy = ReorderPolicy::always();
+        let forced = Engine::prepare(m, &EngineConfig::builder().reorder(forced_reorder).build())
+            .expect("corpus matrices satisfy CSR invariants");
         let forced_rr = forced.simulate_spmm(k, &options.device);
         let forced_speedup = nr.time_s / forced_rr.time_s;
 

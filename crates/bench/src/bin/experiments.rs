@@ -10,7 +10,8 @@
 //! ```
 //!
 //! Text tables go to stdout; JSON records to `<out>/<id>.json`
-//! (default `results/`).
+//! (default `results/`); per-matrix telemetry run manifests to
+//! `<out>/manifests/<name>.json`.
 
 use spmm_bench::{ablations, evaluate_corpus, experiments, EvalOptions};
 use spmm_core::prelude::CorpusProfile;
@@ -18,9 +19,24 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const ALL_IDS: &[&str] = &[
-    "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "table2", "table3", "table4",
-    "ablate-panel", "ablate-lsh", "ablate-threshold", "ablate-heuristics",
-    "ablate-reorder-alg", "formats", "spmv-vertex", "sensitivity", "scaling",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "ablate-panel",
+    "ablate-lsh",
+    "ablate-threshold",
+    "ablate-heuristics",
+    "ablate-reorder-alg",
+    "formats",
+    "spmv-vertex",
+    "sensitivity",
+    "scaling",
 ];
 
 struct Args {
@@ -54,7 +70,10 @@ fn parse_args() -> Args {
                 }
             }
             "--seed" => {
-                options.seed = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                options.seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--k" => {
                 let spec = argv.next().unwrap_or_else(|| usage());
@@ -106,6 +125,24 @@ fn main() -> ExitCode {
             "# evaluated {} matrices ({} need reordering)",
             e.len(),
             e.iter().filter(|m| m.needs_reordering).count()
+        );
+        // one run manifest per matrix, next to the result records
+        let manifest_dir = args.out_dir.join("manifests");
+        if let Err(err) = std::fs::create_dir_all(&manifest_dir) {
+            eprintln!("failed to create {}: {err}", manifest_dir.display());
+            return ExitCode::FAILURE;
+        }
+        for m in &e {
+            let path = manifest_dir.join(format!("{}.json", m.name));
+            if let Err(err) = std::fs::write(&path, &m.manifest_json) {
+                eprintln!("failed to save {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "# saved {} run manifests to {}",
+            e.len(),
+            manifest_dir.display()
         );
         e
     } else {

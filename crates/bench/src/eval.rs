@@ -11,7 +11,6 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spmm_core::prelude::*;
-use std::time::Instant;
 
 /// Options of the evaluation pass.
 #[derive(Debug, Clone)]
@@ -114,6 +113,10 @@ pub struct MatrixEval {
     pub needs_reordering: bool,
     /// Wall-clock preprocessing seconds (reorder + permute + tile).
     pub preprocessing_s: f64,
+    /// The run manifest of this evaluation (telemetry stage tree plus
+    /// counters), pre-rendered as JSON. Written to
+    /// `<out>/manifests/<name>.json` by the experiments binary.
+    pub manifest_json: String,
     /// Per-`K` simulated kernel reports.
     pub per_k: Vec<KEval>,
 }
@@ -133,10 +136,10 @@ fn evaluate_matrix(entry: &CorpusMatrix<f32>, options: &EvalOptions) -> MatrixEv
     let m = &entry.matrix;
     let device = &options.device;
 
-    // preprocessing, timed (Fig 12): plan + permute + tile
-    let start = Instant::now();
-    let engine = Engine::prepare(m, &EngineConfig { reorder: options.reorder });
-    let preprocessing_s = start.elapsed().as_secs_f64();
+    // preprocessing, timed via telemetry (Fig 12): plan + permute + tile
+    let config = EngineConfig::builder().reorder(options.reorder).build();
+    let engine = Engine::prepare(m, &config).expect("corpus matrices satisfy CSR invariants");
+    let preprocessing_s = engine.preprocessing_time().as_secs_f64();
     let plan = engine.plan();
 
     // the no-reordering decomposition (ASpT-NR)
@@ -169,6 +172,9 @@ fn evaluate_matrix(entry: &CorpusMatrix<f32>, options: &EvalOptions) -> MatrixEv
         metrics: ReorderMetrics::from_plan(plan),
         needs_reordering: plan.needs_reordering(),
         preprocessing_s,
+        // snapshot after the simulations so the manifest carries the
+        // sim.* traffic counters alongside the prepare stage tree
+        manifest_json: engine.manifest().to_json(true),
         per_k,
     }
 }
@@ -192,6 +198,12 @@ mod tests {
         for e in &evals {
             assert_eq!(e.per_k.len(), 1);
             assert!(e.preprocessing_s > 0.0);
+            // the attached manifest is valid and consistent with the
+            // preprocessing wall-clock
+            let manifest = RunManifest::from_json(&e.manifest_json).unwrap();
+            let prepare = manifest.find("prepare").expect("prepare stage");
+            assert!((prepare.duration_s() - e.preprocessing_s).abs() < 1e-9);
+            assert!(manifest.find("sim.spmm").is_some());
             let k = &e.per_k[0];
             assert!(k.spmm.cusparse_like.is_some());
             assert!(k.sddmm.cusparse_like.is_none());

@@ -31,11 +31,31 @@ impl ExperimentOutput {
 
 fn fig8_buckets() -> Vec<Bucket> {
     vec![
-        Bucket { label: "slowdown", lo: 0.0, hi: 1.0 },
-        Bucket { label: "0%~10%", lo: 1.0, hi: 1.1 },
-        Bucket { label: "10%~50%", lo: 1.1, hi: 1.5 },
-        Bucket { label: "50%~100%", lo: 1.5, hi: 2.0 },
-        Bucket { label: ">100%", lo: 2.0, hi: f64::INFINITY },
+        Bucket {
+            label: "slowdown",
+            lo: 0.0,
+            hi: 1.0,
+        },
+        Bucket {
+            label: "0%~10%",
+            lo: 1.0,
+            hi: 1.1,
+        },
+        Bucket {
+            label: "10%~50%",
+            lo: 1.1,
+            hi: 1.5,
+        },
+        Bucket {
+            label: "50%~100%",
+            lo: 1.5,
+            hi: 2.0,
+        },
+        Bucket {
+            label: ">100%",
+            lo: 2.0,
+            hi: f64::INFINITY,
+        },
     ]
 }
 
@@ -48,9 +68,8 @@ fn reordering_subset(evals: &[MatrixEval]) -> Vec<&MatrixEval> {
 /// Fig 8: histogram of ASpT-NR and ASpT-RR speedups over the
 /// cuSPARSE-like baseline, per `K`, over the whole corpus.
 pub fn fig8(evals: &[MatrixEval]) -> ExperimentOutput {
-    let mut text = String::from(
-        "Fig 8 — SpMM speedup over cuSPARSE-like baseline (all matrices)\n",
-    );
+    let mut text =
+        String::from("Fig 8 — SpMM speedup over cuSPARSE-like baseline (all matrices)\n");
     let mut json_ks = Vec::new();
     let ks: Vec<usize> = evals
         .first()
@@ -66,7 +85,11 @@ pub fn fig8(evals: &[MatrixEval]) -> ExperimentOutput {
             .filter_map(|e| e.per_k[ki].spmm.rr_vs_cusparse())
             .collect();
         let _ = writeln!(text, "\nK = {k}  ({} matrices)", nr.len());
-        let _ = writeln!(text, "  {:<12} {:>10} {:>10}", "bucket", "ASpT-NR", "ASpT-RR");
+        let _ = writeln!(
+            text,
+            "  {:<12} {:>10} {:>10}",
+            "bucket", "ASpT-NR", "ASpT-RR"
+        );
         let bnr = bucketize(&nr, &fig8_buckets());
         let brr = bucketize(&rr, &fig8_buckets());
         for (a, b) in bnr.iter().zip(&brr) {
@@ -211,7 +234,9 @@ pub fn fig9(evals: &[MatrixEval], options: &EvalOptions) -> ExperimentOutput {
     // quadrant analysis: (+,+) should speed up, (-,-) should slow down
     let quad_pp: Vec<f64> = evals
         .iter()
-        .filter(|e| e.metrics.delta_dense_ratio > 0.0 && e.metrics.delta_avgsim >= 0.0 && e.needs_reordering)
+        .filter(|e| {
+            e.metrics.delta_dense_ratio > 0.0 && e.metrics.delta_avgsim >= 0.0 && e.needs_reordering
+        })
         .map(|e| e.per_k[ki].spmm.rr_vs_nr())
         .collect();
     let _ = writeln!(
@@ -229,7 +254,10 @@ pub fn fig9(evals: &[MatrixEval], options: &EvalOptions) -> ExperimentOutput {
     let mut ties = 0usize;
     let mut wins = 0usize;
     let mut square = 0usize;
-    for entry in corpus.iter().filter(|e| e.matrix.nrows() == e.matrix.ncols()) {
+    for entry in corpus
+        .iter()
+        .filter(|e| e.matrix.nrows() == e.matrix.ncols())
+    {
         use spmm_core::reorder::baselines;
         let m = &entry.matrix;
         square += 1;
@@ -310,7 +338,9 @@ fn throughput_figure(
         );
         let mut series = Vec::new();
         for (e, c, nr, rr) in &rows {
-            let cus = c.map(|v| format!("{v:>10.1}")).unwrap_or_else(|| format!("{:>10}", "-"));
+            let cus = c
+                .map(|v| format!("{v:>10.1}"))
+                .unwrap_or_else(|| format!("{:>10}", "-"));
             let _ = writeln!(text, "  {:<28} {} {:>10.1} {:>10.1}", e.name, cus, nr, rr);
             series.push(json!({"name": e.name, "cusparse": c, "nr": nr, "rr": rr}));
         }

@@ -15,4 +15,4 @@ pub mod experiments;
 pub mod related;
 pub mod stats;
 
-pub use eval::{evaluate_corpus, EvalOptions, KernelEval, KEval, MatrixEval};
+pub use eval::{evaluate_corpus, EvalOptions, KEval, KernelEval, MatrixEval};

@@ -14,10 +14,10 @@
 use crate::eval::EvalOptions;
 use crate::experiments::ExperimentOutput;
 use serde_json::json;
-use spmm_core::prelude::*;
-use spmm_core::reorder::baselines;
 use spmm_core::gpu_sim::kernels::{spmm_rowwise_blocks, DEFAULT_ROWS_PER_BLOCK};
 use spmm_core::gpu_sim::run_blocks;
+use spmm_core::prelude::*;
+use spmm_core::reorder::baselines;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -32,7 +32,18 @@ pub fn formats(options: &EvalOptions) -> ExperimentOutput {
          padding = stored slots / nnz; csb_occ = entries per nonempty 64x64 block;\n\
          times simulated on {}\n\n\
          {:<28} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
-        device.name, "matrix", "ell_pad", "sell_pad", "sigma_pad", "csb_occ", "csr_us", "ell_us", "sellp_us", "sigma_us", "csb_us", "asptrr_us"
+        device.name,
+        "matrix",
+        "ell_pad",
+        "sell_pad",
+        "sigma_pad",
+        "csb_occ",
+        "csr_us",
+        "ell_us",
+        "sellp_us",
+        "sigma_us",
+        "csb_us",
+        "asptrr_us"
     );
     let mut records = Vec::new();
     // one representative per class keeps the table readable
@@ -57,7 +68,8 @@ pub fn formats(options: &EvalOptions) -> ExperimentOutput {
         let r_sell = sell.simulate_spmm(k, device);
         let r_sigma = sigma.simulate_spmm(k, device);
         let r_csb = csb.simulate_spmm(k, device);
-        let engine = Engine::prepare(m, &EngineConfig { reorder: options.reorder });
+        let engine = Engine::prepare(m, &EngineConfig::builder().reorder(options.reorder).build())
+            .expect("corpus matrices satisfy CSR invariants");
         let r_rr = engine.simulate_spmm(k, device);
 
         let _ = writeln!(
@@ -139,10 +151,8 @@ pub fn spmv_vertex(options: &EvalOptions) -> ExperimentOutput {
     // while each SpMM nonzero still needs its own K-wide X row — the
     // vertex reordering can only ever help the K=1 case.
     let n = 262_144usize;
-    let perm_matrix = generators::shuffle_rows(
-        &CsrMatrix::<f32>::identity(n),
-        options.seed ^ 0x0ddba11,
-    );
+    let perm_matrix =
+        generators::shuffle_rows(&CsrMatrix::<f32>::identity(n), options.seed ^ 0x0ddba11);
     // secondary case: a banded matrix scrambled by a random *symmetric*
     // permutation — here RCM restores consecutive-row similarity, so
     // both kernels gain (the row-similarity channel the paper's row
@@ -291,9 +301,8 @@ pub fn sensitivity(options: &EvalOptions) -> ExperimentOutput {
 /// growing shuffled-cluster matrices and reports the log–log slope
 /// (1.0 = linear, 2.0 = quadratic).
 pub fn scaling(options: &EvalOptions) -> ExperimentOutput {
-    let mut text = String::from(
-        "Preprocessing scaling on shuffled clusters (paper §3.2: ~O(N log N))\n\n",
-    );
+    let mut text =
+        String::from("Preprocessing scaling on shuffled clusters (paper §3.2: ~O(N log N))\n\n");
     let _ = writeln!(text, "{:>8} {:>10} {:>10}", "rows", "nnz", "prep_ms");
     let mut points: Vec<(f64, f64)> = Vec::new();
     let mut records = Vec::new();
@@ -315,13 +324,7 @@ pub fn scaling(options: &EvalOptions) -> ExperimentOutput {
             .collect();
         times.sort_by(f64::total_cmp);
         let t = times[1];
-        let _ = writeln!(
-            text,
-            "{:>8} {:>10} {:>10.1}",
-            m.nrows(),
-            m.nnz(),
-            t * 1e3
-        );
+        let _ = writeln!(text, "{:>8} {:>10} {:>10.1}", m.nrows(), m.nnz(), t * 1e3);
         points.push(((m.nrows() as f64).ln(), t.ln()));
         records.push(json!({"rows": m.nrows(), "nnz": m.nnz(), "prep_s": t}));
     }
@@ -370,10 +373,7 @@ mod tests {
         }
         // power-law padding must exceed the scattered class's
         let pad_of = |class: &str| {
-            records
-                .iter()
-                .find(|r| r["class"] == class)
-                .unwrap()["ell_padding"]
+            records.iter().find(|r| r["class"] == class).unwrap()["ell_padding"]
                 .as_f64()
                 .unwrap()
         };

@@ -47,11 +47,7 @@ pub fn bucketize(values: &[f64], buckets: &[Bucket]) -> Vec<(String, usize, f64)
         .iter()
         .map(|b| {
             let count = values.iter().filter(|&&v| v >= b.lo && v < b.hi).count();
-            (
-                b.label.to_string(),
-                count,
-                100.0 * count as f64 / n as f64,
-            )
+            (b.label.to_string(), count, 100.0 * count as f64 / n as f64)
         })
         .collect()
 }

@@ -12,11 +12,28 @@ use std::path::PathBuf;
 pub const USAGE: &str = "\
 usage:
   spmm-rr analyze  <matrix.mtx> [--k N] [--device p100|v100]
+  spmm-rr profile  <matrix.mtx> [--k N] [--device p100|v100] [--json]
   spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
   spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
   spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
       classes: scattered powerlaw rmat banded stencil clustered
                shuffled noisy diagonal cf";
+
+/// One allowed flag of a subcommand: name (without `--`) and whether it
+/// consumes a value.
+type FlagSpec = (&'static str, bool);
+
+/// The flags each subcommand accepts; anything else is rejected with a
+/// targeted error instead of being silently ignored.
+fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
+    match cmd {
+        "analyze" | "bench" => Some(&[("k", true), ("device", true)]),
+        "profile" => Some(&[("k", true), ("device", true), ("json", false)]),
+        "reorder" => Some(&[("out", true), ("order", true)]),
+        "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
+        _ => None,
+    }
+}
 
 /// A parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +46,17 @@ pub enum Invocation {
         k: usize,
         /// Simulated device name (`p100` / `v100`).
         device: String,
+    },
+    /// `profile <path> [--k N] [--device D] [--json]`
+    Profile {
+        /// Matrix Market input path.
+        path: PathBuf,
+        /// Dense-operand width.
+        k: usize,
+        /// Simulated device name (`p100` / `v100`).
+        device: String,
+        /// Emit the raw run-manifest JSON instead of the stage tree.
+        json: bool,
     },
     /// `reorder <in> --out <out> [--order <path>]`
     Reorder {
@@ -64,17 +92,33 @@ pub enum Invocation {
 
 impl Invocation {
     /// Parses an argument vector (without the program name).
+    ///
+    /// Flags are checked against the subcommand's allowlist: an
+    /// unknown `--flag` is a targeted error naming the command and its
+    /// valid flags, not a silent no-op.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut it = args.iter();
         let cmd = it.next().ok_or("missing command")?;
+        let spec = flag_spec(cmd).ok_or_else(|| format!("unknown command '{cmd}'"))?;
         let mut positional: Vec<String> = Vec::new();
         let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.insert(name.to_string(), v.clone());
+                let (_, takes_value) = spec.iter().find(|(n, _)| *n == name).ok_or_else(|| {
+                    let valid: Vec<String> = spec.iter().map(|(n, _)| format!("--{n}")).collect();
+                    format!(
+                        "unknown flag --{name} for '{cmd}' (valid flags: {})",
+                        valid.join(", ")
+                    )
+                })?;
+                if *takes_value {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    flags.insert(name.to_string(), v.clone());
+                } else {
+                    flags.insert(name.to_string(), "true".to_string());
+                }
             } else {
                 positional.push(a.clone());
             }
@@ -87,7 +131,10 @@ impl Invocation {
         };
         let get_device =
             |flags: &std::collections::HashMap<String, String>| -> Result<String, String> {
-                let d = flags.get("device").cloned().unwrap_or_else(|| "p100".into());
+                let d = flags
+                    .get("device")
+                    .cloned()
+                    .unwrap_or_else(|| "p100".into());
                 if d != "p100" && d != "v100" {
                     return Err(format!("unknown device '{d}' (p100 or v100)"));
                 }
@@ -95,10 +142,7 @@ impl Invocation {
             };
         match cmd.as_str() {
             "analyze" | "bench" => {
-                let path = positional
-                    .first()
-                    .ok_or("missing matrix path")?
-                    .into();
+                let path = positional.first().ok_or("missing matrix path")?.into();
                 let inv = if cmd == "analyze" {
                     Invocation::Analyze {
                         path,
@@ -114,6 +158,12 @@ impl Invocation {
                 };
                 Ok(inv)
             }
+            "profile" => Ok(Invocation::Profile {
+                path: positional.first().ok_or("missing matrix path")?.into(),
+                k: get_k(&flags)?,
+                device: get_device(&flags)?,
+                json: flags.contains_key("json"),
+            }),
             "reorder" => Ok(Invocation::Reorder {
                 input: positional.first().ok_or("missing input path")?.into(),
                 out: flags.get("out").ok_or("reorder requires --out")?.into(),
@@ -151,12 +201,7 @@ pub fn generate_matrix(class: &str, scale: usize, seed: u64) -> Result<CsrMatrix
     Ok(match class {
         "scattered" => generators::uniform_random(1024 * s, 1024 * s, 12, seed),
         "powerlaw" => generators::power_law(1024 * s, 1024 * s, 16 * 1024 * s, 0.75, seed),
-        "rmat" => generators::rmat(
-            10 + s.ilog2(),
-            12,
-            (0.57, 0.19, 0.19, 0.05),
-            seed,
-        ),
+        "rmat" => generators::rmat(10 + s.ilog2(), 12, (0.57, 0.19, 0.19, 0.05), seed),
         "banded" => generators::banded(1024 * s, 24, 10, seed),
         "stencil" => generators::laplacian_2d(32 * s, 32 * s),
         "clustered" => generators::block_diagonal(16 * s, 64, 96, 24, seed),
@@ -174,12 +219,28 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
         Invocation::Analyze { path, k, device } => {
             let m: CsrMatrix<f32> =
                 mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
-            Ok(analyze(&m, *k, &device_by_name(device)))
+            analyze(&m, *k, &device_by_name(device))
+        }
+        Invocation::Profile {
+            path,
+            k,
+            device,
+            json,
+        } => {
+            let m: CsrMatrix<f32> =
+                mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            let mut p = profile(&m, *k, &device_by_name(device), *json)?;
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if !*json {
+                    p = format!("# matrix file: {name}\n{p}");
+                }
+            }
+            Ok(p)
         }
         Invocation::Bench { path, k, device } => {
             let m: CsrMatrix<f32> =
                 mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
-            Ok(bench(&m, *k, &device_by_name(device)))
+            bench(&m, *k, &device_by_name(device))
         }
         Invocation::Reorder { input, out, order } => {
             let m: CsrMatrix<f32> =
@@ -224,10 +285,13 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
 }
 
 /// The `analyze` report body.
-pub fn analyze(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants.
+pub fn analyze(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> Result<String, String> {
     use spmm_core::sparse::stats::MatrixStats;
     let stats = MatrixStats::compute(m);
-    let engine = Engine::prepare(m, &EngineConfig::default());
+    let engine = Engine::prepare(m, &EngineConfig::default()).map_err(|e| e.to_string())?;
     let plan = engine.plan();
     let mut out = String::new();
     let _ = writeln!(
@@ -248,10 +312,18 @@ pub fn analyze(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
     let _ = writeln!(
         out,
         "pipeline: round1 {} (dense ratio {:.3} -> {:.3}), round2 {} (avg sim {:.3} -> {:.3})",
-        if plan.round1_applied { "applied" } else { "skipped" },
+        if plan.round1_applied {
+            "applied"
+        } else {
+            "skipped"
+        },
         plan.dense_ratio_before,
         plan.dense_ratio_after,
-        if plan.round2_applied { "applied" } else { "skipped" },
+        if plan.round2_applied {
+            "applied"
+        } else {
+            "skipped"
+        },
         plan.avgsim_before,
         plan.avgsim_after,
     );
@@ -260,27 +332,78 @@ pub fn analyze(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
         "preprocessing: {:.1} ms",
         engine.preprocessing_time().as_secs_f64() * 1e3
     );
-    out.push_str(&bench(m, k, device));
-    out
+    out.push_str(&bench(m, k, device)?);
+    Ok(out)
+}
+
+/// The `profile` report body: prepares an engine with full telemetry,
+/// simulates one SpMM and one SDDMM, and renders the run manifest —
+/// the stage tree by default, the raw manifest JSON with `--json`.
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants.
+pub fn profile(
+    m: &CsrMatrix<f32>,
+    k: usize,
+    device: &DeviceConfig,
+    json: bool,
+) -> Result<String, String> {
+    let config = EngineConfig::builder().k_hint(k).build();
+    let engine = Engine::prepare(m, &config).map_err(|e| e.to_string())?;
+    engine.simulate_spmm(k, device);
+    engine.simulate_sddmm(k, device);
+    let manifest = engine.manifest();
+    if json {
+        Ok(manifest.to_json(true))
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {} x {}, {} nonzeros; K = {k}, device {}",
+            m.nrows(),
+            m.ncols(),
+            m.nnz(),
+            device.name
+        );
+        let _ = writeln!(
+            out,
+            "# preprocessing total: {:.3} ms",
+            engine.preprocessing_time().as_secs_f64() * 1e3
+        );
+        out.push_str(&manifest.render_tree());
+        Ok(out)
+    }
 }
 
 /// The `bench` report body: the §4 trial.
-pub fn bench(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> String {
-    let trial = choose_variant(m, Kernel::Spmm, k, device, &ReorderConfig::default());
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants.
+pub fn bench(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> Result<String, String> {
+    let trial = choose_variant(m, Kernel::Spmm, k, device, &ReorderConfig::default())
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "simulated {} SpMM, K = {k}:", device.name);
     if let Some(c) = &trial.cusparse_like {
         let _ = writeln!(out, "  cuSPARSE-like  {:>9.1} GFLOP/s", c.gflops);
     }
-    let _ = writeln!(out, "  ASpT-NR        {:>9.1} GFLOP/s", trial.aspt_nr.gflops);
-    let _ = writeln!(out, "  ASpT-RR        {:>9.1} GFLOP/s", trial.aspt_rr.gflops);
+    let _ = writeln!(
+        out,
+        "  ASpT-NR        {:>9.1} GFLOP/s",
+        trial.aspt_nr.gflops
+    );
+    let _ = writeln!(
+        out,
+        "  ASpT-RR        {:>9.1} GFLOP/s",
+        trial.aspt_rr.gflops
+    );
     let _ = writeln!(
         out,
         "recommendation: {:?} (RR vs best other: {:.2}x)",
         trial.chosen,
         trial.rr_speedup_vs_best_other()
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -333,10 +456,109 @@ mod tests {
     }
 
     #[test]
+    fn parse_profile() {
+        let inv = Invocation::parse(&s(&["profile", "m.mtx", "--k", "64", "--json"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Profile {
+                path: "m.mtx".into(),
+                k: 64,
+                device: "p100".into(),
+                json: true,
+            }
+        );
+        let inv = Invocation::parse(&s(&["profile", "m.mtx"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Profile {
+                path: "m.mtx".into(),
+                k: 256,
+                device: "p100".into(),
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_targeted_errors() {
+        let err = Invocation::parse(&s(&["analyze", "m.mtx", "--jsno"])).unwrap_err();
+        assert!(err.contains("--jsno"), "{err}");
+        assert!(err.contains("analyze"), "{err}");
+        assert!(err.contains("--device"), "should list valid flags: {err}");
+        // --json is valid for profile but not bench
+        let err = Invocation::parse(&s(&["bench", "m.mtx", "--json"])).unwrap_err();
+        assert!(err.contains("--json") && err.contains("bench"), "{err}");
+        assert!(Invocation::parse(&s(&["profile", "m.mtx", "--json"])).is_ok());
+        let err = Invocation::parse(&s(&["generate", "cf", "--out", "x", "--k", "3"])).unwrap_err();
+        assert!(err.contains("--k") && err.contains("generate"), "{err}");
+    }
+
+    #[test]
+    fn profile_json_manifest_matches_preprocessing_time() {
+        use spmm_core::telemetry::RunManifest;
+        let dir = std::env::temp_dir().join("spmm_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.mtx");
+        run(&Invocation::Generate {
+            class: "shuffled".into(),
+            out: input.clone(),
+            seed: 5,
+            scale: 1,
+        })
+        .unwrap();
+
+        let out = run(&Invocation::Profile {
+            path: input.clone(),
+            k: 32,
+            device: "p100".into(),
+            json: true,
+        })
+        .unwrap();
+        let manifest = RunManifest::from_json(&out).unwrap();
+
+        // The acceptance criterion: per-stage times are consistent with
+        // Engine::preprocessing_time(), which is recorded in the meta.
+        let prepare = manifest.find("prepare").expect("prepare stage");
+        let recorded: u64 = manifest.meta["preprocessing_ns"].parse().unwrap();
+        assert_eq!(prepare.duration_ns, recorded);
+        let child_sum: u64 = prepare.children.iter().map(|c| c.duration_ns).sum();
+        assert!(
+            child_sum <= prepare.duration_ns,
+            "children {child_sum} exceed prepare {}",
+            prepare.duration_ns
+        );
+        assert!(manifest.find("prepare/plan").is_some());
+        assert!(manifest.find("prepare/tile").is_some());
+        // exec/sim stages from the two simulations
+        assert!(manifest.find("sim.spmm").is_some());
+        assert!(manifest.find("sim.sddmm").is_some());
+
+        // The human-readable tree renders the same stages.
+        let tree = run(&Invocation::Profile {
+            path: input,
+            k: 32,
+            device: "p100".into(),
+            json: false,
+        })
+        .unwrap();
+        assert!(tree.contains("prepare"), "{tree}");
+        assert!(tree.contains("plan"), "{tree}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn generate_all_classes() {
         for class in [
-            "scattered", "powerlaw", "rmat", "banded", "stencil", "clustered", "shuffled",
-            "noisy", "diagonal", "cf",
+            "scattered",
+            "powerlaw",
+            "rmat",
+            "banded",
+            "stencil",
+            "clustered",
+            "shuffled",
+            "noisy",
+            "diagonal",
+            "cf",
         ] {
             let m = generate_matrix(class, 1, 7).unwrap();
             assert!(m.nnz() > 0, "{class} empty");

@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! spmm-rr analyze  <matrix.mtx> [--k N] [--device p100|v100]
+//! spmm-rr profile  <matrix.mtx> [--k N] [--device p100|v100] [--json]
 //! spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
 //! spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
 //! spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
 //! ```
 //!
 //! `analyze` prints structure statistics, the Fig 5 pipeline decisions
-//! and the simulated variant comparison; `reorder` writes the reordered
-//! matrix (and optionally the row order) for use in other tools;
-//! `bench` runs the §4 trial and recommends a variant; `generate`
-//! writes one of the synthetic corpus classes as Matrix Market.
+//! and the simulated variant comparison; `profile` runs the pipeline
+//! with telemetry enabled and prints the per-stage run manifest (the
+//! stage tree, or the raw manifest JSON with `--json`); `reorder`
+//! writes the reordered matrix (and optionally the row order) for use
+//! in other tools; `bench` runs the §4 trial and recommends a variant;
+//! `generate` writes one of the synthetic corpus classes as Matrix
+//! Market.
 
 use spmm_cli::{run, Invocation};
 use std::process::ExitCode;

@@ -41,7 +41,7 @@
 //! let x = generators::random_dense::<f32>(s.ncols(), 64, 7);
 //!
 //! // prepare: plan reordering (Fig 5), tile, ready to execute
-//! let engine = Engine::prepare(&s, &EngineConfig::default());
+//! let engine = Engine::prepare(&s, &EngineConfig::default())?;
 //! assert!(engine.plan().needs_reordering());
 //!
 //! // results come back in the ORIGINAL row order
@@ -51,6 +51,11 @@
 //! // simulated P100 performance of this configuration
 //! let report = engine.simulate_spmm(64, &DeviceConfig::p100());
 //! assert!(report.gflops > 0.0);
+//!
+//! // every preparation stage is timed; the run manifest breaks the
+//! // preprocessing total down (see `spmm-rr profile` for the CLI view)
+//! println!("{}", engine.manifest().render_tree());
+//! # Ok::<(), SparseError>(())
 //! ```
 //!
 //! ## Crate map
@@ -64,6 +69,7 @@
 //! | [`aspt`] | adaptive sparse tiling |
 //! | [`gpu_sim`] | P100 memory-hierarchy simulator |
 //! | [`kernels`] | exact CPU kernels, [`Engine`], autotuner |
+//! | [`telemetry`] | recorder trait, span collector, run manifests |
 
 #![warn(missing_docs)]
 
@@ -75,6 +81,7 @@ pub use spmm_kernels as kernels;
 pub use spmm_lsh as lsh;
 pub use spmm_reorder as reorder;
 pub use spmm_sparse as sparse;
+pub use spmm_telemetry as telemetry;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -88,13 +95,18 @@ pub mod prelude {
     pub use spmm_gpu_sim::{DeviceConfig, SimReport};
     pub use spmm_kernels::sddmm::{sddmm_rowwise_par, sddmm_rowwise_seq};
     pub use spmm_kernels::spmm::{spmm_rowwise_par, spmm_rowwise_seq};
-    pub use spmm_kernels::{choose_variant, Engine, EngineConfig, Kernel, TrialReport, Variant};
+    pub use spmm_kernels::{
+        choose_variant, tuned_engine, Engine, EngineConfig, EngineConfigBuilder, Kernel,
+        PrepareReport, TrialReport, Variant,
+    };
     pub use spmm_lsh::LshConfig;
     pub use spmm_reorder::{
-        plan_reordering, ReorderConfig, ReorderMetrics, ReorderPlan, ReorderPolicy,
+        plan_reordering, ReorderConfig, ReorderConfigBuilder, ReorderMetrics, ReorderPlan,
+        ReorderPolicy,
     };
-    pub use spmm_sparse::{
-        CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError,
+    pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
+    pub use spmm_telemetry::{
+        Collector, NoopRecorder, Recorder, RunManifest, StageReport, TelemetryHandle,
     };
 }
 
@@ -108,9 +120,11 @@ mod tests {
     fn prelude_compiles_and_end_to_end_works() {
         let s = generators::shuffled_block_diagonal::<f64>(16, 8, 24, 8, 1);
         let x = generators::random_dense::<f64>(s.ncols(), 8, 2);
-        let engine = Engine::prepare(&s, &EngineConfig::default());
+        let engine = Engine::prepare(&s, &EngineConfig::default()).unwrap();
         let y = engine.spmm(&x).unwrap();
         let reference = spmm_rowwise_seq(&s, &x).unwrap();
         assert!(reference.max_abs_diff(&y) < 1e-10);
+        // every prepare is accounted for in the manifest
+        assert!(engine.manifest().find("prepare").is_some());
     }
 }

@@ -253,11 +253,7 @@ mod tests {
             assert_eq!(x.matrix, y.matrix);
         }
         for class in MatrixClass::ALL {
-            assert!(
-                a.of_class(class).count() > 0,
-                "missing class {:?}",
-                class
-            );
+            assert!(a.of_class(class).count() > 0, "missing class {:?}", class);
         }
     }
 

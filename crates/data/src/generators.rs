@@ -193,16 +193,20 @@ pub fn laplacian_2d<T: Scalar>(nx: usize, ny: usize) -> CsrMatrix<T> {
             let i = idx(x, y);
             coo.push(i, i, T::from_f64(4.0)).expect("in-bounds");
             if x > 0 {
-                coo.push(i, idx(x - 1, y), T::from_f64(-1.0)).expect("in-bounds");
+                coo.push(i, idx(x - 1, y), T::from_f64(-1.0))
+                    .expect("in-bounds");
             }
             if x + 1 < nx {
-                coo.push(i, idx(x + 1, y), T::from_f64(-1.0)).expect("in-bounds");
+                coo.push(i, idx(x + 1, y), T::from_f64(-1.0))
+                    .expect("in-bounds");
             }
             if y > 0 {
-                coo.push(i, idx(x, y - 1), T::from_f64(-1.0)).expect("in-bounds");
+                coo.push(i, idx(x, y - 1), T::from_f64(-1.0))
+                    .expect("in-bounds");
             }
             if y + 1 < ny {
-                coo.push(i, idx(x, y + 1), T::from_f64(-1.0)).expect("in-bounds");
+                coo.push(i, idx(x, y + 1), T::from_f64(-1.0))
+                    .expect("in-bounds");
             }
         }
     }

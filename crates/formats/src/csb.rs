@@ -52,8 +52,8 @@ impl<T: Scalar> CsbMatrix<T> {
         let nblock_cols = ncols.div_ceil(beta).max(1);
 
         // bucket entries per (block_row, block_col)
-        let mut buckets: std::collections::BTreeMap<(u32, u32), Vec<(u16, u16, T)>> =
-            std::collections::BTreeMap::new();
+        type BlockBuckets<T> = std::collections::BTreeMap<(u32, u32), Vec<(u16, u16, T)>>;
+        let mut buckets: BlockBuckets<T> = BlockBuckets::new();
         for (r, c, v) in m.iter() {
             let br = r / beta as u32;
             let bc = c / beta as u32;
@@ -238,8 +238,8 @@ impl<T: Scalar> CsbMatrix<T> {
                         rows_touched.insert(self.rel_row[en]);
                     }
                     // block header + per-entry payload (2×u16 + value)
-                    b.stream_read_bytes += 8
-                        + (self.entryptr[blk + 1] - self.entryptr[blk]) as u64 * (4 + e);
+                    b.stream_read_bytes +=
+                        8 + (self.entryptr[blk + 1] - self.entryptr[blk]) as u64 * (4 + e);
                 }
                 b.stream_write_bytes = rows_touched.len() as u64 * k as u64 * e;
                 b.flops = 2

@@ -262,14 +262,8 @@ mod tests {
     #[test]
     fn trace_streams_include_padding() {
         // 2 rows: lengths 1 and 5 → width 5, padded slots stream
-        let m = CsrMatrix::from_parts(
-            2,
-            8,
-            vec![0, 1, 6],
-            vec![0, 1, 2, 3, 4, 5],
-            vec![1.0f32; 6],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_parts(2, 8, vec![0, 1, 6], vec![0, 1, 2, 3, 4, 5], vec![1.0f32; 6])
+            .unwrap();
         let ell = EllMatrix::from_csr(&m);
         let blocks = ell.spmm_blocks(16, 4);
         let stream: u64 = blocks.iter().map(|b| b.stream_read_bytes).sum();

@@ -23,8 +23,13 @@ impl CacheSim {
     /// of two.
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        let n_sets = (capacity_bytes / (ways * line_bytes)).max(1).next_power_of_two();
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let n_sets = (capacity_bytes / (ways * line_bytes))
+            .max(1)
+            .next_power_of_two();
         Self {
             sets: vec![Vec::with_capacity(ways); n_sets],
             ways,

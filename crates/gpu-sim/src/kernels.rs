@@ -146,8 +146,7 @@ pub fn sddmm_rowwise_blocks<T: Scalar>(
             }
             b.x_rows.extend_from_slice(cols);
             // the warp's own Y row, read once and kept in registers
-            b.stream_read_bytes +=
-                kb + cols.len() as u64 * (IDX_BYTES + e) + ROWPTR_BYTES;
+            b.stream_read_bytes += kb + cols.len() as u64 * (IDX_BYTES + e) + ROWPTR_BYTES;
             // one output value per nonzero
             b.stream_write_bytes += cols.len() as u64 * e;
             b.flops += cols.len() as u64 * (2 * k as u64 + 1);
@@ -322,8 +321,7 @@ mod tests {
     #[test]
     fn clustered_matrix_rowwise_hits_l2_more_than_scattered() {
         let clustered = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
-        let scattered =
-            generators::uniform_random::<f32>(512, 768, 12, 3);
+        let scattered = generators::uniform_random::<f32>(512, 768, 12, 3);
         let d = small_device();
         let rc = simulate_spmm_rowwise(&clustered, K, &d);
         let rs = simulate_spmm_rowwise(&scattered, K, &d);
@@ -456,10 +454,7 @@ mod tests {
         let at = simulate_sddmm_aspt(&aspt, None, K, &d);
         assert!(at.traffic.dram_bytes < rw.traffic.dram_bytes);
         // identical total output bytes
-        assert_eq!(
-            at.flops, rw.flops,
-            "both must do the same arithmetic"
-        );
+        assert_eq!(at.flops, rw.flops, "both must do the same arithmetic");
     }
 
     #[test]

@@ -10,12 +10,10 @@
 use crate::engine::{Engine, EngineConfig};
 use serde::{Deserialize, Serialize};
 use spmm_aspt::AsptMatrix;
-use spmm_gpu_sim::kernels::{
-    simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_rowwise,
-};
+use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_rowwise};
 use spmm_gpu_sim::{DeviceConfig, SimReport};
 use spmm_reorder::{ReorderConfig, ReorderPolicy};
-use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_sparse::{CsrMatrix, Scalar, SparseError};
 
 /// Which kernel family to tune.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,15 +66,19 @@ impl TrialReport {
 }
 
 /// Runs the trial for `m`: simulate every variant, pick the fastest.
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants (see `Engine::prepare`).
 pub fn choose_variant<T: Scalar>(
     m: &CsrMatrix<T>,
     kernel: Kernel,
     k: usize,
     device: &DeviceConfig,
     reorder: &ReorderConfig,
-) -> TrialReport {
+) -> Result<TrialReport, SparseError> {
     let nr_aspt = AsptMatrix::build(m, &reorder.aspt);
-    let engine = Engine::prepare(m, &EngineConfig { reorder: *reorder });
+    let config = EngineConfig::builder().reorder(*reorder).k_hint(k).build();
+    let engine = Engine::prepare(m, &config)?;
 
     let (cusparse_like, aspt_nr, aspt_rr) = match kernel {
         Kernel::Spmm => (
@@ -103,42 +105,45 @@ pub fn choose_variant<T: Scalar>(
         chosen = Variant::AsptRr;
     }
 
-    TrialReport {
+    Ok(TrialReport {
         chosen,
         cusparse_like,
         aspt_nr,
         aspt_rr,
         reordering_applied: engine.plan().needs_reordering(),
-    }
+    })
 }
 
 /// Convenience: the §4 policy plus trial — reorder only when the trial
 /// confirms a win. Returns the engine to use for the remaining
 /// iterations.
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants (see `Engine::prepare`).
 pub fn tuned_engine<T: Scalar>(
     m: &CsrMatrix<T>,
     kernel: Kernel,
     k: usize,
     device: &DeviceConfig,
     reorder: &ReorderConfig,
-) -> (Engine<T>, TrialReport) {
-    let report = choose_variant(m, kernel, k, device, reorder);
-    let engine = if report.chosen == Variant::AsptRr {
-        Engine::prepare(m, &EngineConfig { reorder: *reorder })
+) -> Result<(Engine<T>, TrialReport), SparseError> {
+    let report = choose_variant(m, kernel, k, device, reorder)?;
+    let reorder = if report.chosen == Variant::AsptRr {
+        *reorder
     } else {
         // fall back to no reordering
-        let no_reorder = ReorderConfig {
-            policy: ReorderPolicy {
-                skip_round1_dense_ratio: -1.0, // always skip
-                skip_round2_avgsim: -1.0,
-                force_round1: false,
-                force_round2: false,
-            },
-            ..*reorder
+        let mut no_reorder = *reorder;
+        no_reorder.policy = ReorderPolicy {
+            skip_round1_dense_ratio: -1.0, // always skip
+            skip_round2_avgsim: -1.0,
+            force_round1: false,
+            force_round2: false,
         };
-        Engine::prepare(m, &EngineConfig { reorder: no_reorder })
+        no_reorder
     };
-    (engine, report)
+    let config = EngineConfig::builder().reorder(reorder).k_hint(k).build();
+    let engine = Engine::prepare(m, &config)?;
+    Ok((engine, report))
 }
 
 #[cfg(test)]
@@ -158,29 +163,33 @@ mod tests {
     }
 
     fn reorder_cfg() -> ReorderConfig {
-        ReorderConfig {
-            aspt: AsptConfig {
+        ReorderConfig::builder()
+            .aspt(AsptConfig {
                 panel_height: 16,
                 min_col_nnz: 2,
                 tile_width: 32,
-            },
-            ..Default::default()
-        }
+            })
+            .build()
     }
 
     #[test]
     fn rr_wins_on_shuffled_clusters() {
         let m = generators::shuffled_block_diagonal::<f32>(32, 16, 96, 24, 7);
-        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
         assert!(report.reordering_applied);
-        assert_eq!(report.chosen, Variant::AsptRr, "report: {:?}", report.chosen);
+        assert_eq!(
+            report.chosen,
+            Variant::AsptRr,
+            "report: {:?}",
+            report.chosen
+        );
         assert!(report.rr_speedup_vs_best_other() > 1.0);
     }
 
     #[test]
     fn rr_never_chosen_when_no_reordering_happened() {
         let m = generators::diagonal::<f32>(512, 3);
-        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
         assert!(!report.reordering_applied);
         assert_ne!(report.chosen, Variant::AsptRr, "identical plans tie to NR");
     }
@@ -188,14 +197,15 @@ mod tests {
     #[test]
     fn sddmm_trial_has_no_cusparse() {
         let m = generators::uniform_random::<f32>(256, 256, 8, 5);
-        let report = choose_variant(&m, Kernel::Sddmm, 32, &device(), &reorder_cfg());
+        let report = choose_variant(&m, Kernel::Sddmm, 32, &device(), &reorder_cfg()).unwrap();
         assert!(report.cusparse_like.is_none());
     }
 
     #[test]
     fn tuned_engine_matches_trial_choice() {
         let m = generators::shuffled_block_diagonal::<f32>(32, 16, 96, 24, 9);
-        let (engine, report) = tuned_engine(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        let (engine, report) =
+            tuned_engine(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
         if report.chosen == Variant::AsptRr {
             assert!(engine.plan().needs_reordering());
         } else {
@@ -206,7 +216,7 @@ mod tests {
     #[test]
     fn trial_reports_all_positive_times() {
         let m = generators::power_law::<f32>(512, 512, 6000, 0.8, 11);
-        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg());
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
         assert!(report.aspt_nr.time_s > 0.0);
         assert!(report.aspt_rr.time_s > 0.0);
         assert!(report.cusparse_like.unwrap().time_s > 0.0);

@@ -11,19 +11,124 @@
 use spmm_aspt::AsptMatrix;
 use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt};
 use spmm_gpu_sim::{DeviceConfig, SimReport};
-use spmm_reorder::{plan_reordering, ReorderConfig, ReorderPlan};
+use spmm_reorder::{plan_reordering_with, ReorderConfig, ReorderPlan};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
-use std::time::{Duration, Instant};
+use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::sddmm::sddmm_aspt;
 use crate::spmm::spmm_aspt;
 
 /// Engine construction options.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`EngineConfig::builder`] (or take [`EngineConfig::default`] and
+/// mutate fields), so adding future knobs — like the telemetry handle
+/// added here — stops being a breaking change.
+///
+/// ```
+/// use spmm_kernels::EngineConfig;
+///
+/// let config = EngineConfig::builder().k_hint(64).build();
+/// assert_eq!(config.k_hint, Some(64));
+/// ```
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Reordering pipeline configuration (LSH, clustering, ASpT, skip
     /// policy).
     pub reorder: ReorderConfig,
+    /// Expected dense-operand width `k`, when the caller knows it up
+    /// front. Used as the default for profiling/simulation and recorded
+    /// in the run manifest; it does not change kernel results.
+    pub k_hint: Option<usize>,
+    /// Telemetry sink. The engine always keeps an internal collector
+    /// for its [`PrepareReport`]; when this handle is enabled, every
+    /// event is teed to it as well.
+    pub telemetry: TelemetryHandle,
+}
+
+impl EngineConfig {
+    /// Starts a builder initialised with the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the reordering pipeline configuration.
+    pub fn reorder(mut self, reorder: ReorderConfig) -> Self {
+        self.config.reorder = reorder;
+        self
+    }
+
+    /// Sets the expected dense-operand width.
+    pub fn k_hint(mut self, k: usize) -> Self {
+        self.config.k_hint = Some(k);
+        self
+    }
+
+    /// Sets the telemetry sink.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
+}
+
+/// Per-stage breakdown of [`Engine::prepare`], snapshotted when
+/// preparation finishes.
+///
+/// The underlying [`RunManifest`] has one top-level `prepare` stage
+/// with `plan` (containing the round-1/round-2 LSH and clustering
+/// sub-stages), `permute` and `tile` children, so
+/// [`PrepareReport::total`] — the sum of top-level stage durations —
+/// is exactly what [`Engine::preprocessing_time`] reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareReport {
+    manifest: RunManifest,
+}
+
+impl PrepareReport {
+    /// The manifest with the stage tree and pipeline counters.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Total preprocessing wall-clock time (sum of the manifest's
+    /// top-level stage durations).
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.manifest.total_duration_ns())
+    }
+
+    /// Duration of one stage by `/`-separated path, e.g.
+    /// `"prepare/plan/round1"`.
+    pub fn stage_duration(&self, path: &str) -> Option<Duration> {
+        self.manifest
+            .find(path)
+            .map(|s| Duration::from_nanos(s.duration_ns))
+    }
+
+    /// Serialises the manifest to the documented JSON schema.
+    pub fn to_json(&self, pretty: bool) -> String {
+        self.manifest.to_json(pretty)
+    }
+
+    /// Renders the human-readable stage tree.
+    pub fn render_tree(&self) -> String {
+        self.manifest.render_tree()
+    }
 }
 
 /// A prepared SpMM/SDDMM executor for one sparse matrix.
@@ -39,7 +144,7 @@ pub struct EngineConfig {
 /// let s = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 7);
 /// let x = generators::random_dense::<f64>(s.ncols(), 8, 1);
 ///
-/// let engine = Engine::prepare(&s, &EngineConfig::default());
+/// let engine = Engine::prepare(&s, &EngineConfig::default())?;
 /// assert!(engine.plan().needs_reordering());
 ///
 /// let y = engine.spmm(&x)?;
@@ -55,27 +160,76 @@ pub struct Engine<T> {
     reordered: CsrMatrix<T>,
     /// `nnz_map[reordered_nnz] = original_nnz`.
     nnz_map: Vec<usize>,
-    preprocessing: Duration,
+    report: PrepareReport,
     original_ncols: usize,
+    k_hint: Option<usize>,
+    /// Internal collector, kept live so execution/simulation events
+    /// keep accumulating after prepare.
+    collector: Arc<Collector>,
+    /// The handle execution methods emit through (tees to `collector`
+    /// and any caller-configured sink).
+    telemetry: TelemetryHandle,
 }
 
 impl<T: Scalar> Engine<T> {
     /// Plans, reorders and tiles `m`. This is the preprocessing step
-    /// whose cost the paper reports separately (§5.4).
-    pub fn prepare(m: &CsrMatrix<T>, config: &EngineConfig) -> Self {
-        let start = Instant::now();
-        let plan = plan_reordering(m, &config.reorder);
-        let (reordered, nnz_map) = m.permute_rows_with_map(&plan.row_perm);
-        let aspt = AsptMatrix::build(&reordered, &config.reorder.aspt);
-        let preprocessing = start.elapsed();
-        Self {
+    /// whose cost the paper reports separately (§5.4); the per-stage
+    /// breakdown is available as [`Engine::report`].
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::InvalidStructure`] when `m` violates
+    /// the CSR invariants (see `CsrMatrix::check_invariants`).
+    pub fn prepare(m: &CsrMatrix<T>, config: &EngineConfig) -> Result<Self, SparseError> {
+        m.check_invariants()?;
+        let collector = Arc::new(Collector::new());
+        let telemetry = if config.telemetry.is_enabled() {
+            TelemetryHandle::new(Arc::new(FanoutRecorder::new(vec![
+                collector.clone() as Arc<dyn Recorder>,
+                config.telemetry.recorder(),
+            ])))
+        } else {
+            TelemetryHandle::new(collector.clone())
+        };
+        telemetry.meta("nrows", &m.nrows().to_string());
+        telemetry.meta("ncols", &m.ncols().to_string());
+        telemetry.meta("nnz", &m.nnz().to_string());
+        if let Some(k) = config.k_hint {
+            telemetry.meta("k_hint", &k.to_string());
+        }
+        let (plan, reordered, nnz_map, aspt) = {
+            let _prepare = telemetry.span("prepare");
+            let plan = {
+                let _span = telemetry.span("plan");
+                plan_reordering_with(m, &config.reorder, &telemetry)
+            };
+            let (reordered, nnz_map) = {
+                let _span = telemetry.span("permute");
+                m.permute_rows_with_map(&plan.row_perm)
+            };
+            let aspt = {
+                let _span = telemetry.span("tile");
+                AsptMatrix::build_with(&reordered, &config.reorder.aspt, &telemetry)
+            };
+            (plan, reordered, nnz_map, aspt)
+        };
+        let report = PrepareReport {
+            manifest: collector.manifest(),
+        };
+        telemetry.meta(
+            "preprocessing_ns",
+            &report.manifest.total_duration_ns().to_string(),
+        );
+        Ok(Self {
             plan,
             aspt,
             reordered,
             nnz_map,
-            preprocessing,
+            report,
             original_ncols: m.ncols(),
-        }
+            k_hint: config.k_hint,
+            collector,
+            telemetry,
+        })
     }
 
     /// The reordering plan that was applied.
@@ -89,9 +243,26 @@ impl<T: Scalar> Engine<T> {
     }
 
     /// Wall-clock preprocessing time (reorder planning + permutation +
-    /// tiling).
+    /// tiling), the sum of the [`Engine::report`] stage durations.
     pub fn preprocessing_time(&self) -> Duration {
-        self.preprocessing
+        self.report.total()
+    }
+
+    /// Per-stage preprocessing breakdown, snapshotted when
+    /// [`Engine::prepare`] returned.
+    pub fn report(&self) -> &PrepareReport {
+        &self.report
+    }
+
+    /// Live run manifest: the prepare stages plus everything the
+    /// execution and simulation methods have recorded since.
+    pub fn manifest(&self) -> RunManifest {
+        self.collector.manifest()
+    }
+
+    /// The `k` hint this engine was configured with, if any.
+    pub fn k_hint(&self) -> Option<usize> {
+        self.k_hint
     }
 
     /// Remainder processing order, if round 2 chose one.
@@ -114,17 +285,15 @@ impl<T: Scalar> Engine<T> {
     /// # Errors
     /// Fails on operand shape mismatches (`y` must be
     /// `S.nrows × x.ncols`).
-    pub fn spmm_into(
-        &self,
-        x: &DenseMatrix<T>,
-        y: &mut DenseMatrix<T>,
-    ) -> Result<(), SparseError> {
+    pub fn spmm_into(&self, x: &DenseMatrix<T>, y: &mut DenseMatrix<T>) -> Result<(), SparseError> {
         if y.nrows() != self.aspt.nrows() || y.ncols() != x.ncols() {
             return Err(SparseError::DimensionMismatch {
                 expected: format!("Y of {} x {}", self.aspt.nrows(), x.ncols()),
                 got: format!("{} x {}", y.nrows(), y.ncols()),
             });
         }
+        let _span = self.telemetry.span("exec.spmm");
+        self.record_exec_counters();
         let y_reord = spmm_aspt(&self.aspt, x)?;
         if self.plan.row_perm.is_identity() {
             y.data_mut().copy_from_slice(y_reord.data());
@@ -162,6 +331,8 @@ impl<T: Scalar> Engine<T> {
     /// Alg 2 SDDMM; the returned values parallel the *original*
     /// matrix's `values()` array.
     pub fn sddmm(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<Vec<T>, SparseError> {
+        let _span = self.telemetry.span("exec.sddmm");
+        self.record_exec_counters();
         // the kernel reads Y rows in reordered row space
         let y_perm;
         let y_for_kernel = if self.plan.row_perm.is_identity() {
@@ -187,15 +358,37 @@ impl<T: Scalar> Engine<T> {
         Ok(out)
     }
 
+    /// Number of nonzeros processed per kernel call, with the
+    /// dense-tile / sparse-remainder split.
+    fn record_exec_counters(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter("exec.nnz_processed", self.aspt.nnz() as u64);
+        self.telemetry
+            .counter("exec.nnz_dense", self.aspt.nnz_dense() as u64);
+        self.telemetry.counter(
+            "exec.nnz_sparse",
+            (self.aspt.nnz() - self.aspt.nnz_dense()) as u64,
+        );
+    }
+
     /// Simulated SpMM performance of this engine's configuration
     /// (ASpT-RR when reordering was applied, ASpT-NR otherwise).
     pub fn simulate_spmm(&self, k: usize, device: &DeviceConfig) -> SimReport {
-        simulate_spmm_aspt(&self.aspt, self.remainder_order(), k, device)
+        let _span = self.telemetry.span("sim.spmm");
+        let report = simulate_spmm_aspt(&self.aspt, self.remainder_order(), k, device);
+        report.traffic.record_to(&self.telemetry, "sim.spmm");
+        report
     }
 
     /// Simulated SDDMM performance.
     pub fn simulate_sddmm(&self, k: usize, device: &DeviceConfig) -> SimReport {
-        simulate_sddmm_aspt(&self.aspt, self.remainder_order(), k, device)
+        let _span = self.telemetry.span("sim.sddmm");
+        let report = simulate_sddmm_aspt(&self.aspt, self.remainder_order(), k, device);
+        report.traffic.record_to(&self.telemetry, "sim.sddmm");
+        report
     }
 
     /// Number of columns of the original matrix (`X` must have this
@@ -238,23 +431,27 @@ mod tests {
     use spmm_reorder::ReorderPolicy;
 
     fn cfg() -> EngineConfig {
-        EngineConfig {
-            reorder: ReorderConfig {
-                aspt: AsptConfig {
-                    panel_height: 16,
-                    min_col_nnz: 2,
-                    tile_width: 32,
-                },
-                ..Default::default()
-            },
-        }
+        EngineConfig::builder()
+            .reorder(
+                ReorderConfig::builder()
+                    .aspt(AsptConfig {
+                        panel_height: 16,
+                        min_col_nnz: 2,
+                        tile_width: 32,
+                    })
+                    .build(),
+            )
+            .build()
     }
 
     #[test]
     fn spmm_results_match_reference_despite_reordering() {
         let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
-        let engine = Engine::prepare(&m, &cfg());
-        assert!(engine.plan().round1_applied, "fixture must trigger reordering");
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(
+            engine.plan().round1_applied,
+            "fixture must trigger reordering"
+        );
         let x = generators::random_dense::<f64>(m.ncols(), 16, 7);
         let expected = spmm_rowwise_seq(&m, &x).unwrap();
         let got = engine.spmm(&x).unwrap();
@@ -267,7 +464,7 @@ mod tests {
     #[test]
     fn sddmm_results_match_reference_despite_reordering() {
         let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 5);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         assert!(engine.plan().round1_applied);
         let x = generators::random_dense::<f64>(m.ncols(), 8, 1);
         let y = generators::random_dense::<f64>(m.nrows(), 8, 2);
@@ -286,7 +483,7 @@ mod tests {
         // well-clustered matrix: both rounds skipped, outputs flow
         // through without permutation
         let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         assert!(!engine.plan().needs_reordering());
         let x = generators::random_dense::<f64>(m.ncols(), 4, 9);
         let expected = spmm_rowwise_seq(&m, &x).unwrap();
@@ -296,14 +493,84 @@ mod tests {
     #[test]
     fn preprocessing_time_is_recorded() {
         let m = generators::uniform_random::<f64>(256, 256, 8, 1);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         assert!(engine.preprocessing_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn prepare_report_breaks_down_preprocessing_time() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let report = engine.report();
+        // the report's total IS preprocessing_time (same sum)
+        assert_eq!(report.total(), engine.preprocessing_time());
+        // stage tree: prepare → {plan, permute, tile}
+        for path in ["prepare", "prepare/plan", "prepare/permute", "prepare/tile"] {
+            assert!(
+                report.stage_duration(path).is_some(),
+                "missing stage {path}"
+            );
+        }
+        // children sum to (at most) the root, and cover most of it
+        let children: Duration = ["prepare/plan", "prepare/permute", "prepare/tile"]
+            .iter()
+            .map(|p| report.stage_duration(p).unwrap())
+            .sum();
+        let root = report.stage_duration("prepare").unwrap();
+        assert!(children <= root);
+        // pipeline counters flowed through: this fixture reorders, so
+        // round 1 ran the LSH funnel
+        let manifest = report.manifest();
+        assert!(manifest.find("prepare/plan/round1/minhash").is_some());
+        assert!(manifest.counters.contains_key("lsh.candidates"));
+        assert!(manifest.counters.contains_key("aspt.nnz_dense"));
+        assert_eq!(
+            manifest.meta.get("nnz").map(String::as_str),
+            Some(m.nnz().to_string().as_str())
+        );
+    }
+
+    #[test]
+    fn prepare_rejects_corrupt_matrices() {
+        // column index out of range, injected via the unchecked path
+        let bad = CsrMatrix::from_parts_unchecked(2, 3, vec![0, 1, 2], vec![0, 9], vec![1.0, 2.0]);
+        let err = Engine::prepare(&bad, &cfg()).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidStructure(_)));
+    }
+
+    #[test]
+    fn user_telemetry_sees_prepare_and_exec_events() {
+        let user = Arc::new(Collector::new());
+        let config = EngineConfig::builder()
+            .reorder(cfg().reorder)
+            .k_hint(8)
+            .telemetry(TelemetryHandle::new(user.clone()))
+            .build();
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 7);
+        engine.spmm(&x).unwrap();
+        engine.simulate_spmm(8, &DeviceConfig::p100());
+
+        let manifest = user.manifest();
+        assert!(manifest.find("prepare/plan").is_some());
+        assert!(manifest.find("exec.spmm").is_some());
+        assert!(manifest.find("sim.spmm").is_some());
+        assert_eq!(
+            manifest.counters.get("exec.nnz_processed"),
+            Some(&(m.nnz() as u64))
+        );
+        assert!(manifest.counters.contains_key("sim.spmm.dram_bytes"));
+        assert_eq!(manifest.meta.get("k_hint").map(String::as_str), Some("8"));
+        // the engine's own live manifest mirrors the user's view
+        let own = engine.manifest();
+        assert_eq!(own.counters, manifest.counters);
     }
 
     #[test]
     fn simulation_reports_are_consistent() {
         let m = generators::shuffled_block_diagonal::<f32>(16, 16, 32, 12, 9);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         let device = DeviceConfig::p100();
         let spmm = engine.simulate_spmm(32, &device);
         let sddmm = engine.simulate_sddmm(32, &device);
@@ -315,7 +582,7 @@ mod tests {
     #[test]
     fn spmm_into_reuses_buffer_and_checks_shape() {
         let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 11);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), 8, 2);
         let mut y = DenseMatrix::zeros(m.nrows(), 8);
         engine.spmm_into(&x, &mut y).unwrap();
@@ -331,7 +598,7 @@ mod tests {
     #[test]
     fn sddmm_into_matches_sddmm() {
         let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 13);
-        let engine = Engine::prepare(&m, &cfg());
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), 4, 1);
         let y = generators::random_dense::<f64>(m.nrows(), 4, 2);
         let expected = engine.sddmm(&x, &y).unwrap();
@@ -345,7 +612,7 @@ mod tests {
     #[test]
     fn update_values_preserves_correctness() {
         let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 7);
-        let mut engine = Engine::prepare(&m, &cfg());
+        let mut engine = Engine::prepare(&m, &cfg()).unwrap();
         assert!(engine.plan().round1_applied);
         // change every value; the engine must track without re-tiling
         let new_values: Vec<f64> = (0..m.nnz()).map(|i| (i % 17) as f64 - 8.0).collect();
@@ -365,27 +632,25 @@ mod tests {
     #[test]
     fn forced_reordering_still_correct() {
         let m = generators::block_diagonal::<f64>(8, 16, 24, 10, 11);
-        let config = EngineConfig {
-            reorder: ReorderConfig {
-                policy: ReorderPolicy::always(),
-                aspt: AsptConfig {
-                    panel_height: 8,
-                    min_col_nnz: 2,
-                    tile_width: 16,
-                },
-                ..Default::default()
-            },
-        };
-        let engine = Engine::prepare(&m, &config);
+        let config = EngineConfig::builder()
+            .reorder(
+                ReorderConfig::builder()
+                    .policy(ReorderPolicy::always())
+                    .aspt(AsptConfig {
+                        panel_height: 8,
+                        min_col_nnz: 2,
+                        tile_width: 16,
+                    })
+                    .build(),
+            )
+            .build();
+        let engine = Engine::prepare(&m, &config).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), 8, 3);
         let expected = spmm_rowwise_seq(&m, &x).unwrap();
         assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
         let y = generators::random_dense::<f64>(m.nrows(), 8, 4);
         let e2 = sddmm_rowwise_seq(&m, &x, &y).unwrap();
         let g2 = engine.sddmm(&x, &y).unwrap();
-        assert!(e2
-            .iter()
-            .zip(&g2)
-            .all(|(a, b)| (a - b).abs() < 1e-10));
+        assert!(e2.iter().zip(&g2).all(|(a, b)| (a - b).abs() < 1e-10));
     }
 }

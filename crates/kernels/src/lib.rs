@@ -23,5 +23,5 @@ pub mod engine;
 pub mod sddmm;
 pub mod spmm;
 
-pub use autotune::{choose_variant, Kernel, TrialReport, Variant};
-pub use engine::{Engine, EngineConfig};
+pub use autotune::{choose_variant, tuned_engine, Kernel, TrialReport, Variant};
+pub use engine::{Engine, EngineConfig, EngineConfigBuilder, PrepareReport};

@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn known_small_sddmm() {
         // S = [[0, 2], [1, 0]], X rows: [1,1], [2,0]; Y rows: [3,4], [5,6]
-        let s =
-            CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0f64, 1.0]).unwrap();
+        let s = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0f64, 1.0]).unwrap();
         let x = DenseMatrix::from_vec(2, 2, vec![1.0, 1.0, 2.0, 0.0]);
         let y = DenseMatrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
         let out = sddmm_rowwise_seq(&s, &x, &y).unwrap();

@@ -173,8 +173,8 @@ mod tests {
     #[test]
     fn known_small_product() {
         // S = [[2,0],[1,3]], X = [[1,10],[100,1000]]
-        let s = CsrMatrix::from_parts(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![2.0, 1.0, 3.0])
-            .unwrap();
+        let s =
+            CsrMatrix::from_parts(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![2.0, 1.0, 3.0]).unwrap();
         let x = DenseMatrix::from_vec(2, 2, vec![1.0, 10.0, 100.0, 1000.0]);
         let y = spmm_rowwise_seq(&s, &x).unwrap();
         assert_eq!(y.data(), &[2.0, 20.0, 301.0, 3010.0]);

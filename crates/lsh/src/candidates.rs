@@ -10,6 +10,7 @@ use crate::minhash::MinHasher;
 use rayon::prelude::*;
 use spmm_sparse::similarity::jaccard;
 use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_telemetry::TelemetryHandle;
 
 /// Configuration of the LSH black box (paper defaults: `siglen = 128`,
 /// `bsize = 2`, §5.4).
@@ -56,17 +57,39 @@ pub struct CandidatePair {
 /// Cost matches the paper's bound: `siglen·nnz` for signatures,
 /// `(siglen/bsize)·N` for banding, `d_max·E` for exact similarities.
 pub fn generate_candidates<T: Scalar>(m: &CsrMatrix<T>, config: &LshConfig) -> Vec<CandidatePair> {
-    let hasher = MinHasher::new(config.siglen, config.seed);
-    let sigs = hasher.signatures(m);
-    let raw = candidate_pairs(
-        &sigs,
-        &BandingConfig {
-            bsize: config.bsize,
-            max_bucket: config.max_bucket,
-            seed: config.seed ^ 0xb5ad_4ece_da1c_e2a9,
-        },
-    );
-    raw.into_par_iter()
+    generate_candidates_with(m, config, &TelemetryHandle::noop())
+}
+
+/// [`generate_candidates`] with telemetry: opens `minhash`, `banding`
+/// and `exact` spans and records the candidate-funnel counters
+/// (`lsh.raw_pairs` out of banding, `lsh.candidates` after the exact
+/// Jaccard filter).
+pub fn generate_candidates_with<T: Scalar>(
+    m: &CsrMatrix<T>,
+    config: &LshConfig,
+    telemetry: &TelemetryHandle,
+) -> Vec<CandidatePair> {
+    let sigs = {
+        let _span = telemetry.span("minhash");
+        let hasher = MinHasher::new(config.siglen, config.seed);
+        hasher.signatures(m)
+    };
+    let raw = {
+        let _span = telemetry.span("banding");
+        let raw = candidate_pairs(
+            &sigs,
+            &BandingConfig {
+                bsize: config.bsize,
+                max_bucket: config.max_bucket,
+                seed: config.seed ^ 0xb5ad_4ece_da1c_e2a9,
+            },
+        );
+        telemetry.counter("lsh.raw_pairs", raw.len() as u64);
+        raw
+    };
+    let _span = telemetry.span("exact");
+    let pairs: Vec<CandidatePair> = raw
+        .into_par_iter()
         .filter_map(|(i, j)| {
             let s = jaccard(m.row_cols(i as usize), m.row_cols(j as usize));
             (s > config.min_similarity || (config.min_similarity == 0.0 && s > 0.0)).then_some(
@@ -77,7 +100,9 @@ pub fn generate_candidates<T: Scalar>(m: &CsrMatrix<T>, config: &LshConfig) -> V
                 },
             )
         })
-        .collect()
+        .collect();
+    telemetry.counter("lsh.candidates", pairs.len() as u64);
+    pairs
 }
 
 #[cfg(test)]
@@ -117,7 +142,9 @@ mod tests {
             let expected = jaccard(m.row_cols(p.i as usize), m.row_cols(p.j as usize));
             assert_eq!(p.similarity, expected);
         }
-        assert!(pairs.iter().any(|p| p.i == 0 && p.j == 1 && p.similarity == 1.0));
+        assert!(pairs
+            .iter()
+            .any(|p| p.i == 0 && p.j == 1 && p.similarity == 1.0));
     }
 
     #[test]

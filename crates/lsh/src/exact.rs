@@ -40,10 +40,8 @@ pub fn recall(found: &[CandidatePair], reference: &[CandidatePair]) -> f64 {
     if reference.is_empty() {
         return 1.0;
     }
-    let set: std::collections::HashSet<(u32, u32)> = found
-        .iter()
-        .map(|p| (p.i.min(p.j), p.i.max(p.j)))
-        .collect();
+    let set: std::collections::HashSet<(u32, u32)> =
+        found.iter().map(|p| (p.i.min(p.j), p.i.max(p.j))).collect();
     let hit = reference
         .iter()
         .filter(|p| set.contains(&(p.i.min(p.j), p.i.max(p.j))))
@@ -91,13 +89,25 @@ mod tests {
 
     #[test]
     fn recall_bounds() {
-        let a = CandidatePair { i: 0, j: 1, similarity: 0.5 };
-        let b = CandidatePair { i: 2, j: 3, similarity: 0.5 };
+        let a = CandidatePair {
+            i: 0,
+            j: 1,
+            similarity: 0.5,
+        };
+        let b = CandidatePair {
+            i: 2,
+            j: 3,
+            similarity: 0.5,
+        };
         assert_eq!(recall(&[], &[]), 1.0);
         assert_eq!(recall(&[a], &[a, b]), 0.5);
         assert_eq!(recall(&[a, b], &[a, b]), 1.0);
         // order inside a pair doesn't matter
-        let a_rev = CandidatePair { i: 1, j: 0, similarity: 0.5 };
+        let a_rev = CandidatePair {
+            i: 1,
+            j: 0,
+            similarity: 0.5,
+        };
         assert_eq!(recall(&[a_rev], &[a]), 1.0);
     }
 

@@ -31,6 +31,6 @@ pub mod exact;
 pub mod hash;
 pub mod minhash;
 
-pub use candidates::{generate_candidates, CandidatePair, LshConfig};
+pub use candidates::{generate_candidates, generate_candidates_with, CandidatePair, LshConfig};
 pub use exact::{exact_pairs, recall};
 pub use minhash::{MinHasher, SignatureMatrix};

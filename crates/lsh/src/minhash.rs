@@ -69,7 +69,11 @@ impl MinHasher {
         data.par_chunks_mut(siglen)
             .enumerate()
             .for_each(|(i, chunk)| self.signature_into(m.row_cols(i), chunk));
-        SignatureMatrix { nrows, siglen, data }
+        SignatureMatrix {
+            nrows,
+            siglen,
+            data,
+        }
     }
 }
 

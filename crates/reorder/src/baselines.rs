@@ -204,7 +204,11 @@ pub fn greedy_similarity_order<T: Scalar>(m: &CsrMatrix<T>) -> Permutation {
                             m.row_cols(cur as usize),
                             m.row_cols(cand as usize),
                         );
-                        if best.map_or(true, |(b, _)| overlap > b) {
+                        let improved = match best {
+                            Some((b, _)) => overlap > b,
+                            None => true,
+                        };
+                        if improved {
                             best = Some((overlap, cand));
                         }
                         if scanned >= MAX_CANDIDATES {
@@ -265,11 +269,7 @@ mod tests {
     fn degree_sort_orders_by_degree() {
         let m = generators::power_law::<f64>(200, 200, 2000, 0.9, 1);
         let p = degree_sort(&m);
-        let degs: Vec<usize> = p
-            .order()
-            .iter()
-            .map(|&r| m.row_nnz(r as usize))
-            .collect();
+        let degs: Vec<usize> = p.order().iter().map(|&r| m.row_nnz(r as usize)).collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }
 

@@ -109,7 +109,10 @@ pub fn cluster_rows<T: Scalar>(
     let mut heap: BinaryHeap<HeapEntry> = pairs
         .iter()
         .map(|p| {
-            assert!((p.i as usize) < n && (p.j as usize) < n, "pair out of range");
+            assert!(
+                (p.i as usize) < n && (p.j as usize) < n,
+                "pair out of range"
+            );
             HeapEntry {
                 sim: p.similarity,
                 i: p.i.min(p.j),
@@ -117,10 +120,8 @@ pub fn cluster_rows<T: Scalar>(
             }
         })
         .collect();
-    let mut known: HashSet<(u32, u32)> = pairs
-        .iter()
-        .map(|p| (p.i.min(p.j), p.i.max(p.j)))
-        .collect();
+    let mut known: HashSet<(u32, u32)> =
+        pairs.iter().map(|p| (p.i.min(p.j), p.i.max(p.j))).collect();
 
     let mut uf = UnionFind::new(n);
     let mut deleted = vec![false; n];

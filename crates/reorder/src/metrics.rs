@@ -64,8 +64,7 @@ mod tests {
         assert!(metrics.delta_dense_ratio > 0.0);
         assert!(metrics.quadrant().0);
         assert!(
-            (metrics.delta_dense_ratio
-                - (metrics.dense_ratio_after - metrics.dense_ratio_before))
+            (metrics.delta_dense_ratio - (metrics.dense_ratio_after - metrics.dense_ratio_before))
                 .abs()
                 < 1e-15
         );

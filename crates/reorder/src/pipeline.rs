@@ -16,9 +16,10 @@
 use crate::cluster::{cluster_rows, ClusterStats};
 use serde::{Deserialize, Serialize};
 use spmm_aspt::{dense_ratio_of, AsptConfig, AsptMatrix};
-use spmm_lsh::{generate_candidates, LshConfig};
+use spmm_lsh::{generate_candidates_with, LshConfig};
 use spmm_sparse::similarity::{avg_consecutive_similarity, avg_consecutive_similarity_ordered};
 use spmm_sparse::{CsrMatrix, Permutation, Scalar};
+use spmm_telemetry::TelemetryHandle;
 
 /// When to *skip* each reordering round (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,7 +60,22 @@ impl ReorderPolicy {
 }
 
 /// Full configuration of the reordering pipeline.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ReorderConfig::builder`] (or take [`ReorderConfig::default`] and
+/// mutate fields), so adding future knobs is not a breaking change.
+///
+/// ```
+/// use spmm_reorder::{ReorderConfig, ReorderPolicy};
+///
+/// let config = ReorderConfig::builder()
+///     .threshold_size(128)
+///     .policy(ReorderPolicy::always())
+///     .build();
+/// assert_eq!(config.threshold_size, 128);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ReorderConfig {
     /// LSH parameters (paper defaults: `siglen = 128`, `bsize = 2`).
     pub lsh: LshConfig,
@@ -79,6 +95,50 @@ impl Default for ReorderConfig {
             aspt: AsptConfig::default(),
             policy: ReorderPolicy::default(),
         }
+    }
+}
+
+impl ReorderConfig {
+    /// Starts a builder initialised with the paper defaults.
+    pub fn builder() -> ReorderConfigBuilder {
+        ReorderConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ReorderConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReorderConfigBuilder {
+    config: ReorderConfig,
+}
+
+impl ReorderConfigBuilder {
+    /// Sets the LSH parameters.
+    pub fn lsh(mut self, lsh: LshConfig) -> Self {
+        self.config.lsh = lsh;
+        self
+    }
+
+    /// Sets the cluster retirement size.
+    pub fn threshold_size(mut self, threshold_size: usize) -> Self {
+        self.config.threshold_size = threshold_size;
+        self
+    }
+
+    /// Sets the ASpT decomposition parameters.
+    pub fn aspt(mut self, aspt: AsptConfig) -> Self {
+        self.config.aspt = aspt;
+        self
+    }
+
+    /// Sets the skip heuristics.
+    pub fn policy(mut self, policy: ReorderPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ReorderConfig {
+        self.config
     }
 }
 
@@ -125,19 +185,36 @@ impl ReorderPlan {
 /// builds the ASpT decomposition, and hands `remainder_order` to the
 /// kernel/scheduler.
 pub fn plan_reordering<T: Scalar>(m: &CsrMatrix<T>, config: &ReorderConfig) -> ReorderPlan {
+    plan_reordering_with(m, config, &TelemetryHandle::noop())
+}
+
+/// [`plan_reordering`] with telemetry: opens `round1`/`round2` spans
+/// (each containing the LSH sub-spans and a `cluster` span), a
+/// `probe_tile` span for the mid-planning ASpT build that exposes the
+/// remainder, and records the skip decisions and measured indicators.
+pub fn plan_reordering_with<T: Scalar>(
+    m: &CsrMatrix<T>,
+    config: &ReorderConfig,
+    telemetry: &TelemetryHandle,
+) -> ReorderPlan {
     let dense_ratio_before = dense_ratio_of(m, &config.aspt);
+    telemetry.gauge("plan.dense_ratio_before", dense_ratio_before);
 
     // ---- round 1: reorder the whole matrix --------------------------
-    let run_round1 = config.policy.force_round1
-        || dense_ratio_before <= config.policy.skip_round1_dense_ratio;
+    let run_round1 =
+        config.policy.force_round1 || dense_ratio_before <= config.policy.skip_round1_dense_ratio;
     let (row_perm, round1_stats, round1_applied) = if run_round1 {
-        let pairs = generate_candidates(m, &config.lsh);
+        let _span = telemetry.span("round1");
+        let pairs = generate_candidates_with(m, &config.lsh, telemetry);
+        let _cluster = telemetry.span("cluster");
         let (perm, stats) = cluster_rows(m, &pairs, config.threshold_size);
+        telemetry.counter("cluster.merges", stats.merges as u64);
         let applied = !perm.is_identity();
         (perm, Some(stats), applied)
     } else {
         (Permutation::identity(m.nrows()), None, false)
     };
+    telemetry.counter("plan.round1_applied", u64::from(round1_applied));
 
     let reordered;
     let m1: &CsrMatrix<T> = if round1_applied {
@@ -151,26 +228,36 @@ pub fn plan_reordering<T: Scalar>(m: &CsrMatrix<T>, config: &ReorderConfig) -> R
     } else {
         dense_ratio_before
     };
+    telemetry.gauge("plan.dense_ratio_after", dense_ratio_after);
 
     // ---- round 2: order the sparse remainder ------------------------
-    let aspt = AsptMatrix::build(m1, &config.aspt);
+    let aspt = {
+        let _span = telemetry.span("probe_tile");
+        AsptMatrix::build(m1, &config.aspt)
+    };
     let remainder = aspt.remainder();
     let avgsim_before = avg_consecutive_similarity(remainder);
+    telemetry.gauge("plan.avgsim_before", avgsim_before);
     let run_round2 =
         config.policy.force_round2 || avgsim_before <= config.policy.skip_round2_avgsim;
     let (remainder_order, round2_stats, round2_applied) = if run_round2 {
-        let pairs = generate_candidates(remainder, &config.lsh);
+        let _span = telemetry.span("round2");
+        let pairs = generate_candidates_with(remainder, &config.lsh, telemetry);
+        let _cluster = telemetry.span("cluster");
         let (perm, stats) = cluster_rows(remainder, &pairs, config.threshold_size);
+        telemetry.counter("cluster.merges", stats.merges as u64);
         let applied = !perm.is_identity();
         (perm, Some(stats), applied)
     } else {
         (Permutation::identity(m.nrows()), None, false)
     };
+    telemetry.counter("plan.round2_applied", u64::from(round2_applied));
     let avgsim_after = if round2_applied {
         avg_consecutive_similarity_ordered(remainder, remainder_order.order())
     } else {
         avgsim_before
     };
+    telemetry.gauge("plan.avgsim_after", avgsim_after);
 
     ReorderPlan {
         row_perm,

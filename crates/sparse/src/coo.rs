@@ -104,8 +104,7 @@ impl<T: Scalar> CooMatrix<T> {
         if self.entries.is_empty() {
             return;
         }
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut out = 0usize;
         for i in 1..self.entries.len() {
             if self.entries[i].0 == self.entries[out].0 && self.entries[i].1 == self.entries[out].1

@@ -41,6 +41,72 @@ pub struct CsrMatrix<T> {
     values: Vec<T>,
 }
 
+/// The CSR structural invariants, shared by [`CsrMatrix::from_parts`]
+/// and [`CsrMatrix::check_invariants`].
+fn validate_parts(
+    nrows: usize,
+    ncols: usize,
+    rowptr: &[usize],
+    colidx: &[u32],
+    values_len: usize,
+) -> Result<(), SparseError> {
+    if ncols > u32::MAX as usize || nrows > u32::MAX as usize {
+        return Err(SparseError::InvalidStructure(format!(
+            "dimensions {nrows}x{ncols} exceed u32 index range"
+        )));
+    }
+    if rowptr.len() != nrows + 1 {
+        return Err(SparseError::InvalidStructure(format!(
+            "rowptr has length {}, expected nrows+1 = {}",
+            rowptr.len(),
+            nrows + 1
+        )));
+    }
+    if rowptr[0] != 0 {
+        return Err(SparseError::InvalidStructure(
+            "rowptr[0] must be 0".to_string(),
+        ));
+    }
+    if colidx.len() != values_len {
+        return Err(SparseError::InvalidStructure(format!(
+            "colidx ({}) and values ({}) lengths differ",
+            colidx.len(),
+            values_len
+        )));
+    }
+    if *rowptr.last().expect("non-empty rowptr") != colidx.len() {
+        return Err(SparseError::InvalidStructure(format!(
+            "rowptr[nrows] = {} but nnz = {}",
+            rowptr[nrows],
+            colidx.len()
+        )));
+    }
+    for i in 0..nrows {
+        if rowptr[i] > rowptr[i + 1] {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr not monotone at row {i}"
+            )));
+        }
+        let row = &colidx[rowptr[i]..rowptr[i + 1]];
+        for w in row.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row {i} columns not strictly increasing ({} then {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if let Some(&last) = row.last() {
+            if last as usize >= ncols {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row {i} has column {last} >= ncols {ncols}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl<T: Scalar> CsrMatrix<T> {
     /// Builds a CSR matrix from raw arrays, validating all invariants.
     pub fn from_parts(
@@ -50,60 +116,7 @@ impl<T: Scalar> CsrMatrix<T> {
         colidx: Vec<u32>,
         values: Vec<T>,
     ) -> Result<Self, SparseError> {
-        if ncols > u32::MAX as usize || nrows > u32::MAX as usize {
-            return Err(SparseError::InvalidStructure(format!(
-                "dimensions {nrows}x{ncols} exceed u32 index range"
-            )));
-        }
-        if rowptr.len() != nrows + 1 {
-            return Err(SparseError::InvalidStructure(format!(
-                "rowptr has length {}, expected nrows+1 = {}",
-                rowptr.len(),
-                nrows + 1
-            )));
-        }
-        if rowptr[0] != 0 {
-            return Err(SparseError::InvalidStructure(
-                "rowptr[0] must be 0".to_string(),
-            ));
-        }
-        if colidx.len() != values.len() {
-            return Err(SparseError::InvalidStructure(format!(
-                "colidx ({}) and values ({}) lengths differ",
-                colidx.len(),
-                values.len()
-            )));
-        }
-        if *rowptr.last().expect("non-empty rowptr") != colidx.len() {
-            return Err(SparseError::InvalidStructure(format!(
-                "rowptr[nrows] = {} but nnz = {}",
-                rowptr[nrows],
-                colidx.len()
-            )));
-        }
-        for i in 0..nrows {
-            if rowptr[i] > rowptr[i + 1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "rowptr not monotone at row {i}"
-                )));
-            }
-            let row = &colidx[rowptr[i]..rowptr[i + 1]];
-            for w in row.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "row {i} columns not strictly increasing ({} then {})",
-                        w[0], w[1]
-                    )));
-                }
-            }
-            if let Some(&last) = row.last() {
-                if last as usize >= ncols {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "row {i} has column {last} >= ncols {ncols}"
-                    )));
-                }
-            }
-        }
+        validate_parts(nrows, ncols, &rowptr, &colidx, values.len())?;
         Ok(Self {
             nrows,
             ncols,
@@ -111,6 +124,53 @@ impl<T: Scalar> CsrMatrix<T> {
             colidx,
             values,
         })
+    }
+
+    /// Builds a CSR matrix from raw arrays **without validating** the
+    /// invariants — the O(nnz) fast path for trusted producers (format
+    /// loaders that validated during parsing, generators that are
+    /// correct by construction).
+    ///
+    /// Not `unsafe` in the memory-safety sense: downstream code
+    /// indexes with bounds checks, so a violated invariant produces
+    /// wrong answers or panics, never undefined behaviour. Run
+    /// [`CsrMatrix::check_invariants`] (as `Engine::prepare` does) to
+    /// surface such corruption as an error instead.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Re-validates the CSR invariants of an already-constructed
+    /// matrix: row-pointer length and monotonicity, column indices in
+    /// range and strictly increasing within each row, and matching
+    /// `colidx`/`values` lengths.
+    ///
+    /// Every constructor of this type establishes these invariants, so
+    /// this only fails for matrices whose buffers were corrupted
+    /// through unsafe code or built by a buggy external producer.
+    /// `Engine::prepare` runs it up front so such corruption surfaces
+    /// as a [`SparseError`] instead of a wrong answer or a panic deep
+    /// inside the pipeline.
+    pub fn check_invariants(&self) -> Result<(), SparseError> {
+        validate_parts(
+            self.nrows,
+            self.ncols,
+            &self.rowptr,
+            &self.colidx,
+            self.values.len(),
+        )
     }
 
     /// Builds a CSR matrix from COO triplets; duplicates are summed.
@@ -441,7 +501,11 @@ impl<T: Scalar> CsrMatrix<T> {
             ncols: self.ncols,
             rowptr: self.rowptr.clone(),
             colidx: self.colidx.clone(),
-            values: self.values.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f64(v.to_f64()))
+                .collect(),
         }
     }
 }
@@ -504,9 +568,7 @@ mod tests {
         // rowptr[0] != 0
         assert!(CsrMatrix::from_parts(2, 3, vec![1, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
         // non-monotone rowptr
-        assert!(
-            CsrMatrix::from_parts(2, 3, vec![0, 2, 1], vec![0, 2, 1], vec![1.0; 3]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(2, 3, vec![0, 2, 1], vec![0, 2, 1], vec![1.0; 3]).is_err());
         // unsorted row
         assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // duplicate column
@@ -517,6 +579,30 @@ mod tests {
         assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![0], vec![1.0]).is_err());
         // values/colidx mismatch
         assert!(CsrMatrix::from_parts(1, 3, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn check_invariants_accepts_all_constructors() {
+        assert!(fig1().check_invariants().is_ok());
+        assert!(CsrMatrix::<f64>::identity(5).check_invariants().is_ok());
+        let empty = CsrMatrix::<f64>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert!(empty.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn check_invariants_catches_unchecked_corruption() {
+        // column out of range
+        let m = CsrMatrix::from_parts_unchecked(1, 3, vec![0, 1], vec![7], vec![1.0]);
+        assert!(m.check_invariants().is_err());
+        // non-monotone rowptr
+        let m = CsrMatrix::from_parts_unchecked(2, 3, vec![0, 2, 1], vec![0, 1, 2], vec![1.0; 3]);
+        assert!(m.check_invariants().is_err());
+        // unsorted row
+        let m = CsrMatrix::from_parts_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(m.check_invariants().is_err());
+        // a valid unchecked build passes
+        let m = CsrMatrix::from_parts_unchecked(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]);
+        assert!(m.check_invariants().is_ok());
     }
 
     #[test]
@@ -663,6 +749,8 @@ mod tests {
         assert_eq!(triples[0], (0, 0, 1.0));
         assert_eq!(triples[12], (5, 5, 13.0));
         // row-major ordering
-        assert!(triples.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(triples
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 }

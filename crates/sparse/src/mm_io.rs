@@ -219,7 +219,10 @@ pub fn write_matrix_market<T: Scalar, W: Write>(
 }
 
 /// Writes a CSR matrix to a Matrix Market file on disk.
-pub fn write_matrix_market_file<T: Scalar>(m: &CsrMatrix<T>, path: &Path) -> Result<(), SparseError> {
+pub fn write_matrix_market_file<T: Scalar>(
+    m: &CsrMatrix<T>,
+    path: &Path,
+) -> Result<(), SparseError> {
     let f = std::fs::File::create(path)?;
     write_matrix_market(m, f)
 }
@@ -280,12 +283,12 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let cases: &[&str] = &[
-            "",                                                      // empty
-            "%%MatrixMarket matrix array real general\n1 1 1\n",     // array layout
-            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n", // complex
-            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", // hermitian
-            "not a header\n1 1 0\n",                                 // bad header
-            "%%MatrixMarket matrix coordinate real general\n2 2\n",  // short size line
+            "",                                                                // empty
+            "%%MatrixMarket matrix array real general\n1 1 1\n",               // array layout
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",       // complex
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",        // hermitian
+            "not a header\n1 1 0\n",                                           // bad header
+            "%%MatrixMarket matrix coordinate real general\n2 2\n",            // short size line
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", // 0-based
             "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // count mismatch
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",     // missing value

@@ -106,7 +106,10 @@ impl Permutation {
     /// `out[new] = data[order[new]]`.
     pub fn apply_to_slice<T: Clone>(&self, data: &[T]) -> Vec<T> {
         assert_eq!(data.len(), self.len(), "slice length mismatch");
-        self.order.iter().map(|&o| data[o as usize].clone()).collect()
+        self.order
+            .iter()
+            .map(|&o| data[o as usize].clone())
+            .collect()
     }
 }
 

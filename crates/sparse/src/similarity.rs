@@ -113,14 +113,7 @@ mod tests {
         let m = from_rows(
             6,
             6,
-            &[
-                &[0, 4],
-                &[1, 3, 5],
-                &[2, 4],
-                &[1, 2],
-                &[0, 3, 4],
-                &[5],
-            ],
+            &[&[0, 4], &[1, 3, 5], &[2, 4], &[1, 2], &[0, 3, 4], &[5]],
         );
         assert!((row_jaccard(&m, 0, 4) - 2.0 / 3.0).abs() < 1e-12);
         assert!((row_jaccard(&m, 1, 5) - 1.0 / 3.0).abs() < 1e-12);
@@ -156,11 +149,7 @@ mod tests {
 
     #[test]
     fn ordered_similarity_matches_materialized() {
-        let m = from_rows(
-            4,
-            4,
-            &[&[0, 1], &[2, 3], &[0, 1], &[2, 3]],
-        );
+        let m = from_rows(4, 4, &[&[0, 1], &[2, 3], &[0, 1], &[2, 3]]);
         let order = [0u32, 2, 1, 3];
         let via_order = avg_consecutive_similarity_ordered(&m, &order);
         let perm = crate::perm::Permutation::from_order(order.to_vec()).unwrap();

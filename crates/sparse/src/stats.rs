@@ -59,7 +59,11 @@ impl MatrixStats {
         if nrows == 0 {
             min_row = 0;
         }
-        let avg_row = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+        let avg_row = if nrows == 0 {
+            0.0
+        } else {
+            nnz as f64 / nrows as f64
+        };
         let var = if nrows == 0 {
             0.0
         } else {

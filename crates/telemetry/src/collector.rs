@@ -1,0 +1,287 @@
+//! In-memory [`Recorder`] that assembles a [`RunManifest`].
+//!
+//! The collector keeps a flat arena of spans plus a stack of the
+//! currently-open ones. Spans are only opened and closed on the
+//! sequential pipeline path (plan → permute → tile → execute), so the
+//! stack discipline holds; counters and gauges may arrive from worker
+//! threads at any time and are attributed to the innermost span that
+//! is open when they land, as well as to the run totals.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::manifest::{RunManifest, StageReport, SCHEMA};
+use crate::recorder::{Recorder, SpanId};
+
+#[derive(Debug)]
+struct SpanRec {
+    name: String,
+    parent: Option<usize>,
+    started: Instant,
+    duration: Option<Duration>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRec>,
+    open: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    meta: BTreeMap<String, String>,
+}
+
+/// Collects spans, counters, gauges and annotations into a
+/// [`RunManifest`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use spmm_telemetry::{Collector, TelemetryHandle};
+///
+/// let collector = Arc::new(Collector::new());
+/// let telemetry = TelemetryHandle::new(collector.clone());
+/// {
+///     let _prepare = telemetry.span("prepare");
+///     let _plan = telemetry.span("plan");
+///     telemetry.counter("candidates", 42);
+/// }
+/// let manifest = collector.manifest();
+/// assert_eq!(manifest.stages[0].name, "prepare");
+/// assert_eq!(manifest.stages[0].children[0].counters["candidates"], 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Collector {
+    state: Mutex<State>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("telemetry collector poisoned")
+    }
+
+    /// Snapshots everything recorded so far as a manifest. Spans still
+    /// open report the time elapsed up to this call.
+    pub fn manifest(&self) -> RunManifest {
+        let state = self.lock();
+        let mut reports: Vec<StageReport> = state
+            .spans
+            .iter()
+            .map(|s| StageReport {
+                name: s.name.clone(),
+                duration_ns: s
+                    .duration
+                    .unwrap_or_else(|| s.started.elapsed())
+                    .as_nanos()
+                    .min(u64::MAX as u128) as u64,
+                counters: s.counters.clone(),
+                gauges: s.gauges.clone(),
+                children: Vec::new(),
+            })
+            .collect();
+        // fold children into parents back-to-front: every span's
+        // parent has a smaller index, so each report is complete
+        // (subtree attached) by the time it is moved
+        let mut roots = Vec::new();
+        for idx in (0..reports.len()).rev() {
+            let report = std::mem::replace(
+                &mut reports[idx],
+                StageReport {
+                    name: String::new(),
+                    duration_ns: 0,
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    children: Vec::new(),
+                },
+            );
+            match state.spans[idx].parent {
+                Some(p) => reports[p].children.insert(0, report),
+                None => roots.insert(0, report),
+            }
+        }
+        RunManifest {
+            schema: SCHEMA.to_string(),
+            meta: state.meta.clone(),
+            stages: roots,
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+        }
+    }
+}
+
+impl Recorder for Collector {
+    fn span_start(&self, name: &str) -> SpanId {
+        let mut state = self.lock();
+        let parent = state.open.last().copied();
+        let idx = state.spans.len();
+        state.spans.push(SpanRec {
+            name: name.to_string(),
+            parent,
+            started: Instant::now(),
+            duration: None,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        });
+        state.open.push(idx);
+        SpanId(idx as u64)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        let mut state = self.lock();
+        let idx = id.0 as usize;
+        if let Some(span) = state.spans.get_mut(idx) {
+            if span.duration.is_none() {
+                span.duration = Some(span.started.elapsed());
+            }
+        }
+        // usually the top of the stack; tolerate out-of-order ends
+        if let Some(pos) = state.open.iter().rposition(|&i| i == idx) {
+            state.open.remove(pos);
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut state = self.lock();
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(&idx) = state.open.last() {
+            *state.spans[idx]
+                .counters
+                .entry(name.to_string())
+                .or_insert(0) += delta;
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut state = self.lock();
+        state.gauges.insert(name.to_string(), value);
+        if let Some(&idx) = state.open.last() {
+            state.spans[idx].gauges.insert(name.to_string(), value);
+        }
+    }
+
+    fn meta(&self, key: &str, value: &str) {
+        let mut state = self.lock();
+        state.meta.insert(key.to_string(), value.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TelemetryHandle;
+    use std::sync::Arc;
+
+    fn collector_handle() -> (TelemetryHandle, Arc<Collector>) {
+        let collector = Arc::new(Collector::new());
+        (TelemetryHandle::new(collector.clone()), collector)
+    }
+
+    #[test]
+    fn spans_nest_by_call_order() {
+        let (h, c) = collector_handle();
+        {
+            let _prepare = h.span("prepare");
+            {
+                let _plan = h.span("plan");
+                let _round1 = h.span("round1");
+            }
+            let _tile = h.span("tile");
+        }
+        let m = c.manifest();
+        assert_eq!(m.stages.len(), 1);
+        let prepare = &m.stages[0];
+        assert_eq!(prepare.name, "prepare");
+        let names: Vec<&str> = prepare.children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["plan", "tile"]);
+        assert_eq!(prepare.children[0].children[0].name, "round1");
+        assert!(prepare.children[1].children.is_empty());
+    }
+
+    #[test]
+    fn sibling_spans_stay_ordered_and_timed() {
+        let (h, c) = collector_handle();
+        for name in ["minhash", "banding", "exact"] {
+            let g = h.span(name);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            g.end();
+        }
+        let m = c.manifest();
+        let names: Vec<&str> = m.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["minhash", "banding", "exact"]);
+        for s in &m.stages {
+            assert!(s.duration_ns >= 1_000_000, "{} too fast", s.name);
+        }
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_open_span_and_run_totals() {
+        let (h, c) = collector_handle();
+        h.counter("outside", 1);
+        {
+            let _outer = h.span("outer");
+            h.counter("nnz", 10);
+            {
+                let _inner = h.span("inner");
+                h.counter("nnz", 5);
+                h.gauge("ratio", 0.5);
+            }
+            h.gauge("ratio", 0.75);
+        }
+        let m = c.manifest();
+        assert_eq!(m.counters.get("outside"), Some(&1));
+        assert_eq!(m.counters.get("nnz"), Some(&15));
+        assert_eq!(m.gauges.get("ratio"), Some(&0.75));
+        let outer = &m.stages[0];
+        assert_eq!(outer.counters.get("nnz"), Some(&10));
+        assert_eq!(outer.gauges.get("ratio"), Some(&0.75));
+        assert_eq!(outer.children[0].counters.get("nnz"), Some(&5));
+        assert_eq!(outer.children[0].gauges.get("ratio"), Some(&0.5));
+    }
+
+    #[test]
+    fn counters_are_safe_from_many_threads() {
+        let (h, c) = collector_handle();
+        let span = h.span("parallel-stage");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.counter("ticks", 1);
+                    }
+                });
+            }
+        });
+        span.end();
+        let m = c.manifest();
+        assert_eq!(m.counters.get("ticks"), Some(&8000));
+        assert_eq!(m.stages[0].counters.get("ticks"), Some(&8000));
+    }
+
+    #[test]
+    fn open_spans_snapshot_with_elapsed_time() {
+        let (h, c) = collector_handle();
+        let _open = h.span("still-running");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let m = c.manifest();
+        assert_eq!(m.stages[0].name, "still-running");
+        assert!(m.stages[0].duration_ns > 0);
+    }
+
+    #[test]
+    fn meta_is_recorded_last_write_wins() {
+        let (h, c) = collector_handle();
+        h.meta("matrix", "a.mtx");
+        h.meta("matrix", "b.mtx");
+        h.meta("kernel", "spmm");
+        let m = c.manifest();
+        assert_eq!(m.meta.get("matrix").map(String::as_str), Some("b.mtx"));
+        assert_eq!(m.meta.get("kernel").map(String::as_str), Some("spmm"));
+    }
+}

@@ -1,0 +1,461 @@
+//! The stable run-manifest schema.
+//!
+//! A manifest is the JSON document `spmm-rr profile --json` prints and
+//! `crates/bench` writes next to its `results/*.json`. The schema is
+//! versioned through the `schema` field; consumers should check it
+//! before interpreting the rest of the document.
+//!
+//! ```json
+//! {
+//!   "schema": "spmm-rr/run-manifest/v1",
+//!   "meta": { "matrix": "cant.mtx", "kernel": "spmm" },
+//!   "stages": [
+//!     {
+//!       "name": "prepare",
+//!       "duration_ns": 1234567,
+//!       "counters": { "nnz": 40 },
+//!       "gauges": { "dense_ratio": 0.62 },
+//!       "children": [ { "name": "plan", ... } ]
+//!     }
+//!   ],
+//!   "counters": { "nnz": 40 },
+//!   "gauges": { "dense_ratio": 0.62 }
+//! }
+//! ```
+//!
+//! `stages` is the span tree in start order; `counters`/`gauges` at the
+//! top level are whole-run totals (counters sum every increment,
+//! gauges keep the last written value). All durations are integer
+//! nanoseconds.
+
+use std::collections::BTreeMap;
+
+use crate::json::{JsonError, JsonValue};
+
+/// Identifier of the current manifest schema version.
+pub const SCHEMA: &str = "spmm-rr/run-manifest/v1";
+
+/// One pipeline stage: a closed (or snapshotted) span with its
+/// attributed counters, gauges, and child stages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageReport {
+    /// Stage name, e.g. `"plan"` or `"round1"`.
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Counter increments attributed to this stage (children excluded).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges set while this stage was innermost (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Child stages in start order.
+    pub children: Vec<StageReport>,
+}
+
+impl StageReport {
+    /// Duration in seconds, for display.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_ns as f64 / 1e9
+    }
+
+    /// Looks up a descendant by `/`-separated path relative to this
+    /// stage, e.g. `"plan/round1/minhash"`.
+    pub fn find(&self, path: &str) -> Option<&StageReport> {
+        let mut cur = self;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            cur = cur.children.iter().find(|c| c.name == part)?;
+        }
+        Some(cur)
+    }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str(self.name.clone())),
+            ("duration_ns".into(), JsonValue::U64(self.duration_ns)),
+            ("counters".into(), counters_value(&self.counters)),
+            ("gauges".into(), gauges_value(&self.gauges)),
+            (
+                "children".into(),
+                JsonValue::Array(self.children.iter().map(|c| c.to_value()).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<StageReport, JsonError> {
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| schema_err("stage missing string `name`"))?
+            .to_string();
+        let duration_ns = v
+            .get("duration_ns")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema_err("stage missing integer `duration_ns`"))?;
+        let counters = counters_from(v.get("counters"))?;
+        let gauges = gauges_from(v.get("gauges"))?;
+        let children = match v.get("children") {
+            None => Vec::new(),
+            Some(c) => c
+                .as_array()
+                .ok_or_else(|| schema_err("stage `children` must be an array"))?
+                .iter()
+                .map(StageReport::from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(StageReport {
+            name,
+            duration_ns,
+            counters,
+            gauges,
+            children,
+        })
+    }
+}
+
+/// A full run manifest: schema tag, annotations, the stage tree, and
+/// run-level counter/gauge totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Schema version tag; [`SCHEMA`] for documents this crate writes.
+    pub schema: String,
+    /// Free-form run annotations (matrix path, kernel, k, device…).
+    pub meta: BTreeMap<String, String>,
+    /// Top-level stages in start order.
+    pub stages: Vec<StageReport>,
+    /// Whole-run counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Whole-run gauges (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl RunManifest {
+    /// Sum of the top-level stage durations in nanoseconds.
+    ///
+    /// For a manifest produced by `Engine::prepare`, this is exactly
+    /// what `Engine::preprocessing_time()` reports.
+    pub fn total_duration_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.duration_ns).sum()
+    }
+
+    /// Looks up a stage by `/`-separated path from the root, e.g.
+    /// `"prepare/plan/round1"`.
+    pub fn find(&self, path: &str) -> Option<&StageReport> {
+        let mut parts = path.split('/').filter(|p| !p.is_empty());
+        let first = parts.next()?;
+        let root = self.stages.iter().find(|s| s.name == first)?;
+        let rest: Vec<&str> = parts.collect();
+        if rest.is_empty() {
+            Some(root)
+        } else {
+            root.find(&rest.join("/"))
+        }
+    }
+
+    /// Serialises to the documented JSON schema.
+    pub fn to_json(&self, pretty: bool) -> String {
+        let value = JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(self.schema.clone())),
+            (
+                "meta".into(),
+                JsonValue::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "stages".into(),
+                JsonValue::Array(self.stages.iter().map(|s| s.to_value()).collect()),
+            ),
+            ("counters".into(), counters_value(&self.counters)),
+            ("gauges".into(), gauges_value(&self.gauges)),
+        ]);
+        value.to_json(pretty)
+    }
+
+    /// Parses a manifest previously produced by [`RunManifest::to_json`]
+    /// (or any document following the schema).
+    pub fn from_json(text: &str) -> Result<RunManifest, JsonError> {
+        let v = JsonValue::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| schema_err("missing string `schema`"))?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(schema_err(&format!(
+                "unsupported manifest schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        let mut meta = BTreeMap::new();
+        if let Some(JsonValue::Object(members)) = v.get("meta") {
+            for (k, mv) in members {
+                let s = mv
+                    .as_str()
+                    .ok_or_else(|| schema_err("`meta` values must be strings"))?;
+                meta.insert(k.clone(), s.to_string());
+            }
+        }
+        let stages = match v.get("stages") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_array()
+                .ok_or_else(|| schema_err("`stages` must be an array"))?
+                .iter()
+                .map(StageReport::from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(RunManifest {
+            schema,
+            meta,
+            stages,
+            counters: counters_from(v.get("counters"))?,
+            gauges: gauges_from(v.get("gauges"))?,
+        })
+    }
+
+    /// Renders a human-readable stage tree, used by `spmm-rr profile`.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if !self.meta.is_empty() {
+            for (k, v) in &self.meta {
+                out.push_str(&format!("# {k}: {v}\n"));
+            }
+        }
+        let total = self.total_duration_ns();
+        for stage in &self.stages {
+            render_stage(&mut out, stage, 0, total);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("totals:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn render_stage(out: &mut String, stage: &StageReport, depth: usize, run_total_ns: u64) {
+    let indent = "  ".repeat(depth);
+    let pct = if run_total_ns > 0 {
+        stage.duration_ns as f64 * 100.0 / run_total_ns as f64
+    } else {
+        0.0
+    };
+    let label = format!("{indent}{}", stage.name);
+    out.push_str(&format!(
+        "{label:<32} {:>12}  {pct:>5.1}%\n",
+        format_duration(stage.duration_ns)
+    ));
+    let detail_indent = "  ".repeat(depth + 1);
+    for (k, v) in &stage.counters {
+        out.push_str(&format!("{detail_indent}· {k} = {v}\n"));
+    }
+    for (k, v) in &stage.gauges {
+        out.push_str(&format!("{detail_indent}· {k} = {v:.4}\n"));
+    }
+    for child in &stage.children {
+        render_stage(out, child, depth + 1, run_total_ns);
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_duration(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn schema_err(msg: &str) -> JsonError {
+    JsonError {
+        pos: 0,
+        msg: msg.to_string(),
+    }
+}
+
+fn counters_value(counters: &BTreeMap<String, u64>) -> JsonValue {
+    JsonValue::Object(
+        counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::U64(*v)))
+            .collect(),
+    )
+}
+
+fn gauges_value(gauges: &BTreeMap<String, f64>) -> JsonValue {
+    JsonValue::Object(
+        gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::F64(*v)))
+            .collect(),
+    )
+}
+
+fn counters_from(v: Option<&JsonValue>) -> Result<BTreeMap<String, u64>, JsonError> {
+    let mut out = BTreeMap::new();
+    if let Some(JsonValue::Object(members)) = v {
+        for (k, cv) in members {
+            let n = cv
+                .as_u64()
+                .ok_or_else(|| schema_err("counter values must be unsigned integers"))?;
+            out.insert(k.clone(), n);
+        }
+    }
+    Ok(out)
+}
+
+fn gauges_from(v: Option<&JsonValue>) -> Result<BTreeMap<String, f64>, JsonError> {
+    let mut out = BTreeMap::new();
+    if let Some(JsonValue::Object(members)) = v {
+        for (k, gv) in members {
+            // non-finite gauges serialize as null; drop them on read
+            match gv {
+                JsonValue::Null => {}
+                _ => {
+                    let n = gv
+                        .as_f64()
+                        .ok_or_else(|| schema_err("gauge values must be numbers"))?;
+                    out.insert(k.clone(), n);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest {
+            schema: SCHEMA.to_string(),
+            ..Default::default()
+        };
+        m.meta.insert("matrix".into(), "cant.mtx".into());
+        m.meta.insert("kernel".into(), "spmm".into());
+        let mut plan = StageReport {
+            name: "plan".into(),
+            duration_ns: 700,
+            ..Default::default()
+        };
+        plan.counters.insert("candidates".into(), 12);
+        plan.children.push(StageReport {
+            name: "round1".into(),
+            duration_ns: 400,
+            ..Default::default()
+        });
+        let mut prepare = StageReport {
+            name: "prepare".into(),
+            duration_ns: 1_000,
+            ..Default::default()
+        };
+        prepare.gauges.insert("dense_ratio".into(), 0.625);
+        prepare.children.push(plan);
+        prepare.children.push(StageReport {
+            name: "tile".into(),
+            duration_ns: 300,
+            ..Default::default()
+        });
+        m.stages.push(prepare);
+        m.counters.insert("candidates".into(), 12);
+        m.gauges.insert("dense_ratio".into(), 0.625);
+        m
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = sample();
+        for pretty in [false, true] {
+            let text = m.to_json(pretty);
+            let back = RunManifest::from_json(&text).unwrap();
+            assert_eq!(back, m, "pretty={pretty}");
+        }
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let text = sample().to_json(false).replace("/v1", "/v999");
+        let err = RunManifest::from_json(&text).unwrap_err();
+        assert!(err.msg.contains("unsupported manifest schema"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"schema\": 3}",
+            "{\"schema\": \"spmm-rr/run-manifest/v1\", \"stages\": 5}",
+            "{\"schema\": \"spmm-rr/run-manifest/v1\", \"stages\": [{\"name\": \"x\"}]}",
+        ] {
+            assert!(RunManifest::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn total_duration_sums_top_level_stages_only() {
+        let mut m = sample();
+        m.stages.push(StageReport {
+            name: "exec.spmm".into(),
+            duration_ns: 500,
+            ..Default::default()
+        });
+        // children (700 + 300 + 400) are not double-counted
+        assert_eq!(m.total_duration_ns(), 1_500);
+    }
+
+    #[test]
+    fn find_walks_slash_paths() {
+        let m = sample();
+        assert_eq!(m.find("prepare").unwrap().duration_ns, 1_000);
+        assert_eq!(m.find("prepare/plan/round1").unwrap().duration_ns, 400);
+        assert_eq!(m.find("prepare/tile").unwrap().duration_ns, 300);
+        assert!(m.find("prepare/permute").is_none());
+        assert!(m.find("nope").is_none());
+    }
+
+    #[test]
+    fn render_tree_mentions_every_stage_and_counter() {
+        let text = sample().render_tree();
+        for needle in [
+            "prepare",
+            "plan",
+            "round1",
+            "tile",
+            "candidates = 12",
+            "dense_ratio",
+            "# matrix: cant.mtx",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn format_duration_picks_sane_units() {
+        assert_eq!(format_duration(12), "12 ns");
+        assert_eq!(format_duration(1_500), "1.50 µs");
+        assert_eq!(format_duration(2_500_000), "2.50 ms");
+        assert_eq!(format_duration(3_250_000_000), "3.250 s");
+    }
+
+    #[test]
+    fn non_finite_gauges_drop_cleanly() {
+        let mut m = sample();
+        m.gauges.insert("bad".into(), f64::NAN);
+        let back = RunManifest::from_json(&m.to_json(false)).unwrap();
+        assert!(!back.gauges.contains_key("bad"));
+        assert_eq!(back.gauges.get("dense_ratio"), Some(&0.625));
+    }
+}

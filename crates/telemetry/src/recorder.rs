@@ -1,0 +1,298 @@
+//! The [`Recorder`] trait and the plumbing instrumented code talks to.
+//!
+//! Instrumented crates never depend on a concrete sink: they hold a
+//! [`TelemetryHandle`] (a cheap `Arc` clone) and emit spans, counters
+//! and gauges through it. The default handle wraps [`NoopRecorder`],
+//! whose methods are trivially inlinable no-ops, so instrumentation
+//! costs nothing when telemetry is off.
+
+use std::sync::{Arc, Mutex};
+
+/// Identifier for an open span, returned by [`Recorder::span_start`]
+/// and passed back to [`Recorder::span_end`].
+///
+/// The meaning of the inner value is private to the recorder that
+/// issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// Builds a span id from a raw value. Only useful when
+    /// implementing a custom [`Recorder`].
+    pub fn from_raw(raw: u64) -> Self {
+        SpanId(raw)
+    }
+
+    /// The raw value this id wraps.
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A sink for telemetry events.
+///
+/// Spans nest by call order: a recorder treats a `span_start` that
+/// happens while another span is open as a child of that span.
+/// Counters and gauges emitted while a span is open are attributed to
+/// the innermost open span (and to the run as a whole).
+///
+/// All methods take `&self`; implementations must be safe to call from
+/// multiple threads (worker threads increment counters while the
+/// sequential pipeline path owns the open spans).
+pub trait Recorder: Send + Sync {
+    /// Whether events are actually recorded. Instrumented code may
+    /// skip building expensive labels when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Opens a span named `name`.
+    fn span_start(&self, name: &str) -> SpanId;
+
+    /// Closes the span previously returned by [`Recorder::span_start`].
+    fn span_end(&self, id: SpanId);
+
+    /// Adds `delta` to the counter named `name`.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the gauge named `name` to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Attaches a key/value annotation to the run (last write wins).
+    fn meta(&self, key: &str, value: &str) {
+        let _ = (key, value);
+    }
+}
+
+/// A recorder that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn span_start(&self, _name: &str) -> SpanId {
+        SpanId(0)
+    }
+
+    fn span_end(&self, _id: SpanId) {}
+
+    fn counter(&self, _name: &str, _delta: u64) {}
+
+    fn gauge(&self, _name: &str, _value: f64) {}
+}
+
+/// Shared handle to a [`Recorder`], cloned freely across the pipeline.
+///
+/// `TelemetryHandle::default()` is the no-op handle; every instrumented
+/// entry point accepts one, so callers that do not care about
+/// telemetry pass `&TelemetryHandle::noop()` (or rely on config
+/// defaults) and pay nothing.
+#[derive(Clone)]
+pub struct TelemetryHandle {
+    recorder: Arc<dyn Recorder>,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Default for TelemetryHandle {
+    fn default() -> Self {
+        Self::noop()
+    }
+}
+
+impl TelemetryHandle {
+    /// Wraps an existing shared recorder.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        let enabled = recorder.is_enabled();
+        TelemetryHandle { recorder, enabled }
+    }
+
+    /// The handle that records nothing.
+    pub fn noop() -> Self {
+        TelemetryHandle {
+            recorder: Arc::new(NoopRecorder),
+            enabled: false,
+        }
+    }
+
+    /// Whether events reach a real sink. Cached at construction so the
+    /// hot-path check is a plain field load.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The underlying shared recorder — lets a pipeline tee this
+    /// handle's sink together with its own via [`FanoutRecorder`].
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        self.recorder.clone()
+    }
+
+    /// Opens a span; the returned guard closes it on drop.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let id = if self.enabled {
+            Some(self.recorder.span_start(name))
+        } else {
+            None
+        };
+        SpanGuard { handle: self, id }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if self.enabled {
+            self.recorder.counter(name, delta);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.recorder.gauge(name, value);
+        }
+    }
+
+    /// Attaches a run annotation.
+    pub fn meta(&self, key: &str, value: &str) {
+        if self.enabled {
+            self.recorder.meta(key, value);
+        }
+    }
+}
+
+/// RAII guard for an open span; ends the span when dropped.
+#[must_use = "dropping the guard immediately would close the span at once"]
+pub struct SpanGuard<'a> {
+    handle: &'a TelemetryHandle,
+    id: Option<SpanId>,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now instead of at end of scope.
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.handle.recorder.span_end(id);
+        }
+    }
+}
+
+/// Tees every event to several recorders.
+///
+/// Used by `Engine::prepare`, which always keeps an internal
+/// [`Collector`](crate::Collector) for its `PrepareReport` and must
+/// also forward events to a caller-supplied recorder when one is
+/// configured. Span ids handed out by a fanout index a table of the
+/// per-sink ids.
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+    // one entry per span_start; each entry holds the sink-issued ids
+    spans: Mutex<Vec<Vec<SpanId>>>,
+}
+
+impl FanoutRecorder {
+    /// Builds a fanout over `sinks`. Disabled sinks still receive
+    /// events (the fanout is only constructed when telemetry is on).
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder {
+            sinks,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn span_start(&self, name: &str) -> SpanId {
+        let ids: Vec<SpanId> = self.sinks.iter().map(|s| s.span_start(name)).collect();
+        let mut spans = self.spans.lock().expect("fanout span table poisoned");
+        spans.push(ids);
+        SpanId((spans.len() - 1) as u64)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        let ids = {
+            let spans = self.spans.lock().expect("fanout span table poisoned");
+            spans.get(id.0 as usize).cloned()
+        };
+        if let Some(ids) = ids {
+            for (sink, sid) in self.sinks.iter().zip(ids) {
+                sink.span_end(sid);
+            }
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        for sink in &self.sinks {
+            sink.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        for sink in &self.sinks {
+            sink.gauge(name, value);
+        }
+    }
+
+    fn meta(&self, key: &str, value: &str) {
+        for sink in &self.sinks {
+            sink.meta(key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    #[test]
+    fn noop_handle_is_disabled_and_cheap() {
+        let h = TelemetryHandle::default();
+        assert!(!h.is_enabled());
+        let g = h.span("never-recorded");
+        h.counter("c", 1);
+        h.gauge("g", 1.0);
+        h.meta("k", "v");
+        g.end();
+    }
+
+    #[test]
+    fn fanout_mirrors_spans_and_counters() {
+        let a = Arc::new(Collector::new());
+        let b = Arc::new(Collector::new());
+        let fan = FanoutRecorder::new(vec![
+            a.clone() as Arc<dyn Recorder>,
+            b.clone() as Arc<dyn Recorder>,
+        ]);
+        let h = TelemetryHandle::new(Arc::new(fan));
+        {
+            let _outer = h.span("outer");
+            h.counter("nnz", 7);
+            {
+                let _inner = h.span("inner");
+                h.counter("nnz", 3);
+            }
+        }
+        for c in [a, b] {
+            let m = c.manifest();
+            assert_eq!(m.counters.get("nnz"), Some(&10));
+            assert_eq!(m.stages.len(), 1);
+            assert_eq!(m.stages[0].name, "outer");
+            assert_eq!(m.stages[0].children.len(), 1);
+            assert_eq!(m.stages[0].children[0].name, "inner");
+            assert_eq!(m.stages[0].children[0].counters.get("nnz"), Some(&3));
+        }
+    }
+}

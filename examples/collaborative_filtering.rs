@@ -33,7 +33,7 @@ fn main() {
 
     // prepare engines ONCE; structure never changes across epochs
     let cfg = EngineConfig::default();
-    let sddmm_engine = Engine::prepare(&mask, &cfg);
+    let sddmm_engine = Engine::prepare(&mask, &cfg).expect("generated matrix is valid CSR");
     println!(
         "preprocessing: {:.1} ms (reordering {})",
         sddmm_engine.preprocessing_time().as_secs_f64() * 1e3,
@@ -57,7 +57,7 @@ fn main() {
     let lr = 0.05f32 / k as f32;
     // the error matrix E shares R's structure: prepare its engine once
     // and refresh only the values each epoch (Engine::update_values)
-    let mut err_engine = Engine::prepare(&ratings, &cfg);
+    let mut err_engine = Engine::prepare(&ratings, &cfg).expect("generated matrix is valid CSR");
 
     let mut last_rmse = f32::INFINITY;
     for epoch in 0..8 {

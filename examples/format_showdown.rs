@@ -49,12 +49,9 @@ fn showdown(label: &str, m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) {
         sigma.simulate_spmm(k, device).time_s * 1e6,
     );
 
-    let engine = Engine::prepare(m, &EngineConfig::default());
-    report_line(
-        "ASpT-RR",
-        1.0,
-        engine.simulate_spmm(k, device).time_s * 1e6,
-    );
+    let engine =
+        Engine::prepare(m, &EngineConfig::default()).expect("generated matrix is valid CSR");
+    report_line("ASpT-RR", 1.0, engine.simulate_spmm(k, device).time_s * 1e6);
 
     // numerics: all formats produce the same answer
     let x = generators::random_dense::<f32>(m.ncols(), 8, 3);

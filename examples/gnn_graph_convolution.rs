@@ -40,7 +40,8 @@ fn main() {
     );
 
     // offline: reorder + tile the adjacency once
-    let engine = Engine::prepare(&adj, &EngineConfig::default());
+    let engine =
+        Engine::prepare(&adj, &EngineConfig::default()).expect("generated matrix is valid CSR");
     println!(
         "offline preprocessing: {:.1} ms (round1 {}, round2 {})",
         engine.preprocessing_time().as_secs_f64() * 1e3,

@@ -18,18 +18,27 @@ fn main() {
     );
 
     // ---- prepare: plan reordering (Fig 5), tile ----------------------
-    let engine = Engine::prepare(&s, &EngineConfig::default());
+    let engine =
+        Engine::prepare(&s, &EngineConfig::default()).expect("generated matrix is valid CSR");
     let plan = engine.plan();
     println!("\npipeline decisions:");
     println!(
         "  round 1 (reorder rows):      {} (dense ratio {:.3} -> {:.3})",
-        if plan.round1_applied { "applied" } else { "skipped" },
+        if plan.round1_applied {
+            "applied"
+        } else {
+            "skipped"
+        },
         plan.dense_ratio_before,
         plan.dense_ratio_after
     );
     println!(
         "  round 2 (order remainder):   {} (avg similarity {:.3} -> {:.3})",
-        if plan.round2_applied { "applied" } else { "skipped" },
+        if plan.round2_applied {
+            "applied"
+        } else {
+            "skipped"
+        },
         plan.avgsim_before,
         plan.avgsim_after
     );
@@ -53,7 +62,14 @@ fn main() {
 
     // ---- simulated P100: the paper's comparison ----------------------
     let device = DeviceConfig::p100();
-    let trial = choose_variant(&s, Kernel::Spmm, k, &device, &EngineConfig::default().reorder);
+    let trial = choose_variant(
+        &s,
+        Kernel::Spmm,
+        k,
+        &device,
+        &EngineConfig::default().reorder,
+    )
+    .expect("generated matrix is valid CSR");
     println!("\nsimulated P100 SpMM ({k} columns):");
     if let Some(c) = &trial.cusparse_like {
         println!(

@@ -88,7 +88,9 @@ fn main() {
     );
     println!(
         "round 1 {}, round 2 {}; quadrant {:?} (paper Fig 9: (+,+) predicts speedup)",
-        plan.round1_applied, plan.round2_applied, metrics.quadrant()
+        plan.round1_applied,
+        plan.round2_applied,
+        metrics.quadrant()
     );
 
     // vertex reordering does NOT help (the METIS comparison)

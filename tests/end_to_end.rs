@@ -9,16 +9,17 @@ use spmm_rr::prelude::*;
 const K: usize = 16;
 
 fn engine_config() -> EngineConfig {
-    EngineConfig {
-        reorder: ReorderConfig {
-            aspt: AsptConfig {
-                panel_height: 16,
-                min_col_nnz: 2,
-                tile_width: 32,
-            },
-            ..Default::default()
-        },
-    }
+    EngineConfig::builder()
+        .reorder(
+            ReorderConfig::builder()
+                .aspt(AsptConfig {
+                    panel_height: 16,
+                    min_col_nnz: 2,
+                    tile_width: 32,
+                })
+                .build(),
+        )
+        .build()
 }
 
 #[test]
@@ -26,7 +27,7 @@ fn whole_corpus_spmm_matches_reference() {
     let corpus = Corpus::<f64>::generate(CorpusProfile::Quick, 7);
     for entry in corpus.iter() {
         let m = &entry.matrix;
-        let engine = Engine::prepare(m, &engine_config());
+        let engine = Engine::prepare(m, &engine_config()).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), K, 11);
         let expected = spmm_rowwise_seq(m, &x).unwrap();
         let got = engine.spmm(&x).unwrap();
@@ -46,7 +47,7 @@ fn whole_corpus_sddmm_matches_reference() {
     let corpus = Corpus::<f64>::generate(CorpusProfile::Quick, 13);
     for entry in corpus.iter() {
         let m = &entry.matrix;
-        let engine = Engine::prepare(m, &engine_config());
+        let engine = Engine::prepare(m, &engine_config()).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), K, 3);
         let y = generators::random_dense::<f64>(m.nrows(), K, 5);
         let expected = sddmm_rowwise_seq(m, &x, &y).unwrap();
@@ -103,7 +104,7 @@ fn rr_wins_where_the_paper_says_it_wins() {
     // ASpT-RR beats both ASpT-NR and the cuSPARSE-like baseline.
     let m = generators::shuffled_block_diagonal::<f32>(512, 16, 48, 16, 99);
     let device = DeviceConfig::p100();
-    let trial = choose_variant(&m, Kernel::Spmm, 256, &device, &engine_config().reorder);
+    let trial = choose_variant(&m, Kernel::Spmm, 256, &device, &engine_config().reorder).unwrap();
     assert_eq!(trial.chosen, Variant::AsptRr);
     assert!(
         trial.rr_speedup_vs_best_other() > 1.2,
@@ -111,7 +112,8 @@ fn rr_wins_where_the_paper_says_it_wins() {
         trial.rr_speedup_vs_best_other()
     );
 
-    let sddmm_trial = choose_variant(&m, Kernel::Sddmm, 256, &device, &engine_config().reorder);
+    let sddmm_trial =
+        choose_variant(&m, Kernel::Sddmm, 256, &device, &engine_config().reorder).unwrap();
     assert_eq!(sddmm_trial.chosen, Variant::AsptRr);
 }
 
@@ -121,7 +123,7 @@ fn rr_never_hurts_where_skip_heuristics_fire() {
     // exactly (same traces, same simulated time)
     let m = generators::block_diagonal::<f32>(64, 32, 64, 24, 5);
     let device = DeviceConfig::p100();
-    let trial = choose_variant(&m, Kernel::Spmm, 128, &device, &engine_config().reorder);
+    let trial = choose_variant(&m, Kernel::Spmm, 128, &device, &engine_config().reorder).unwrap();
     assert!(!trial.reordering_applied);
     assert_eq!(trial.aspt_nr.time_s, trial.aspt_rr.time_s);
 }
@@ -151,7 +153,7 @@ fn vertex_reordering_does_not_help_spmm() {
         k,
         &device,
     );
-    let engine = Engine::prepare(&m, &engine_config());
+    let engine = Engine::prepare(&m, &engine_config()).unwrap();
     let rr = engine.simulate_spmm(k, &device);
 
     assert!(
@@ -176,7 +178,7 @@ fn large_corpus_smoke() {
         .of_class(MatrixClass::ShuffledClustered)
         .max_by_key(|e| e.matrix.nnz())
         .expect("class present");
-    let engine = Engine::prepare(&entry.matrix, &engine_config());
+    let engine = Engine::prepare(&entry.matrix, &engine_config()).unwrap();
     assert!(engine.plan().round1_applied);
     let x = generators::random_dense::<f32>(entry.matrix.ncols(), 64, 3);
     let y = engine.spmm(&x).unwrap();
@@ -193,9 +195,9 @@ fn preprocessing_scales_roughly_linearly() {
     let large = generators::shuffled_block_diagonal::<f64>(256, 16, 48, 16, 1);
     let cfg = engine_config();
     // warm up allocators
-    let _ = Engine::prepare(&small, &cfg);
-    let t_small = Engine::prepare(&small, &cfg).preprocessing_time();
-    let t_large = Engine::prepare(&large, &cfg).preprocessing_time();
+    let _ = Engine::prepare(&small, &cfg).unwrap();
+    let t_small = Engine::prepare(&small, &cfg).unwrap().preprocessing_time();
+    let t_large = Engine::prepare(&large, &cfg).unwrap().preprocessing_time();
     assert!(
         t_large < t_small * 64,
         "preprocessing blew up: {t_small:?} -> {t_large:?}"

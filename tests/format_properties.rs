@@ -7,14 +7,11 @@ use spmm_rr::prelude::*;
 
 fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
     (1..max_dim, 1..max_dim).prop_flat_map(move |(nrows, ncols)| {
-        proptest::collection::vec(
-            (0..nrows as u32, 0..ncols as u32, -4.0f64..4.0),
-            0..max_nnz,
-        )
-        .prop_map(move |entries| {
-            let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
-            CsrMatrix::from_coo(&coo)
-        })
+        proptest::collection::vec((0..nrows as u32, 0..ncols as u32, -4.0f64..4.0), 0..max_nnz)
+            .prop_map(move |entries| {
+                let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
+                CsrMatrix::from_coo(&coo)
+            })
     })
 }
 

@@ -86,10 +86,9 @@ fn fig7a_well_clustered_matrix_is_left_alone() {
 
     let plan = plan_reordering(
         &m,
-        &ReorderConfig {
-            aspt: AsptConfig::paper_figure(),
-            ..Default::default()
-        },
+        &ReorderConfig::builder()
+            .aspt(AsptConfig::paper_figure())
+            .build(),
     );
     assert!(!plan.round1_applied, "dense ratio 1.0 > 10% threshold");
     assert!(!plan.round2_applied, "no remainder left to reorder");
@@ -99,5 +98,8 @@ fn fig7a_well_clustered_matrix_is_left_alone() {
 fn fig7b_diagonal_matrix_generates_no_candidates() {
     let m = generators::diagonal::<f64>(64, 1);
     let pairs = spmm_rr::lsh::generate_candidates(&m, &LshConfig::default());
-    assert!(pairs.is_empty(), "LSH detects the scattered case automatically");
+    assert!(
+        pairs.is_empty(),
+        "LSH detects the scattered case automatically"
+    );
 }

@@ -11,14 +11,11 @@ use spmm_rr::reorder::cluster_rows;
 /// values in a well-conditioned range.
 fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
     (1..max_dim, 1..max_dim).prop_flat_map(move |(nrows, ncols)| {
-        proptest::collection::vec(
-            (0..nrows as u32, 0..ncols as u32, -4.0f64..4.0),
-            0..max_nnz,
-        )
-        .prop_map(move |entries| {
-            let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
-            CsrMatrix::from_coo(&coo)
-        })
+        proptest::collection::vec((0..nrows as u32, 0..ncols as u32, -4.0f64..4.0), 0..max_nnz)
+            .prop_map(move |entries| {
+                let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
+                CsrMatrix::from_coo(&coo)
+            })
     })
 }
 
@@ -129,14 +126,15 @@ proptest! {
         k in 1usize..8,
         seed in 0u64..1000,
     ) {
-        let cfg = EngineConfig {
-            reorder: ReorderConfig {
-                aspt: AsptConfig { panel_height: 4, min_col_nnz: 2, tile_width: 4 },
-                policy: ReorderPolicy::always(),
-                ..Default::default()
-            },
-        };
-        let engine = Engine::prepare(&m, &cfg);
+        let cfg = EngineConfig::builder()
+            .reorder(
+                ReorderConfig::builder()
+                    .aspt(AsptConfig { panel_height: 4, min_col_nnz: 2, tile_width: 4 })
+                    .policy(ReorderPolicy::always())
+                    .build(),
+            )
+            .build();
+        let engine = Engine::prepare(&m, &cfg).unwrap();
         let x = generators::random_dense::<f64>(m.ncols(), k, seed);
         let expected = spmm_rowwise_seq(&m, &x).unwrap();
         prop_assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);

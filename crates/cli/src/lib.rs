@@ -17,7 +17,9 @@ usage:
   spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
   spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
       classes: scattered powerlaw rmat banded stencil clustered
-               shuffled noisy diagonal cf";
+               shuffled noisy diagonal cf
+  spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
+                      [--cache N] [--zipf S] [--seed N] [--k N] [--json]";
 
 /// One allowed flag of a subcommand: name (without `--`) and whether it
 /// consumes a value.
@@ -31,6 +33,16 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
         "profile" => Some(&[("k", true), ("device", true), ("json", false)]),
         "reorder" => Some(&[("out", true), ("order", true)]),
         "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
+        "serve-bench" => Some(&[
+            ("requests", true),
+            ("concurrency", true),
+            ("workers", true),
+            ("cache", true),
+            ("zipf", true),
+            ("seed", true),
+            ("k", true),
+            ("json", false),
+        ]),
         _ => None,
     }
 }
@@ -87,6 +99,14 @@ pub enum Invocation {
         seed: u64,
         /// Size scale multiplier.
         scale: usize,
+    },
+    /// `serve-bench [--requests N] [--concurrency N] [--workers N]
+    /// [--cache N] [--zipf S] [--seed N] [--k N] [--json]`
+    ServeBench {
+        /// The benchmark workload configuration.
+        config: ServeBenchConfig,
+        /// Emit the run-manifest JSON instead of the summary.
+        json: bool,
     },
 }
 
@@ -181,6 +201,33 @@ impl Invocation {
                     None => 4,
                 },
             }),
+            "serve-bench" => {
+                let mut config = ServeBenchConfig::default();
+                let parse_usize = |flags: &std::collections::HashMap<String, String>,
+                                   name: &str,
+                                   default: usize|
+                 -> Result<usize, String> {
+                    match flags.get(name) {
+                        Some(v) => v.parse().map_err(|_| format!("bad --{name} value '{v}'")),
+                        None => Ok(default),
+                    }
+                };
+                config.requests = parse_usize(&flags, "requests", config.requests)?;
+                config.concurrency = parse_usize(&flags, "concurrency", config.concurrency)?;
+                config.workers = parse_usize(&flags, "workers", config.workers)?;
+                config.cache_capacity = parse_usize(&flags, "cache", config.cache_capacity)?;
+                config.k = parse_usize(&flags, "k", config.k)?;
+                if let Some(v) = flags.get("zipf") {
+                    config.zipf_s = v.parse().map_err(|_| format!("bad --zipf value '{v}'"))?;
+                }
+                if let Some(v) = flags.get("seed") {
+                    config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+                }
+                Ok(Invocation::ServeBench {
+                    config,
+                    json: flags.contains_key("json"),
+                })
+            }
             other => Err(format!("unknown command '{other}'")),
         }
     }
@@ -280,6 +327,17 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
                 m.nnz(),
                 out.display()
             ))
+        }
+        Invocation::ServeBench { config, json } => {
+            let report = run_serve_bench(config).map_err(|e| e.to_string())?;
+            if !report.probes_passed() {
+                return Err(format!("serve-bench probes failed:\n{}", report.render()));
+            }
+            if *json {
+                Ok(report.manifest.to_json(true))
+            } else {
+                Ok(report.render())
+            }
         }
     }
 }
@@ -544,6 +602,54 @@ mod tests {
         assert!(tree.contains("prepare"), "{tree}");
         assert!(tree.contains("plan"), "{tree}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_serve_bench() {
+        let inv = Invocation::parse(&s(&[
+            "serve-bench",
+            "--requests",
+            "8",
+            "--cache",
+            "4",
+            "--zipf",
+            "1.5",
+            "--json",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::ServeBench { config, json } => {
+                assert_eq!(config.requests, 8);
+                assert_eq!(config.cache_capacity, 4);
+                assert!((config.zipf_s - 1.5).abs() < 1e-12);
+                assert!(json);
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(Invocation::parse(&s(&["serve-bench", "--requests", "x"])).is_err());
+        assert!(Invocation::parse(&s(&["serve-bench", "--out", "x.mtx"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_runs_and_reports() {
+        let inv = Invocation::parse(&s(&[
+            "serve-bench",
+            "--requests",
+            "12",
+            "--concurrency",
+            "2",
+            "--workers",
+            "2",
+            "--cache",
+            "4",
+            "--k",
+            "16",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("hit probe"), "{out}");
+        assert!(out.contains("cold probe"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
 //! spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
 //! spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
+//! spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
+//!                     [--cache N] [--zipf S] [--seed N] [--k N] [--json]
 //! ```
 //!
 //! `analyze` prints structure statistics, the Fig 5 pipeline decisions
@@ -15,7 +17,10 @@
 //! writes the reordered matrix (and optionally the row order) for use
 //! in other tools; `bench` runs the §4 trial and recommends a variant;
 //! `generate` writes one of the synthetic corpus classes as Matrix
-//! Market.
+//! Market; `serve-bench` drives the plan-cached serving layer with a
+//! Zipf-popular workload and prints throughput, latency percentiles,
+//! the plan-cache hit rate and the hit/cold probe outcomes (the run
+//! manifest JSON with `--json`).
 
 use spmm_cli::{run, Invocation};
 use std::process::ExitCode;

@@ -69,6 +69,7 @@
 //! | [`aspt`] | adaptive sparse tiling |
 //! | [`gpu_sim`] | P100 memory-hierarchy simulator |
 //! | [`kernels`] | exact CPU kernels, [`Engine`], autotuner |
+//! | [`serve`] | plan cache, fingerprints, concurrent serving engine |
 //! | [`telemetry`] | recorder trait, span collector, run manifests |
 
 #![warn(missing_docs)]
@@ -80,6 +81,7 @@ pub use spmm_gpu_sim as gpu_sim;
 pub use spmm_kernels as kernels;
 pub use spmm_lsh as lsh;
 pub use spmm_reorder as reorder;
+pub use spmm_serve as serve;
 pub use spmm_sparse as sparse;
 pub use spmm_telemetry as telemetry;
 
@@ -96,13 +98,18 @@ pub mod prelude {
     pub use spmm_kernels::sddmm::{sddmm_rowwise_par, sddmm_rowwise_seq};
     pub use spmm_kernels::spmm::{spmm_rowwise_par, spmm_rowwise_seq};
     pub use spmm_kernels::{
-        choose_variant, tuned_engine, Engine, EngineConfig, EngineConfigBuilder, Kernel,
-        PrepareReport, TrialReport, Variant,
+        choose_variant, choose_variant_for_op, tuned_engine, tuned_execute, Engine, EngineConfig,
+        EngineConfigBuilder, Kernel, KernelOp, Output, PrepareReport, TrialReport, Variant,
     };
     pub use spmm_lsh::LshConfig;
     pub use spmm_reorder::{
         plan_reordering, ReorderConfig, ReorderConfigBuilder, ReorderMetrics, ReorderPlan,
         ReorderPolicy,
+    };
+    pub use spmm_serve::{
+        run_serve_bench, CacheStats, MatrixFingerprint, PlanCache, PlanCacheConfig, Request,
+        Response, ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError,
+        ServePath, ServeStats, Ticket,
     };
     pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
     pub use spmm_telemetry::{

@@ -240,6 +240,42 @@ pub fn block_diagonal<T: Scalar>(
     csr_from_pairs(nrows, ncols, pairs, &mut rng)
 }
 
+/// RNG-free block diagonal: every row of block `b` carries *all* of
+/// the block's columns, and values are a fixed function of the
+/// position. A *pinned* fixture for the §4 skip heuristics — when the
+/// ASpT panel height divides `rows_per_block`, every column of every
+/// panel has `rows_per_block ≥ 2` nonzeros, so the dense ratio is
+/// exactly 1.0 (round 1 skipped) and the sparse remainder is empty
+/// (round 2 finds no candidate pairs). Both decisions hold under any
+/// RNG backend, unlike [`block_diagonal`]'s sampled columns which can
+/// land near the thresholds.
+pub fn pinned_block_diagonal<T: Scalar>(
+    nblocks: usize,
+    rows_per_block: usize,
+    block_cols: usize,
+) -> CsrMatrix<T> {
+    let nrows = nblocks * rows_per_block;
+    let ncols = nblocks * block_cols;
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    let mut colidx = Vec::with_capacity(nrows * block_cols);
+    let mut values = Vec::with_capacity(nrows * block_cols);
+    rowptr.push(0);
+    for b in 0..nblocks {
+        let col_base = (b * block_cols) as u32;
+        for rb in 0..rows_per_block {
+            let r = b * rows_per_block + rb;
+            for c in 0..block_cols {
+                colidx.push(col_base + c as u32);
+                // fixed, never-zero values in [-9, 9]
+                values.push(T::from_f64(((r * 7 + c * 13) % 19) as f64 - 9.5));
+            }
+            rowptr.push(colidx.len());
+        }
+    }
+    CsrMatrix::from_parts(nrows, ncols, rowptr, colidx, values)
+        .expect("structurally valid by construction")
+}
+
 /// [`block_diagonal`] followed by a random row shuffle: the cluster
 /// structure exists but consecutive rows no longer share columns. This
 /// is the *recoverable* case the paper's row reordering targets.

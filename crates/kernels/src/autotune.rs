@@ -7,7 +7,7 @@
 //! runs that trial against the simulated device and reports which
 //! variant wins.
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, KernelOp, Output};
 use serde::{Deserialize, Serialize};
 use spmm_aspt::AsptMatrix;
 use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_rowwise};
@@ -146,6 +146,38 @@ pub fn tuned_engine<T: Scalar>(
     Ok((engine, report))
 }
 
+/// [`choose_variant`] for a concrete [`KernelOp`]: the kernel family
+/// and dense width are read off the op, so callers that already hold
+/// an op (the serving layer, [`tuned_execute`]) don't restate them.
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants (see `Engine::prepare`).
+pub fn choose_variant_for_op<T: Scalar>(
+    m: &CsrMatrix<T>,
+    op: &KernelOp<'_, T>,
+    device: &DeviceConfig,
+    reorder: &ReorderConfig,
+) -> Result<TrialReport, SparseError> {
+    choose_variant(m, op.kernel(), op.k(), device, reorder)
+}
+
+/// Runs the §4 trial, prepares the winning engine and executes `op`
+/// through the unified [`Engine::execute`] dispatch — trial-and-error
+/// and execution in one call for one-shot workloads.
+///
+/// # Errors
+/// Fails when `m` violates the CSR invariants or the op's operands
+/// have mismatched shapes.
+pub fn tuned_execute<T: Scalar>(
+    m: &CsrMatrix<T>,
+    op: KernelOp<'_, T>,
+    device: &DeviceConfig,
+    reorder: &ReorderConfig,
+) -> Result<(Output<T>, TrialReport), SparseError> {
+    let (engine, report) = tuned_engine(m, op.kernel(), op.k(), device, reorder)?;
+    Ok((engine.execute(op)?, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +243,19 @@ mod tests {
         } else {
             assert!(!engine.plan().needs_reordering());
         }
+    }
+
+    #[test]
+    fn op_routing_matches_explicit_kernel_args() {
+        let m = generators::shuffled_block_diagonal::<f32>(32, 16, 96, 24, 7);
+        let x = generators::random_dense::<f32>(m.ncols(), 32, 1);
+        let op = KernelOp::Spmm { x: &x };
+        let via_op = choose_variant_for_op(&m, &op, &device(), &reorder_cfg()).unwrap();
+        let direct = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
+        assert_eq!(via_op.chosen, direct.chosen);
+        let (out, report) = tuned_execute(&m, op, &device(), &reorder_cfg()).unwrap();
+        assert_eq!(report.chosen, direct.chosen);
+        assert!(out.into_dense().is_some());
     }
 
     #[test]

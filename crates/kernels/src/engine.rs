@@ -131,6 +131,99 @@ impl PrepareReport {
     }
 }
 
+/// One kernel invocation for the unified [`Engine::execute`] dispatch
+/// entry.
+///
+/// Ops borrow their operands (and, for the `*Into` forms, the output
+/// buffer), so constructing one is free. The four named `Engine`
+/// methods are thin wrappers over `execute`; layers that must stay
+/// op-agnostic — the serving layer, the autotuner's
+/// [`crate::autotune::tuned_execute`] — pass a `KernelOp` through
+/// instead of growing a method per kernel.
+#[derive(Debug)]
+pub enum KernelOp<'a, T> {
+    /// `Y = S · X`, allocating the output (see [`Engine::spmm`]).
+    Spmm {
+        /// Dense operand, `S.ncols × k`.
+        x: &'a DenseMatrix<T>,
+    },
+    /// `Y = S · X` into a caller-provided buffer (see
+    /// [`Engine::spmm_into`]).
+    SpmmInto {
+        /// Dense operand, `S.ncols × k`.
+        x: &'a DenseMatrix<T>,
+        /// Output, `S.nrows × k`.
+        y: &'a mut DenseMatrix<T>,
+    },
+    /// Alg 2 SDDMM, allocating the output (see [`Engine::sddmm`]).
+    Sddmm {
+        /// Dense operand, `S.ncols × k`.
+        x: &'a DenseMatrix<T>,
+        /// Dense operand, `S.nrows × k`.
+        y: &'a DenseMatrix<T>,
+    },
+    /// SDDMM into a caller-provided values buffer (see
+    /// [`Engine::sddmm_into`]).
+    SddmmInto {
+        /// Dense operand, `S.ncols × k`.
+        x: &'a DenseMatrix<T>,
+        /// Dense operand, `S.nrows × k`.
+        y: &'a DenseMatrix<T>,
+        /// Output of length `nnz`, original nonzero order.
+        out: &'a mut [T],
+    },
+}
+
+impl<T: Scalar> KernelOp<'_, T> {
+    /// The kernel family this op belongs to (what the §4 trial tunes).
+    pub fn kernel(&self) -> crate::autotune::Kernel {
+        match self {
+            KernelOp::Spmm { .. } | KernelOp::SpmmInto { .. } => crate::autotune::Kernel::Spmm,
+            KernelOp::Sddmm { .. } | KernelOp::SddmmInto { .. } => crate::autotune::Kernel::Sddmm,
+        }
+    }
+
+    /// Dense-operand width `k`.
+    pub fn k(&self) -> usize {
+        match self {
+            KernelOp::Spmm { x }
+            | KernelOp::SpmmInto { x, .. }
+            | KernelOp::Sddmm { x, .. }
+            | KernelOp::SddmmInto { x, .. } => x.ncols(),
+        }
+    }
+}
+
+/// What [`Engine::execute`] produced, matching the [`KernelOp`] shape:
+/// `Spmm → Dense`, `Sddmm → Values`, `*Into → Written`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output<T> {
+    /// A freshly allocated SpMM result (original row order).
+    Dense(DenseMatrix<T>),
+    /// Freshly allocated SDDMM values (original nonzero order).
+    Values(Vec<T>),
+    /// The op wrote into its caller-provided buffer.
+    Written,
+}
+
+impl<T> Output<T> {
+    /// The dense result, if this was a [`KernelOp::Spmm`].
+    pub fn into_dense(self) -> Option<DenseMatrix<T>> {
+        match self {
+            Output::Dense(y) => Some(y),
+            _ => None,
+        }
+    }
+
+    /// The values result, if this was a [`KernelOp::Sddmm`].
+    pub fn into_values(self) -> Option<Vec<T>> {
+        match self {
+            Output::Values(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
 /// A prepared SpMM/SDDMM executor for one sparse matrix.
 ///
 /// ```
@@ -154,12 +247,15 @@ impl PrepareReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine<T> {
-    plan: ReorderPlan,
-    aspt: AsptMatrix<T>,
+    /// Shared so clones (and the serving layer's plan cache) reuse one
+    /// plan; [`Engine::update_values`] copies-on-write, never mutating
+    /// a shared instance under another user.
+    plan: Arc<ReorderPlan>,
+    aspt: Arc<AsptMatrix<T>>,
     /// The reordered matrix (identity reorder when round 1 skipped).
-    reordered: CsrMatrix<T>,
+    reordered: Arc<CsrMatrix<T>>,
     /// `nnz_map[reordered_nnz] = original_nnz`.
-    nnz_map: Vec<usize>,
+    nnz_map: Arc<Vec<usize>>,
     report: PrepareReport,
     original_ncols: usize,
     k_hint: Option<usize>,
@@ -220,10 +316,10 @@ impl<T: Scalar> Engine<T> {
             &report.manifest.total_duration_ns().to_string(),
         );
         Ok(Self {
-            plan,
-            aspt,
-            reordered,
-            nnz_map,
+            plan: Arc::new(plan),
+            aspt: Arc::new(aspt),
+            reordered: Arc::new(reordered),
+            nnz_map: Arc::new(nnz_map),
             report,
             original_ncols: m.ncols(),
             k_hint: config.k_hint,
@@ -240,6 +336,13 @@ impl<T: Scalar> Engine<T> {
     /// The ASpT decomposition executed by the kernels.
     pub fn aspt(&self) -> &AsptMatrix<T> {
         &self.aspt
+    }
+
+    /// The ASpT decomposition behind its shared handle — concurrent
+    /// executors (the serving layer's cached plans) take this instead
+    /// of cloning the tiles.
+    pub fn aspt_shared(&self) -> Arc<AsptMatrix<T>> {
+        Arc::clone(&self.aspt)
     }
 
     /// Wall-clock preprocessing time (reorder planning + permutation +
@@ -272,20 +375,75 @@ impl<T: Scalar> Engine<T> {
             .then_some(&self.plan.remainder_order)
     }
 
+    /// The unified dispatch entry: every kernel invocation — the four
+    /// named methods below, the serving layer, the autotuner — funnels
+    /// through here, so new ops plug in without widening every layer.
+    ///
+    /// ```
+    /// use spmm_data::generators;
+    /// use spmm_kernels::{Engine, EngineConfig, KernelOp, Output};
+    ///
+    /// let s = generators::shuffled_block_diagonal::<f64>(16, 8, 24, 8, 7);
+    /// let x = generators::random_dense::<f64>(s.ncols(), 4, 1);
+    /// let engine = Engine::prepare(&s, &EngineConfig::default())?;
+    /// let y = engine.execute(KernelOp::Spmm { x: &x })?.into_dense().unwrap();
+    /// assert_eq!(y.nrows(), s.nrows());
+    /// # Ok::<(), spmm_sparse::SparseError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Fails on operand shape mismatches, like the named methods.
+    pub fn execute(&self, op: KernelOp<'_, T>) -> Result<Output<T>, SparseError> {
+        match op {
+            KernelOp::Spmm { x } => {
+                let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
+                self.spmm_into_impl(x, &mut y)?;
+                Ok(Output::Dense(y))
+            }
+            KernelOp::SpmmInto { x, y } => {
+                self.spmm_into_impl(x, y)?;
+                Ok(Output::Written)
+            }
+            KernelOp::Sddmm { x, y } => Ok(Output::Values(self.sddmm_impl(x, y)?)),
+            KernelOp::SddmmInto { x, y, out } => {
+                if out.len() != self.nnz_map.len() {
+                    return Err(SparseError::DimensionMismatch {
+                        expected: format!("output of length nnz ({})", self.nnz_map.len()),
+                        got: format!("{}", out.len()),
+                    });
+                }
+                let vals = self.sddmm_impl(x, y)?;
+                out.copy_from_slice(&vals);
+                Ok(Output::Written)
+            }
+        }
+    }
+
     /// `Y = S · X`, rows of `Y` in the original row order of `S`.
+    /// Wrapper over [`Engine::execute`].
     pub fn spmm(&self, x: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
-        let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
-        self.spmm_into(x, &mut y)?;
-        Ok(y)
+        match self.execute(KernelOp::Spmm { x })? {
+            Output::Dense(y) => Ok(y),
+            _ => unreachable!("Spmm ops produce Dense outputs"),
+        }
     }
 
     /// Like [`Self::spmm`], writing into a caller-provided output —
     /// iterative applications reuse one allocation across iterations.
+    /// Wrapper over [`Engine::execute`].
     ///
     /// # Errors
     /// Fails on operand shape mismatches (`y` must be
     /// `S.nrows × x.ncols`).
     pub fn spmm_into(&self, x: &DenseMatrix<T>, y: &mut DenseMatrix<T>) -> Result<(), SparseError> {
+        self.execute(KernelOp::SpmmInto { x, y }).map(|_| ())
+    }
+
+    fn spmm_into_impl(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &mut DenseMatrix<T>,
+    ) -> Result<(), SparseError> {
         if y.nrows() != self.aspt.nrows() || y.ncols() != x.ncols() {
             return Err(SparseError::DimensionMismatch {
                 expected: format!("Y of {} x {}", self.aspt.nrows(), x.ncols()),
@@ -307,7 +465,8 @@ impl<T: Scalar> Engine<T> {
     }
 
     /// Like [`Self::sddmm`], writing into a caller-provided output
-    /// buffer of length `nnz` (original nonzero order).
+    /// buffer of length `nnz` (original nonzero order). Wrapper over
+    /// [`Engine::execute`].
     ///
     /// # Errors
     /// Fails on operand shape mismatches or a wrong output length.
@@ -317,20 +476,19 @@ impl<T: Scalar> Engine<T> {
         y: &DenseMatrix<T>,
         out: &mut [T],
     ) -> Result<(), SparseError> {
-        if out.len() != self.nnz_map.len() {
-            return Err(SparseError::DimensionMismatch {
-                expected: format!("output of length nnz ({})", self.nnz_map.len()),
-                got: format!("{}", out.len()),
-            });
-        }
-        let vals = self.sddmm(x, y)?;
-        out.copy_from_slice(&vals);
-        Ok(())
+        self.execute(KernelOp::SddmmInto { x, y, out }).map(|_| ())
     }
 
     /// Alg 2 SDDMM; the returned values parallel the *original*
-    /// matrix's `values()` array.
+    /// matrix's `values()` array. Wrapper over [`Engine::execute`].
     pub fn sddmm(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<Vec<T>, SparseError> {
+        match self.execute(KernelOp::Sddmm { x, y })? {
+            Output::Values(v) => Ok(v),
+            _ => unreachable!("Sddmm ops produce Values outputs"),
+        }
+    }
+
+    fn sddmm_impl(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<Vec<T>, SparseError> {
         let _span = self.telemetry.span("exec.sddmm");
         self.record_exec_counters();
         // the kernel reads Y rows in reordered row space
@@ -403,22 +561,73 @@ impl<T: Scalar> Engine<T> {
     /// (gradient descent, §5.4) amortise preprocessing: pay for
     /// reorder+tile once, update values every iteration.
     ///
+    /// When the engine's internals are shared (clones, cached plans),
+    /// this copies-on-write: the value-bearing pieces are duplicated,
+    /// the plan and nonzero map stay shared, and no other holder sees
+    /// the new values. Shared holders refresh through
+    /// [`Engine::with_updated_values`] instead.
+    ///
     /// # Panics
     /// Panics if `values.len()` differs from the matrix's nnz.
     pub fn update_values(&mut self, values: &[T]) {
+        let reordered_vals = self.reorder_values(values);
+        Arc::make_mut(&mut self.reordered)
+            .values_mut()
+            .copy_from_slice(&reordered_vals);
+        Arc::make_mut(&mut self.aspt).update_values(&reordered_vals);
+    }
+
+    /// Maps a value array from the original nonzero order into this
+    /// engine's reordered nonzero order — the pure half of
+    /// [`Engine::update_values`], split out so callers can stage the
+    /// permuted values without touching the engine.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the matrix's nnz.
+    pub fn reorder_values(&self, values: &[T]) -> Vec<T> {
         assert_eq!(
             values.len(),
             self.nnz_map.len(),
             "value array must match the matrix's nnz"
         );
-        let reordered_vals = self.reordered.values_mut();
+        let mut out = vec![T::ZERO; values.len()];
         for (j, &old) in self.nnz_map.iter().enumerate() {
-            reordered_vals[j] = values[old];
+            out[j] = values[old];
         }
-        // borrow juggling: clone the (small) value slice for the tiles
-        let vals: Vec<T> = self.reordered.values().to_vec();
-        self.aspt.update_values(&vals);
+        out
     }
+
+    /// Non-destructive [`Engine::update_values`]: a new engine with the
+    /// given values that *shares* this one's reordering plan, nonzero
+    /// map and telemetry — no re-planning, no re-tiling. This is how a
+    /// plan cache refreshes a published `Arc<Engine>` in place: build
+    /// the successor, swap the `Arc`, and in-flight requests keep their
+    /// consistent snapshot.
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::DimensionMismatch`] when `values.len()`
+    /// differs from the matrix's nnz (the fallible twin of
+    /// `update_values`' panic, for serving paths that must not die).
+    pub fn with_updated_values(&self, values: &[T]) -> Result<Self, SparseError> {
+        if values.len() != self.nnz_map.len() {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("{} values (matrix nnz)", self.nnz_map.len()),
+                got: values.len().to_string(),
+            });
+        }
+        let mut fresh = self.clone();
+        fresh.update_values(values);
+        Ok(fresh)
+    }
+}
+
+/// The serving layer shares one `Engine` across worker threads behind
+/// `Arc`; this assertion keeps that contract load-bearing at compile
+/// time.
+#[allow(dead_code)]
+fn engine_is_send_sync<T: Scalar>() {
+    fn check<S: Send + Sync>() {}
+    check::<Engine<T>>();
 }
 
 #[cfg(test)]
@@ -480,9 +689,11 @@ mod tests {
 
     #[test]
     fn identity_reorder_path() {
-        // well-clustered matrix: both rounds skipped, outputs flow
-        // through without permutation
-        let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
+        // pinned well-clustered fixture: dense ratio is exactly 1.0
+        // (round 1 skipped) and the remainder is empty (round 2 finds
+        // no candidates), so both skip decisions hold under any RNG
+        // backend and outputs flow through without permutation
+        let m = generators::pinned_block_diagonal::<f64>(8, 16, 12);
         let engine = Engine::prepare(&m, &cfg()).unwrap();
         assert!(!engine.plan().needs_reordering());
         let x = generators::random_dense::<f64>(m.ncols(), 4, 9);
@@ -627,6 +838,106 @@ mod tests {
         let e = sddmm_rowwise_seq(&m2, &x, &y).unwrap();
         let g = engine.sddmm(&x, &y).unwrap();
         assert!(e.iter().zip(&g).all(|(a, b)| (a - b).abs() < 1e-10));
+    }
+
+    #[test]
+    fn execute_dispatch_matches_named_methods() {
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 21);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 1);
+        let y = generators::random_dense::<f64>(m.nrows(), 4, 2);
+
+        let spmm = engine
+            .execute(KernelOp::Spmm { x: &x })
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        assert_eq!(spmm, engine.spmm(&x).unwrap());
+
+        let mut buf = DenseMatrix::zeros(m.nrows(), 4);
+        assert_eq!(
+            engine
+                .execute(KernelOp::SpmmInto { x: &x, y: &mut buf })
+                .unwrap(),
+            Output::Written
+        );
+        assert_eq!(buf, spmm);
+
+        let sddmm = engine
+            .execute(KernelOp::Sddmm { x: &x, y: &y })
+            .unwrap()
+            .into_values()
+            .unwrap();
+        assert_eq!(sddmm, engine.sddmm(&x, &y).unwrap());
+
+        let mut vals = vec![0.0f64; m.nnz()];
+        engine
+            .execute(KernelOp::SddmmInto {
+                x: &x,
+                y: &y,
+                out: &mut vals,
+            })
+            .unwrap();
+        assert_eq!(vals, sddmm);
+
+        // op introspection used by the autotuner routing
+        assert_eq!(
+            KernelOp::Spmm { x: &x }.kernel(),
+            crate::autotune::Kernel::Spmm
+        );
+        assert_eq!(
+            KernelOp::Sddmm { x: &x, y: &y }.kernel(),
+            crate::autotune::Kernel::Sddmm
+        );
+        assert_eq!(KernelOp::Spmm { x: &x }.k(), 4);
+    }
+
+    #[test]
+    fn with_updated_values_shares_plan_and_leaves_original_intact() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 7);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 5);
+        let before = engine.spmm(&x).unwrap();
+
+        let new_values: Vec<f64> = (0..m.nnz()).map(|i| (i % 13) as f64 - 6.0).collect();
+        let refreshed = engine.with_updated_values(&new_values).unwrap();
+
+        // the refreshed engine computes with the new values...
+        let mut m2 = m.clone();
+        m2.values_mut().copy_from_slice(&new_values);
+        let expected = spmm_rowwise_seq(&m2, &x).unwrap();
+        assert!(expected.max_abs_diff(&refreshed.spmm(&x).unwrap()) < 1e-10);
+        // ...the original is untouched (copy-on-write, not aliasing)...
+        assert!(before.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        // ...and the plan and nnz map are shared, not re-prepared
+        assert!(Arc::ptr_eq(&engine.plan, &refreshed.plan));
+        assert!(Arc::ptr_eq(&engine.nnz_map, &refreshed.nnz_map));
+
+        // wrong length is a structured error, not a panic
+        assert!(matches!(
+            engine.with_updated_values(&[1.0]),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        engine_is_send_sync::<f64>();
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 3);
+        let engine = Arc::new(Engine::prepare(&m, &cfg()).unwrap());
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 4);
+        let expected = engine.spmm(&x).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                let x = &x;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let got = engine.spmm(x).unwrap();
+                    assert!(expected.max_abs_diff(&got) < 1e-12);
+                });
+            }
+        });
     }
 
     #[test]

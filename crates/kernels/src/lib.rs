@@ -23,5 +23,8 @@ pub mod engine;
 pub mod sddmm;
 pub mod spmm;
 
-pub use autotune::{choose_variant, tuned_engine, Kernel, TrialReport, Variant};
-pub use engine::{Engine, EngineConfig, EngineConfigBuilder, PrepareReport};
+pub use autotune::{
+    choose_variant, choose_variant_for_op, tuned_engine, tuned_execute, Kernel, TrialReport,
+    Variant,
+};
+pub use engine::{Engine, EngineConfig, EngineConfigBuilder, KernelOp, Output, PrepareReport};

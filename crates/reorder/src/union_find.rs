@@ -176,8 +176,11 @@ mod tests {
         assert_eq!(all, (0..10).collect::<Vec<_>>());
     }
 
+    // the root check is a debug_assert, so it only fires (and this
+    // test only makes sense) in debug builds
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn attach_non_root_panics_in_debug() {
         let mut uf = UnionFind::new(3);
         uf.attach(1, 0);

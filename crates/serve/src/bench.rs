@@ -1,0 +1,413 @@
+//! The `serve-bench` workload driver: a Zipf-popular request stream
+//! over the generator corpus, closed-loop concurrent clients, and two
+//! deterministic probes that pin down the acceptance criteria.
+//!
+//! The workload models multi-tenant serving: a handful of matrix
+//! structures (the corpus) receive traffic with Zipf-distributed
+//! popularity, so a small plan cache captures most requests while the
+//! long tail keeps missing. After the stream drains, two probes verify
+//! the two contractual behaviours directly:
+//!
+//! * **hit probe** — the hottest structure is requested twice in a
+//!   row; the second response must come from the cached plan with
+//!   *zero* additional preprocessing.
+//! * **cold probe** — a structure the corpus never saw is requested
+//!   with a deadline equal to the preprocessing budget; the request
+//!   must complete via the row-wise fallback rather than miss its
+//!   deadline preparing a plan.
+//!
+//! Both outcomes, the latency distribution and the exact cache
+//! counters are recorded into the serve telemetry before the manifest
+//! snapshot, so the printed report and the JSON manifest agree.
+
+use crate::cache::CacheStats;
+use crate::engine::{Request, ServeConfig, ServeEngine, ServePath, ServeStats};
+use crate::error::ServeError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spmm_data::corpus::{Corpus, CorpusProfile};
+use spmm_data::generators;
+use spmm_sparse::{CsrMatrix, DenseMatrix};
+use spmm_telemetry::RunManifest;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload knobs for [`run_serve_bench`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServeBenchConfig {
+    /// Total requests in the stream. Default 256.
+    pub requests: usize,
+    /// Closed-loop client threads. Default 4.
+    pub concurrency: usize,
+    /// Serving worker threads. Default 4.
+    pub workers: usize,
+    /// Plan-cache capacity — deliberately smaller than the corpus by
+    /// default so the tail misses. Default 8.
+    pub cache_capacity: usize,
+    /// Admission queue bound. Default 256.
+    pub queue_capacity: usize,
+    /// Zipf skew exponent `s` (popularity of matrix `i` ∝
+    /// `1/(i+1)^s`). Default 1.1.
+    pub zipf_s: f64,
+    /// Seed for the corpus and the request schedule. Default 42.
+    pub seed: u64,
+    /// Dense-operand width `k`. Default 32.
+    pub k: usize,
+    /// Per-request deadline. Default 250 ms.
+    pub deadline: Duration,
+    /// Preprocessing budget for the fallback decision. Default 25 ms.
+    pub preprocess_budget: Duration,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            requests: 256,
+            concurrency: 4,
+            workers: 4,
+            cache_capacity: 8,
+            queue_capacity: 256,
+            zipf_s: 1.1,
+            seed: 42,
+            k: 32,
+            deadline: Duration::from_millis(250),
+            preprocess_budget: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What [`run_serve_bench`] measured.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeBenchReport {
+    /// The configuration the run used.
+    pub config: ServeBenchConfig,
+    /// Distinct matrix structures in the corpus.
+    pub corpus_size: usize,
+    /// Wall-clock duration of the request stream.
+    pub wall: Duration,
+    /// Completed requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (submit → response), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Plan-cache hit rate over the whole run, in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Serving counters at the end of the run.
+    pub stats: ServeStats,
+    /// Plan-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// The hit probe's service path (must be [`ServePath::CachedPlan`]).
+    pub hit_probe_path: ServePath,
+    /// Preprocessing the hit probe paid (must be zero).
+    pub hit_probe_preprocess: Duration,
+    /// The cold probe's service path (must be [`ServePath::Fallback`]).
+    pub cold_probe_path: ServePath,
+    /// The run manifest snapshot, counters and probe outcomes included.
+    pub manifest: RunManifest,
+}
+
+impl ServeBenchReport {
+    /// Whether both probes observed their contractual outcome.
+    pub fn probes_passed(&self) -> bool {
+        self.hit_probe_path == ServePath::CachedPlan
+            && self.hit_probe_preprocess.is_zero()
+            && self.cold_probe_path == ServePath::Fallback
+    }
+
+    /// Renders the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve-bench: {} requests over {} matrices, {} clients, {} workers, cache {}, zipf s={:.2}\n",
+            c.requests, self.corpus_size, c.concurrency, c.workers, c.cache_capacity, c.zipf_s
+        ));
+        out.push_str(&format!(
+            "  completed {}  rejected {}  fallbacks {}  deadline-exceeded {}  failed {}\n",
+            s.completed, s.rejected, s.fallbacks, s.deadline_exceeded, s.failed
+        ));
+        out.push_str(&format!(
+            "  throughput {:.1} req/s   p50 {:.3} ms   p99 {:.3} ms\n",
+            self.throughput_rps, self.p50_ms, self.p99_ms
+        ));
+        out.push_str(&format!(
+            "  plan cache: {} hits / {} misses (hit rate {:.1}%), {} evictions, {} inserts\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.hit_rate * 100.0,
+            self.cache.evictions,
+            self.cache.inserts
+        ));
+        out.push_str(&format!(
+            "  hit probe:  path={} preprocess={:?} -> {}\n",
+            self.hit_probe_path,
+            self.hit_probe_preprocess,
+            if self.hit_probe_path == ServePath::CachedPlan && self.hit_probe_preprocess.is_zero() {
+                "ok (cached plan, zero additional preprocessing)"
+            } else {
+                "FAILED"
+            }
+        ));
+        out.push_str(&format!(
+            "  cold probe: path={} -> {}\n",
+            self.cold_probe_path,
+            if self.cold_probe_path == ServePath::Fallback {
+                "ok (cold miss under deadline served by row-wise fallback)"
+            } else {
+                "FAILED"
+            }
+        ));
+        out
+    }
+}
+
+/// Draws `n` Zipf-distributed corpus indices: index `i` with weight
+/// `1/(i+1)^s`.
+fn zipf_schedule(n: usize, population: usize, s: f64, rng: &mut SmallRng) -> Vec<usize> {
+    let weights: Vec<f64> = (0..population)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+        .collect();
+    let mut cdf = Vec::with_capacity(population);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * total;
+            cdf.partition_point(|&c| c <= u).min(population - 1)
+        })
+        .collect()
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Runs the serving benchmark and returns the measured report. The
+/// probes' contractual outcomes are asserted by the caller (or CI) via
+/// [`ServeBenchReport::probes_passed`], not by this function — a
+/// degraded run still reports honestly.
+///
+/// # Errors
+/// Propagates probe-request failures ([`ServeError`]); the streamed
+/// requests themselves only tally into the counters.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, ServeError> {
+    let budget = config.preprocess_budget.max(Duration::from_millis(1));
+    let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, config.seed);
+    let matrices: Vec<Arc<CsrMatrix<f32>>> = corpus
+        .matrices
+        .into_iter()
+        .map(|e| Arc::new(e.matrix))
+        .collect();
+    assert!(!matrices.is_empty(), "corpus must not be empty");
+    // shared dense operands per structure (x for SpMM/SDDMM, y for SDDMM)
+    let xs: Vec<Arc<DenseMatrix<f32>>> = matrices
+        .iter()
+        .map(|m| {
+            Arc::new(generators::random_dense::<f32>(
+                m.ncols(),
+                config.k,
+                config.seed ^ 1,
+            ))
+        })
+        .collect();
+    let ys: Vec<Arc<DenseMatrix<f32>>> = matrices
+        .iter()
+        .map(|m| {
+            Arc::new(generators::random_dense::<f32>(
+                m.nrows(),
+                config.k,
+                config.seed ^ 2,
+            ))
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let schedule = zipf_schedule(config.requests, matrices.len(), config.zipf_s, &mut rng);
+
+    let serve = ServeEngine::<f32>::start(
+        ServeConfig::builder()
+            .workers(config.workers)
+            .queue_capacity(config.queue_capacity)
+            .cache_capacity(config.cache_capacity)
+            .preprocess_budget(budget)
+            .build(),
+    );
+
+    let concurrency = config.concurrency.max(1);
+    let stream_start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|client| {
+                let serve = &serve;
+                let schedule = &schedule;
+                let (matrices, xs, ys) = (&matrices, &xs, &ys);
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    // closed loop: this client walks its stripe in order
+                    for (idx, &mi) in schedule
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, _)| idx % concurrency == client)
+                    {
+                        // every 5th request exercises the SDDMM path
+                        let request = if idx % 5 == 4 {
+                            Request::sddmm(matrices[mi].clone(), xs[mi].clone(), ys[mi].clone())
+                        } else {
+                            Request::spmm(matrices[mi].clone(), xs[mi].clone())
+                        }
+                        .with_deadline(config.deadline);
+                        let submitted = Instant::now();
+                        // a rejected submission is already counted by
+                        // the engine; only successes carry a latency
+                        if let Ok(ticket) = serve.submit(request) {
+                            if ticket.wait().is_ok() {
+                                latencies.push(submitted.elapsed());
+                            }
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let wall = stream_start.elapsed();
+    latencies.sort_unstable();
+
+    // -- hit probe: the hottest structure, back to back -----------------
+    let hot = 0; // Zipf weight is maximal at index 0
+    serve.execute(Request::spmm(matrices[hot].clone(), xs[hot].clone()))?;
+    let hit_probe = serve.execute(Request::spmm(matrices[hot].clone(), xs[hot].clone()))?;
+
+    // -- cold probe: unseen structure, deadline == budget ⇒ the tight
+    //    path fires deterministically and must degrade, not miss --------
+    let cold_matrix = Arc::new(generators::uniform_random::<f32>(
+        731,
+        389,
+        6,
+        config.seed ^ 0xC01D,
+    ));
+    let cold_x = Arc::new(generators::random_dense::<f32>(
+        cold_matrix.ncols(),
+        config.k,
+        config.seed ^ 3,
+    ));
+    let cold_probe = serve.execute(Request::spmm(cold_matrix, cold_x).with_deadline(budget))?;
+
+    let stats = serve.stats();
+    let cache = serve.cache_stats();
+    let p50_ms = percentile_ms(&latencies, 0.50);
+    let p99_ms = percentile_ms(&latencies, 0.99);
+    let throughput_rps = if wall.as_secs_f64() > 0.0 {
+        latencies.len() as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    // record the results into the same manifest that carries the exact
+    // serve.* counters, then snapshot
+    let telemetry = serve.telemetry();
+    telemetry.gauge("bench.throughput_rps", throughput_rps);
+    telemetry.gauge("bench.p50_ms", p50_ms);
+    telemetry.gauge("bench.p99_ms", p99_ms);
+    telemetry.gauge("bench.hit_rate", cache.hit_rate());
+    telemetry.meta(
+        "bench.hit_probe",
+        &format!(
+            "path={} preprocess_ns={}",
+            hit_probe.path,
+            hit_probe.preprocess.as_nanos()
+        ),
+    );
+    telemetry.meta("bench.cold_probe", &format!("path={}", cold_probe.path));
+    let manifest = serve.manifest();
+
+    Ok(ServeBenchReport {
+        config: config.clone(),
+        corpus_size: matrices.len(),
+        wall,
+        throughput_rps,
+        p50_ms,
+        p99_ms,
+        hit_rate: cache.hit_rate(),
+        stats,
+        cache,
+        hit_probe_path: hit_probe.path,
+        hit_probe_preprocess: hit_probe.preprocess,
+        cold_probe_path: cold_probe.path,
+        manifest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_schedule_is_skewed_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let schedule = zipf_schedule(2000, 10, 1.2, &mut rng);
+        assert!(schedule.iter().all(|&i| i < 10));
+        let head = schedule.iter().filter(|&&i| i == 0).count();
+        let tail = schedule.iter().filter(|&&i| i == 9).count();
+        assert!(
+            head > tail * 3,
+            "head {head} should dominate tail {tail} at s=1.2"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert!((percentile_ms(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile_ms(&sorted, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quick_bench_run_satisfies_the_probes() {
+        let config = ServeBenchConfig {
+            requests: 24,
+            concurrency: 2,
+            workers: 2,
+            cache_capacity: 4,
+            ..ServeBenchConfig::default()
+        };
+        let report = run_serve_bench(&config).unwrap();
+        assert!(report.probes_passed(), "{}", report.render());
+        assert_eq!(report.hit_probe_preprocess, Duration::ZERO);
+        assert_eq!(report.cold_probe_path, ServePath::Fallback);
+        // counters in the manifest are the counters in the stats
+        assert_eq!(
+            report.manifest.counters["serve.cache.hit"],
+            report.cache.hits
+        );
+        assert_eq!(
+            report.manifest.counters["serve.completed"],
+            report.stats.completed
+        );
+        // every streamed request is accounted for
+        assert_eq!(
+            report.stats.submitted + report.stats.rejected,
+            // streamed requests + the three probe requests
+            (config.requests + 3) as u64
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("plan cache"), "{rendered}");
+    }
+}

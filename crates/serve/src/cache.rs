@@ -1,0 +1,640 @@
+//! Sharded, capacity-bounded LRU cache of prepared plans.
+//!
+//! The cache maps a [`MatrixFingerprint`] to an `Arc<Engine<T>>` — one
+//! paid-for run of the Fig 5 preprocessing pipeline, shared by every
+//! request on the same sparsity structure. Three properties carry the
+//! serving layer:
+//!
+//! * **Coalesced preparation.** A fingerprint's slot is inserted
+//!   atomically under its shard lock, so under a thundering herd
+//!   exactly one caller runs `Engine::prepare`; the rest block on the
+//!   slot's condvar and share the result.
+//! * **Bounded capacity.** Each shard holds at most
+//!   `ceil(capacity / shards)` entries; inserting into a full shard
+//!   evicts the shard's least-recently-used entry. With `shards = 1`
+//!   the eviction order is the exact global LRU order, which the tests
+//!   pin down.
+//! * **Exact counters.** Every lookup increments exactly one of
+//!   hit/miss (hit: an entry existed; miss: this call created it or
+//!   found nothing usable), under the shard lock's serialization — the
+//!   `serve.cache.*` telemetry counters in the run manifest agree with
+//!   [`CacheStats`] under any interleaving.
+//!
+//! A prepare that *panics* poisons its slot: later lookups report
+//! [`ServeError::PoisonedPlan`] deterministically until the entry is
+//! evicted or [`PlanCache::remove`]d. A prepare that returns an error
+//! is propagated once and the entry removed, so a later caller retries.
+
+use crate::error::ServeError;
+use crate::fingerprint::MatrixFingerprint;
+use spmm_kernels::Engine;
+use spmm_sparse::{Scalar, SparseError};
+use spmm_telemetry::TelemetryHandle;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Construction options for [`PlanCache`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PlanCacheConfig {
+    /// Total capacity bound across all shards (at least 1 per shard is
+    /// enforced). Default 32.
+    pub capacity: usize,
+    /// Number of independently locked shards. More shards cut
+    /// contention; `1` makes the LRU eviction order globally exact.
+    /// Default 8.
+    pub shards: usize,
+    /// Sink for the `serve.cache.{hit,miss,eviction,insert,refresh}`
+    /// counters. Disabled by default.
+    pub telemetry: TelemetryHandle,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig {
+            capacity: 32,
+            shards: 8,
+            telemetry: TelemetryHandle::default(),
+        }
+    }
+}
+
+impl PlanCacheConfig {
+    /// Starts a builder initialised with the defaults.
+    pub fn builder() -> PlanCacheConfigBuilder {
+        PlanCacheConfigBuilder::default()
+    }
+}
+
+/// Builder for [`PlanCacheConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanCacheConfigBuilder {
+    config: PlanCacheConfig,
+}
+
+impl PlanCacheConfigBuilder {
+    /// Sets the total capacity bound.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.config.capacity = capacity;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the telemetry sink.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> PlanCacheConfig {
+        self.config
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry (ready or in flight).
+    pub hits: u64,
+    /// Lookups that found nothing usable (and possibly started a
+    /// prepare).
+    pub misses: u64,
+    /// Entries dropped to make room at capacity.
+    pub evictions: u64,
+    /// Slots created (each corresponds to one prepare attempt).
+    pub inserts: u64,
+    /// In-place value refreshes via [`PlanCache::update_values`].
+    pub refreshes: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// The configured total capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// State of one fingerprint's slot.
+#[derive(Debug)]
+enum SlotState<T> {
+    /// A caller is running `Engine::prepare`; wait on the condvar.
+    Preparing,
+    /// The shared, ready-to-execute plan.
+    Ready(Arc<Engine<T>>),
+    /// The prepare returned an error (propagated once; the entry is
+    /// removed so the next caller retries).
+    Failed(SparseError),
+    /// The prepare panicked.
+    Poisoned,
+}
+
+#[derive(Debug)]
+struct PlanSlot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+impl<T: Scalar> PlanSlot<T> {
+    fn preparing() -> Self {
+        PlanSlot {
+            state: Mutex::new(SlotState::Preparing),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, new: SlotState<T>) {
+        *self.state.lock().expect("plan slot lock") = new;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the slot leaves `Preparing`.
+    fn wait(&self) -> Result<Arc<Engine<T>>, ServeError> {
+        let mut state = self.state.lock().expect("plan slot lock");
+        loop {
+            match &*state {
+                SlotState::Preparing => state = self.ready.wait(state).expect("plan slot lock"),
+                SlotState::Ready(engine) => return Ok(Arc::clone(engine)),
+                SlotState::Failed(e) => return Err(ServeError::Prepare(e.clone())),
+                SlotState::Poisoned => return Err(ServeError::PoisonedPlan),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    slot: Arc<PlanSlot<T>>,
+    /// Global tick of the last lookup that touched this entry.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard<T> {
+    entries: HashMap<MatrixFingerprint, Entry<T>>,
+}
+
+/// Sharded LRU cache of fingerprint → prepared plan (see the module
+/// docs for the concurrency contract).
+#[derive(Debug)]
+pub struct PlanCache<T> {
+    shards: Vec<Mutex<Shard<T>>>,
+    per_shard_capacity: usize,
+    capacity: usize,
+    telemetry: TelemetryHandle,
+    /// Monotonic lookup clock driving LRU recency.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl<T: Scalar> PlanCache<T> {
+    /// An empty cache with the given configuration.
+    pub fn new(config: PlanCacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard_capacity = config.capacity.max(1).div_ceil(shards);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            capacity: per_shard_capacity * shards,
+            telemetry: config.telemetry,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, fp: &MatrixFingerprint) -> &Mutex<Shard<T>> {
+        // the FNV hash is well mixed; the low bits pick the shard
+        &self.shards[(fp.hash() as usize) % self.shards.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.cache.hit", 1);
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.cache.miss", 1);
+    }
+
+    /// Non-blocking lookup: `Some` iff a fully prepared plan is cached
+    /// (bumping its recency and counting a hit); counts a miss
+    /// otherwise. This is the deadline-pressured path — a caller that
+    /// would fall back rather than wait for an in-flight prepare.
+    pub fn try_get(&self, fp: &MatrixFingerprint) -> Option<Arc<Engine<T>>> {
+        let tick = self.next_tick();
+        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
+        if let Some(entry) = shard.entries.get_mut(fp) {
+            let ready = {
+                let state = entry.slot.state.lock().expect("plan slot lock");
+                match &*state {
+                    SlotState::Ready(engine) => Some(Arc::clone(engine)),
+                    _ => None,
+                }
+            };
+            if let Some(engine) = ready {
+                entry.last_used = tick;
+                drop(shard);
+                self.count_hit();
+                return Some(engine);
+            }
+        }
+        drop(shard);
+        self.count_miss();
+        None
+    }
+
+    /// The coalescing lookup: returns the cached plan for `fp`,
+    /// preparing it with `prepare` if absent. Returns the engine plus
+    /// `true` when *this call* ran the prepare (a cold miss), `false`
+    /// when the plan was already cached or in flight.
+    ///
+    /// Concurrent calls on the same fingerprint run `prepare` exactly
+    /// once; the others block until it resolves. `prepare` runs
+    /// *outside* the shard lock, so unrelated fingerprints are never
+    /// blocked behind a slow preprocessing run.
+    ///
+    /// # Errors
+    /// [`ServeError::Prepare`] when `prepare` fails (the entry is
+    /// removed, so a later call retries); [`ServeError::PoisonedPlan`]
+    /// when a previous `prepare` for this fingerprint panicked and the
+    /// poisoned entry is still cached.
+    ///
+    /// # Panics
+    /// Re-raises `prepare`'s panic in the preparing caller after
+    /// poisoning the slot.
+    pub fn get_or_prepare(
+        &self,
+        fp: MatrixFingerprint,
+        prepare: impl FnOnce() -> Result<Engine<T>, SparseError>,
+    ) -> Result<(Arc<Engine<T>>, bool), ServeError> {
+        let tick = self.next_tick();
+        let (slot, created) = {
+            let mut shard = self.shard_for(&fp).lock().expect("plan cache shard");
+            match shard.entries.get_mut(&fp) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    (Arc::clone(&entry.slot), false)
+                }
+                None => {
+                    self.evict_lru_if_full(&mut shard);
+                    let slot = Arc::new(PlanSlot::preparing());
+                    shard.entries.insert(
+                        fp,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            last_used: tick,
+                        },
+                    );
+                    (slot, true)
+                }
+            }
+        };
+        if !created {
+            self.count_hit();
+            return slot.wait().map(|engine| (engine, false));
+        }
+        self.count_miss();
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.cache.insert", 1);
+        match catch_unwind(AssertUnwindSafe(prepare)) {
+            Ok(Ok(engine)) => {
+                let engine = Arc::new(engine);
+                slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
+                Ok((engine, true))
+            }
+            Ok(Err(e)) => {
+                slot.fulfill(SlotState::Failed(e.clone()));
+                self.remove_if_same_slot(&fp, &slot);
+                Err(ServeError::Prepare(e))
+            }
+            Err(panic) => {
+                slot.fulfill(SlotState::Poisoned);
+                resume_unwind(panic)
+            }
+        }
+    }
+
+    /// Refreshes the cached plan for `fp` in place with new values
+    /// (original nonzero order). The fingerprint covers structure
+    /// only, so the entry, its LRU position and the hit/miss counters
+    /// are untouched — in-flight requests keep executing their
+    /// consistent snapshot while new lookups see the new values.
+    /// Returns `Ok(false)` when nothing is cached under `fp`.
+    ///
+    /// # Errors
+    /// [`ServeError::Prepare`] on a value-length mismatch, plus
+    /// whatever an in-flight prepare for this fingerprint resolves to.
+    pub fn update_values(&self, fp: &MatrixFingerprint, values: &[T]) -> Result<bool, ServeError> {
+        let slot = {
+            let shard = self.shard_for(fp).lock().expect("plan cache shard");
+            match shard.entries.get(fp) {
+                Some(entry) => Arc::clone(&entry.slot),
+                None => return Ok(false),
+            }
+        };
+        let current = slot.wait()?;
+        let refreshed = current
+            .with_updated_values(values)
+            .map_err(ServeError::Prepare)?;
+        slot.fulfill(SlotState::Ready(Arc::new(refreshed)));
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.cache.refresh", 1);
+        Ok(true)
+    }
+
+    /// Drops the entry for `fp` (the recovery path for a poisoned
+    /// plan). Returns whether an entry was removed.
+    pub fn remove(&self, fp: &MatrixFingerprint) -> bool {
+        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
+        shard.entries.remove(fp).is_some()
+    }
+
+    /// Removes `fp` only if it still holds `slot` — a newer slot
+    /// inserted after an eviction must not be collateral damage.
+    fn remove_if_same_slot(&self, fp: &MatrixFingerprint, slot: &Arc<PlanSlot<T>>) {
+        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
+        if shard
+            .entries
+            .get(fp)
+            .is_some_and(|e| Arc::ptr_eq(&e.slot, slot))
+        {
+            shard.entries.remove(fp);
+        }
+    }
+
+    /// Evicts the shard's least-recently-used entries until an insert
+    /// fits. Waiters on an evicted in-flight slot are unaffected: they
+    /// hold the slot `Arc` and the preparer still fulfills it — the
+    /// result just isn't cached.
+    fn evict_lru_if_full(&self, shard: &mut Shard<T>) {
+        while shard.entries.len() >= self.per_shard_capacity {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    shard.entries.remove(&fp);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.counter("serve.cache.eviction", 1);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Entries currently cached (sums the shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The effective total capacity bound (capacity rounded up to a
+    /// multiple of the shard count).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshots the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_data::generators;
+    use spmm_kernels::EngineConfig;
+    use spmm_sparse::CsrMatrix;
+    use std::sync::atomic::AtomicUsize;
+
+    fn matrix(seed: u64) -> CsrMatrix<f64> {
+        generators::uniform_random::<f64>(96, 96, 5, seed)
+    }
+
+    fn prepare(m: &CsrMatrix<f64>) -> Result<Engine<f64>, SparseError> {
+        Engine::prepare(m, &EngineConfig::default())
+    }
+
+    fn single_shard(capacity: usize) -> PlanCache<f64> {
+        PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(capacity)
+                .shards(1)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_lru() {
+        let cache = single_shard(2);
+        let (ma, mb, mc) = (matrix(1), matrix(2), matrix(3));
+        let (fa, fb, fc) = (
+            MatrixFingerprint::of(&ma),
+            MatrixFingerprint::of(&mb),
+            MatrixFingerprint::of(&mc),
+        );
+        cache.get_or_prepare(fa, || prepare(&ma)).unwrap();
+        cache.get_or_prepare(fb, || prepare(&mb)).unwrap();
+        // touch A so B becomes the LRU victim
+        assert!(cache.try_get(&fa).is_some());
+        cache.get_or_prepare(fc, || prepare(&mc)).unwrap();
+
+        assert_eq!(cache.len(), 2);
+        assert!(cache.try_get(&fa).is_some(), "A was recently used");
+        assert!(cache.try_get(&fc).is_some(), "C was just inserted");
+        assert!(cache.try_get(&fb).is_none(), "B was the LRU victim");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.inserts, 3);
+        // every lookup above counted exactly once: 3 creating misses,
+        // 3 try_get hits, 1 try_get miss (B after eviction)
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn thundering_herd_prepares_exactly_once() {
+        let cache = Arc::new(single_shard(8));
+        let m = Arc::new(matrix(7));
+        let fp = MatrixFingerprint::of(&*m);
+        let prepares = Arc::new(AtomicUsize::new(0));
+        const HERD: usize = 8;
+
+        std::thread::scope(|scope| {
+            for _ in 0..HERD {
+                let (cache, m, prepares) = (cache.clone(), m.clone(), prepares.clone());
+                scope.spawn(move || {
+                    let (engine, _) = cache
+                        .get_or_prepare(fp, || {
+                            prepares.fetch_add(1, Ordering::SeqCst);
+                            prepare(&m)
+                        })
+                        .unwrap();
+                    assert_eq!(engine.ncols(), m.ncols());
+                });
+            }
+        });
+
+        assert_eq!(prepares.load(Ordering::SeqCst), 1, "duplicated prepare");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, HERD as u64, "lost a lookup");
+        assert_eq!(stats.misses, 1, "only the slot creator is a miss");
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn value_updates_keep_fingerprint_entry_and_counters() {
+        let cache = single_shard(4);
+        let m = matrix(11);
+        let fp = MatrixFingerprint::of(&m);
+        cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        let counters_before = (cache.stats().hits, cache.stats().misses);
+
+        let new_values: Vec<f64> = (0..m.nnz()).map(|i| (i % 9) as f64 - 4.0).collect();
+        let mut m2 = m.clone();
+        m2.values_mut().copy_from_slice(&new_values);
+        // same structure → same fingerprint → same entry
+        assert_eq!(MatrixFingerprint::of(&m2), fp);
+        assert!(cache.update_values(&fp, &new_values).unwrap());
+
+        let engine = cache.try_get(&fp).expect("entry survives the refresh");
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 1);
+        let expected = spmm_kernels::spmm::spmm_rowwise_seq(&m2, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+
+        let stats = cache.stats();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.evictions, 0, "refresh must not evict");
+        assert_eq!(
+            (counters_before.0 + 1, counters_before.1),
+            (stats.hits, stats.misses),
+            "only the try_get above may count"
+        );
+        // unknown fingerprint: a no-op, not an error
+        let other = MatrixFingerprint::of(&matrix(99));
+        assert!(!cache.update_values(&other, &new_values).unwrap());
+    }
+
+    #[test]
+    fn failed_prepare_is_reported_once_then_retried() {
+        let cache = single_shard(4);
+        let m = matrix(13);
+        let fp = MatrixFingerprint::of(&m);
+        let err = cache
+            .get_or_prepare(fp, || Err(SparseError::InvalidStructure("injected".into())))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Prepare(_)));
+        assert_eq!(cache.len(), 0, "failed entries must not linger");
+        // the retry succeeds
+        let (engine, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        assert!(fresh);
+        assert_eq!(engine.ncols(), m.ncols());
+    }
+
+    #[test]
+    fn panicked_prepare_poisons_deterministically_until_removed() {
+        let cache = Arc::new(single_shard(4));
+        let m = matrix(17);
+        let fp = MatrixFingerprint::of(&m);
+        let preparer = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _ = cache.get_or_prepare(fp, || panic!("injected prepare panic"));
+            })
+        };
+        assert!(preparer.join().is_err(), "panic must propagate");
+        // every later lookup sees the poison, deterministically
+        for _ in 0..3 {
+            assert_eq!(
+                cache.get_or_prepare(fp, || prepare(&m)).unwrap_err(),
+                ServeError::PoisonedPlan
+            );
+            assert!(cache.try_get(&fp).is_none());
+        }
+        // explicit removal recovers the fingerprint
+        assert!(cache.remove(&fp));
+        let (_, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        assert!(fresh);
+    }
+
+    #[test]
+    fn counters_are_exact_under_concurrency() {
+        let cache = Arc::new(PlanCache::new(
+            PlanCacheConfig::builder().capacity(16).shards(4).build(),
+        ));
+        let matrices: Vec<Arc<CsrMatrix<f64>>> =
+            (0..6).map(|i| Arc::new(matrix(100 + i))).collect();
+        const THREADS: usize = 8;
+        const LOOKUPS: usize = 20;
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = cache.clone();
+                let matrices = matrices.clone();
+                scope.spawn(move || {
+                    for i in 0..LOOKUPS {
+                        let m = &matrices[(t + i) % matrices.len()];
+                        let fp = MatrixFingerprint::of(&**m);
+                        cache.get_or_prepare(fp, || prepare(m)).unwrap();
+                    }
+                });
+            }
+        });
+
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (THREADS * LOOKUPS) as u64,
+            "every lookup counts exactly once"
+        );
+        assert_eq!(stats.misses, stats.inserts, "miss ⇔ slot created");
+        assert!(stats.len <= stats.capacity);
+    }
+}

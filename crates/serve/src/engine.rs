@@ -1,0 +1,716 @@
+//! The multi-tenant serving loop: admission control, a worker pool,
+//! deadline-aware plan acquisition and graceful degradation.
+//!
+//! [`ServeEngine`] turns the one-shot [`Engine`] into a long-lived
+//! executor. Requests carry their matrix; the engine fingerprints it,
+//! resolves a prepared plan through the shared [`PlanCache`], and runs
+//! the kernel through the unified [`KernelOp`] dispatch. Three service
+//! paths exist, reported per response as [`ServePath`]:
+//!
+//! * **CachedPlan** — the fingerprint hit a prepared plan; zero
+//!   additional preprocessing is paid.
+//! * **FreshPlan** — a cold miss with headroom; this request paid for
+//!   `Engine::prepare` and the plan is now cached for everyone else.
+//! * **Fallback** — a cold miss *without* headroom (the remaining
+//!   deadline is within the preprocessing budget): the request is
+//!   served by the row-wise baseline on the original CSR instead of
+//!   blocking on preprocessing it cannot afford. Correct results,
+//!   degraded throughput — never a missed answer.
+
+use crate::cache::{CacheStats, PlanCache, PlanCacheConfig};
+use crate::error::ServeError;
+use crate::fingerprint::MatrixFingerprint;
+use spmm_kernels::{sddmm, spmm, Engine, EngineConfig, KernelOp, Output};
+use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Construction options for [`ServeEngine`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. Default 4.
+    pub workers: usize,
+    /// Admission bound: submissions beyond this many queued jobs are
+    /// rejected with [`ServeError::Overloaded`]. Default 64.
+    pub queue_capacity: usize,
+    /// Plan-cache capacity (prepared plans kept resident). Default 32.
+    pub cache_capacity: usize,
+    /// Plan-cache shard count. Default 8.
+    pub cache_shards: usize,
+    /// The preprocessing budget: when a request's remaining deadline is
+    /// within this budget, a cache miss degrades to the row-wise
+    /// fallback instead of running `Engine::prepare`. Default 25 ms.
+    pub preprocess_budget: Duration,
+    /// Configuration for every `Engine::prepare` the cache runs.
+    pub engine: EngineConfig,
+    /// Optional external telemetry sink; the engine always keeps an
+    /// internal collector for [`ServeEngine::manifest`], and tees every
+    /// event to this handle when it is enabled.
+    pub telemetry: TelemetryHandle,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            cache_shards: 8,
+            preprocess_budget: Duration::from_millis(25),
+            engine: EngineConfig::default(),
+            telemetry: TelemetryHandle::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder initialised with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ServeConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission-control queue bound.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the plan-cache capacity.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.config.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the plan-cache shard count.
+    pub fn cache_shards(mut self, cache_shards: usize) -> Self {
+        self.config.cache_shards = cache_shards;
+        self
+    }
+
+    /// Sets the preprocessing budget for the fallback decision.
+    pub fn preprocess_budget(mut self, budget: Duration) -> Self {
+        self.config.preprocess_budget = budget;
+        self
+    }
+
+    /// Sets the engine-preparation configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the external telemetry sink.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RequestOp<T> {
+    Spmm {
+        x: Arc<DenseMatrix<T>>,
+    },
+    Sddmm {
+        x: Arc<DenseMatrix<T>>,
+        y: Arc<DenseMatrix<T>>,
+    },
+}
+
+/// One unit of work: a kernel invocation on a (possibly shared)
+/// matrix, with an optional deadline measured from submission.
+#[derive(Debug, Clone)]
+pub struct Request<T> {
+    matrix: Arc<CsrMatrix<T>>,
+    op: RequestOp<T>,
+    deadline: Option<Duration>,
+}
+
+impl<T: Scalar> Request<T> {
+    /// An SpMM request: `matrix × x`.
+    pub fn spmm(matrix: impl Into<Arc<CsrMatrix<T>>>, x: impl Into<Arc<DenseMatrix<T>>>) -> Self {
+        Request {
+            matrix: matrix.into(),
+            op: RequestOp::Spmm { x: x.into() },
+            deadline: None,
+        }
+    }
+
+    /// An SDDMM request: `matrix ⊙ (x · yᵀ)` sampled on the nonzeros.
+    pub fn sddmm(
+        matrix: impl Into<Arc<CsrMatrix<T>>>,
+        x: impl Into<Arc<DenseMatrix<T>>>,
+        y: impl Into<Arc<DenseMatrix<T>>>,
+    ) -> Self {
+        Request {
+            matrix: matrix.into(),
+            op: RequestOp::Sddmm {
+                x: x.into(),
+                y: y.into(),
+            },
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline, measured from [`ServeEngine::submit`].
+    /// A request still queued when it elapses is abandoned with
+    /// [`ServeError::DeadlineExceeded`]; a cold request whose remaining
+    /// slack is within the preprocessing budget degrades to the
+    /// row-wise fallback.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The request's matrix.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        &self.matrix
+    }
+}
+
+/// How a completed request was served (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServePath {
+    /// Served from a cached plan: zero additional preprocessing.
+    CachedPlan,
+    /// This request ran `Engine::prepare` and populated the cache.
+    FreshPlan,
+    /// Served by the row-wise baseline on the original CSR.
+    Fallback,
+}
+
+impl std::fmt::Display for ServePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServePath::CachedPlan => "cached-plan",
+            ServePath::FreshPlan => "fresh-plan",
+            ServePath::Fallback => "fallback",
+        })
+    }
+}
+
+/// A completed request: the kernel output plus its cost accounting.
+#[derive(Debug, Clone)]
+pub struct Response<T> {
+    /// The kernel result.
+    pub output: Output<T>,
+    /// Which service path produced it.
+    pub path: ServePath,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Preprocessing paid *by this request* — nonzero only on
+    /// [`ServePath::FreshPlan`]; a cache hit pays exactly zero.
+    pub preprocess: Duration,
+    /// Kernel execution time.
+    pub service: Duration,
+}
+
+/// A handle to an in-flight request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<Result<Response<T>, ServeError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the request resolves. Reports
+    /// [`ServeError::PoisonedPlan`] if the serving side dropped the
+    /// reply channel without answering (a worker died mid-request).
+    pub fn wait(self) -> Result<Response<T>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::PoisonedPlan))
+    }
+}
+
+/// Monotonic serving counters (exact, not sampled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that produced a response.
+    pub completed: u64,
+    /// Requests that resolved to an error after admission.
+    pub failed: u64,
+    /// Requests served by the row-wise fallback.
+    pub fallbacks: u64,
+    /// Requests abandoned in the queue past their deadline.
+    pub deadline_exceeded: u64,
+}
+
+struct Job<T> {
+    request: Request<T>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Response<T>, ServeError>>,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<Job<T>>>,
+    available: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    cache: PlanCache<T>,
+    engine_config: EngineConfig,
+    preprocess_budget: Duration,
+    telemetry: TelemetryHandle,
+    collector: Arc<Collector>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    fallbacks: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+impl<T: Scalar> Inner<T> {
+    fn count(&self, counter: &AtomicU64, name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter(name, 1);
+    }
+
+    fn execute_on(&self, engine: &Engine<T>, op: &RequestOp<T>) -> Result<Output<T>, ServeError> {
+        let result = match op {
+            RequestOp::Spmm { x } => engine.execute(KernelOp::Spmm { x }),
+            RequestOp::Sddmm { x, y } => engine.execute(KernelOp::Sddmm { x, y }),
+        };
+        result.map_err(ServeError::Execute)
+    }
+
+    fn execute_fallback(
+        &self,
+        m: &CsrMatrix<T>,
+        op: &RequestOp<T>,
+    ) -> Result<Output<T>, ServeError> {
+        let result = match op {
+            RequestOp::Spmm { x } => spmm::spmm_rowwise_par(m, x).map(Output::Dense),
+            RequestOp::Sddmm { x, y } => sddmm::sddmm_rowwise_par(m, x, y).map(Output::Values),
+        };
+        result.map_err(ServeError::Execute)
+    }
+
+    /// Serves one admitted job end to end.
+    fn process(&self, job: &Job<T>) -> Result<Response<T>, ServeError> {
+        let request = &job.request;
+        let queue_wait = job.enqueued.elapsed();
+        if let Some(deadline) = request.deadline {
+            if queue_wait >= deadline {
+                self.count(&self.deadline_exceeded, "serve.deadline_exceeded");
+                return Err(ServeError::DeadlineExceeded { waited: queue_wait });
+            }
+        }
+        let remaining = request.deadline.map(|d| d.saturating_sub(queue_wait));
+        // a cold request with no room left for preprocessing must not
+        // start (or wait on) a prepare it cannot afford
+        let tight = remaining.is_some_and(|r| r <= self.preprocess_budget);
+        let fp = MatrixFingerprint::of(&request.matrix);
+
+        let (engine, path, preprocess) = if tight {
+            match self.cache.try_get(&fp) {
+                Some(engine) => (Some(engine), ServePath::CachedPlan, Duration::ZERO),
+                None => (None, ServePath::Fallback, Duration::ZERO),
+            }
+        } else {
+            let (engine, fresh) = self
+                .cache
+                .get_or_prepare(fp, || Engine::prepare(&request.matrix, &self.engine_config))?;
+            if fresh {
+                let preprocess = engine.preprocessing_time();
+                (Some(engine), ServePath::FreshPlan, preprocess)
+            } else {
+                (Some(engine), ServePath::CachedPlan, Duration::ZERO)
+            }
+        };
+
+        let service_start = Instant::now();
+        let output = match &engine {
+            Some(engine) => self.execute_on(engine, &request.op)?,
+            None => {
+                self.count(&self.fallbacks, "serve.fallback");
+                self.execute_fallback(&request.matrix, &request.op)?
+            }
+        };
+        Ok(Response {
+            output,
+            path,
+            queue_wait,
+            preprocess,
+            service: service_start.elapsed(),
+        })
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("serve queue");
+                loop {
+                    // drain what was admitted even during shutdown: an
+                    // accepted request always gets an answer
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    queue = self.available.wait(queue).expect("serve queue");
+                }
+            };
+            let Some(job) = job else { return };
+            // a panicking kernel (or prepare) must not take the worker
+            // down with it — the requester sees PoisonedPlan instead
+            let result = catch_unwind(AssertUnwindSafe(|| self.process(&job)))
+                .unwrap_or(Err(ServeError::PoisonedPlan));
+            match &result {
+                Ok(_) => self.count(&self.completed, "serve.completed"),
+                Err(_) => self.count(&self.failed, "serve.failed"),
+            }
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+/// A plan-cached, deadline-aware, multi-tenant kernel executor (see
+/// the module docs for the service paths).
+///
+/// ```
+/// use spmm_data::generators;
+/// use spmm_serve::{Request, ServeConfig, ServeEngine, ServePath};
+///
+/// let serve = ServeEngine::<f64>::start(ServeConfig::default());
+/// let m = generators::banded::<f64>(256, 8, 4, 7);
+/// let x = generators::random_dense::<f64>(m.ncols(), 16, 3);
+///
+/// // cold: this request pays for preprocessing...
+/// let first = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+/// assert_eq!(first.path, ServePath::FreshPlan);
+/// // ...warm: the same structure is served from the cached plan
+/// let second = serve.execute(Request::spmm(m, x)).unwrap();
+/// assert_eq!(second.path, ServePath::CachedPlan);
+/// assert!(second.preprocess.is_zero());
+/// ```
+pub struct ServeEngine<T: Scalar> {
+    inner: Arc<Inner<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for ServeEngine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.inner.queue_capacity)
+            .field("cache", &self.inner.cache.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar> ServeEngine<T> {
+    /// Spawns the worker pool and returns the running engine.
+    pub fn start(config: ServeConfig) -> Self {
+        let collector = Arc::new(Collector::new());
+        let telemetry = if config.telemetry.is_enabled() {
+            TelemetryHandle::new(Arc::new(FanoutRecorder::new(vec![
+                collector.clone() as Arc<dyn Recorder>,
+                config.telemetry.recorder(),
+            ])))
+        } else {
+            TelemetryHandle::new(collector.clone())
+        };
+        let cache = PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(config.cache_capacity)
+                .shards(config.cache_shards)
+                .telemetry(telemetry.clone())
+                .build(),
+        );
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            cache,
+            engine_config: config.engine,
+            preprocess_budget: config.preprocess_budget,
+            telemetry,
+            collector,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        ServeEngine { inner, workers }
+    }
+
+    /// Enqueues a request, returning a [`Ticket`] to redeem for the
+    /// response.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the queue is at capacity or the
+    /// engine is shutting down — the request was never enqueued.
+    pub fn submit(&self, request: Request<T>) -> Result<Ticket<T>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().expect("serve queue");
+            if self.inner.shutdown.load(Ordering::Acquire)
+                || queue.len() >= self.inner.queue_capacity
+            {
+                let queue_depth = queue.len();
+                drop(queue);
+                self.inner.count(&self.inner.rejected, "serve.rejected");
+                return Err(ServeError::Overloaded {
+                    queue_depth,
+                    queue_capacity: self.inner.queue_capacity,
+                });
+            }
+            queue.push_back(Job {
+                request,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.inner.count(&self.inner.submitted, "serve.submitted");
+        self.inner.available.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and waits: the synchronous convenience path.
+    pub fn execute(&self, request: Request<T>) -> Result<Response<T>, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Refreshes the cached plan for `fp` in place with new values
+    /// (original nonzero order); see [`PlanCache::update_values`].
+    /// Returns `Ok(false)` when nothing is cached under `fp`.
+    pub fn update_values(&self, fp: &MatrixFingerprint, values: &[T]) -> Result<bool, ServeError> {
+        self.inner.cache.update_values(fp, values)
+    }
+
+    /// Snapshots the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let i = &self.inner;
+        ServeStats {
+            submitted: i.submitted.load(Ordering::Relaxed),
+            rejected: i.rejected.load(Ordering::Relaxed),
+            completed: i.completed.load(Ordering::Relaxed),
+            failed: i.failed.load(Ordering::Relaxed),
+            fallbacks: i.fallbacks.load(Ordering::Relaxed),
+            deadline_exceeded: i.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshots the plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Direct access to the plan cache (e.g. to `remove` a poisoned
+    /// entry).
+    pub fn cache(&self) -> &PlanCache<T> {
+        &self.inner.cache
+    }
+
+    /// The engine's telemetry handle: `serve.*` counters land here,
+    /// and callers may record their own gauges/meta into the same
+    /// manifest (the bench driver does).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.inner.telemetry
+    }
+
+    /// Snapshots the internal collector as a run manifest. All
+    /// `serve.*` and `serve.cache.*` counters appear in its run
+    /// totals, exact under concurrency.
+    pub fn manifest(&self) -> RunManifest {
+        self.inner.collector.manifest()
+    }
+
+    /// Stops accepting work and wakes idle workers. Already-admitted
+    /// jobs are still drained and answered. Called automatically on
+    /// drop.
+    pub fn shutdown(&self) {
+        // the queue lock orders the flag against sleeping workers:
+        // nobody can re-check the flag mid-wait and then sleep forever
+        let _queue = self.inner.queue.lock().expect("serve queue");
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+    }
+}
+
+impl<T: Scalar> Drop for ServeEngine<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_data::generators;
+
+    fn small_serve(workers: usize, queue: usize) -> ServeEngine<f64> {
+        ServeEngine::start(
+            ServeConfig::builder()
+                .workers(workers)
+                .queue_capacity(queue)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn cold_then_warm_spmm_paths() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(128, 128, 6, 3);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 5);
+        let expected = spmm::spmm_rowwise_seq(&m, &x).unwrap();
+
+        let cold = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        assert_eq!(cold.path, ServePath::FreshPlan);
+        assert!(cold.preprocess > Duration::ZERO);
+
+        let warm = serve.execute(Request::spmm(m, x)).unwrap();
+        assert_eq!(warm.path, ServePath::CachedPlan);
+        assert_eq!(warm.preprocess, Duration::ZERO);
+        let got = warm.output.into_dense().unwrap();
+        assert!(expected.max_abs_diff(&got) < 1e-10);
+
+        let stats = serve.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(serve.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn sddmm_requests_are_served() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(96, 80, 5, 9);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 1);
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 2);
+        let expected = sddmm::sddmm_rowwise_seq(&m, &x, &y).unwrap();
+        let resp = serve.execute(Request::sddmm(m, x, y)).unwrap();
+        let got = resp.output.into_values().unwrap();
+        let diff = expected
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "SDDMM deviates by {diff}");
+    }
+
+    #[test]
+    fn tight_deadline_cold_miss_degrades_to_fallback() {
+        let serve = small_serve(1, 16);
+        let m = generators::uniform_random::<f64>(128, 128, 6, 11);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 7);
+        let expected = spmm::spmm_rowwise_seq(&m, &x).unwrap();
+
+        // deadline == budget ⇒ remaining ≤ budget always: the tight
+        // path is taken deterministically, and the cache is cold
+        let deadline = serve.inner.preprocess_budget;
+        let resp = serve
+            .execute(Request::spmm(m.clone(), x.clone()).with_deadline(deadline))
+            .unwrap();
+        assert_eq!(resp.path, ServePath::Fallback);
+        assert_eq!(resp.preprocess, Duration::ZERO);
+        let got = resp.output.into_dense().unwrap();
+        assert!(expected.max_abs_diff(&got) < 1e-10);
+        assert_eq!(serve.stats().fallbacks, 1);
+        // the fallback did not populate the cache
+        assert_eq!(serve.cache_stats().inserts, 0);
+    }
+
+    #[test]
+    fn overload_rejects_with_queue_snapshot() {
+        // one worker, queue of one: rapid submissions must trip
+        // admission control
+        let serve = small_serve(1, 1);
+        let m = Arc::new(generators::uniform_random::<f64>(512, 512, 24, 3));
+        let x = Arc::new(generators::random_dense::<f64>(m.ncols(), 32, 5));
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            match serve.submit(Request::spmm(m.clone(), x.clone())) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { queue_capacity, .. }) => {
+                    assert_eq!(queue_capacity, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "20 rapid submissions never overloaded q=1");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.submitted + stats.rejected, 20);
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn shutdown_answers_admitted_work_then_rejects() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(64, 64, 4, 1);
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 2);
+        let ticket = serve.submit(Request::spmm(m.clone(), x.clone())).unwrap();
+        serve.shutdown();
+        // admitted before shutdown ⇒ answered
+        ticket.wait().unwrap();
+        // after shutdown ⇒ load-shed
+        assert!(matches!(
+            serve.submit(Request::spmm(m, x)),
+            Err(ServeError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_counters_match_stats() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(96, 96, 5, 21);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 4);
+        for _ in 0..3 {
+            serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        }
+        let manifest = serve.manifest();
+        let stats = serve.stats();
+        let cache = serve.cache_stats();
+        assert_eq!(manifest.counters["serve.submitted"], stats.submitted);
+        assert_eq!(manifest.counters["serve.completed"], stats.completed);
+        assert_eq!(manifest.counters["serve.cache.hit"], cache.hits);
+        assert_eq!(manifest.counters["serve.cache.miss"], cache.misses);
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.misses, 1);
+    }
+}

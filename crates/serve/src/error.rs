@@ -1,0 +1,103 @@
+//! The serving layer's structured error hierarchy.
+
+use spmm_sparse::SparseError;
+use std::fmt;
+use std::time::Duration;
+
+/// Everything that can go wrong between [`submit`] and a response.
+///
+/// Unlike `SparseError` — which describes *data* problems — these
+/// variants describe *serving* outcomes: load shedding, missed
+/// deadlines and broken cache entries are expected operating states a
+/// client must be able to branch on, not strings to parse.
+///
+/// [`submit`]: crate::ServeEngine::submit
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue was
+    /// full, or the engine is shutting down. Back off and retry — the
+    /// request was never enqueued.
+    Overloaded {
+        /// Jobs already waiting when the request was rejected.
+        queue_depth: usize,
+        /// The configured queue bound.
+        queue_capacity: usize,
+    },
+    /// The per-request deadline elapsed while the request was still
+    /// queued; it was abandoned before any work started.
+    DeadlineExceeded {
+        /// How long the request had waited when it was abandoned.
+        waited: Duration,
+    },
+    /// Preparing the plan failed — the matrix violates the CSR
+    /// invariants or is otherwise unusable.
+    Prepare(SparseError),
+    /// Executing a kernel failed — operand shapes don't match the
+    /// request's matrix.
+    Execute(SparseError),
+    /// A prepare for this fingerprint panicked. The cached slot stays
+    /// poisoned — every lookup reports this deterministically — until
+    /// the entry is evicted or removed with
+    /// [`PlanCache::remove`](crate::PlanCache::remove).
+    PoisonedPlan,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                queue_capacity,
+            } => write!(
+                f,
+                "overloaded: queue at {queue_depth}/{queue_capacity}, request rejected"
+            ),
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after waiting {waited:?}")
+            }
+            ServeError::Prepare(e) => write!(f, "plan preparation failed: {e}"),
+            ServeError::Execute(e) => write!(f, "kernel execution failed: {e}"),
+            ServeError::PoisonedPlan => {
+                write!(f, "cached plan is poisoned (a prepare panicked)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Prepare(e) | ServeError::Execute(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded {
+            queue_depth: 64,
+            queue_capacity: 64,
+        };
+        assert!(e.to_string().contains("64/64"), "{e}");
+        let e = ServeError::DeadlineExceeded {
+            waited: Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("deadline"), "{e}");
+        assert!(ServeError::PoisonedPlan.to_string().contains("poisoned"));
+    }
+
+    #[test]
+    fn source_chains_to_sparse_error() {
+        use std::error::Error;
+        let inner = SparseError::InvalidStructure("bad rowptr".into());
+        let e = ServeError::Prepare(inner.clone());
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+        assert!(ServeError::PoisonedPlan.source().is_none());
+    }
+}

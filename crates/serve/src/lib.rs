@@ -1,0 +1,53 @@
+//! Plan-cached concurrent serving layer for the ASpT-RR pipeline.
+//!
+//! The one-shot [`Engine`](spmm_kernels::Engine) pays the paper's Fig 5
+//! preprocessing cost on every `prepare`. In a serving setting — many
+//! tenants, repeated kernels over a working set of sparsity structures,
+//! per-request deadlines — that cost must be paid *once per structure*
+//! and amortised across every request that shares it. This crate is the
+//! amortisation machinery:
+//!
+//! * [`MatrixFingerprint`] — a structural identity (shape + FNV-1a over
+//!   `rowptr`/`colidx`, values excluded) that two matrices share iff
+//!   the preprocessing pipeline would produce the same plan for both.
+//! * [`PlanCache`] — a sharded, capacity-bounded LRU from fingerprint
+//!   to `Arc<Engine<T>>` with coalesced preparation (a thundering herd
+//!   prepares exactly once) and in-place value refreshes.
+//! * [`ServeEngine`] — a bounded-queue worker pool with admission
+//!   control ([`ServeError::Overloaded`]), per-request deadlines, and
+//!   graceful degradation: a cold miss without preprocessing headroom
+//!   is served by the row-wise baseline on the original CSR instead of
+//!   missing its deadline.
+//! * [`run_serve_bench`] — the `serve-bench` workload driver: Zipf
+//!   matrix popularity over the generator corpus, concurrent clients,
+//!   and deterministic hit/cold probes for the caching contract.
+//!
+//! ```
+//! use spmm_data::generators;
+//! use spmm_serve::{Request, ServeConfig, ServeEngine, ServePath};
+//!
+//! let serve = ServeEngine::<f32>::start(ServeConfig::default());
+//! let m = generators::banded::<f32>(256, 8, 4, 7);
+//! let x = generators::random_dense::<f32>(m.ncols(), 16, 3);
+//! let cold = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+//! let warm = serve.execute(Request::spmm(m, x)).unwrap();
+//! assert_eq!(cold.path, ServePath::FreshPlan);
+//! assert_eq!(warm.path, ServePath::CachedPlan);
+//! assert!(warm.preprocess.is_zero());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod fingerprint;
+
+pub use bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
+pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
+pub use engine::{
+    Request, Response, ServeConfig, ServeConfigBuilder, ServeEngine, ServePath, ServeStats, Ticket,
+};
+pub use error::ServeError;
+pub use fingerprint::MatrixFingerprint;

@@ -120,8 +120,10 @@ fn rr_wins_where_the_paper_says_it_wins() {
 #[test]
 fn rr_never_hurts_where_skip_heuristics_fire() {
     // on a well-clustered matrix the plan is identity, so RR == NR
-    // exactly (same traces, same simulated time)
-    let m = generators::block_diagonal::<f32>(64, 32, 64, 24, 5);
+    // exactly (same traces, same simulated time). The fixture is
+    // pinned: dense ratio exactly 1.0 and an empty remainder make both
+    // §4 skip decisions unambiguous under any RNG backend.
+    let m = generators::pinned_block_diagonal::<f32>(64, 16, 24);
     let device = DeviceConfig::p100();
     let trial = choose_variant(&m, Kernel::Spmm, 128, &device, &engine_config().reorder).unwrap();
     assert!(!trial.reordering_applied);

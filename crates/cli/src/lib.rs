@@ -19,7 +19,13 @@ usage:
       classes: scattered powerlaw rmat banded stencil clustered
                shuffled noisy diagonal cf
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
-                      [--cache N] [--zipf S] [--seed N] [--k N] [--json]";
+                      [--cache N] [--zipf S] [--seed N] [--k N] [--json]
+  spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
+                      [--cache N] [--zipf S] [--seed N] [--k N] [--json]
+                      [--faults \"point:action@hits,...\"]
+      actions: error panic delay:<ms>ms    hits: N every:N N..M *
+      points:  kernel.prepare kernel.execute reorder.round1
+               reorder.round2 serve.cache.prepare serve.worker";
 
 /// One allowed flag of a subcommand: name (without `--`) and whether it
 /// consumes a value.
@@ -41,6 +47,17 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("zipf", true),
             ("seed", true),
             ("k", true),
+            ("json", false),
+        ]),
+        "chaos-bench" => Some(&[
+            ("requests", true),
+            ("concurrency", true),
+            ("workers", true),
+            ("cache", true),
+            ("zipf", true),
+            ("seed", true),
+            ("k", true),
+            ("faults", true),
             ("json", false),
         ]),
         _ => None,
@@ -105,6 +122,16 @@ pub enum Invocation {
     ServeBench {
         /// The benchmark workload configuration.
         config: ServeBenchConfig,
+        /// Emit the run-manifest JSON instead of the summary.
+        json: bool,
+    },
+    /// `chaos-bench [--requests N] [--concurrency N] [--workers N]
+    /// [--cache N] [--zipf S] [--seed N] [--k N] [--faults SPEC]
+    /// [--json]`
+    ChaosBench {
+        /// The chaos workload configuration (including the optional
+        /// fault schedule).
+        config: ChaosBenchConfig,
         /// Emit the run-manifest JSON instead of the summary.
         json: bool,
     },
@@ -228,6 +255,34 @@ impl Invocation {
                     json: flags.contains_key("json"),
                 })
             }
+            "chaos-bench" => {
+                let mut config = ChaosBenchConfig::default();
+                let parse_usize = |flags: &std::collections::HashMap<String, String>,
+                                   name: &str,
+                                   default: usize|
+                 -> Result<usize, String> {
+                    match flags.get(name) {
+                        Some(v) => v.parse().map_err(|_| format!("bad --{name} value '{v}'")),
+                        None => Ok(default),
+                    }
+                };
+                config.requests = parse_usize(&flags, "requests", config.requests)?;
+                config.concurrency = parse_usize(&flags, "concurrency", config.concurrency)?;
+                config.workers = parse_usize(&flags, "workers", config.workers)?;
+                config.cache_capacity = parse_usize(&flags, "cache", config.cache_capacity)?;
+                config.k = parse_usize(&flags, "k", config.k)?;
+                if let Some(v) = flags.get("zipf") {
+                    config.zipf_s = v.parse().map_err(|_| format!("bad --zipf value '{v}'"))?;
+                }
+                if let Some(v) = flags.get("seed") {
+                    config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+                }
+                config.faults = flags.get("faults").cloned();
+                Ok(Invocation::ChaosBench {
+                    config,
+                    json: flags.contains_key("json"),
+                })
+            }
             other => Err(format!("unknown command '{other}'")),
         }
     }
@@ -332,6 +387,20 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
             let report = run_serve_bench(config).map_err(|e| e.to_string())?;
             if !report.probes_passed() {
                 return Err(format!("serve-bench probes failed:\n{}", report.render()));
+            }
+            if *json {
+                Ok(report.manifest.to_json(true))
+            } else {
+                Ok(report.render())
+            }
+        }
+        Invocation::ChaosBench { config, json } => {
+            let report = run_chaos_bench(config).map_err(|e| e.to_string())?;
+            if !report.all_successes_exact() {
+                return Err(format!(
+                    "chaos-bench exactness contract failed:\n{}",
+                    report.render()
+                ));
             }
             if *json {
                 Ok(report.manifest.to_json(true))
@@ -650,6 +719,66 @@ mod tests {
         assert!(out.contains("hit probe"), "{out}");
         assert!(out.contains("cold probe"), "{out}");
         assert!(!out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
+    fn parse_chaos_bench() {
+        let inv = Invocation::parse(&s(&[
+            "chaos-bench",
+            "--requests",
+            "24",
+            "--seed",
+            "7",
+            "--faults",
+            "serve.cache.prepare:error@every:3",
+            "--json",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::ChaosBench { config, json } => {
+                assert_eq!(config.requests, 24);
+                assert_eq!(config.seed, 7);
+                assert_eq!(
+                    config.faults.as_deref(),
+                    Some("serve.cache.prepare:error@every:3")
+                );
+                assert!(json);
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        // --faults needs a value; --device is not a chaos-bench flag
+        assert!(Invocation::parse(&s(&["chaos-bench", "--faults"])).is_err());
+        assert!(Invocation::parse(&s(&["chaos-bench", "--device", "p100"])).is_err());
+    }
+
+    #[test]
+    fn chaos_bench_clean_run_reports_exactness() {
+        // no --faults: must not arm the global registry (other tests in
+        // this binary run concurrently); faulted runs live in the
+        // dedicated chaos suite
+        let inv = Invocation::parse(&s(&[
+            "chaos-bench",
+            "--requests",
+            "16",
+            "--concurrency",
+            "2",
+            "--workers",
+            "2",
+            "--k",
+            "8",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("ok 16  failed 0"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
+        // a malformed fault spec is a targeted error, not a panic
+        let mut bad_config = ChaosBenchConfig::default();
+        bad_config.faults = Some("nope".into());
+        let bad = Invocation::ChaosBench {
+            config: bad_config,
+            json: false,
+        };
+        assert!(run(&bad).is_err());
     }
 
     #[test]

@@ -70,12 +70,14 @@
 //! | [`gpu_sim`] | P100 memory-hierarchy simulator |
 //! | [`kernels`] | exact CPU kernels, [`Engine`], autotuner |
 //! | [`serve`] | plan cache, fingerprints, concurrent serving engine |
+//! | [`faults`] | deterministic fault injection (points, plans, clocks) |
 //! | [`telemetry`] | recorder trait, span collector, run manifests |
 
 #![warn(missing_docs)]
 
 pub use spmm_aspt as aspt;
 pub use spmm_data as data;
+pub use spmm_faults as faults;
 pub use spmm_formats as formats;
 pub use spmm_gpu_sim as gpu_sim;
 pub use spmm_kernels as kernels;
@@ -90,6 +92,9 @@ pub mod prelude {
     pub use spmm_aspt::{AsptConfig, AsptMatrix, AsptStats};
     pub use spmm_data::generators;
     pub use spmm_data::{Corpus, CorpusMatrix, CorpusProfile, MatrixClass};
+    pub use spmm_faults::{
+        quiesce, ClockHandle, FaultAction, FaultPlan, FaultPoint, HitSpec, ManualClock,
+    };
     pub use spmm_formats::{CsbMatrix, EllMatrix, SellPMatrix};
     pub use spmm_gpu_sim::kernels::{
         simulate_sddmm_aspt, simulate_sddmm_rowwise, simulate_spmm_aspt, simulate_spmm_rowwise,
@@ -107,9 +112,10 @@ pub mod prelude {
         ReorderPolicy,
     };
     pub use spmm_serve::{
-        run_serve_bench, CacheStats, MatrixFingerprint, PlanCache, PlanCacheConfig, Request,
-        Response, ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError,
-        ServePath, ServeStats, Ticket,
+        run_chaos_bench, run_serve_bench, CacheStats, ChaosBenchConfig, ChaosBenchReport,
+        HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, Request, Response,
+        ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError, ServePath,
+        ServeStats, Ticket,
     };
     pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
     pub use spmm_telemetry::{

@@ -9,6 +9,7 @@
 //! to users of the results.
 
 use spmm_aspt::AsptMatrix;
+use spmm_faults::FaultPoint;
 use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt};
 use spmm_gpu_sim::{DeviceConfig, SimReport};
 use spmm_reorder::{plan_reordering_with, ReorderConfig, ReorderPlan};
@@ -19,6 +20,15 @@ use std::time::Duration;
 
 use crate::sddmm::sddmm_aspt;
 use crate::spmm::spmm_aspt;
+
+/// Fault point at the head of [`Engine::prepare`], after the CSR
+/// invariants check: an injected error surfaces exactly like a
+/// planning failure ([`SparseError::InvalidStructure`]).
+pub static FAULT_KERNEL_PREPARE: FaultPoint = FaultPoint::new("kernel.prepare");
+
+/// Fault point at the head of [`Engine::execute`]: an injected error
+/// surfaces like an operand validation failure.
+pub static FAULT_KERNEL_EXECUTE: FaultPoint = FaultPoint::new("kernel.execute");
 
 /// Engine construction options.
 ///
@@ -277,6 +287,9 @@ impl<T: Scalar> Engine<T> {
     /// the CSR invariants (see `CsrMatrix::check_invariants`).
     pub fn prepare(m: &CsrMatrix<T>, config: &EngineConfig) -> Result<Self, SparseError> {
         m.check_invariants()?;
+        FAULT_KERNEL_PREPARE
+            .fire()
+            .map_err(|e| SparseError::InvalidStructure(e.to_string()))?;
         let collector = Arc::new(Collector::new());
         let telemetry = if config.telemetry.is_enabled() {
             TelemetryHandle::new(Arc::new(FanoutRecorder::new(vec![
@@ -394,6 +407,9 @@ impl<T: Scalar> Engine<T> {
     /// # Errors
     /// Fails on operand shape mismatches, like the named methods.
     pub fn execute(&self, op: KernelOp<'_, T>) -> Result<Output<T>, SparseError> {
+        FAULT_KERNEL_EXECUTE
+            .fire()
+            .map_err(|e| SparseError::InvalidStructure(e.to_string()))?;
         match op {
             KernelOp::Spmm { x } => {
                 let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());

@@ -16,10 +16,22 @@
 use crate::cluster::{cluster_rows, ClusterStats};
 use serde::{Deserialize, Serialize};
 use spmm_aspt::{dense_ratio_of, AsptConfig, AsptMatrix};
+use spmm_faults::FaultPoint;
 use spmm_lsh::{generate_candidates_with, LshConfig};
 use spmm_sparse::similarity::{avg_consecutive_similarity, avg_consecutive_similarity_ordered};
 use spmm_sparse::{CsrMatrix, Permutation, Scalar};
 use spmm_telemetry::TelemetryHandle;
+
+/// Fault point at the head of the round-1 section of
+/// [`plan_reordering_with`]. Planning is infallible, so an injected
+/// `Error` escalates to a panic; the serving layer's `catch_unwind`
+/// boundary turns it into a poisoned cache slot.
+pub static FAULT_REORDER_ROUND1: FaultPoint = FaultPoint::new("reorder.round1");
+
+/// Fault point at the head of the round-2 section of
+/// [`plan_reordering_with`]; same escalation as
+/// [`FAULT_REORDER_ROUND1`].
+pub static FAULT_REORDER_ROUND2: FaultPoint = FaultPoint::new("reorder.round2");
 
 /// When to *skip* each reordering round (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -201,6 +213,7 @@ pub fn plan_reordering_with<T: Scalar>(
     telemetry.gauge("plan.dense_ratio_before", dense_ratio_before);
 
     // ---- round 1: reorder the whole matrix --------------------------
+    FAULT_REORDER_ROUND1.fire_or_panic();
     let run_round1 =
         config.policy.force_round1 || dense_ratio_before <= config.policy.skip_round1_dense_ratio;
     let (row_perm, round1_stats, round1_applied) = if run_round1 {
@@ -231,6 +244,7 @@ pub fn plan_reordering_with<T: Scalar>(
     telemetry.gauge("plan.dense_ratio_after", dense_ratio_after);
 
     // ---- round 2: order the sparse remainder ------------------------
+    FAULT_REORDER_ROUND2.fire_or_panic();
     let aspt = {
         let _span = telemetry.span("probe_tile");
         AsptMatrix::build(m1, &config.aspt)

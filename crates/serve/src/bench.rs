@@ -166,8 +166,9 @@ impl ServeBenchReport {
 }
 
 /// Draws `n` Zipf-distributed corpus indices: index `i` with weight
-/// `1/(i+1)^s`.
-fn zipf_schedule(n: usize, population: usize, s: f64, rng: &mut SmallRng) -> Vec<usize> {
+/// `1/(i+1)^s`. Shared with the chaos driver so both workloads draw
+/// from the same popularity model.
+pub(crate) fn zipf_schedule(n: usize, population: usize, s: f64, rng: &mut SmallRng) -> Vec<usize> {
     let weights: Vec<f64> = (0..population)
         .map(|i| 1.0 / ((i + 1) as f64).powf(s))
         .collect();
@@ -283,7 +284,9 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("bench client panicked"))
+            // a panicked client contributes no latencies; its requests
+            // are still accounted for in the engine counters
+            .flat_map(|h| h.join().unwrap_or_default())
             .collect()
     });
     let wall = stream_start.elapsed();

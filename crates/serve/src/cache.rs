@@ -15,25 +15,54 @@
 //!   the eviction order is the exact global LRU order, which the tests
 //!   pin down.
 //! * **Exact counters.** Every lookup increments exactly one of
-//!   hit/miss (hit: an entry existed; miss: this call created it or
-//!   found nothing usable), under the shard lock's serialization — the
+//!   hit/miss (hit: a usable or in-flight entry existed; miss: this
+//!   call created the slot, claimed a retry, was suppressed, or found
+//!   nothing), under the shard lock's serialization — the
 //!   `serve.cache.*` telemetry counters in the run manifest agree with
 //!   [`CacheStats`] under any interleaving.
 //!
-//! A prepare that *panics* poisons its slot: later lookups report
-//! [`ServeError::PoisonedPlan`] deterministically until the entry is
-//! evicted or [`PlanCache::remove`]d. A prepare that returns an error
-//! is propagated once and the entry removed, so a later caller retries.
+//! Failure handling is stateful, not fire-and-forget:
+//!
+//! * A prepare that **returns an error** leaves the slot `Failed` with
+//!   a per-fingerprint failure count. Lookups inside the exponential
+//!   backoff window (base × 2ⁿ⁻¹, capped, plus deterministic
+//!   seed-derived jitter) fast-fail with [`ServeError::RetryBackoff`]
+//!   without running the pipeline; the first lookup past the window
+//!   claims the slot and retries.
+//! * After [`PlanCacheConfig::breaker_threshold`] consecutive failures
+//!   the fingerprint's **circuit breaker opens**: lookups fast-fail
+//!   with [`ServeError::BreakerOpen`] until the cooldown elapses, then
+//!   exactly one half-open probe is admitted — success closes the
+//!   breaker, failure re-opens it for another cooldown. Transitions
+//!   are counted as `serve.breaker.{open,half_open,close}` and retry
+//!   outcomes as `serve.retry.{suppressed,attempt,scheduled}`.
+//! * A prepare that **panics** poisons its slot: later lookups report
+//!   [`ServeError::PoisonedPlan`] deterministically until the entry is
+//!   evicted, [`PlanCache::remove`]d, or swept by
+//!   [`PlanCache::clear_poisoned`]. The serving layer quarantines such
+//!   fingerprints and degrades to the row-wise fallback.
+//!
+//! All waiting is on the injectable clock ([`ClockHandle`]), so tests
+//! step through backoff windows and cooldowns without sleeping.
 
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
+use crate::lock_clean;
+use spmm_faults::{splitmix64, ClockHandle, FaultPoint};
 use spmm_kernels::Engine;
 use spmm_sparse::{Scalar, SparseError};
 use spmm_telemetry::TelemetryHandle;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Fault point fired inside the prepare closure, within the cache's
+/// `catch_unwind` boundary: an `Error` action surfaces as a failed
+/// prepare (feeding the backoff/breaker machinery) and a `Panic`
+/// action poisons the slot exactly like a real mid-prepare panic.
+pub static FAULT_SERVE_CACHE_PREPARE: FaultPoint = FaultPoint::new("serve.cache.prepare");
 
 /// Construction options for [`PlanCache`].
 #[derive(Debug, Clone)]
@@ -46,9 +75,26 @@ pub struct PlanCacheConfig {
     /// contention; `1` makes the LRU eviction order globally exact.
     /// Default 8.
     pub shards: usize,
-    /// Sink for the `serve.cache.{hit,miss,eviction,insert,refresh}`
-    /// counters. Disabled by default.
+    /// Sink for the `serve.cache.*`, `serve.retry.*` and
+    /// `serve.breaker.*` counters. Disabled by default.
     pub telemetry: TelemetryHandle,
+    /// First backoff window after a failed prepare; window `n` is
+    /// `base × 2ⁿ⁻¹` (capped) plus jitter. Default 10 ms.
+    pub retry_backoff_base: Duration,
+    /// Upper bound on the raw (pre-jitter) backoff window. Default 1 s.
+    pub retry_backoff_cap: Duration,
+    /// Consecutive prepare failures that open the fingerprint's
+    /// circuit breaker. Default 3.
+    pub breaker_threshold: u32,
+    /// How long an open breaker suppresses attempts before admitting a
+    /// half-open probe. Default 250 ms.
+    pub breaker_cooldown: Duration,
+    /// Seed for the deterministic backoff jitter (combined with the
+    /// fingerprint and failure count). Default 0.
+    pub retry_jitter_seed: u64,
+    /// Time source for backoff windows and breaker cooldowns. Tests
+    /// inject a manual clock; defaults to the system clock.
+    pub clock: ClockHandle,
 }
 
 impl Default for PlanCacheConfig {
@@ -57,6 +103,12 @@ impl Default for PlanCacheConfig {
             capacity: 32,
             shards: 8,
             telemetry: TelemetryHandle::default(),
+            retry_backoff_base: Duration::from_millis(10),
+            retry_backoff_cap: Duration::from_secs(1),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            retry_jitter_seed: 0,
+            clock: ClockHandle::default(),
         }
     }
 }
@@ -93,6 +145,42 @@ impl PlanCacheConfigBuilder {
         self
     }
 
+    /// Sets the first backoff window after a failed prepare.
+    pub fn retry_backoff_base(mut self, base: Duration) -> Self {
+        self.config.retry_backoff_base = base;
+        self
+    }
+
+    /// Sets the upper bound on the raw backoff window.
+    pub fn retry_backoff_cap(mut self, cap: Duration) -> Self {
+        self.config.retry_backoff_cap = cap;
+        self
+    }
+
+    /// Sets the consecutive-failure count that opens the breaker.
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets the open-breaker cooldown before a half-open probe.
+    pub fn breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the backoff jitter seed.
+    pub fn retry_jitter_seed(mut self, seed: u64) -> Self {
+        self.config.retry_jitter_seed = seed;
+        self
+    }
+
+    /// Sets the time source.
+    pub fn clock(mut self, clock: ClockHandle) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> PlanCacheConfig {
         self.config
@@ -104,17 +192,21 @@ impl PlanCacheConfigBuilder {
 pub struct CacheStats {
     /// Lookups that found an entry (ready or in flight).
     pub hits: u64,
-    /// Lookups that found nothing usable (and possibly started a
-    /// prepare).
+    /// Lookups that found nothing usable (created a slot, claimed a
+    /// retry, or were suppressed by backoff/breaker).
     pub misses: u64,
     /// Entries dropped to make room at capacity.
     pub evictions: u64,
-    /// Slots created (each corresponds to one prepare attempt).
+    /// Slots created (each corresponds to one initial prepare
+    /// attempt; backoff retries reuse the slot and are not counted).
     pub inserts: u64,
     /// In-place value refreshes via [`PlanCache::update_values`].
     pub refreshes: u64,
-    /// Entries currently cached.
+    /// Entries currently cached (including failed and poisoned slots).
     pub len: usize,
+    /// Entries currently poisoned (a prepare panicked); recover them
+    /// with [`PlanCache::clear_poisoned`].
+    pub poisoned: usize,
     /// The configured total capacity bound.
     pub capacity: usize,
 }
@@ -131,6 +223,27 @@ impl CacheStats {
     }
 }
 
+/// Whether the fingerprint's circuit breaker is tripped. Half-open is
+/// a transient condition (an admitted probe), never a stored state:
+/// the probe's slot is `Preparing`, and its outcome stores `Closed`
+/// (success) or `Open` (failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open,
+}
+
+/// The persistent record of a fingerprint's failed prepare(s).
+#[derive(Debug, Clone)]
+struct FailureState {
+    error: SparseError,
+    /// Consecutive failed prepares (resets on success).
+    failures: u32,
+    /// Clock instant after which the next attempt is admitted.
+    next_retry_at: Duration,
+    breaker: Breaker,
+}
+
 /// State of one fingerprint's slot.
 #[derive(Debug)]
 enum SlotState<T> {
@@ -138,9 +251,9 @@ enum SlotState<T> {
     Preparing,
     /// The shared, ready-to-execute plan.
     Ready(Arc<Engine<T>>),
-    /// The prepare returned an error (propagated once; the entry is
-    /// removed so the next caller retries).
-    Failed(SparseError),
+    /// The last prepare returned an error; the slot persists so
+    /// backoff and breaker state survive between attempts.
+    Failed(FailureState),
     /// The prepare panicked.
     Poisoned,
 }
@@ -160,18 +273,23 @@ impl<T: Scalar> PlanSlot<T> {
     }
 
     fn fulfill(&self, new: SlotState<T>) {
-        *self.state.lock().expect("plan slot lock") = new;
+        *lock_clean(&self.state) = new;
         self.ready.notify_all();
     }
 
     /// Blocks until the slot leaves `Preparing`.
     fn wait(&self) -> Result<Arc<Engine<T>>, ServeError> {
-        let mut state = self.state.lock().expect("plan slot lock");
+        let mut state = lock_clean(&self.state);
         loop {
             match &*state {
-                SlotState::Preparing => state = self.ready.wait(state).expect("plan slot lock"),
+                SlotState::Preparing => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner)
+                }
                 SlotState::Ready(engine) => return Ok(Arc::clone(engine)),
-                SlotState::Failed(e) => return Err(ServeError::Prepare(e.clone())),
+                SlotState::Failed(fs) => return Err(ServeError::Prepare(fs.error.clone())),
                 SlotState::Poisoned => return Err(ServeError::PoisonedPlan),
             }
         }
@@ -191,13 +309,19 @@ struct Shard<T> {
 }
 
 /// Sharded LRU cache of fingerprint → prepared plan (see the module
-/// docs for the concurrency contract).
+/// docs for the concurrency and failure-recovery contracts).
 #[derive(Debug)]
 pub struct PlanCache<T> {
     shards: Vec<Mutex<Shard<T>>>,
     per_shard_capacity: usize,
     capacity: usize,
     telemetry: TelemetryHandle,
+    retry_backoff_base: Duration,
+    retry_backoff_cap: Duration,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    retry_jitter_seed: u64,
+    clock: ClockHandle,
     /// Monotonic lookup clock driving LRU recency.
     tick: AtomicU64,
     hits: AtomicU64,
@@ -217,6 +341,12 @@ impl<T: Scalar> PlanCache<T> {
             per_shard_capacity,
             capacity: per_shard_capacity * shards,
             telemetry: config.telemetry,
+            retry_backoff_base: config.retry_backoff_base,
+            retry_backoff_cap: config.retry_backoff_cap,
+            breaker_threshold: config.breaker_threshold.max(1),
+            breaker_cooldown: config.breaker_cooldown,
+            retry_jitter_seed: config.retry_jitter_seed,
+            clock: config.clock,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -245,16 +375,35 @@ impl<T: Scalar> PlanCache<T> {
         self.telemetry.counter("serve.cache.miss", 1);
     }
 
+    /// Backoff window after the `failures`-th consecutive failure:
+    /// `base × 2^(failures-1)` capped at the configured ceiling, plus
+    /// a deterministic jitter of up to 25 % derived from the jitter
+    /// seed, the fingerprint and the failure count.
+    fn backoff_after(&self, fp: &MatrixFingerprint, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(1).min(16);
+        let raw = self
+            .retry_backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.retry_backoff_cap);
+        let quarter = (raw.as_nanos() / 4).min(u128::from(u64::MAX)) as u64;
+        let jitter = if quarter == 0 {
+            0
+        } else {
+            splitmix64(self.retry_jitter_seed ^ fp.hash() ^ u64::from(failures)) % (quarter + 1)
+        };
+        raw + Duration::from_nanos(jitter)
+    }
+
     /// Non-blocking lookup: `Some` iff a fully prepared plan is cached
     /// (bumping its recency and counting a hit); counts a miss
     /// otherwise. This is the deadline-pressured path — a caller that
     /// would fall back rather than wait for an in-flight prepare.
     pub fn try_get(&self, fp: &MatrixFingerprint) -> Option<Arc<Engine<T>>> {
         let tick = self.next_tick();
-        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
+        let mut shard = lock_clean(self.shard_for(fp));
         if let Some(entry) = shard.entries.get_mut(fp) {
             let ready = {
-                let state = entry.slot.state.lock().expect("plan slot lock");
+                let state = lock_clean(&entry.slot.state);
                 match &*state {
                     SlotState::Ready(engine) => Some(Arc::clone(engine)),
                     _ => None,
@@ -274,8 +423,9 @@ impl<T: Scalar> PlanCache<T> {
 
     /// The coalescing lookup: returns the cached plan for `fp`,
     /// preparing it with `prepare` if absent. Returns the engine plus
-    /// `true` when *this call* ran the prepare (a cold miss), `false`
-    /// when the plan was already cached or in flight.
+    /// `true` when *this call* ran the prepare (a cold miss or an
+    /// admitted retry), `false` when the plan was already cached or in
+    /// flight.
     ///
     /// Concurrent calls on the same fingerprint run `prepare` exactly
     /// once; the others block until it resolves. `prepare` runs
@@ -283,10 +433,13 @@ impl<T: Scalar> PlanCache<T> {
     /// blocked behind a slow preprocessing run.
     ///
     /// # Errors
-    /// [`ServeError::Prepare`] when `prepare` fails (the entry is
-    /// removed, so a later call retries); [`ServeError::PoisonedPlan`]
-    /// when a previous `prepare` for this fingerprint panicked and the
-    /// poisoned entry is still cached.
+    /// [`ServeError::Prepare`] when `prepare` fails (the slot persists
+    /// as failed and schedules a backoff window);
+    /// [`ServeError::RetryBackoff`] / [`ServeError::BreakerOpen`] when
+    /// a previous failure's backoff window or breaker cooldown has not
+    /// elapsed (the attempt is suppressed without running `prepare`);
+    /// [`ServeError::PoisonedPlan`] when a previous `prepare` for this
+    /// fingerprint panicked and the poisoned entry is still cached.
     ///
     /// # Panics
     /// Re-raises `prepare`'s panic in the preparing caller after
@@ -298,7 +451,7 @@ impl<T: Scalar> PlanCache<T> {
     ) -> Result<(Arc<Engine<T>>, bool), ServeError> {
         let tick = self.next_tick();
         let (slot, created) = {
-            let mut shard = self.shard_for(&fp).lock().expect("plan cache shard");
+            let mut shard = lock_clean(self.shard_for(&fp));
             match shard.entries.get_mut(&fp) {
                 Some(entry) => {
                     entry.last_used = tick;
@@ -318,26 +471,83 @@ impl<T: Scalar> PlanCache<T> {
                 }
             }
         };
-        if !created {
-            self.count_hit();
-            return slot.wait().map(|engine| (engine, false));
+        let mut prior: Option<FailureState> = None;
+        if created {
+            self.count_miss();
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.counter("serve.cache.insert", 1);
+        } else {
+            // Resolve the existing slot: wait on in-flight/ready slots,
+            // claim or suppress failed ones.
+            let claimed = {
+                let mut state = lock_clean(&slot.state);
+                if let SlotState::Failed(fs) = &*state {
+                    let now = self.clock.now();
+                    if now < fs.next_retry_at {
+                        let (failures, retry_in) = (fs.failures, fs.next_retry_at - now);
+                        let err = match fs.breaker {
+                            Breaker::Open => ServeError::BreakerOpen { failures, retry_in },
+                            Breaker::Closed => ServeError::RetryBackoff { failures, retry_in },
+                        };
+                        drop(state);
+                        self.count_miss();
+                        self.telemetry.counter("serve.retry.suppressed", 1);
+                        return Err(err);
+                    }
+                    prior = Some(fs.clone());
+                    *state = SlotState::Preparing;
+                    true
+                } else {
+                    false
+                }
+            };
+            if !claimed {
+                self.count_hit();
+                return slot.wait().map(|engine| (engine, false));
+            }
+            self.count_miss();
+            self.telemetry.counter("serve.retry.attempt", 1);
+            if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
+                self.telemetry.counter("serve.breaker.half_open", 1);
+            }
         }
-        self.count_miss();
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.telemetry.counter("serve.cache.insert", 1);
-        match catch_unwind(AssertUnwindSafe(prepare)) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            FAULT_SERVE_CACHE_PREPARE
+                .fire()
+                .map_err(|e| SparseError::InvalidStructure(e.to_string()))?;
+            prepare()
+        })) {
             Ok(Ok(engine)) => {
                 let engine = Arc::new(engine);
                 slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
+                if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
+                    self.telemetry.counter("serve.breaker.close", 1);
+                }
                 Ok((engine, true))
             }
             Ok(Err(e)) => {
-                slot.fulfill(SlotState::Failed(e.clone()));
-                self.remove_if_same_slot(&fp, &slot);
+                let now = self.clock.now();
+                let failures = prior.as_ref().map_or(0, |p| p.failures).saturating_add(1);
+                let probe_failed = prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open);
+                let (breaker, next_retry_at) = if probe_failed || failures >= self.breaker_threshold
+                {
+                    self.telemetry.counter("serve.breaker.open", 1);
+                    (Breaker::Open, now + self.breaker_cooldown)
+                } else {
+                    self.telemetry.counter("serve.retry.scheduled", 1);
+                    (Breaker::Closed, now + self.backoff_after(&fp, failures))
+                };
+                slot.fulfill(SlotState::Failed(FailureState {
+                    error: e.clone(),
+                    failures,
+                    next_retry_at,
+                    breaker,
+                }));
                 Err(ServeError::Prepare(e))
             }
             Err(panic) => {
                 slot.fulfill(SlotState::Poisoned);
+                self.telemetry.counter("serve.cache.poisoned", 1);
                 resume_unwind(panic)
             }
         }
@@ -355,7 +565,7 @@ impl<T: Scalar> PlanCache<T> {
     /// whatever an in-flight prepare for this fingerprint resolves to.
     pub fn update_values(&self, fp: &MatrixFingerprint, values: &[T]) -> Result<bool, ServeError> {
         let slot = {
-            let shard = self.shard_for(fp).lock().expect("plan cache shard");
+            let shard = lock_clean(self.shard_for(fp));
             match shard.entries.get(fp) {
                 Some(entry) => Arc::clone(&entry.slot),
                 None => return Ok(false),
@@ -371,24 +581,34 @@ impl<T: Scalar> PlanCache<T> {
         Ok(true)
     }
 
-    /// Drops the entry for `fp` (the recovery path for a poisoned
-    /// plan). Returns whether an entry was removed.
+    /// Drops the entry for `fp` (the targeted recovery path for a
+    /// poisoned or persistently failing plan). Returns whether an
+    /// entry was removed.
     pub fn remove(&self, fp: &MatrixFingerprint) -> bool {
-        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
+        let mut shard = lock_clean(self.shard_for(fp));
         shard.entries.remove(fp).is_some()
     }
 
-    /// Removes `fp` only if it still holds `slot` — a newer slot
-    /// inserted after an eviction must not be collateral damage.
-    fn remove_if_same_slot(&self, fp: &MatrixFingerprint, slot: &Arc<PlanSlot<T>>) {
-        let mut shard = self.shard_for(fp).lock().expect("plan cache shard");
-        if shard
-            .entries
-            .get(fp)
-            .is_some_and(|e| Arc::ptr_eq(&e.slot, slot))
-        {
-            shard.entries.remove(fp);
+    /// Sweeps every poisoned slot out of the cache, making their
+    /// fingerprints preparable again without guessing which
+    /// fingerprints to [`PlanCache::remove`]. Returns how many slots
+    /// were cleared.
+    pub fn clear_poisoned(&self) -> usize {
+        let mut cleared = 0;
+        for shard in &self.shards {
+            let mut shard = lock_clean(shard);
+            let poisoned: Vec<MatrixFingerprint> = shard
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(&*lock_clean(&e.slot.state), SlotState::Poisoned))
+                .map(|(fp, _)| *fp)
+                .collect();
+            for fp in poisoned {
+                shard.entries.remove(&fp);
+                cleared += 1;
+            }
         }
+        cleared
     }
 
     /// Evicts the shard's least-recently-used entries until an insert
@@ -413,11 +633,26 @@ impl<T: Scalar> PlanCache<T> {
         }
     }
 
+    /// Counts entries matching `pred` across all shards (shard lock →
+    /// slot lock, the same order every reader takes).
+    fn count_slots(&self, pred: impl Fn(&SlotState<T>) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                lock_clean(shard)
+                    .entries
+                    .values()
+                    .filter(|e| pred(&lock_clean(&e.slot.state)))
+                    .count()
+            })
+            .sum()
+    }
+
     /// Entries currently cached (sums the shards).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("plan cache shard").entries.len())
+            .map(|s| lock_clean(s).entries.len())
             .sum()
     }
 
@@ -432,6 +667,17 @@ impl<T: Scalar> PlanCache<T> {
         self.capacity
     }
 
+    /// Fingerprints whose circuit breaker is currently open (readiness
+    /// signal: structures that cannot be prepared right now).
+    pub fn open_breakers(&self) -> usize {
+        self.count_slots(|s| matches!(s, SlotState::Failed(fs) if fs.breaker == Breaker::Open))
+    }
+
+    /// Fingerprints currently quarantined as poisoned.
+    pub fn poisoned_len(&self) -> usize {
+        self.count_slots(|s| matches!(s, SlotState::Poisoned))
+    }
+
     /// Snapshots the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -441,6 +687,7 @@ impl<T: Scalar> PlanCache<T> {
             inserts: self.inserts.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             len: self.len(),
+            poisoned: self.poisoned_len(),
             capacity: self.capacity,
         }
     }
@@ -469,6 +716,10 @@ mod tests {
                 .shards(1)
                 .build(),
         )
+    }
+
+    fn injected() -> Result<Engine<f64>, SparseError> {
+        Err(SparseError::InvalidStructure("injected".into()))
     }
 
     #[test]
@@ -563,19 +814,132 @@ mod tests {
     }
 
     #[test]
-    fn failed_prepare_is_reported_once_then_retried() {
-        let cache = single_shard(4);
+    fn failed_prepare_persists_backs_off_then_retries() {
+        let (clock, driver) = ClockHandle::manual();
+        let cache: PlanCache<f64> = PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(4)
+                .shards(1)
+                .clock(clock)
+                .build(),
+        );
         let m = matrix(13);
         let fp = MatrixFingerprint::of(&m);
-        let err = cache
-            .get_or_prepare(fp, || Err(SparseError::InvalidStructure("injected".into())))
-            .unwrap_err();
+        let err = cache.get_or_prepare(fp, injected).unwrap_err();
         assert!(matches!(err, ServeError::Prepare(_)));
-        assert_eq!(cache.len(), 0, "failed entries must not linger");
-        // the retry succeeds
+        assert_eq!(cache.len(), 1, "failed entries persist for backoff state");
+        // inside the window the retry is suppressed without running prepare
+        let err = cache
+            .get_or_prepare(fp, || unreachable!("suppressed attempt ran prepare"))
+            .unwrap_err();
+        let ServeError::RetryBackoff { failures, retry_in } = err else {
+            panic!("expected RetryBackoff, got {err:?}");
+        };
+        assert_eq!(failures, 1);
+        assert!(retry_in > Duration::ZERO);
+        // past the window the retry runs and succeeds
+        driver.advance(retry_in);
         let (engine, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
-        assert!(fresh);
+        assert!(fresh, "an admitted retry runs the prepare");
         assert_eq!(engine.ncols(), m.ncols());
+        assert!(cache.try_get(&fp).is_some(), "recovered entry is cached");
+    }
+
+    #[test]
+    fn backoff_windows_grow_exponentially_with_deterministic_jitter() {
+        let windows = |seed: u64| -> Vec<Duration> {
+            let (clock, driver) = ClockHandle::manual();
+            let cache: PlanCache<f64> = PlanCache::new(
+                PlanCacheConfig::builder()
+                    .capacity(4)
+                    .shards(1)
+                    .breaker_threshold(u32::MAX)
+                    .retry_jitter_seed(seed)
+                    .clock(clock)
+                    .build(),
+            );
+            let m = matrix(23);
+            let fp = MatrixFingerprint::of(&m);
+            (0..4)
+                .map(|_| {
+                    cache.get_or_prepare(fp, injected).unwrap_err();
+                    let err = cache
+                        .get_or_prepare(fp, || unreachable!("suppressed"))
+                        .unwrap_err();
+                    let ServeError::RetryBackoff { retry_in, .. } = err else {
+                        panic!("expected RetryBackoff, got {err:?}");
+                    };
+                    driver.advance(retry_in);
+                    retry_in
+                })
+                .collect()
+        };
+        let (a, b, c) = (windows(7), windows(7), windows(8));
+        assert_eq!(a, b, "same seed ⇒ identical schedule");
+        assert_ne!(a, c, "different seed ⇒ different jitter");
+        for (i, w) in a.iter().enumerate() {
+            // default base 10 ms doubles per failure, jitter ≤ 25 %
+            let raw = Duration::from_millis(10) * (1 << i);
+            assert!(*w >= raw && *w <= raw + raw / 4, "window {i}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_recovers_via_half_open_probe() {
+        let cooldown = Duration::from_millis(250);
+        let (clock, driver) = ClockHandle::manual();
+        let cache: PlanCache<f64> = PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(4)
+                .shards(1)
+                .breaker_threshold(3)
+                .breaker_cooldown(cooldown)
+                .clock(clock)
+                .build(),
+        );
+        let m = matrix(19);
+        let fp = MatrixFingerprint::of(&m);
+        for attempt in 1..=3u32 {
+            let err = cache.get_or_prepare(fp, injected).unwrap_err();
+            assert!(matches!(err, ServeError::Prepare(_)), "attempt {attempt}");
+            match cache
+                .get_or_prepare(fp, || unreachable!("suppressed"))
+                .unwrap_err()
+            {
+                ServeError::RetryBackoff { failures, retry_in } => {
+                    assert!(attempt < 3, "backoff only below the threshold");
+                    assert_eq!(failures, attempt);
+                    driver.advance(retry_in);
+                }
+                ServeError::BreakerOpen { failures, retry_in } => {
+                    assert_eq!(attempt, 3, "breaker opens exactly at the threshold");
+                    assert_eq!(failures, 3);
+                    assert_eq!(retry_in, cooldown, "cooldown is jitter-free");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(cache.open_breakers(), 1);
+        // a half-open probe that fails re-opens for another cooldown
+        driver.advance(cooldown);
+        let err = cache.get_or_prepare(fp, injected).unwrap_err();
+        assert!(matches!(err, ServeError::Prepare(_)), "probe is admitted");
+        match cache
+            .get_or_prepare(fp, || unreachable!("suppressed"))
+            .unwrap_err()
+        {
+            ServeError::BreakerOpen { failures, retry_in } => {
+                assert_eq!(failures, 4);
+                assert_eq!(retry_in, cooldown);
+            }
+            other => panic!("failed probe must re-open, got {other:?}"),
+        }
+        // a half-open probe that succeeds closes the breaker
+        driver.advance(cooldown);
+        let (_, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        assert!(fresh, "the successful probe ran the prepare");
+        assert_eq!(cache.open_breakers(), 0);
+        assert!(cache.try_get(&fp).is_some(), "closed breaker serves hits");
     }
 
     #[test]
@@ -602,6 +966,31 @@ mod tests {
         assert!(cache.remove(&fp));
         let (_, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
         assert!(fresh);
+    }
+
+    #[test]
+    fn clear_poisoned_sweeps_only_poisoned_slots() {
+        let cache = Arc::new(single_shard(4));
+        let (ma, mb) = (matrix(31), matrix(32));
+        let (fa, fb) = (MatrixFingerprint::of(&ma), MatrixFingerprint::of(&mb));
+        cache.get_or_prepare(fa, || prepare(&ma)).unwrap();
+        let poisoner = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _ = cache.get_or_prepare(fb, || panic!("injected prepare panic"));
+            })
+        };
+        assert!(poisoner.join().is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.poisoned), (2, 1));
+
+        assert_eq!(cache.clear_poisoned(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.poisoned), (1, 0));
+        assert!(cache.try_get(&fa).is_some(), "healthy entries survive");
+        let (_, fresh) = cache.get_or_prepare(fb, || prepare(&mb)).unwrap();
+        assert!(fresh, "swept fingerprint is preparable again");
+        assert_eq!(cache.clear_poisoned(), 0, "sweep is idempotent");
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! The `chaos-bench` driver: concurrent Zipf traffic through the
+//! serving engine under a scripted, seeded fault schedule.
+//!
+//! Where `serve-bench` measures the happy path, this driver proves the
+//! resilience contracts hold *under injected failure*:
+//!
+//! * **Exactness under chaos.** Every operand is quantised to small
+//!   integer values, so every partial sum is exactly representable in
+//!   `f64` and addition is associative — the tiled kernels, the
+//!   row-wise fallback and the sequential reference must agree **bit
+//!   for bit**, whatever path a faulted run degrades a request onto.
+//!   Every successful response is checked against its precomputed
+//!   reference; `exact == ok` is the headline invariant.
+//! * **No lost answers.** Every submitted request resolves to a
+//!   response or an error — injected panics surface as
+//!   [`ServeError::WorkerPanicked`] or quarantine-fallback servings,
+//!   never hangs.
+//! * **Accounted degradation.** The report carries the engine's
+//!   [`HealthSnapshot`], the `serve.breaker.*` / `serve.retry.*` /
+//!   `serve.quarantined` counters in the manifest, and the per-point
+//!   fault hit counts, so a fixed seed reproduces the same schedule.
+//!
+//! The fault spec grammar is [`FaultPlan::parse`]'s:
+//! `point:action@hits[,…]` with action `error` | `panic` |
+//! `delay:<ms>ms` and hits `N` | `every:N` | `N..M` | `*`.
+
+use crate::bench::zipf_schedule;
+use crate::cache::CacheStats;
+use crate::engine::{HealthSnapshot, Request, ServeConfig, ServeEngine, ServeStats};
+use crate::error::ServeError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spmm_data::generators;
+use spmm_faults::FaultPlan;
+use spmm_kernels::{sddmm, spmm, Output};
+use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
+use spmm_telemetry::RunManifest;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload knobs for [`run_chaos_bench`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ChaosBenchConfig {
+    /// Total requests in the stream. Default 192.
+    pub requests: usize,
+    /// Closed-loop client threads. Default 4.
+    pub concurrency: usize,
+    /// Serving worker threads. Default 4.
+    pub workers: usize,
+    /// Plan-cache capacity. Default 8.
+    pub cache_capacity: usize,
+    /// Admission queue bound. Default 256.
+    pub queue_capacity: usize,
+    /// Zipf skew exponent. Default 1.1.
+    pub zipf_s: f64,
+    /// Seed for the corpus, the schedule, the fault plan's jitter and
+    /// the cache's backoff jitter. Default 42.
+    pub seed: u64,
+    /// Dense-operand width `k`. Default 16.
+    pub k: usize,
+    /// Scripted fault schedule in [`FaultPlan::parse`] grammar; `None`
+    /// runs clean (nothing is armed, zero overhead).
+    pub faults: Option<String>,
+}
+
+impl Default for ChaosBenchConfig {
+    fn default() -> Self {
+        ChaosBenchConfig {
+            requests: 192,
+            concurrency: 4,
+            workers: 4,
+            cache_capacity: 8,
+            queue_capacity: 256,
+            zipf_s: 1.1,
+            seed: 42,
+            k: 16,
+            faults: None,
+        }
+    }
+}
+
+/// What [`run_chaos_bench`] observed.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ChaosBenchReport {
+    /// The configuration the run used.
+    pub config: ChaosBenchConfig,
+    /// Distinct matrix structures in the corpus.
+    pub corpus_size: usize,
+    /// Wall-clock duration of the request stream.
+    pub wall: Duration,
+    /// Requests that resolved successfully.
+    pub ok: usize,
+    /// Requests that resolved to an error (injected or real).
+    pub failed: usize,
+    /// Successful responses whose output was **bit-equal** to the
+    /// sequential row-wise reference. The contract is `exact == ok`.
+    pub exact: usize,
+    /// Times each armed fault point fired (empty on a clean run).
+    pub fault_hits: BTreeMap<String, u64>,
+    /// Serving counters at the end of the run.
+    pub stats: ServeStats,
+    /// Plan-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// The engine's final health snapshot.
+    pub health: HealthSnapshot,
+    /// The run manifest, `serve.breaker.*` / `serve.retry.*` /
+    /// `serve.quarantined` counters included.
+    pub manifest: RunManifest,
+}
+
+impl ChaosBenchReport {
+    /// The headline contract: every response the engine called
+    /// successful was bit-equal to the reference, and every request
+    /// was answered.
+    pub fn all_successes_exact(&self) -> bool {
+        self.exact == self.ok && self.ok + self.failed == self.config.requests
+    }
+
+    /// Renders the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos-bench: {} requests over {} matrices, {} clients, {} workers, seed {}\n",
+            c.requests, self.corpus_size, c.concurrency, c.workers, c.seed
+        ));
+        out.push_str(&format!(
+            "  faults: {}\n",
+            c.faults.as_deref().unwrap_or("(none armed)")
+        ));
+        out.push_str(&format!(
+            "  ok {}  failed {}  exact {}/{} -> {}\n",
+            self.ok,
+            self.failed,
+            self.exact,
+            self.ok,
+            if self.all_successes_exact() {
+                "ok (every success bit-equal to the row-wise reference)"
+            } else {
+                "FAILED"
+            }
+        ));
+        out.push_str(&format!(
+            "  paths: fallbacks {} (quarantined {})  worker panics {}  deadline-exceeded {}\n",
+            s.fallbacks, s.quarantined, self.health.worker_panics, s.deadline_exceeded
+        ));
+        let counter = |name: &str| self.manifest.counters.get(name).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "  breaker: open {}  half-open {}  closed {}   retries: scheduled {}  suppressed {}  attempted {}\n",
+            counter("serve.breaker.open"),
+            counter("serve.breaker.half_open"),
+            counter("serve.breaker.close"),
+            counter("serve.retry.scheduled"),
+            counter("serve.retry.suppressed"),
+            counter("serve.retry.attempt"),
+        ));
+        out.push_str(&format!(
+            "  health: ready={} workers {}/{} queue {}/{} open-breakers {} poisoned {}\n",
+            self.health.ready(),
+            self.health.workers_alive,
+            self.health.workers_total,
+            self.health.queue_depth,
+            self.health.queue_capacity,
+            self.health.open_breakers,
+            self.health.poisoned_plans,
+        ));
+        if !self.fault_hits.is_empty() {
+            let hits: Vec<String> = self
+                .fault_hits
+                .iter()
+                .map(|(p, h)| format!("{p}={h}"))
+                .collect();
+            out.push_str(&format!("  fault hits: {}\n", hits.join(" ")));
+        }
+        out
+    }
+}
+
+/// Quantises values onto the integer grid `{-8, …, 8}` so that every
+/// product and partial sum in SpMM/SDDMM is exactly representable and
+/// summation order cannot change the result.
+fn quantize(values: &mut [f64]) {
+    for v in values {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+}
+
+struct ChaosCase {
+    matrix: Arc<CsrMatrix<f64>>,
+    x: Arc<DenseMatrix<f64>>,
+    y: Arc<DenseMatrix<f64>>,
+    /// Sequential row-wise SpMM reference (bit-exact target).
+    spmm_ref: DenseMatrix<f64>,
+    /// Sequential row-wise SDDMM reference (bit-exact target).
+    sddmm_ref: Vec<f64>,
+}
+
+fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
+    (0..6u64)
+        .map(|i| {
+            let mut matrix = generators::uniform_random::<f64>(
+                64 + 16 * i as usize,
+                48 + 8 * i as usize,
+                4 + (i as usize % 3),
+                config.seed ^ (0xC0DE + i),
+            );
+            quantize(matrix.values_mut());
+            let mut x =
+                generators::random_dense::<f64>(matrix.ncols(), config.k, config.seed ^ (17 + i));
+            quantize(x.data_mut());
+            let mut y =
+                generators::random_dense::<f64>(matrix.nrows(), config.k, config.seed ^ (31 + i));
+            quantize(y.data_mut());
+            let spmm_ref = spmm::spmm_rowwise_seq(&matrix, &x)
+                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+            let sddmm_ref = sddmm::sddmm_rowwise_seq(&matrix, &x, &y)
+                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+            ChaosCase {
+                matrix: Arc::new(matrix),
+                x: Arc::new(x),
+                y: Arc::new(y),
+                spmm_ref,
+                sddmm_ref,
+            }
+        })
+        .collect()
+}
+
+/// Whether a successful response is bit-equal to its reference.
+fn is_exact(case: &ChaosCase, sddmm: bool, output: &Output<f64>) -> bool {
+    match output {
+        Output::Dense(got) => !sddmm && got.data() == case.spmm_ref.data(),
+        Output::Values(got) => sddmm && *got == case.sddmm_ref,
+        Output::Written => false,
+    }
+}
+
+/// Runs the chaos workload and returns the observed report. When
+/// `config.faults` is set, the parsed [`FaultPlan`] is armed
+/// process-wide for the duration of the stream (taking the global
+/// arming lock); `None` runs clean without arming anything.
+///
+/// The driver asserts nothing itself — the caller (the chaos suite,
+/// CI) checks [`ChaosBenchReport::all_successes_exact`] and the
+/// breaker/quarantine counters, so a degraded run still reports
+/// honestly.
+///
+/// # Errors
+/// [`ServeError::Prepare`] with the parse message when `config.faults`
+/// is not valid fault-spec grammar.
+pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, ServeError> {
+    let guard = match &config.faults {
+        Some(spec) => Some(
+            FaultPlan::parse(spec, config.seed)
+                .map_err(|msg| ServeError::Prepare(SparseError::InvalidStructure(msg)))?
+                .arm(),
+        ),
+        None => None,
+    };
+    let corpus = build_corpus(config);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let schedule = zipf_schedule(config.requests, corpus.len(), config.zipf_s, &mut rng);
+
+    let serve = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(config.workers)
+            .queue_capacity(config.queue_capacity)
+            .cache_capacity(config.cache_capacity)
+            .retry_jitter_seed(config.seed)
+            .build(),
+    );
+
+    let concurrency = config.concurrency.max(1);
+    let stream_start = Instant::now();
+    // (ok, failed, exact) per client, summed after the stream drains
+    let tallies: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|client| {
+                let serve = &serve;
+                let schedule = &schedule;
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    let (mut ok, mut failed, mut exact) = (0, 0, 0);
+                    for (idx, &mi) in schedule
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, _)| idx % concurrency == client)
+                    {
+                        let case = &corpus[mi];
+                        // every 4th request exercises the SDDMM path
+                        let sddmm = idx % 4 == 3;
+                        let request = if sddmm {
+                            Request::sddmm(case.matrix.clone(), case.x.clone(), case.y.clone())
+                        } else {
+                            Request::spmm(case.matrix.clone(), case.x.clone())
+                        };
+                        match serve.execute(request) {
+                            Ok(resp) => {
+                                ok += 1;
+                                if is_exact(case, sddmm, &resp.output) {
+                                    exact += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (ok, failed, exact)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // a panicked client (which would itself be a bug) counts
+            // nothing; the totals then fail all_successes_exact
+            .map(|h| h.join().unwrap_or((0, 0, 0)))
+            .collect()
+    });
+    let wall = stream_start.elapsed();
+    let (ok, failed, exact) = tallies
+        .iter()
+        .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z));
+
+    // disarm before snapshotting so the health probe runs clean
+    let fault_hits: BTreeMap<String, u64> = match (&guard, &config.faults) {
+        (Some(guard), Some(spec)) => FaultPlan::parse(spec, config.seed)
+            .map(|plan| {
+                plan.rules()
+                    .iter()
+                    .map(|r| (r.point.clone(), guard.hits(&r.point)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        _ => BTreeMap::new(),
+    };
+    drop(guard);
+
+    let stats = serve.stats();
+    let cache = serve.cache_stats();
+    let health = serve.health();
+    let telemetry = serve.telemetry();
+    telemetry.gauge("chaos.ok", ok as f64);
+    telemetry.gauge("chaos.failed", failed as f64);
+    telemetry.gauge("chaos.exact", exact as f64);
+    telemetry.meta("chaos.seed", &config.seed.to_string());
+    if let Some(spec) = &config.faults {
+        telemetry.meta("chaos.faults", spec);
+    }
+    let manifest = serve.manifest();
+
+    Ok(ChaosBenchReport {
+        config: config.clone(),
+        corpus_size: corpus.len(),
+        wall,
+        ok,
+        failed,
+        exact,
+        fault_hits,
+        stats,
+        cache,
+        health,
+        manifest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_lands_on_the_integer_grid() {
+        let mut values = vec![0.13, -0.99, 0.51, 1.7, -3.0];
+        quantize(&mut values);
+        for v in &values {
+            assert_eq!(v.fract(), 0.0, "{v} is not an integer");
+            assert!((-8.0..=8.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn corpus_references_are_self_consistent() {
+        let config = ChaosBenchConfig::default();
+        let corpus = build_corpus(&config);
+        assert_eq!(corpus.len(), 6);
+        for case in &corpus {
+            // the references were computed from quantised operands, so
+            // recomputing them must be bit-identical (determinism)
+            let again = spmm::spmm_rowwise_seq(&case.matrix, &case.x).unwrap();
+            assert_eq!(again.data(), case.spmm_ref.data());
+            assert!(case.matrix.values().iter().all(|v| v.fract() == 0.0));
+        }
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_prepare_error_not_a_panic() {
+        let config = ChaosBenchConfig {
+            faults: Some("serve.worker:frobnicate@1".into()),
+            ..ChaosBenchConfig::default()
+        };
+        let err = run_chaos_bench(&config).unwrap_err();
+        assert!(matches!(err, ServeError::Prepare(_)), "{err:?}");
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+    }
+
+    // Clean and faulted end-to-end runs live in tests/chaos.rs, where
+    // the global fault registry can be serialised across the suite.
+}

@@ -20,15 +20,23 @@
 use crate::cache::{CacheStats, PlanCache, PlanCacheConfig};
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
+use crate::lock_clean;
+use spmm_faults::{ClockHandle, FaultPoint};
 use spmm_kernels::{sddmm, spmm, Engine, EngineConfig, KernelOp, Output};
-use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
 use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Fault point at the top of a worker's request processing: an `Error`
+/// action fails the request like a kernel execution error, a `Panic`
+/// action exercises the worker's `catch_unwind` boundary
+/// ([`ServeError::WorkerPanicked`]).
+pub static FAULT_SERVE_WORKER: FaultPoint = FaultPoint::new("serve.worker");
 
 /// Construction options for [`ServeEngine`].
 #[derive(Debug, Clone)]
@@ -53,10 +61,26 @@ pub struct ServeConfig {
     /// internal collector for [`ServeEngine::manifest`], and tees every
     /// event to this handle when it is enabled.
     pub telemetry: TelemetryHandle,
+    /// First backoff window after a failed prepare (see
+    /// [`PlanCacheConfig::retry_backoff_base`]). Default 10 ms.
+    pub retry_backoff_base: Duration,
+    /// Upper bound on the raw backoff window. Default 1 s.
+    pub retry_backoff_cap: Duration,
+    /// Consecutive prepare failures that open a fingerprint's circuit
+    /// breaker. Default 3.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown before a half-open probe. Default 250 ms.
+    pub breaker_cooldown: Duration,
+    /// Seed for the deterministic backoff jitter. Default 0.
+    pub retry_jitter_seed: u64,
+    /// Time source for backoff windows and breaker cooldowns; tests
+    /// inject a manual clock. Default: the system clock.
+    pub clock: ClockHandle,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let cache = PlanCacheConfig::default();
         ServeConfig {
             workers: 4,
             queue_capacity: 64,
@@ -65,6 +89,12 @@ impl Default for ServeConfig {
             preprocess_budget: Duration::from_millis(25),
             engine: EngineConfig::default(),
             telemetry: TelemetryHandle::default(),
+            retry_backoff_base: cache.retry_backoff_base,
+            retry_backoff_cap: cache.retry_backoff_cap,
+            breaker_threshold: cache.breaker_threshold,
+            breaker_cooldown: cache.breaker_cooldown,
+            retry_jitter_seed: cache.retry_jitter_seed,
+            clock: cache.clock,
         }
     }
 }
@@ -122,6 +152,42 @@ impl ServeConfigBuilder {
     /// Sets the external telemetry sink.
     pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the first backoff window after a failed prepare.
+    pub fn retry_backoff_base(mut self, base: Duration) -> Self {
+        self.config.retry_backoff_base = base;
+        self
+    }
+
+    /// Sets the upper bound on the raw backoff window.
+    pub fn retry_backoff_cap(mut self, cap: Duration) -> Self {
+        self.config.retry_backoff_cap = cap;
+        self
+    }
+
+    /// Sets the consecutive-failure count that opens the breaker.
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets the open-breaker cooldown before a half-open probe.
+    pub fn breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the backoff jitter seed.
+    pub fn retry_jitter_seed(mut self, seed: u64) -> Self {
+        self.config.retry_jitter_seed = seed;
+        self
+    }
+
+    /// Sets the time source.
+    pub fn clock(mut self, clock: ClockHandle) -> Self {
+        self.config.clock = clock;
         self
     }
 
@@ -238,10 +304,11 @@ pub struct Ticket<T> {
 
 impl<T> Ticket<T> {
     /// Blocks until the request resolves. Reports
-    /// [`ServeError::PoisonedPlan`] if the serving side dropped the
-    /// reply channel without answering (a worker died mid-request).
+    /// [`ServeError::WorkerPanicked`] if the serving side dropped the
+    /// reply channel without answering (a worker died mid-request) —
+    /// never a hang.
     pub fn wait(self) -> Result<Response<T>, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::PoisonedPlan))
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerPanicked))
     }
 }
 
@@ -260,6 +327,41 @@ pub struct ServeStats {
     pub fallbacks: u64,
     /// Requests abandoned in the queue past their deadline.
     pub deadline_exceeded: u64,
+    /// Fallback servings caused by a quarantined (poisoned)
+    /// fingerprint — a subset of [`fallbacks`](ServeStats::fallbacks).
+    pub quarantined: u64,
+}
+
+/// A point-in-time health/readiness snapshot of the serving engine
+/// (see [`ServeEngine::health`]).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct HealthSnapshot {
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// The admission bound.
+    pub queue_capacity: usize,
+    /// Worker threads currently inside their serving loop.
+    pub workers_alive: usize,
+    /// Worker threads the engine started with.
+    pub workers_total: usize,
+    /// Requests whose processing panicked past `catch_unwind`.
+    pub worker_panics: u64,
+    /// Whether admission control is accepting new work.
+    pub accepting: bool,
+    /// The plan cache's counter snapshot.
+    pub cache: CacheStats,
+    /// Fingerprints whose circuit breaker is currently open.
+    pub open_breakers: usize,
+    /// Fingerprints quarantined as poisoned (served by fallback).
+    pub poisoned_plans: usize,
+}
+
+impl HealthSnapshot {
+    /// Readiness: accepting work and at least one live worker to do it.
+    pub fn ready(&self) -> bool {
+        self.accepting && self.workers_alive > 0
+    }
 }
 
 struct Job<T> {
@@ -284,6 +386,18 @@ struct Inner<T> {
     failed: AtomicU64,
     fallbacks: AtomicU64,
     deadline_exceeded: AtomicU64,
+    quarantined: AtomicU64,
+    worker_panics: AtomicU64,
+    workers_alive: AtomicUsize,
+}
+
+/// Decrements the live-worker gauge however the worker loop exits.
+struct WorkerLiveness<'a>(&'a AtomicUsize);
+
+impl Drop for WorkerLiveness<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 impl<T: Scalar> Inner<T> {
@@ -314,6 +428,9 @@ impl<T: Scalar> Inner<T> {
 
     /// Serves one admitted job end to end.
     fn process(&self, job: &Job<T>) -> Result<Response<T>, ServeError> {
+        FAULT_SERVE_WORKER
+            .fire()
+            .map_err(|e| ServeError::Execute(SparseError::InvalidStructure(e.to_string())))?;
         let request = &job.request;
         let queue_wait = job.enqueued.elapsed();
         if let Some(deadline) = request.deadline {
@@ -334,14 +451,38 @@ impl<T: Scalar> Inner<T> {
                 None => (None, ServePath::Fallback, Duration::ZERO),
             }
         } else {
-            let (engine, fresh) = self
+            match self
                 .cache
-                .get_or_prepare(fp, || Engine::prepare(&request.matrix, &self.engine_config))?;
-            if fresh {
-                let preprocess = engine.preprocessing_time();
-                (Some(engine), ServePath::FreshPlan, preprocess)
-            } else {
-                (Some(engine), ServePath::CachedPlan, Duration::ZERO)
+                .get_or_prepare(fp, || Engine::prepare(&request.matrix, &self.engine_config))
+            {
+                Ok((engine, fresh)) => {
+                    if fresh {
+                        let preprocess = engine.preprocessing_time();
+                        (Some(engine), ServePath::FreshPlan, preprocess)
+                    } else {
+                        (Some(engine), ServePath::CachedPlan, Duration::ZERO)
+                    }
+                }
+                // The degradation ladder: a fingerprint that cannot get
+                // a tiled plan right now — quarantined as poisoned, or
+                // behind an open breaker / backoff window — is still
+                // served exactly by the row-wise baseline, provided the
+                // matrix itself is sound. Only an actual prepare
+                // attempt's error propagates to the client.
+                Err(
+                    err @ (ServeError::PoisonedPlan
+                    | ServeError::BreakerOpen { .. }
+                    | ServeError::RetryBackoff { .. }),
+                ) => {
+                    if request.matrix.check_invariants().is_err() {
+                        return Err(err);
+                    }
+                    if matches!(err, ServeError::PoisonedPlan) {
+                        self.count(&self.quarantined, "serve.quarantined");
+                    }
+                    (None, ServePath::Fallback, Duration::ZERO)
+                }
+                Err(err) => return Err(err),
             }
         };
 
@@ -363,9 +504,11 @@ impl<T: Scalar> Inner<T> {
     }
 
     fn worker_loop(&self) {
+        self.workers_alive.fetch_add(1, Ordering::Release);
+        let _liveness = WorkerLiveness(&self.workers_alive);
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("serve queue");
+                let mut queue = lock_clean(&self.queue);
                 loop {
                     // drain what was admitted even during shutdown: an
                     // accepted request always gets an answer
@@ -375,14 +518,22 @@ impl<T: Scalar> Inner<T> {
                     if self.shutdown.load(Ordering::Acquire) {
                         break None;
                     }
-                    queue = self.available.wait(queue).expect("serve queue");
+                    queue = self
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             let Some(job) = job else { return };
             // a panicking kernel (or prepare) must not take the worker
-            // down with it — the requester sees PoisonedPlan instead
-            let result = catch_unwind(AssertUnwindSafe(|| self.process(&job)))
-                .unwrap_or(Err(ServeError::PoisonedPlan));
+            // down with it — the requester sees WorkerPanicked instead
+            let result = match catch_unwind(AssertUnwindSafe(|| self.process(&job))) {
+                Ok(result) => result,
+                Err(_) => {
+                    self.count(&self.worker_panics, "serve.worker.panic");
+                    Err(ServeError::WorkerPanicked)
+                }
+            };
             match &result {
                 Ok(_) => self.count(&self.completed, "serve.completed"),
                 Err(_) => self.count(&self.failed, "serve.failed"),
@@ -443,6 +594,12 @@ impl<T: Scalar> ServeEngine<T> {
                 .capacity(config.cache_capacity)
                 .shards(config.cache_shards)
                 .telemetry(telemetry.clone())
+                .retry_backoff_base(config.retry_backoff_base)
+                .retry_backoff_cap(config.retry_backoff_cap)
+                .breaker_threshold(config.breaker_threshold)
+                .breaker_cooldown(config.breaker_cooldown)
+                .retry_jitter_seed(config.retry_jitter_seed)
+                .clock(config.clock.clone())
                 .build(),
         );
         let inner = Arc::new(Inner {
@@ -461,6 +618,9 @@ impl<T: Scalar> ServeEngine<T> {
             failed: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -480,7 +640,7 @@ impl<T: Scalar> ServeEngine<T> {
     pub fn submit(&self, request: Request<T>) -> Result<Ticket<T>, ServeError> {
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.inner.queue.lock().expect("serve queue");
+            let mut queue = lock_clean(&self.inner.queue);
             if self.inner.shutdown.load(Ordering::Acquire)
                 || queue.len() >= self.inner.queue_capacity
             {
@@ -525,6 +685,26 @@ impl<T: Scalar> ServeEngine<T> {
             failed: i.failed.load(Ordering::Relaxed),
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
             deadline_exceeded: i.deadline_exceeded.load(Ordering::Relaxed),
+            quarantined: i.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshots the engine's health/readiness: queue pressure, worker
+    /// liveness, breaker states and quarantined fingerprints — the
+    /// fields a readiness probe or operator dashboard branches on.
+    pub fn health(&self) -> HealthSnapshot {
+        let i = &self.inner;
+        let queue_depth = lock_clean(&i.queue).len();
+        HealthSnapshot {
+            queue_depth,
+            queue_capacity: i.queue_capacity,
+            workers_alive: i.workers_alive.load(Ordering::Acquire),
+            workers_total: self.workers.len(),
+            worker_panics: i.worker_panics.load(Ordering::Relaxed),
+            accepting: !i.shutdown.load(Ordering::Acquire),
+            cache: i.cache.stats(),
+            open_breakers: i.cache.open_breakers(),
+            poisoned_plans: i.cache.poisoned_len(),
         }
     }
 
@@ -559,7 +739,7 @@ impl<T: Scalar> ServeEngine<T> {
     pub fn shutdown(&self) {
         // the queue lock orders the flag against sleeping workers:
         // nobody can re-check the flag mid-wait and then sleep forever
-        let _queue = self.inner.queue.lock().expect("serve queue");
+        let _queue = lock_clean(&self.inner.queue);
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.available.notify_all();
     }
@@ -693,6 +873,80 @@ mod tests {
             serve.submit(Request::spmm(m, x)),
             Err(ServeError::Overloaded { .. })
         ));
+    }
+
+    #[test]
+    fn poisoned_fingerprint_is_quarantined_and_served_by_fallback() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(128, 128, 6, 33);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 5);
+        let expected = spmm::spmm_rowwise_seq(&m, &x).unwrap();
+        let fp = MatrixFingerprint::of(&m);
+
+        // poison the fingerprint's slot exactly like a mid-prepare panic
+        std::thread::scope(|scope| {
+            let poisoner = scope.spawn(|| {
+                let _ = serve
+                    .cache()
+                    .get_or_prepare(fp, || panic!("injected prepare panic"));
+            });
+            assert!(poisoner.join().is_err(), "panic must propagate");
+        });
+        assert_eq!(serve.cache().poisoned_len(), 1);
+
+        // the quarantined structure is served exactly, by fallback
+        for _ in 0..2 {
+            let resp = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+            assert_eq!(resp.path, ServePath::Fallback);
+            let got = resp.output.into_dense().unwrap();
+            assert_eq!(expected.data(), got.data(), "fallback must stay exact");
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.fallbacks, 2);
+        assert_eq!(stats.failed, 0, "quarantine must not surface errors");
+
+        // clear_poisoned recovers the fingerprint for tiled serving
+        assert_eq!(serve.cache().clear_poisoned(), 1);
+        let resp = serve.execute(Request::spmm(m, x)).unwrap();
+        assert_eq!(resp.path, ServePath::FreshPlan);
+    }
+
+    #[test]
+    fn health_reports_workers_breakers_and_readiness() {
+        let serve = small_serve(3, 8);
+        // workers signal liveness asynchronously after start
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while serve.health().workers_alive < 3 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let health = serve.health();
+        assert!(health.ready());
+        assert_eq!(health.workers_alive, 3);
+        assert_eq!(health.workers_total, 3);
+        assert_eq!(health.queue_capacity, 8);
+        assert_eq!(health.worker_panics, 0);
+        assert_eq!(health.open_breakers, 0);
+        assert_eq!(health.poisoned_plans, 0);
+
+        serve.shutdown();
+        let health = serve.health();
+        assert!(!health.accepting, "shutdown stops admission");
+        assert!(!health.ready());
+        // drained workers retire; liveness converges to zero
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while serve.health().workers_alive > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(serve.health().workers_alive, 0);
+    }
+
+    #[test]
+    fn dropped_reply_channel_surfaces_worker_panicked_not_a_hang() {
+        let (tx, rx) = mpsc::channel::<Result<Response<f64>, ServeError>>();
+        drop(tx);
+        let ticket = Ticket { rx };
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerPanicked);
     }
 
     #[test]

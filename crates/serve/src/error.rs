@@ -38,9 +38,36 @@ pub enum ServeError {
     Execute(SparseError),
     /// A prepare for this fingerprint panicked. The cached slot stays
     /// poisoned — every lookup reports this deterministically — until
-    /// the entry is evicted or removed with
-    /// [`PlanCache::remove`](crate::PlanCache::remove).
+    /// the entry is evicted, removed with
+    /// [`PlanCache::remove`](crate::PlanCache::remove), or swept by
+    /// [`PlanCache::clear_poisoned`](crate::PlanCache::clear_poisoned).
+    /// The serving path quarantines such fingerprints and degrades to
+    /// the row-wise fallback instead of surfacing this.
     PoisonedPlan,
+    /// The worker thread processing this request panicked past its
+    /// `catch_unwind` boundary (or died before responding). The request
+    /// may or may not have executed; the engine keeps serving on the
+    /// remaining workers.
+    WorkerPanicked,
+    /// The fingerprint's circuit breaker is open: the last
+    /// [`failures`](ServeError::BreakerOpen::failures) consecutive
+    /// prepares failed, so prepare attempts are suppressed until the
+    /// cooldown elapses (then one half-open probe is admitted).
+    BreakerOpen {
+        /// Consecutive prepare failures recorded for the fingerprint.
+        failures: u32,
+        /// Time remaining until the half-open probe is admitted.
+        retry_in: Duration,
+    },
+    /// The fingerprint's last prepare failed and its exponential
+    /// backoff window has not elapsed; the attempt was suppressed
+    /// without running the pipeline.
+    RetryBackoff {
+        /// Consecutive prepare failures recorded for the fingerprint.
+        failures: u32,
+        /// Time remaining in the current backoff window.
+        retry_in: Duration,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -61,6 +88,19 @@ impl fmt::Display for ServeError {
             ServeError::PoisonedPlan => {
                 write!(f, "cached plan is poisoned (a prepare panicked)")
             }
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked while processing the request")
+            }
+            ServeError::BreakerOpen { failures, retry_in } => write!(
+                f,
+                "circuit breaker open after {failures} consecutive prepare \
+                 failures; half-open probe in {retry_in:?}"
+            ),
+            ServeError::RetryBackoff { failures, retry_in } => write!(
+                f,
+                "prepare retry suppressed ({failures} consecutive failures); \
+                 backoff expires in {retry_in:?}"
+            ),
         }
     }
 }
@@ -90,14 +130,44 @@ mod tests {
         };
         assert!(e.to_string().contains("deadline"), "{e}");
         assert!(ServeError::PoisonedPlan.to_string().contains("poisoned"));
+        assert!(ServeError::WorkerPanicked.to_string().contains("panicked"));
+        let e = ServeError::BreakerOpen {
+            failures: 3,
+            retry_in: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("breaker open"), "{e}");
+        assert!(e.to_string().contains('3'), "{e}");
+        let e = ServeError::RetryBackoff {
+            failures: 2,
+            retry_in: Duration::from_millis(20),
+        };
+        assert!(e.to_string().contains("backoff"), "{e}");
+        assert!(e.to_string().contains('2'), "{e}");
     }
 
     #[test]
     fn source_chains_to_sparse_error() {
         use std::error::Error;
         let inner = SparseError::InvalidStructure("bad rowptr".into());
-        let e = ServeError::Prepare(inner.clone());
-        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
-        assert!(ServeError::PoisonedPlan.source().is_none());
+        for e in [
+            ServeError::Prepare(inner.clone()),
+            ServeError::Execute(inner.clone()),
+        ] {
+            assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+        }
+        for e in [
+            ServeError::PoisonedPlan,
+            ServeError::WorkerPanicked,
+            ServeError::BreakerOpen {
+                failures: 1,
+                retry_in: Duration::ZERO,
+            },
+            ServeError::RetryBackoff {
+                failures: 1,
+                retry_in: Duration::ZERO,
+            },
+        ] {
+            assert!(e.source().is_none(), "{e} must be a leaf error");
+        }
     }
 }

@@ -37,17 +37,32 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bench;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
 
 pub use bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
+pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};
 pub use engine::{
-    Request, Response, ServeConfig, ServeConfigBuilder, ServeEngine, ServePath, ServeStats, Ticket,
+    HealthSnapshot, Request, Response, ServeConfig, ServeConfigBuilder, ServeEngine, ServePath,
+    ServeStats, Ticket,
 };
 pub use error::ServeError;
 pub use fingerprint::MatrixFingerprint;
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning. Every critical section in
+/// this crate is a small state transition that either completes or
+/// leaves the guarded state unchanged, so a lock poisoned by a
+/// panicking holder is safe to keep using — the panic itself is
+/// handled by the worker/cache `catch_unwind` boundaries.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -124,11 +124,16 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
     let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
 
     let mut coo = CooMatrix::<T>::new(nrows, ncols)?;
-    coo.reserve(if symmetry == Symmetry::General {
+    // The declared count is untrusted input: a hostile size line must
+    // not drive the reservation (allocation is bounded; the vectors
+    // still grow on demand if the file really is that large), and the
+    // symmetric doubling must not overflow.
+    let reserve_hint = if symmetry == Symmetry::General {
         declared_nnz
     } else {
-        declared_nnz * 2
-    });
+        declared_nnz.saturating_mul(2)
+    };
+    coo.reserve(reserve_hint.min(1 << 22));
 
     let mut seen = 0usize;
     for l in lines {
@@ -171,7 +176,13 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
                 T::from_f64(f)
             }
         };
-        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        let narrow = |idx: usize, lineno: usize| -> Result<u32, SparseError> {
+            u32::try_from(idx - 1).map_err(|_| SparseError::Parse {
+                line: lineno,
+                msg: format!("index {idx} exceeds the u32 storage limit"),
+            })
+        };
+        let (r0, c0) = (narrow(r, lineno)?, narrow(c, lineno)?);
         coo.push(r0, c0, v)?;
         match symmetry {
             Symmetry::General => {}
@@ -293,6 +304,12 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // count mismatch
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",     // missing value
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", // out of bounds
+            // declared nnz near usize::MAX: symmetric doubling must not
+            // overflow, the reservation must stay bounded
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 18446744073709551615\n1 1 1.0\n",
+            // index past u32 storage must be a Parse error, not a
+            // silent truncation to a small index
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n4294967297 1 1.0\n",
         ];
         for c in cases {
             assert!(

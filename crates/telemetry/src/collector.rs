@@ -66,6 +66,14 @@ impl Collector {
         self.state.lock().expect("telemetry collector poisoned")
     }
 
+    /// Reads a single run-total counter without snapshotting a whole
+    /// manifest — the cheap probe the resilience tests poll while
+    /// waiting for a breaker or quarantine transition to land.
+    /// Returns 0 for a counter that has never been incremented.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Snapshots everything recorded so far as a manifest. Spans still
     /// open report the time elapsed up to this call.
     pub fn manifest(&self) -> RunManifest {
@@ -116,6 +124,10 @@ impl Collector {
 }
 
 impl Recorder for Collector {
+    fn counter_value(&self, name: &str) -> Option<u64> {
+        Some(Collector::counter_value(self, name))
+    }
+
     fn span_start(&self, name: &str) -> SpanId {
         let mut state = self.lock();
         let parent = state.open.last().copied();
@@ -236,6 +248,8 @@ mod tests {
         let m = c.manifest();
         assert_eq!(m.counters.get("outside"), Some(&1));
         assert_eq!(m.counters.get("nnz"), Some(&15));
+        assert_eq!(c.counter_value("nnz"), 15);
+        assert_eq!(c.counter_value("never-touched"), 0);
         assert_eq!(m.gauges.get("ratio"), Some(&0.75));
         let outer = &m.stages[0];
         assert_eq!(outer.counters.get("nnz"), Some(&10));

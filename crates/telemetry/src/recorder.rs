@@ -62,6 +62,14 @@ pub trait Recorder: Send + Sync {
     fn meta(&self, key: &str, value: &str) {
         let _ = (key, value);
     }
+
+    /// Reads the current run-total value of a counter, when the sink
+    /// can answer (write-only sinks return `None`). Lets resilience
+    /// probes poll a single counter without snapshotting a manifest.
+    fn counter_value(&self, name: &str) -> Option<u64> {
+        let _ = name;
+        None
+    }
 }
 
 /// A recorder that discards everything.
@@ -167,6 +175,16 @@ impl TelemetryHandle {
             self.recorder.meta(key, value);
         }
     }
+
+    /// Reads a run-total counter from the underlying sink; 0 when the
+    /// sink is disabled, write-only, or has never seen the counter.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        if self.enabled {
+            self.recorder.counter_value(name).unwrap_or(0)
+        } else {
+            0
+        }
+    }
 }
 
 /// RAII guard for an open span; ends the span when dropped.
@@ -249,6 +267,10 @@ impl Recorder for FanoutRecorder {
         for sink in &self.sinks {
             sink.meta(key, value);
         }
+    }
+
+    fn counter_value(&self, name: &str) -> Option<u64> {
+        self.sinks.iter().find_map(|s| s.counter_value(name))
     }
 }
 

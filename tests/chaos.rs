@@ -1,0 +1,296 @@
+//! The seeded chaos suite: scripted fault schedules against the
+//! serving stack, asserting the resilience contracts end to end.
+//!
+//! Every test here arms (or quiesces) the process-global fault
+//! registry, so the registry's arming lock serialises them — they can
+//! share one test binary but must NOT be moved into crates whose unit
+//! tests assume an unarmed registry.
+//!
+//! The driving seed comes from `CHAOS_SEED` (default 42) so CI can
+//! sweep seeds without recompiling.
+
+use spmm_rr::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A small matrix/operand pair on an integer grid: every partial sum
+/// is exactly representable, so any correct kernel — tiled, row-wise
+/// parallel or sequential — must produce bit-identical output.
+fn integer_case(seed: u64) -> (Arc<CsrMatrix<f64>>, Arc<DenseMatrix<f64>>) {
+    let mut m = generators::shuffled_block_diagonal::<f64>(24, 8, 24, 8, seed);
+    for v in m.values_mut() {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+    let mut x = generators::random_dense::<f64>(m.ncols(), 8, seed ^ 0xD15EA5E);
+    for v in x.data_mut() {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+    (Arc::new(m), Arc::new(x))
+}
+
+/// With nothing armed, the fault hooks must not perturb numerics or
+/// the manifest: output under `quiesce()` is bit-identical to output
+/// under an armed-but-empty plan, and a clean serve-bench manifest
+/// carries none of the resilience counters.
+#[test]
+fn disarmed_fault_points_have_zero_observable_overhead() {
+    let (m, x) = integer_case(chaos_seed());
+    let quiet = {
+        let _guard = quiesce();
+        let engine = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+        engine.spmm(&x).unwrap()
+    };
+    let empty_plan = {
+        let _guard = FaultPlan::new(chaos_seed()).arm();
+        let engine = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+        engine.spmm(&x).unwrap()
+    };
+    assert_eq!(
+        quiet.data(),
+        empty_plan.data(),
+        "an armed empty plan changed kernel output"
+    );
+
+    let _guard = quiesce();
+    let mut config = ServeBenchConfig::default();
+    config.requests = 32;
+    config.concurrency = 2;
+    config.workers = 2;
+    config.k = 8;
+    config.seed = chaos_seed();
+    let report = run_serve_bench(&config).unwrap();
+    assert!(report.probes_passed(), "{}", report.render());
+    for key in report.manifest.counters.keys() {
+        assert!(
+            !key.starts_with("serve.breaker.")
+                && !key.starts_with("serve.retry.")
+                && key != "serve.quarantined"
+                && key != "serve.worker.panic"
+                && key != "serve.cache.poisoned",
+            "clean run leaked resilience counter {key}"
+        );
+    }
+}
+
+/// Breaker lifecycle under a scripted prepare-failure schedule, driven
+/// deterministically by a manual clock: closed → backoff → open →
+/// failed half-open probe → successful probe → closed.
+#[test]
+fn breaker_opens_probes_half_open_and_recovers_on_schedule() {
+    let (clock, manual) = ClockHandle::manual();
+    let guard = FaultPlan::parse("serve.cache.prepare:error@1..4", chaos_seed())
+        .unwrap()
+        .arm();
+    let serve = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .breaker_threshold(2)
+            .retry_backoff_base(Duration::from_millis(10))
+            .breaker_cooldown(Duration::from_millis(100))
+            .clock(clock)
+            .build(),
+    );
+    let (m, x) = integer_case(chaos_seed());
+    let counter = |name: &str| serve.telemetry().counter_value(name);
+    let request = || Request::spmm(m.clone(), x.clone());
+
+    // hit 1: first attempt fails; breaker stays closed, backoff starts
+    assert!(matches!(
+        serve.execute(request()),
+        Err(ServeError::Prepare(_))
+    ));
+    assert_eq!(counter("serve.breaker.open"), 0);
+
+    // inside the backoff window: suppressed, degraded to row-wise
+    let resp = serve.execute(request()).unwrap();
+    assert_eq!(resp.path, ServePath::Fallback);
+    assert_eq!(counter("serve.retry.suppressed"), 1);
+
+    // hit 2 after the window: second consecutive failure trips the
+    // breaker at threshold 2
+    manual.advance(Duration::from_millis(20));
+    assert!(serve.execute(request()).is_err());
+    assert_eq!(counter("serve.breaker.open"), 1);
+    assert_eq!(serve.health().open_breakers, 1);
+
+    // breaker open: no attempt reaches prepare, request degrades
+    let resp = serve.execute(request()).unwrap();
+    assert_eq!(resp.path, ServePath::Fallback);
+    assert_eq!(counter("serve.retry.suppressed"), 2);
+
+    // cooldown over: half-open probe runs, is injected (hit 3), re-opens
+    manual.advance(Duration::from_millis(200));
+    assert!(serve.execute(request()).is_err());
+    assert_eq!(counter("serve.breaker.half_open"), 1);
+    assert_eq!(counter("serve.breaker.open"), 2);
+
+    // next probe (hit 4) also fails
+    manual.advance(Duration::from_millis(200));
+    assert!(serve.execute(request()).is_err());
+    assert_eq!(counter("serve.breaker.half_open"), 2);
+    assert_eq!(counter("serve.breaker.open"), 3);
+
+    // hit 5 is past the scripted range: the probe succeeds and closes
+    // the breaker; the plan is cached from here on
+    manual.advance(Duration::from_millis(200));
+    let resp = serve.execute(request()).unwrap();
+    assert_eq!(resp.path, ServePath::FreshPlan);
+    assert_eq!(counter("serve.breaker.close"), 1);
+    assert_eq!(serve.health().open_breakers, 0);
+    let resp = serve.execute(request()).unwrap();
+    assert_eq!(resp.path, ServePath::CachedPlan);
+
+    assert_eq!(guard.hits("serve.cache.prepare"), 5);
+    serve.shutdown();
+}
+
+/// A prepare panic poisons the slot; the poisoned fingerprint is
+/// quarantined and served exactly by the row-wise fallback until the
+/// operator sweeps it.
+#[test]
+fn poisoned_slot_quarantines_with_exact_fallback_then_recovers() {
+    let guard = FaultPlan::parse("serve.cache.prepare:panic@1", chaos_seed())
+        .unwrap()
+        .arm();
+    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build());
+    let (m, x) = integer_case(chaos_seed() ^ 1);
+    let expected = spmm_rowwise_seq(&m, &x).unwrap();
+
+    // the panic crosses the cache's catch_unwind, poisons the slot and
+    // surfaces as WorkerPanicked — never a hang
+    let first = serve.execute(Request::spmm(m.clone(), x.clone()));
+    assert!(
+        matches!(first, Err(ServeError::WorkerPanicked)),
+        "{first:?}"
+    );
+
+    // the worker survived, the fingerprint is quarantined: requests
+    // degrade to the row-wise fallback with bit-exact results
+    for round in 1..=2u64 {
+        let resp = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        assert_eq!(resp.path, ServePath::Fallback);
+        match resp.output {
+            Output::Dense(got) => assert_eq!(got.data(), expected.data()),
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert_eq!(serve.stats().quarantined, round);
+    }
+    let health = serve.health();
+    assert_eq!(health.poisoned_plans, 1);
+    assert_eq!(health.worker_panics, 1);
+    assert_eq!(health.workers_alive, 1, "worker died with the panic");
+    assert!(health.ready());
+
+    // sweeping the quarantine restores the tiled path (hit 2 is past
+    // the scripted schedule)
+    assert_eq!(serve.cache().clear_poisoned(), 1);
+    let resp = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+    assert_eq!(resp.path, ServePath::FreshPlan);
+    match resp.output {
+        Output::Dense(got) => assert_eq!(got.data(), expected.data()),
+        other => panic!("unexpected output {other:?}"),
+    }
+    assert_eq!(guard.hits("serve.cache.prepare"), 2);
+    serve.shutdown();
+}
+
+/// The same ladder holds when the panic originates deep inside the
+/// preprocessing pipeline (the reorder rounds), not at the cache shim.
+#[test]
+fn reorder_round_panic_is_contained_and_quarantined() {
+    let _guard = FaultPlan::parse("reorder.round1:panic@1", chaos_seed())
+        .unwrap()
+        .arm();
+    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build());
+    let (m, x) = integer_case(chaos_seed() ^ 2);
+    let expected = spmm_rowwise_seq(&m, &x).unwrap();
+
+    assert!(matches!(
+        serve.execute(Request::spmm(m.clone(), x.clone())),
+        Err(ServeError::WorkerPanicked)
+    ));
+    let resp = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+    assert_eq!(resp.path, ServePath::Fallback);
+    match resp.output {
+        Output::Dense(got) => assert_eq!(got.data(), expected.data()),
+        other => panic!("unexpected output {other:?}"),
+    }
+    assert_eq!(serve.stats().quarantined, 1);
+    serve.shutdown();
+}
+
+/// Concurrent Zipf traffic under a mixed fault schedule: whatever the
+/// interleaving, no request is lost, every reported success is
+/// bit-exact, and the armed points actually fired.
+#[test]
+fn chaos_bench_under_mixed_faults_holds_the_invariants() {
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 96;
+    config.concurrency = 4;
+    config.workers = 3;
+    config.seed = chaos_seed();
+    config.k = 8;
+    config.faults = Some(
+        "serve.cache.prepare:error@every:3,kernel.execute:error@every:5,\
+         serve.worker:delay:1ms@every:7"
+            .into(),
+    );
+    let report = run_chaos_bench(&config).unwrap();
+
+    assert_eq!(
+        report.ok + report.failed,
+        config.requests,
+        "lost requests: {}",
+        report.render()
+    );
+    assert_eq!(
+        report.exact,
+        report.ok,
+        "inexact successful responses: {}",
+        report.render()
+    );
+    assert!(report.all_successes_exact());
+    assert!(report.failed > 0, "the schedule injected nothing");
+    for point in ["serve.cache.prepare", "kernel.execute", "serve.worker"] {
+        assert!(
+            report.fault_hits.get(point).copied().unwrap_or(0) > 0,
+            "{point} never fired: {:?}",
+            report.fault_hits
+        );
+    }
+    assert_eq!(report.health.workers_alive, config.workers);
+    assert!(report.health.ready());
+}
+
+/// A clean chaos-bench run is indistinguishable from a plain benchmark:
+/// no failures, full exactness, no resilience counters in the manifest.
+#[test]
+fn chaos_bench_without_faults_runs_clean() {
+    // hold the arming permit so a concurrently-running armed test
+    // cannot leak injections into this deliberately clean run
+    let _guard = quiesce();
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 48;
+    config.concurrency = 2;
+    config.workers = 2;
+    config.seed = chaos_seed();
+    config.k = 8;
+    let report = run_chaos_bench(&config).unwrap();
+    assert_eq!(report.failed, 0, "{}", report.render());
+    assert_eq!(report.ok, config.requests);
+    assert_eq!(report.exact, report.ok);
+    assert!(report.fault_hits.is_empty());
+    for key in report.manifest.counters.keys() {
+        assert!(
+            !key.starts_with("serve.breaker.") && !key.starts_with("serve.retry."),
+            "clean chaos run leaked {key}"
+        );
+    }
+}

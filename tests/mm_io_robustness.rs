@@ -1,0 +1,137 @@
+//! Adversarial-input robustness for the Matrix Market reader.
+//!
+//! The reader ingests untrusted files. The contract under test: every
+//! malformed, truncated, hostile or just weird input yields a
+//! [`SparseError`] (with line context where the format gives us one) —
+//! never a panic, never a silent wrong parse, never an unbounded
+//! allocation driven by a declared size.
+
+use proptest::prelude::*;
+use spmm_rr::prelude::*;
+use spmm_rr::sparse::mm_io::read_matrix_market;
+
+/// A valid coordinate/real/general file with `nnz` entries on a
+/// deterministic diagonal-ish pattern.
+fn valid_file(nnz: usize) -> String {
+    let mut text = String::from("%%MatrixMarket matrix coordinate real general\n");
+    let dim = nnz.max(1);
+    text.push_str(&format!("{dim} {dim} {nnz}\n"));
+    for i in 0..nnz {
+        text.push_str(&format!("{} {} {}.5\n", i + 1, (i % dim) + 1, i + 1));
+    }
+    text
+}
+
+fn parse(text: &str) -> Result<CsrMatrix<f64>, SparseError> {
+    read_matrix_market::<f64, _>(text.as_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_junk_never_panics(s in ".{0,300}") {
+        // Ok or Err are both acceptable; panicking is not, and every
+        // error must render a message.
+        if let Err(e) = parse(&s) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn junk_bodies_behind_a_valid_banner_never_panic(s in ".{0,300}") {
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{s}");
+        if let Err(e) = parse(&text) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn byte_truncation_never_panics(nnz in 1usize..24, frac in 0.0f64..1.0) {
+        let full = valid_file(nnz);
+        let cut = (full.len() as f64 * frac) as usize;
+        // cut on a char boundary (the file is ASCII, but stay honest)
+        let cut = (0..=cut).rev().find(|&i| full.is_char_boundary(i)).unwrap_or(0);
+        // a mid-number cut can still leave a well-formed (shorter) file,
+        // so the only universal contract is: no panic, errors render
+        if let Err(e) = parse(&full[..cut]) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn dropping_entry_lines_is_a_count_mismatch_error(nnz in 2usize..24, drop in 1usize..8) {
+        let full = valid_file(nnz);
+        let drop = drop.min(nnz);
+        let kept: Vec<&str> = full.lines().collect();
+        let truncated = kept[..kept.len() - drop].join("\n");
+        let err = parse(&truncated).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("declared"),
+            "expected a count-mismatch error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_indices_are_errors_with_line_context(
+        nrows in 1usize..16,
+        excess in 1u64..1000,
+    ) {
+        let bad_row = nrows as u64 + excess;
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{nrows} {nrows} 1\n{bad_row} 1 1.0\n"
+        );
+        let err = parse(&text).unwrap_err();
+        prop_assert!(parse(&text).is_err());
+        // the entry sits on line 3; the reader tells us where it choked
+        let msg = err.to_string();
+        prop_assert!(!msg.is_empty(), "{msg}");
+    }
+
+    #[test]
+    fn huge_declared_dims_and_nnz_error_without_allocating(
+        dim_excess in 1u64..u32::MAX as u64,
+        nnz in 0u64..u64::MAX / 2,
+    ) {
+        // dims past the u32 index range must be rejected up front — the
+        // declared size must never drive a matching allocation
+        let dim = u32::MAX as u64 + dim_excess;
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{dim} {dim} {nnz}\n"
+        );
+        prop_assert!(parse(&text).is_err());
+        // a sane-dims file declaring absurd nnz parses the size line
+        // fine and fails on the entry count, not on an allocation
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n4 4 {}\n1 2 1.0\n",
+            u64::MAX
+        );
+        let err = parse(&text).unwrap_err();
+        prop_assert!(err.to_string().contains("declared"), "{err}");
+    }
+}
+
+#[test]
+fn index_past_u32_is_a_parse_error_not_a_truncation() {
+    // (u32::MAX + 2) used to wrap to row 0 via `as u32`, silently
+    // accepting an entry the file never contained
+    let text = format!(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n{} 1 1.0\n",
+        u32::MAX as u64 + 2
+    );
+    let err = parse(&text).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("u32"), "{msg}");
+    assert!(msg.contains("line 3"), "should carry line context: {msg}");
+}
+
+#[test]
+fn error_line_numbers_point_at_the_offending_line() {
+    let text = "%%MatrixMarket matrix coordinate real general\n\
+                % comment\n\
+                2 2 2\n\
+                1 1 1.0\n\
+                1 x 2.0\n";
+    let err = parse(text).unwrap_err();
+    assert!(err.to_string().contains("line 5"), "{err}");
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_sim-3bf579f353dc4691.d: crates/bench/benches/cache_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_sim-3bf579f353dc4691.rmeta: crates/bench/benches/cache_sim.rs Cargo.toml
+
+crates/bench/benches/cache_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

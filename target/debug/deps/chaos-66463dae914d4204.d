@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-66463dae914d4204.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-66463dae914d4204.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-676413fa0b768099.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-676413fa0b768099: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c2e50c520a373781.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c2e50c520a373781.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-ca916fd2196770a2.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ca916fd2196770a2.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ca916fd2196770a2.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

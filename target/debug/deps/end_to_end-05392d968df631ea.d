@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-05392d968df631ea.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-05392d968df631ea: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-1163a60eb4c24378.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-1163a60eb4c24378.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

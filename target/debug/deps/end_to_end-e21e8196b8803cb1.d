@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e21e8196b8803cb1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e21e8196b8803cb1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-067e8d5eea6eabad.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-067e8d5eea6eabad: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

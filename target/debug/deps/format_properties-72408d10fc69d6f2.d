@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_properties-72408d10fc69d6f2.d: tests/format_properties.rs
+
+/root/repo/target/debug/deps/format_properties-72408d10fc69d6f2: tests/format_properties.rs
+
+tests/format_properties.rs:

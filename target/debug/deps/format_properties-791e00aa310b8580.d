@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_properties-791e00aa310b8580.d: tests/format_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_properties-791e00aa310b8580.rmeta: tests/format_properties.rs Cargo.toml
+
+tests/format_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_properties-cbbcd4deebc6d71d.d: tests/format_properties.rs
+
+/root/repo/target/debug/deps/format_properties-cbbcd4deebc6d71d: tests/format_properties.rs
+
+tests/format_properties.rs:

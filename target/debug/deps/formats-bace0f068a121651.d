@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/formats-bace0f068a121651.d: crates/bench/benches/formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformats-bace0f068a121651.rmeta: crates/bench/benches/formats.rs Cargo.toml
+
+crates/bench/benches/formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generators-6d2ae7a13873c091.d: crates/bench/benches/generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerators-6d2ae7a13873c091.rmeta: crates/bench/benches/generators.rs Cargo.toml
+
+crates/bench/benches/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_io_robustness-1c42d0a0e444bc60.d: tests/mm_io_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_io_robustness-1c42d0a0e444bc60.rmeta: tests/mm_io_robustness.rs Cargo.toml
+
+tests/mm_io_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

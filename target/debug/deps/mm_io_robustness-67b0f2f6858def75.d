@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_io_robustness-67b0f2f6858def75.d: tests/mm_io_robustness.rs
+
+/root/repo/target/debug/deps/mm_io_robustness-67b0f2f6858def75: tests/mm_io_robustness.rs
+
+tests/mm_io_robustness.rs:

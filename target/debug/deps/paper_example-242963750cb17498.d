@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_example-242963750cb17498.d: tests/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_example-242963750cb17498.rmeta: tests/paper_example.rs Cargo.toml
+
+tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

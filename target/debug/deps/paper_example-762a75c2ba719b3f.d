@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-762a75c2ba719b3f.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-762a75c2ba719b3f: tests/paper_example.rs
+
+tests/paper_example.rs:

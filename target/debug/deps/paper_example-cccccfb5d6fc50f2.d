@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-cccccfb5d6fc50f2.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-cccccfb5d6fc50f2: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7e468a7559ad9b3f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7e468a7559ad9b3f: tests/properties.rs
+
+tests/properties.rs:

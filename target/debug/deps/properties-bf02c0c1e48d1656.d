@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bf02c0c1e48d1656.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bf02c0c1e48d1656: tests/properties.rs
+
+tests/properties.rs:

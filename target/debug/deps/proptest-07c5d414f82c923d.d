@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-07c5d414f82c923d.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-07c5d414f82c923d.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-07c5d414f82c923d.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cd8d328b7252c1f3.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cd8d328b7252c1f3.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d3e53e08c16d1f34.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d3e53e08c16d1f34.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d3e53e08c16d1f34.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-feeb813b927a39df.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-feeb813b927a39df.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-86f30275040db964.d: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-86f30275040db964.rlib: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-86f30275040db964.rmeta: /tmp/vendor/rayon/src/lib.rs
+
+/tmp/vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-c09766ead04540cb.d: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c09766ead04540cb.rmeta: /tmp/vendor/rayon/src/lib.rs
+
+/tmp/vendor/rayon/src/lib.rs:

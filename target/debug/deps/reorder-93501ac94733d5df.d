@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reorder-93501ac94733d5df.d: crates/bench/benches/reorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreorder-93501ac94733d5df.rmeta: crates/bench/benches/reorder.rs Cargo.toml
+
+crates/bench/benches/reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

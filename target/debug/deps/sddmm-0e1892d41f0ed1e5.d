@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sddmm-0e1892d41f0ed1e5.d: crates/bench/benches/sddmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsddmm-0e1892d41f0ed1e5.rmeta: crates/bench/benches/sddmm.rs Cargo.toml
+
+crates/bench/benches/sddmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

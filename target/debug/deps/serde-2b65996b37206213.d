@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2b65996b37206213.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2b65996b37206213.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2b65996b37206213.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

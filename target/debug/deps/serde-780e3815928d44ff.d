@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-780e3815928d44ff.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-780e3815928d44ff.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

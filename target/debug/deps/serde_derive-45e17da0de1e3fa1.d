@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-45e17da0de1e3fa1.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-45e17da0de1e3fa1.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

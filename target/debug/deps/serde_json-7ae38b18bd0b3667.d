@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7ae38b18bd0b3667.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7ae38b18bd0b3667.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7ae38b18bd0b3667.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-9143406cc17ca413.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9143406cc17ca413.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

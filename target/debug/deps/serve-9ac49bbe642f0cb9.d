@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-9ac49bbe642f0cb9.d: tests/serve.rs
+
+/root/repo/target/debug/deps/serve-9ac49bbe642f0cb9: tests/serve.rs
+
+tests/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-9fb9c7a41c5818e2.d: tests/serve.rs
+
+/root/repo/target/debug/deps/serve-9fb9c7a41c5818e2: tests/serve.rs
+
+tests/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm-a755ad0911a96383.d: crates/bench/benches/spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm-a755ad0911a96383.rmeta: crates/bench/benches/spmm.rs Cargo.toml
+
+crates/bench/benches/spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spmm_aspt-395513a1d8238a4c.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/debug/deps/spmm_aspt-395513a1d8238a4c: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_aspt-4f59eea8d1cc2117.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/debug/deps/libspmm_aspt-4f59eea8d1cc2117.rlib: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/debug/deps/libspmm_aspt-4f59eea8d1cc2117.rmeta: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:

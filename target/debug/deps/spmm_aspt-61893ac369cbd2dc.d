@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spmm_aspt-61893ac369cbd2dc.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/debug/deps/libspmm_aspt-61893ac369cbd2dc.rmeta: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:

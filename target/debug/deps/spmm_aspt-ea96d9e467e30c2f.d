@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_aspt-ea96d9e467e30c2f.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_aspt-ea96d9e467e30c2f.rmeta: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs Cargo.toml
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

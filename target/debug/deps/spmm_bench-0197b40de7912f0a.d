@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_bench-0197b40de7912f0a.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/spmm_bench-0197b40de7912f0a: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/related.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_bench-247a2408188d3c68.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+/root/repo/target/debug/deps/libspmm_bench-247a2408188d3c68.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/related.rs:
+crates/bench/src/stats.rs:

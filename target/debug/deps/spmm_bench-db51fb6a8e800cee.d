@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spmm_bench-db51fb6a8e800cee.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_bench-db51fb6a8e800cee.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/related.rs:
+crates/bench/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

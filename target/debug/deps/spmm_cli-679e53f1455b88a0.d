@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_cli-679e53f1455b88a0.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_cli-679e53f1455b88a0.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_cli-679e53f1455b88a0.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmm_cli-798d024c6fc6c936.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/spmm_cli-798d024c6fc6c936: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_cli-9ce44246ad3a64a9.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_cli-9ce44246ad3a64a9.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmm_core-1c2e18efec6e21cd.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/spmm_core-1c2e18efec6e21cd: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

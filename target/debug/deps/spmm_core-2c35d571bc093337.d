@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_core-2c35d571bc093337.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_core-2c35d571bc093337.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_core-2c35d571bc093337.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

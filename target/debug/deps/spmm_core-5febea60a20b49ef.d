@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_core-5febea60a20b49ef.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_core-5febea60a20b49ef.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

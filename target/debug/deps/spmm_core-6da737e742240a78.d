@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmm_core-6da737e742240a78.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_core-6da737e742240a78.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_core-dd3fda9ee9772756.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_core-dd3fda9ee9772756.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_core-dd3fda9ee9772756.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

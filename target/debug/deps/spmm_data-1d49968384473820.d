@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spmm_data-1d49968384473820.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_data-1d49968384473820.rmeta: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

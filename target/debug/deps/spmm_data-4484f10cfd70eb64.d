@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_data-4484f10cfd70eb64.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/debug/deps/libspmm_data-4484f10cfd70eb64.rmeta: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:

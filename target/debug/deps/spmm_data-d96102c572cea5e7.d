@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_data-d96102c572cea5e7.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/debug/deps/libspmm_data-d96102c572cea5e7.rlib: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/debug/deps/libspmm_data-d96102c572cea5e7.rmeta: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_data-fe790ab22de58226.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/debug/deps/spmm_data-fe790ab22de58226: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/spmm_faults-1bcbfaeb50a666b9.d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/debug/deps/libspmm_faults-1bcbfaeb50a666b9.rmeta: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:

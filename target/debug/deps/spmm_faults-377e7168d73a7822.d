@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spmm_faults-377e7168d73a7822.d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/debug/deps/libspmm_faults-377e7168d73a7822.rlib: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/debug/deps/libspmm_faults-377e7168d73a7822.rmeta: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:

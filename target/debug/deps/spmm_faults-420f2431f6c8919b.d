@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_faults-420f2431f6c8919b.d: crates/faults/src/lib.rs crates/faults/src/clock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_faults-420f2431f6c8919b.rmeta: crates/faults/src/lib.rs crates/faults/src/clock.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/spmm_faults-a1fb725547b95525.d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/debug/deps/spmm_faults-a1fb725547b95525: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_faults-ce55e4b30ed53667.d: crates/faults/src/lib.rs crates/faults/src/clock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_faults-ce55e4b30ed53667.rmeta: crates/faults/src/lib.rs crates/faults/src/clock.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_formats-3399d8e46adc9c91.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_formats-3399d8e46adc9c91.rmeta: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs Cargo.toml
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spmm_formats-4c1a7a14cc6ed26b.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/debug/deps/libspmm_formats-4c1a7a14cc6ed26b.rmeta: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_formats-82d6d3c2b56fe053.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/debug/deps/libspmm_formats-82d6d3c2b56fe053.rlib: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/debug/deps/libspmm_formats-82d6d3c2b56fe053.rmeta: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spmm_formats-99fb4e38a933a0a5.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/debug/deps/spmm_formats-99fb4e38a933a0a5: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:

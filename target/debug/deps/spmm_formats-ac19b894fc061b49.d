@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_formats-ac19b894fc061b49.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_formats-ac19b894fc061b49.rmeta: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs Cargo.toml
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

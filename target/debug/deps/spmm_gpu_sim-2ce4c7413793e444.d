@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_gpu_sim-2ce4c7413793e444.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+/root/repo/target/debug/deps/libspmm_gpu_sim-2ce4c7413793e444.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/kernels.rs:

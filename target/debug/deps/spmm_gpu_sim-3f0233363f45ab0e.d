@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spmm_gpu_sim-3f0233363f45ab0e.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+/root/repo/target/debug/deps/libspmm_gpu_sim-3f0233363f45ab0e.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+/root/repo/target/debug/deps/libspmm_gpu_sim-3f0233363f45ab0e.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/kernels.rs:

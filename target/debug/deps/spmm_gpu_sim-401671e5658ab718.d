@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spmm_gpu_sim-401671e5658ab718.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_gpu_sim-401671e5658ab718.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spmm_kernels-230256ed86582228.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/libspmm_kernels-230256ed86582228.rlib: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/libspmm_kernels-230256ed86582228.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/engine.rs:
+crates/kernels/src/sddmm.rs:
+crates/kernels/src/spmm.rs:

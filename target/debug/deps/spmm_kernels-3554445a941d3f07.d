@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spmm_kernels-3554445a941d3f07.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/libspmm_kernels-3554445a941d3f07.rlib: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/libspmm_kernels-3554445a941d3f07.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/engine.rs:
+crates/kernels/src/sddmm.rs:
+crates/kernels/src/spmm.rs:

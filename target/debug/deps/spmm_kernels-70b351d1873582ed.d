@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_kernels-70b351d1873582ed.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/libspmm_kernels-70b351d1873582ed.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/engine.rs:
+crates/kernels/src/sddmm.rs:
+crates/kernels/src/spmm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spmm_kernels-74ef929b5cbe48ad.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_kernels-74ef929b5cbe48ad.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/engine.rs:
+crates/kernels/src/sddmm.rs:
+crates/kernels/src/spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_kernels-c67d523736efce1f.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+/root/repo/target/debug/deps/spmm_kernels-c67d523736efce1f: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/engine.rs crates/kernels/src/sddmm.rs crates/kernels/src/spmm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/engine.rs:
+crates/kernels/src/sddmm.rs:
+crates/kernels/src/spmm.rs:

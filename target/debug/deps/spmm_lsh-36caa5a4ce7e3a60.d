@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_lsh-36caa5a4ce7e3a60.d: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/debug/deps/libspmm_lsh-36caa5a4ce7e3a60.rlib: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/debug/deps/libspmm_lsh-36caa5a4ce7e3a60.rmeta: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/banding.rs:
+crates/lsh/src/candidates.rs:
+crates/lsh/src/exact.rs:
+crates/lsh/src/hash.rs:
+crates/lsh/src/minhash.rs:

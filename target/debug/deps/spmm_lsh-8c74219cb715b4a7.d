@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spmm_lsh-8c74219cb715b4a7.d: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_lsh-8c74219cb715b4a7.rmeta: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs Cargo.toml
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/banding.rs:
+crates/lsh/src/candidates.rs:
+crates/lsh/src/exact.rs:
+crates/lsh/src/hash.rs:
+crates/lsh/src/minhash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

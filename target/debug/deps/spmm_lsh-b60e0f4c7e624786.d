@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_lsh-b60e0f4c7e624786.d: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/debug/deps/spmm_lsh-b60e0f4c7e624786: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/banding.rs:
+crates/lsh/src/candidates.rs:
+crates/lsh/src/exact.rs:
+crates/lsh/src/hash.rs:
+crates/lsh/src/minhash.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_reorder-5b10621b47c47966.d: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/debug/deps/libspmm_reorder-5b10621b47c47966.rlib: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/debug/deps/libspmm_reorder-5b10621b47c47966.rmeta: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+crates/reorder/src/lib.rs:
+crates/reorder/src/baselines.rs:
+crates/reorder/src/cluster.rs:
+crates/reorder/src/metrics.rs:
+crates/reorder/src/pipeline.rs:
+crates/reorder/src/union_find.rs:

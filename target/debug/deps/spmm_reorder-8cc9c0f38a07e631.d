@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spmm_reorder-8cc9c0f38a07e631.d: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_reorder-8cc9c0f38a07e631.rmeta: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs Cargo.toml
+
+crates/reorder/src/lib.rs:
+crates/reorder/src/baselines.rs:
+crates/reorder/src/cluster.rs:
+crates/reorder/src/metrics.rs:
+crates/reorder/src/pipeline.rs:
+crates/reorder/src/union_find.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_rr-2612d6461c5ac154.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_rr-2612d6461c5ac154.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

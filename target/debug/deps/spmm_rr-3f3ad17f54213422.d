@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_rr-3f3ad17f54213422.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_rr-3f3ad17f54213422.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_rr-3f3ad17f54213422.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_rr-5e7edb8c5b8c14d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/spmm_rr-5e7edb8c5b8c14d6: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spmm_rr-85d5bb0455dfe588.d: src/lib.rs
+
+/root/repo/target/debug/deps/spmm_rr-85d5bb0455dfe588: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

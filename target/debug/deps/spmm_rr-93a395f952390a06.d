@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmm_rr-93a395f952390a06.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/spmm_rr-93a395f952390a06: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmm_rr-a111110927983061.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/spmm_rr-a111110927983061: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

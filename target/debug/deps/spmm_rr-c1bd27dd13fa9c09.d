@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_rr-c1bd27dd13fa9c09.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_rr-c1bd27dd13fa9c09.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspmm_rr-c1bd27dd13fa9c09.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

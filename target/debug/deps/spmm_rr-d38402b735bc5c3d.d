@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_rr-d38402b735bc5c3d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_rr-d38402b735bc5c3d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spmm_rr-f6c13ad310a1ed1e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_rr-f6c13ad310a1ed1e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spmm_serve-55605b0707a9fa0e.d: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/debug/deps/libspmm_serve-55605b0707a9fa0e.rlib: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/debug/deps/libspmm_serve-55605b0707a9fa0e.rmeta: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/bench.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/fingerprint.rs:

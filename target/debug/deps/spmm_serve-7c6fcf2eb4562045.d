@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spmm_serve-7c6fcf2eb4562045.d: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_serve-7c6fcf2eb4562045.rmeta: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/bench.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/fingerprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

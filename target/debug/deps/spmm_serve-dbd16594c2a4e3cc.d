@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spmm_serve-dbd16594c2a4e3cc.d: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/debug/deps/libspmm_serve-dbd16594c2a4e3cc.rlib: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/debug/deps/libspmm_serve-dbd16594c2a4e3cc.rmeta: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/bench.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/fingerprint.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/spmm_sparse-26ccb04c63c012ba.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_sparse-26ccb04c63c012ba.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/mm_io.rs:
+crates/sparse/src/perm.rs:
+crates/sparse/src/scalar.rs:
+crates/sparse/src/similarity.rs:
+crates/sparse/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/spmm_sparse-a78b320877bf06e1.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/libspmm_sparse-a78b320877bf06e1.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/libspmm_sparse-a78b320877bf06e1.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/mm_io.rs:
+crates/sparse/src/perm.rs:
+crates/sparse/src/scalar.rs:
+crates/sparse/src/similarity.rs:
+crates/sparse/src/stats.rs:

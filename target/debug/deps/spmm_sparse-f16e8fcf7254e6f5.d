@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spmm_sparse-f16e8fcf7254e6f5.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/spmm_sparse-f16e8fcf7254e6f5: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/mm_io.rs:
+crates/sparse/src/perm.rs:
+crates/sparse/src/scalar.rs:
+crates/sparse/src/similarity.rs:
+crates/sparse/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_telemetry-65b8dd62a3b01f99.d: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+/root/repo/target/debug/deps/libspmm_telemetry-65b8dd62a3b01f99.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/recorder.rs:

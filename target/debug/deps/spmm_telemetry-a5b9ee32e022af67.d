@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_telemetry-a5b9ee32e022af67.d: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+/root/repo/target/debug/deps/spmm_telemetry-a5b9ee32e022af67: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/recorder.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spmm_telemetry-b5f83c8751f83f44.d: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_telemetry-b5f83c8751f83f44.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

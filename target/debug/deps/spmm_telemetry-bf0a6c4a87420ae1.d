@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spmm_telemetry-bf0a6c4a87420ae1.d: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_telemetry-bf0a6c4a87420ae1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

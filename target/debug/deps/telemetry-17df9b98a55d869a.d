@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-17df9b98a55d869a.d: tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-17df9b98a55d869a.rmeta: tests/telemetry.rs Cargo.toml
+
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-1ea5ddffd5805b6c.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-1ea5ddffd5805b6c: tests/telemetry.rs
+
+tests/telemetry.rs:

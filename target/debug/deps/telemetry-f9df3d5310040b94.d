@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-f9df3d5310040b94.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-f9df3d5310040b94: tests/telemetry.rs
+
+tests/telemetry.rs:

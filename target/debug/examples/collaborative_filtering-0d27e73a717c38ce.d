@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collaborative_filtering-0d27e73a717c38ce.d: examples/collaborative_filtering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollaborative_filtering-0d27e73a717c38ce.rmeta: examples/collaborative_filtering.rs Cargo.toml
+
+examples/collaborative_filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

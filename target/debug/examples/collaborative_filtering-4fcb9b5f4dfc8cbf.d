@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaborative_filtering-4fcb9b5f4dfc8cbf.d: examples/collaborative_filtering.rs
+
+/root/repo/target/debug/examples/collaborative_filtering-4fcb9b5f4dfc8cbf: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaborative_filtering-b650c86269f8d651.d: examples/collaborative_filtering.rs
+
+/root/repo/target/debug/examples/collaborative_filtering-b650c86269f8d651: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

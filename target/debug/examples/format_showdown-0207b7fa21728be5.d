@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/format_showdown-0207b7fa21728be5.d: examples/format_showdown.rs
+
+/root/repo/target/debug/examples/format_showdown-0207b7fa21728be5: examples/format_showdown.rs
+
+examples/format_showdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/format_showdown-bbbd446109f14dee.d: examples/format_showdown.rs
+
+/root/repo/target/debug/examples/format_showdown-bbbd446109f14dee: examples/format_showdown.rs
+
+examples/format_showdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/format_showdown-ea50a22005e7ae3e.d: examples/format_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libformat_showdown-ea50a22005e7ae3e.rmeta: examples/format_showdown.rs Cargo.toml
+
+examples/format_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

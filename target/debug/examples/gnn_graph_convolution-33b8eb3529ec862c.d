@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gnn_graph_convolution-33b8eb3529ec862c.d: examples/gnn_graph_convolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgnn_graph_convolution-33b8eb3529ec862c.rmeta: examples/gnn_graph_convolution.rs Cargo.toml
+
+examples/gnn_graph_convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_graph_convolution-9d63048a3aa20bad.d: examples/gnn_graph_convolution.rs
+
+/root/repo/target/debug/examples/gnn_graph_convolution-9d63048a3aa20bad: examples/gnn_graph_convolution.rs
+
+examples/gnn_graph_convolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_graph_convolution-cd77d5ebb7726d29.d: examples/gnn_graph_convolution.rs
+
+/root/repo/target/debug/examples/gnn_graph_convolution-cd77d5ebb7726d29: examples/gnn_graph_convolution.rs
+
+examples/gnn_graph_convolution.rs:

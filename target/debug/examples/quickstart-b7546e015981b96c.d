@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b7546e015981b96c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b7546e015981b96c: examples/quickstart.rs
+
+examples/quickstart.rs:

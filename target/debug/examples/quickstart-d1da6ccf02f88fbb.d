@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d1da6ccf02f88fbb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d1da6ccf02f88fbb: examples/quickstart.rs
+
+examples/quickstart.rs:

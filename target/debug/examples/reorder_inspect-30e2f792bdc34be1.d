@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reorder_inspect-30e2f792bdc34be1.d: examples/reorder_inspect.rs
+
+/root/repo/target/debug/examples/reorder_inspect-30e2f792bdc34be1: examples/reorder_inspect.rs
+
+examples/reorder_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reorder_inspect-3feddd617d5b3b97.d: examples/reorder_inspect.rs
+
+/root/repo/target/debug/examples/reorder_inspect-3feddd617d5b3b97: examples/reorder_inspect.rs
+
+examples/reorder_inspect.rs:

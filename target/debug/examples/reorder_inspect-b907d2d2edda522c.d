@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reorder_inspect-b907d2d2edda522c.d: examples/reorder_inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreorder_inspect-b907d2d2edda522c.rmeta: examples/reorder_inspect.rs Cargo.toml
+
+examples/reorder_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["spmm_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"spmm_serve/fingerprint/struct.MatrixFingerprint.html\" title=\"struct spmm_serve::fingerprint::MatrixFingerprint\">MatrixFingerprint</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[319]}

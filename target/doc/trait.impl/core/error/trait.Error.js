@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["spmm_faults",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"spmm_faults/struct.FaultError.html\" title=\"struct spmm_faults::FaultError\">FaultError</a>",0]]],["spmm_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"spmm_serve/error/enum.ServeError.html\" title=\"enum spmm_serve::error::ServeError\">ServeError</a>",0]]],["spmm_sparse",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"spmm_sparse/error/enum.SparseError.html\" title=\"enum spmm_sparse::error::SparseError\">SparseError</a>",0]]],["spmm_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"spmm_telemetry/json/struct.JsonError.html\" title=\"struct spmm_telemetry::json::JsonError\">JsonError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[286,291,297,304]}

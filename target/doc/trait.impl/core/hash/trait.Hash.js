@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["spmm_data",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"spmm_data/corpus/enum.MatrixClass.html\" title=\"enum spmm_data::corpus::MatrixClass\">MatrixClass</a>",0]]],["spmm_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"spmm_serve/engine/enum.ServePath.html\" title=\"enum spmm_serve::engine::ServePath\">ServePath</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"spmm_serve/fingerprint/struct.MatrixFingerprint.html\" title=\"struct spmm_serve::fingerprint::MatrixFingerprint\">MatrixFingerprint</a>",0]]],["spmm_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"spmm_telemetry/struct.SpanId.html\" title=\"struct spmm_telemetry::SpanId\">SpanId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[287,593,279]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["spmm_faults",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"spmm_faults/struct.FaultGuard.html\" title=\"struct spmm_faults::FaultGuard\">FaultGuard</a>",0]]],["spmm_serve",[["impl&lt;T: Scalar&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"spmm_serve/engine/struct.ServeEngine.html\" title=\"struct spmm_serve::engine::ServeEngine\">ServeEngine</a>&lt;T&gt;",0]]],["spmm_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"spmm_telemetry/struct.SpanGuard.html\" title=\"struct spmm_telemetry::SpanGuard\">SpanGuard</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[290,332,307]}

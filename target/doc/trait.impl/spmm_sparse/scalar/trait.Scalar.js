@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["spmm_core",[]],["spmm_rr",[]],["spmm_sparse",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[16,15,19]}

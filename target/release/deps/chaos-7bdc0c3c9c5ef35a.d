@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-7bdc0c3c9c5ef35a.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-7bdc0c3c9c5ef35a: tests/chaos.rs
+
+tests/chaos.rs:

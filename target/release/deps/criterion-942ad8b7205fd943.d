@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-942ad8b7205fd943.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-942ad8b7205fd943.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-942ad8b7205fd943.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

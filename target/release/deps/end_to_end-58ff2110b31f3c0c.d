@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-58ff2110b31f3c0c.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-58ff2110b31f3c0c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

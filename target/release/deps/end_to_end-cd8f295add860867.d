@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-cd8f295add860867.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-cd8f295add860867: tests/end_to_end.rs
+
+tests/end_to_end.rs:

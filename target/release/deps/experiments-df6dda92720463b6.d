@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-df6dda92720463b6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-df6dda92720463b6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/format_properties-51cab18689995ef1.d: tests/format_properties.rs
+
+/root/repo/target/release/deps/format_properties-51cab18689995ef1: tests/format_properties.rs
+
+tests/format_properties.rs:

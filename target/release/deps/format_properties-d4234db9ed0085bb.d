@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/format_properties-d4234db9ed0085bb.d: tests/format_properties.rs
+
+/root/repo/target/release/deps/format_properties-d4234db9ed0085bb: tests/format_properties.rs
+
+tests/format_properties.rs:

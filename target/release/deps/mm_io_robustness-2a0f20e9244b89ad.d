@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mm_io_robustness-2a0f20e9244b89ad.d: tests/mm_io_robustness.rs
+
+/root/repo/target/release/deps/mm_io_robustness-2a0f20e9244b89ad: tests/mm_io_robustness.rs
+
+tests/mm_io_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_example-2a5dff87008d9c9a.d: tests/paper_example.rs
+
+/root/repo/target/release/deps/paper_example-2a5dff87008d9c9a: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_example-ade11b437c1516b0.d: tests/paper_example.rs
+
+/root/repo/target/release/deps/paper_example-ade11b437c1516b0: tests/paper_example.rs
+
+tests/paper_example.rs:

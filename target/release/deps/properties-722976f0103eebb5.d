@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-722976f0103eebb5.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-722976f0103eebb5: tests/properties.rs
+
+tests/properties.rs:

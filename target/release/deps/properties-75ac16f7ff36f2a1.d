@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-75ac16f7ff36f2a1.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-75ac16f7ff36f2a1: tests/properties.rs
+
+tests/properties.rs:

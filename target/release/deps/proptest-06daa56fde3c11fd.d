@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-06daa56fde3c11fd.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-06daa56fde3c11fd.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-06daa56fde3c11fd.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4a79d2dc6b5e7f35.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4a79d2dc6b5e7f35.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4a79d2dc6b5e7f35.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

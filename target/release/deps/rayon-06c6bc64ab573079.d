@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-06c6bc64ab573079.d: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-06c6bc64ab573079.rlib: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-06c6bc64ab573079.rmeta: /tmp/vendor/rayon/src/lib.rs
+
+/tmp/vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-146c4b79a6eff7d6.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-146c4b79a6eff7d6.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-146c4b79a6eff7d6.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

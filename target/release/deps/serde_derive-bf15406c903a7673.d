@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-bf15406c903a7673.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-bf15406c903a7673.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

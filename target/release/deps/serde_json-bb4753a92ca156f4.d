@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-bb4753a92ca156f4.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-bb4753a92ca156f4.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-bb4753a92ca156f4.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-9e780bab3e562b49.d: tests/serve.rs
+
+/root/repo/target/release/deps/serve-9e780bab3e562b49: tests/serve.rs
+
+tests/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-fe7f878a173f2746.d: tests/serve.rs
+
+/root/repo/target/release/deps/serve-fe7f878a173f2746: tests/serve.rs
+
+tests/serve.rs:

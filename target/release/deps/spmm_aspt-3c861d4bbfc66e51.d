@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/spmm_aspt-3c861d4bbfc66e51.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/release/deps/spmm_aspt-3c861d4bbfc66e51: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spmm_aspt-c6b0c541e08d5484.d: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/release/deps/libspmm_aspt-c6b0c541e08d5484.rlib: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+/root/repo/target/release/deps/libspmm_aspt-c6b0c541e08d5484.rmeta: crates/aspt/src/lib.rs crates/aspt/src/config.rs crates/aspt/src/stats.rs crates/aspt/src/tiling.rs
+
+crates/aspt/src/lib.rs:
+crates/aspt/src/config.rs:
+crates/aspt/src/stats.rs:
+crates/aspt/src/tiling.rs:

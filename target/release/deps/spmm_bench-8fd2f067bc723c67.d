@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spmm_bench-8fd2f067bc723c67.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/spmm_bench-8fd2f067bc723c67: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/related.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spmm_bench-a92908de3acc5791.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libspmm_bench-a92908de3acc5791.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+/root/repo/target/release/deps/libspmm_bench-a92908de3acc5791.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/eval.rs crates/bench/src/experiments.rs crates/bench/src/related.rs crates/bench/src/stats.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/related.rs:
+crates/bench/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spmm_cli-c91888a04032d175.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/spmm_cli-c91888a04032d175: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_cli-ceccec5313ab8983.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_cli-ceccec5313ab8983.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_cli-ceccec5313ab8983.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_core-3263708b46633974.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_core-3263708b46633974.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_core-3263708b46633974.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

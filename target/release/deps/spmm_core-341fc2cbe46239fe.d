@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spmm_core-341fc2cbe46239fe.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/spmm_core-341fc2cbe46239fe: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_core-490a03cefd93b2a8.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_core-490a03cefd93b2a8.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libspmm_core-490a03cefd93b2a8.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spmm_data-79bcc4b406ce0474.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/release/deps/libspmm_data-79bcc4b406ce0474.rlib: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/release/deps/libspmm_data-79bcc4b406ce0474.rmeta: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_data-c228170641e4670b.d: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+/root/repo/target/release/deps/spmm_data-c228170641e4670b: crates/data/src/lib.rs crates/data/src/corpus.rs crates/data/src/generators.rs
+
+crates/data/src/lib.rs:
+crates/data/src/corpus.rs:
+crates/data/src/generators.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/spmm_faults-1ac1f3363b29134d.d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/release/deps/spmm_faults-1ac1f3363b29134d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/spmm_faults-a17b972ae28dd177.d: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/release/deps/libspmm_faults-a17b972ae28dd177.rlib: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+/root/repo/target/release/deps/libspmm_faults-a17b972ae28dd177.rmeta: crates/faults/src/lib.rs crates/faults/src/clock.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/clock.rs:

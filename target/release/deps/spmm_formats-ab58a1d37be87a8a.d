@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spmm_formats-ab58a1d37be87a8a.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/release/deps/libspmm_formats-ab58a1d37be87a8a.rlib: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/release/deps/libspmm_formats-ab58a1d37be87a8a.rmeta: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:

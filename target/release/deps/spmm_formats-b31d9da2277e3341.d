@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/spmm_formats-b31d9da2277e3341.d: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+/root/repo/target/release/deps/spmm_formats-b31d9da2277e3341: crates/formats/src/lib.rs crates/formats/src/csb.rs crates/formats/src/ell.rs crates/formats/src/sellp.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/csb.rs:
+crates/formats/src/ell.rs:
+crates/formats/src/sellp.rs:

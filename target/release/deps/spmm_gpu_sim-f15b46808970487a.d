@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/spmm_gpu_sim-f15b46808970487a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+/root/repo/target/release/deps/libspmm_gpu_sim-f15b46808970487a.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+/root/repo/target/release/deps/libspmm_gpu_sim-f15b46808970487a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/kernels.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/kernels.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spmm_lsh-1e2864c422c6188c.d: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/release/deps/libspmm_lsh-1e2864c422c6188c.rlib: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/release/deps/libspmm_lsh-1e2864c422c6188c.rmeta: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/banding.rs:
+crates/lsh/src/candidates.rs:
+crates/lsh/src/exact.rs:
+crates/lsh/src/hash.rs:
+crates/lsh/src/minhash.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spmm_lsh-aba4569c4581dcbe.d: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+/root/repo/target/release/deps/spmm_lsh-aba4569c4581dcbe: crates/lsh/src/lib.rs crates/lsh/src/banding.rs crates/lsh/src/candidates.rs crates/lsh/src/exact.rs crates/lsh/src/hash.rs crates/lsh/src/minhash.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/banding.rs:
+crates/lsh/src/candidates.rs:
+crates/lsh/src/exact.rs:
+crates/lsh/src/hash.rs:
+crates/lsh/src/minhash.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spmm_reorder-2a6225cf22ad2508.d: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/release/deps/libspmm_reorder-2a6225cf22ad2508.rlib: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/release/deps/libspmm_reorder-2a6225cf22ad2508.rmeta: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+crates/reorder/src/lib.rs:
+crates/reorder/src/baselines.rs:
+crates/reorder/src/cluster.rs:
+crates/reorder/src/metrics.rs:
+crates/reorder/src/pipeline.rs:
+crates/reorder/src/union_find.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spmm_reorder-52a6901907555bc8.d: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/release/deps/spmm_reorder-52a6901907555bc8: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+crates/reorder/src/lib.rs:
+crates/reorder/src/baselines.rs:
+crates/reorder/src/cluster.rs:
+crates/reorder/src/metrics.rs:
+crates/reorder/src/pipeline.rs:
+crates/reorder/src/union_find.rs:

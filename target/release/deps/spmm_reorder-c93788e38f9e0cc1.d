@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spmm_reorder-c93788e38f9e0cc1.d: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/release/deps/libspmm_reorder-c93788e38f9e0cc1.rlib: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+/root/repo/target/release/deps/libspmm_reorder-c93788e38f9e0cc1.rmeta: crates/reorder/src/lib.rs crates/reorder/src/baselines.rs crates/reorder/src/cluster.rs crates/reorder/src/metrics.rs crates/reorder/src/pipeline.rs crates/reorder/src/union_find.rs
+
+crates/reorder/src/lib.rs:
+crates/reorder/src/baselines.rs:
+crates/reorder/src/cluster.rs:
+crates/reorder/src/metrics.rs:
+crates/reorder/src/pipeline.rs:
+crates/reorder/src/union_find.rs:

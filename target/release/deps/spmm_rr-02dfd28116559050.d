@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spmm_rr-02dfd28116559050.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/spmm_rr-02dfd28116559050: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

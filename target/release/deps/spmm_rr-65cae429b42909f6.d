@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_rr-65cae429b42909f6.d: src/lib.rs
+
+/root/repo/target/release/deps/spmm_rr-65cae429b42909f6: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spmm_rr-75691dbd1f65d88c.d: src/lib.rs
+
+/root/repo/target/release/deps/libspmm_rr-75691dbd1f65d88c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspmm_rr-75691dbd1f65d88c.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

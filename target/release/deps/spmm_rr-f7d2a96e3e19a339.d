@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spmm_rr-f7d2a96e3e19a339.d: src/lib.rs
+
+/root/repo/target/release/deps/libspmm_rr-f7d2a96e3e19a339.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspmm_rr-f7d2a96e3e19a339.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spmm_rr-fd01ea96e0a90e12.d: src/lib.rs
+
+/root/repo/target/release/deps/spmm_rr-fd01ea96e0a90e12: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spmm_serve-81ccde0d0bde0cbf.d: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/release/deps/libspmm_serve-81ccde0d0bde0cbf.rlib: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/release/deps/libspmm_serve-81ccde0d0bde0cbf.rmeta: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/bench.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/fingerprint.rs:

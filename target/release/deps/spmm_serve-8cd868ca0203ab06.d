@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spmm_serve-8cd868ca0203ab06.d: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/release/deps/libspmm_serve-8cd868ca0203ab06.rlib: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+/root/repo/target/release/deps/libspmm_serve-8cd868ca0203ab06.rmeta: crates/serve/src/lib.rs crates/serve/src/bench.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/fingerprint.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/bench.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/fingerprint.rs:

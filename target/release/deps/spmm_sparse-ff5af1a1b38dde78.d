@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/spmm_sparse-ff5af1a1b38dde78.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libspmm_sparse-ff5af1a1b38dde78.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libspmm_sparse-ff5af1a1b38dde78.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/mm_io.rs crates/sparse/src/perm.rs crates/sparse/src/scalar.rs crates/sparse/src/similarity.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/mm_io.rs:
+crates/sparse/src/perm.rs:
+crates/sparse/src/scalar.rs:
+crates/sparse/src/similarity.rs:
+crates/sparse/src/stats.rs:

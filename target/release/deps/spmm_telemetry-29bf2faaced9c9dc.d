@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spmm_telemetry-29bf2faaced9c9dc.d: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+/root/repo/target/release/deps/spmm_telemetry-29bf2faaced9c9dc: crates/telemetry/src/lib.rs crates/telemetry/src/collector.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/recorder.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/recorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-c0eedee1a401a9c5.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-c0eedee1a401a9c5: tests/telemetry.rs
+
+tests/telemetry.rs:

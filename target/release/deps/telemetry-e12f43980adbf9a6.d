@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-e12f43980adbf9a6.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-e12f43980adbf9a6: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collaborative_filtering-c78a116d6ebe7b9d.d: examples/collaborative_filtering.rs
+
+/root/repo/target/release/examples/collaborative_filtering-c78a116d6ebe7b9d: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collaborative_filtering-dfb1e0ccde6c78f5.d: examples/collaborative_filtering.rs
+
+/root/repo/target/release/examples/collaborative_filtering-dfb1e0ccde6c78f5: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

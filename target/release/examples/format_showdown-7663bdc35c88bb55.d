@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/format_showdown-7663bdc35c88bb55.d: examples/format_showdown.rs
+
+/root/repo/target/release/examples/format_showdown-7663bdc35c88bb55: examples/format_showdown.rs
+
+examples/format_showdown.rs:

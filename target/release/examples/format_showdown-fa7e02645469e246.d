@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/format_showdown-fa7e02645469e246.d: examples/format_showdown.rs
+
+/root/repo/target/release/examples/format_showdown-fa7e02645469e246: examples/format_showdown.rs
+
+examples/format_showdown.rs:

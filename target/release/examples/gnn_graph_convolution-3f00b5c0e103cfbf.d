@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gnn_graph_convolution-3f00b5c0e103cfbf.d: examples/gnn_graph_convolution.rs
+
+/root/repo/target/release/examples/gnn_graph_convolution-3f00b5c0e103cfbf: examples/gnn_graph_convolution.rs
+
+examples/gnn_graph_convolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gnn_graph_convolution-953c9363ecedb453.d: examples/gnn_graph_convolution.rs
+
+/root/repo/target/release/examples/gnn_graph_convolution-953c9363ecedb453: examples/gnn_graph_convolution.rs
+
+examples/gnn_graph_convolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2cf3447768db0a9f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2cf3447768db0a9f: examples/quickstart.rs
+
+examples/quickstart.rs:

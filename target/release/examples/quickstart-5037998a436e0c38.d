@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5037998a436e0c38.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5037998a436e0c38: examples/quickstart.rs
+
+examples/quickstart.rs:

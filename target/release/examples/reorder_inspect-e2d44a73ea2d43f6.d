@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reorder_inspect-e2d44a73ea2d43f6.d: examples/reorder_inspect.rs
+
+/root/repo/target/release/examples/reorder_inspect-e2d44a73ea2d43f6: examples/reorder_inspect.rs
+
+examples/reorder_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reorder_inspect-e364c5753b1ac7ca.d: examples/reorder_inspect.rs
+
+/root/repo/target/release/examples/reorder_inspect-e364c5753b1ac7ca: examples/reorder_inspect.rs
+
+examples/reorder_inspect.rs:

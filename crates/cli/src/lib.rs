@@ -20,9 +20,10 @@ usage:
                shuffled noisy diagonal cf
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
+                      [--batch] [--max-batch-k N] [--k-block N]
   spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
-                      [--faults \"point:action@hits,...\"]
+                      [--faults \"point:action@hits,...\"] [--batch]
       actions: error panic delay:<ms>ms    hits: N every:N N..M *
       points:  kernel.prepare kernel.execute reorder.round1
                reorder.round2 serve.cache.prepare serve.worker";
@@ -48,6 +49,9 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("seed", true),
             ("k", true),
             ("json", false),
+            ("batch", false),
+            ("max-batch-k", true),
+            ("k-block", true),
         ]),
         "chaos-bench" => Some(&[
             ("requests", true),
@@ -59,6 +63,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("k", true),
             ("faults", true),
             ("json", false),
+            ("batch", false),
         ]),
         _ => None,
     }
@@ -250,6 +255,25 @@ impl Invocation {
                 if let Some(v) = flags.get("seed") {
                     config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
                 }
+                let batching = flags.contains_key("batch")
+                    || flags.contains_key("max-batch-k")
+                    || flags.contains_key("k-block");
+                if batching {
+                    let mut batch = BatchConfig::default();
+                    if let Some(v) = flags.get("max-batch-k") {
+                        batch = batch.max_batch_k(
+                            v.parse()
+                                .map_err(|_| format!("bad --max-batch-k value '{v}'"))?,
+                        );
+                    }
+                    if let Some(v) = flags.get("k-block") {
+                        batch = batch.k_block(
+                            v.parse()
+                                .map_err(|_| format!("bad --k-block value '{v}'"))?,
+                        );
+                    }
+                    config.batch = Some(batch);
+                }
                 Ok(Invocation::ServeBench {
                     config,
                     json: flags.contains_key("json"),
@@ -278,6 +302,9 @@ impl Invocation {
                     config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
                 }
                 config.faults = flags.get("faults").cloned();
+                if flags.contains_key("batch") {
+                    config.batch = Some(BatchConfig::default());
+                }
                 Ok(Invocation::ChaosBench {
                     config,
                     json: flags.contains_key("json"),
@@ -697,6 +724,71 @@ mod tests {
         }
         assert!(Invocation::parse(&s(&["serve-bench", "--requests", "x"])).is_err());
         assert!(Invocation::parse(&s(&["serve-bench", "--out", "x.mtx"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_batching_flags() {
+        // bare --batch enables the defaults
+        match Invocation::parse(&s(&["serve-bench", "--batch"])).unwrap() {
+            Invocation::ServeBench { config, .. } => {
+                assert_eq!(config.batch, Some(BatchConfig::default()));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        // value flags imply batching and override the defaults
+        match Invocation::parse(&s(&[
+            "serve-bench",
+            "--max-batch-k",
+            "96",
+            "--k-block",
+            "24",
+        ]))
+        .unwrap()
+        {
+            Invocation::ServeBench { config, .. } => {
+                let batch = config.batch.expect("value flags imply batching");
+                assert_eq!(batch.max_batch_k, 96);
+                assert_eq!(batch.k_block, 24);
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        // without any batch flag, batching stays off
+        match Invocation::parse(&s(&["serve-bench"])).unwrap() {
+            Invocation::ServeBench { config, .. } => assert_eq!(config.batch, None),
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(Invocation::parse(&s(&["serve-bench", "--max-batch-k", "x"])).is_err());
+        assert!(Invocation::parse(&s(&["serve-bench", "--k-block"])).is_err());
+        // chaos-bench takes the boolean flag only
+        match Invocation::parse(&s(&["chaos-bench", "--batch"])).unwrap() {
+            Invocation::ChaosBench { config, .. } => {
+                assert_eq!(config.batch, Some(BatchConfig::default()));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(Invocation::parse(&s(&["chaos-bench", "--max-batch-k", "8"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_with_batching_reports_the_batch_probe() {
+        let inv = Invocation::parse(&s(&[
+            "serve-bench",
+            "--requests",
+            "12",
+            "--concurrency",
+            "2",
+            "--workers",
+            "2",
+            "--cache",
+            "4",
+            "--k",
+            "16",
+            "--batch",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("batch probe"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
     }
 
     #[test]

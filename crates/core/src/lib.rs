@@ -112,10 +112,10 @@ pub mod prelude {
         ReorderPolicy,
     };
     pub use spmm_serve::{
-        run_chaos_bench, run_serve_bench, CacheStats, ChaosBenchConfig, ChaosBenchReport,
-        HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, Request, Response,
-        ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError, ServePath,
-        ServeStats, Ticket,
+        run_chaos_bench, run_serve_bench, BatchConfig, BatchProbe, CacheStats, ChaosBenchConfig,
+        ChaosBenchReport, HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, Request,
+        Response, ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError,
+        ServePath, ServeStats, Ticket,
     };
     pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
     pub use spmm_telemetry::{

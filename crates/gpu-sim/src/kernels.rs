@@ -230,6 +230,65 @@ pub fn simulate_spmm_aspt<T: Scalar>(
     combine(&dense, &rest)
 }
 
+/// Per-pass column widths of a k-blocked (batched multi-RHS) kernel
+/// over a fused operand of total width `k`: full `k_block`-wide blocks
+/// plus a final partial block. A zero `k_block` is clamped to 1,
+/// matching the exact kernels.
+pub fn kblock_pass_widths(k: usize, k_block: usize) -> Vec<usize> {
+    let kb = k_block.max(1);
+    let mut widths = Vec::with_capacity(k.div_ceil(kb));
+    let mut c0 = 0;
+    while c0 < k {
+        let w = kb.min(k - c0);
+        widths.push(w);
+        c0 += w;
+    }
+    widths
+}
+
+/// Simulates the column-blocked row-wise SpMM kernel on a fused
+/// multi-RHS operand of total width `k`: one row-wise pass per
+/// [`kblock_pass_widths`] block, combined back to back. Each pass
+/// re-streams the sparse arrays, but its dense working set is only
+/// `k_block` columns wide — the trade batching exploits to keep fused
+/// operands L2-resident.
+pub fn simulate_spmm_rowwise_kblocked<T: Scalar>(
+    m: &CsrMatrix<T>,
+    k: usize,
+    k_block: usize,
+    device: &DeviceConfig,
+) -> SimReport {
+    kblock_pass_widths(k, k_block)
+        .into_iter()
+        .map(|w| {
+            run_blocks(
+                &spmm_rowwise_blocks(m, w, None, DEFAULT_ROWS_PER_BLOCK),
+                w,
+                T::BYTES,
+                device,
+            )
+        })
+        .reduce(|a, b| combine(&a, &b))
+        .unwrap_or_else(|| run_blocks(&[], k.max(1), T::BYTES, device))
+}
+
+/// Simulates the column-blocked ASpT SpMM kernel: dense tiles plus
+/// remainder per column block, every pass combined back to back. The
+/// batched analogue of [`simulate_spmm_aspt`].
+pub fn simulate_spmm_aspt_kblocked<T: Scalar>(
+    aspt: &AsptMatrix<T>,
+    remainder_order: Option<&Permutation>,
+    k: usize,
+    k_block: usize,
+    device: &DeviceConfig,
+) -> SimReport {
+    kblock_pass_widths(k, k_block)
+        .into_iter()
+        .map(|w| simulate_spmm_aspt(aspt, remainder_order, w, device))
+        .reduce(|a, b| combine(&a, &b))
+        .unwrap_or_else(|| run_blocks(&[], k.max(1), T::BYTES, device))
+}
+
 /// Simulates the row-wise SDDMM kernel.
 pub fn simulate_sddmm_rowwise<T: Scalar>(
     m: &CsrMatrix<T>,
@@ -500,6 +559,53 @@ mod tests {
         assert_eq!(r32.flops, r64.flops);
         // the f64 compute roof is lower (P100 FP64 < FP32)
         assert!(r64.t_compute > r32.t_compute);
+    }
+
+    #[test]
+    fn kblock_pass_widths_cover_k_exactly() {
+        assert_eq!(kblock_pass_widths(128, 32), vec![32, 32, 32, 32]);
+        assert_eq!(kblock_pass_widths(70, 32), vec![32, 32, 6]);
+        assert_eq!(kblock_pass_widths(8, 32), vec![8]);
+        assert_eq!(kblock_pass_widths(5, 0), vec![1, 1, 1, 1, 1]);
+        assert!(kblock_pass_widths(0, 32).is_empty());
+    }
+
+    #[test]
+    fn kblocked_simulation_conserves_work() {
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let d = small_device();
+        let full = simulate_spmm_rowwise(&m, 128, &d);
+        let blocked = simulate_spmm_rowwise_kblocked(&m, 128, 32, &d);
+        assert_eq!(full.flops, blocked.flops, "blocking never changes work");
+        // four passes issue four times the X-row read requests
+        assert_eq!(blocked.traffic.x_row_reads, 4 * full.traffic.x_row_reads);
+        // a block width >= k degenerates to the single-pass kernel
+        assert_eq!(simulate_spmm_rowwise_kblocked(&m, 128, 128, &d), full);
+
+        let aspt = AsptMatrix::build(&m, &aspt_cfg());
+        let full = simulate_spmm_aspt(&aspt, None, 128, &d);
+        let blocked = simulate_spmm_aspt_kblocked(&aspt, None, 128, 32, &d);
+        assert_eq!(full.flops, blocked.flops);
+        assert_eq!(simulate_spmm_aspt_kblocked(&aspt, None, 128, 256, &d), full);
+    }
+
+    #[test]
+    fn kblocking_cuts_dram_traffic_on_wide_fused_operands() {
+        // the batching trade: at the fused width (k=128, f32 → 4 lines
+        // per X row) the wave's working set blows the 128-line L2 and
+        // row-wise thrashes; 32-wide passes keep rows to one line each,
+        // buying back far more X traffic than the re-streamed sparse
+        // metadata costs.
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let d = small_device();
+        let full = simulate_spmm_rowwise(&m, 128, &d);
+        let blocked = simulate_spmm_rowwise_kblocked(&m, 128, 32, &d);
+        assert!(
+            blocked.traffic.dram_bytes < full.traffic.dram_bytes,
+            "k-blocked {} !< single-pass {}",
+            blocked.traffic.dram_bytes,
+            full.traffic.dram_bytes
+        );
     }
 
     #[test]

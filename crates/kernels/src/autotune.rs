@@ -56,12 +56,24 @@ pub struct TrialReport {
 impl TrialReport {
     /// Speedup of ASpT-RR over the best competing variant (the paper's
     /// Table 1 quantity for SpMM, Table 2 for SDDMM).
+    ///
+    /// Degenerate matrices (no nonzeros, zero launch overhead) can
+    /// simulate to zero time on *both* sides; that 0/0 is defined as
+    /// 1.0 — neither variant did any work, so neither is faster. Only
+    /// a genuinely-zero RR time against nonzero competition reports
+    /// infinity.
     pub fn rr_speedup_vs_best_other(&self) -> f64 {
         let mut best_other = self.aspt_nr.time_s;
         if let Some(c) = &self.cusparse_like {
             best_other = best_other.min(c.time_s);
         }
-        best_other / self.aspt_rr.time_s
+        if self.aspt_rr.time_s > 0.0 {
+            best_other / self.aspt_rr.time_s
+        } else if best_other == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
     }
 }
 
@@ -144,6 +156,41 @@ pub fn tuned_engine<T: Scalar>(
     let config = EngineConfig::builder().reorder(reorder).k_hint(k).build();
     let engine = Engine::prepare(m, &config)?;
     Ok((engine, report))
+}
+
+/// Default candidate widths for [`choose_k_block`] — powers of two
+/// spanning the paper's K sweep (Tables 3/4 use 32–512).
+pub const DEFAULT_K_BLOCK_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
+
+/// Picks the column-block width for the batched (fused multi-RHS)
+/// kernel by simulating [`Engine::simulate_spmm_kblocked`] at each
+/// candidate width for a fused operand of total width `k_total`.
+/// Candidates are clamped to `[1, k_total]` and deduplicated (every
+/// width ≥ `k_total` collapses to the same single-pass kernel).
+/// Returns the winning width plus every candidate's report; ties keep
+/// the earlier candidate.
+pub fn choose_k_block<T: Scalar>(
+    engine: &Engine<T>,
+    k_total: usize,
+    candidates: &[usize],
+    device: &DeviceConfig,
+) -> (usize, Vec<(usize, SimReport)>) {
+    let mut trials: Vec<(usize, SimReport)> = Vec::with_capacity(candidates.len());
+    let mut best = k_total.max(1);
+    let mut best_time = f64::INFINITY;
+    for &raw in candidates {
+        let kb = raw.clamp(1, k_total.max(1));
+        if trials.iter().any(|(w, _)| *w == kb) {
+            continue;
+        }
+        let report = engine.simulate_spmm_kblocked(k_total, kb, device);
+        if report.time_s < best_time {
+            best_time = report.time_s;
+            best = kb;
+        }
+        trials.push((kb, report));
+    }
+    (best, trials)
 }
 
 /// [`choose_variant`] for a concrete [`KernelOp`]: the kernel family
@@ -256,6 +303,76 @@ mod tests {
         let (out, report) = tuned_execute(&m, op, &device(), &reorder_cfg()).unwrap();
         assert_eq!(report.chosen, direct.chosen);
         assert!(out.into_dense().is_some());
+    }
+
+    #[test]
+    fn rr_speedup_is_finite_on_empty_matrix() {
+        // regression: with zero launch overhead an all-empty matrix
+        // simulates to time 0 on every variant, and the old
+        // `best_other / aspt_rr.time_s` returned NaN
+        let m = CsrMatrix::<f32>::from_parts(8, 8, vec![0; 9], vec![], vec![]).unwrap();
+        let report = choose_variant(&m, Kernel::Spmm, 32, &device(), &reorder_cfg()).unwrap();
+        assert_eq!(report.aspt_rr.time_s, 0.0, "fixture must hit the 0/0 case");
+        let speedup = report.rr_speedup_vs_best_other();
+        assert!(
+            speedup.is_finite(),
+            "0/0 must not be NaN/inf, got {speedup}"
+        );
+        assert_eq!(speedup, 1.0, "no work on either side means no speedup");
+    }
+
+    #[test]
+    fn rr_speedup_guards_division_by_zero_time() {
+        let sim = |time_s: f64| SimReport {
+            traffic: Default::default(),
+            flops: 0,
+            time_s,
+            t_dram: 0.0,
+            t_l2: 0.0,
+            t_shared: 0.0,
+            t_compute: 0.0,
+            gflops: 0.0,
+        };
+        let report = |rr: f64, nr: f64| TrialReport {
+            chosen: Variant::AsptRr,
+            cusparse_like: None,
+            aspt_nr: sim(nr),
+            aspt_rr: sim(rr),
+            reordering_applied: true,
+        };
+        assert_eq!(report(0.0, 0.0).rr_speedup_vs_best_other(), 1.0);
+        assert_eq!(report(2.0, 1.0).rr_speedup_vs_best_other(), 0.5);
+        // genuinely-zero RR against nonzero competition is infinite,
+        // not NaN
+        assert_eq!(report(0.0, 1.0).rr_speedup_vs_best_other(), f64::INFINITY);
+    }
+
+    #[test]
+    fn choose_k_block_picks_the_fastest_simulated_width() {
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let config = EngineConfig::builder().reorder(reorder_cfg()).build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let (best, trials) = choose_k_block(&engine, 128, &DEFAULT_K_BLOCK_CANDIDATES, &device());
+        assert!(!trials.is_empty());
+        assert!(trials.iter().any(|(w, _)| *w == best));
+        let best_time = trials
+            .iter()
+            .find(|(w, _)| *w == best)
+            .map(|(_, r)| r.time_s)
+            .unwrap();
+        for (w, r) in &trials {
+            assert!(
+                best_time <= r.time_s,
+                "width {w} ({}) beats chosen {best} ({best_time})",
+                r.time_s
+            );
+            // blocking never changes the arithmetic
+            assert_eq!(r.flops, trials[0].1.flops);
+        }
+        // candidates above k_total collapse to one single-pass trial
+        let (_, clamped) = choose_k_block(&engine, 8, &[16, 32, 64], &device());
+        assert_eq!(clamped.len(), 1);
+        assert_eq!(clamped[0].0, 8);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use spmm_aspt::AsptMatrix;
 use spmm_faults::FaultPoint;
-use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt};
+use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_aspt_kblocked};
 use spmm_gpu_sim::{DeviceConfig, SimReport};
 use spmm_reorder::{plan_reordering_with, ReorderConfig, ReorderPlan};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::sddmm::sddmm_aspt;
-use crate::spmm::spmm_aspt;
+use crate::spmm::{spmm_aspt, spmm_aspt_kblocked};
 
 /// Fault point at the head of [`Engine::prepare`], after the CSR
 /// invariants check: an injected error surfaces exactly like a
@@ -172,6 +172,17 @@ pub enum KernelOp<'a, T> {
         /// Dense operand, `S.nrows × k`.
         y: &'a DenseMatrix<T>,
     },
+    /// `Y = S · X` over `k_block`-wide column blocks of a fused
+    /// multi-RHS operand (the serving layer's batched kernel — see
+    /// [`crate::spmm::spmm_aspt_kblocked`]), allocating the output.
+    /// Bit-identical to [`KernelOp::Spmm`]; the block width only
+    /// bounds the dense working set per sparse traversal pass.
+    SpmmKBlocked {
+        /// Fused dense operand, `S.ncols × k_total`.
+        x: &'a DenseMatrix<T>,
+        /// Column-block width each sparse traversal pass serves.
+        k_block: usize,
+    },
     /// SDDMM into a caller-provided values buffer (see
     /// [`Engine::sddmm_into`]).
     SddmmInto {
@@ -188,7 +199,9 @@ impl<T: Scalar> KernelOp<'_, T> {
     /// The kernel family this op belongs to (what the §4 trial tunes).
     pub fn kernel(&self) -> crate::autotune::Kernel {
         match self {
-            KernelOp::Spmm { .. } | KernelOp::SpmmInto { .. } => crate::autotune::Kernel::Spmm,
+            KernelOp::Spmm { .. } | KernelOp::SpmmInto { .. } | KernelOp::SpmmKBlocked { .. } => {
+                crate::autotune::Kernel::Spmm
+            }
             KernelOp::Sddmm { .. } | KernelOp::SddmmInto { .. } => crate::autotune::Kernel::Sddmm,
         }
     }
@@ -198,6 +211,7 @@ impl<T: Scalar> KernelOp<'_, T> {
         match self {
             KernelOp::Spmm { x }
             | KernelOp::SpmmInto { x, .. }
+            | KernelOp::SpmmKBlocked { x, .. }
             | KernelOp::Sddmm { x, .. }
             | KernelOp::SddmmInto { x, .. } => x.ncols(),
         }
@@ -420,6 +434,14 @@ impl<T: Scalar> Engine<T> {
                 self.spmm_into_impl(x, y)?;
                 Ok(Output::Written)
             }
+            KernelOp::SpmmKBlocked { x, k_block } => {
+                let _span = self.telemetry.span("exec.spmm");
+                self.record_exec_counters();
+                let y_reord = spmm_aspt_kblocked(&self.aspt, x, k_block)?;
+                let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
+                self.unpermute_rows(&y_reord, &mut y);
+                Ok(Output::Dense(y))
+            }
             KernelOp::Sddmm { x, y } => Ok(Output::Values(self.sddmm_impl(x, y)?)),
             KernelOp::SddmmInto { x, y, out } => {
                 if out.len() != self.nnz_map.len() {
@@ -469,15 +491,21 @@ impl<T: Scalar> Engine<T> {
         let _span = self.telemetry.span("exec.spmm");
         self.record_exec_counters();
         let y_reord = spmm_aspt(&self.aspt, x)?;
+        self.unpermute_rows(&y_reord, y);
+        Ok(())
+    }
+
+    /// Scatters a reordered-row-space result back into the caller's
+    /// original row order.
+    fn unpermute_rows(&self, y_reord: &DenseMatrix<T>, y: &mut DenseMatrix<T>) {
         if self.plan.row_perm.is_identity() {
             y.data_mut().copy_from_slice(y_reord.data());
-            return Ok(());
+            return;
         }
         for new in 0..y_reord.nrows() {
             let old = self.plan.row_perm.old_of(new) as usize;
             y.row_mut(old).copy_from_slice(y_reord.row(new));
         }
-        Ok(())
     }
 
     /// Like [`Self::sddmm`], writing into a caller-provided output
@@ -554,6 +582,25 @@ impl<T: Scalar> Engine<T> {
         let _span = self.telemetry.span("sim.spmm");
         let report = simulate_spmm_aspt(&self.aspt, self.remainder_order(), k, device);
         report.traffic.record_to(&self.telemetry, "sim.spmm");
+        report
+    }
+
+    /// Simulated performance of the column-blocked SpMM kernel on a
+    /// fused multi-RHS operand of total width `k` (the batched
+    /// execution path, [`KernelOp::SpmmKBlocked`]) — how the autotuner
+    /// and the serving layer model fused traffic.
+    pub fn simulate_spmm_kblocked(
+        &self,
+        k: usize,
+        k_block: usize,
+        device: &DeviceConfig,
+    ) -> SimReport {
+        let _span = self.telemetry.span("sim.spmm_kblocked");
+        let report =
+            simulate_spmm_aspt_kblocked(&self.aspt, self.remainder_order(), k, k_block, device);
+        report
+            .traffic
+            .record_to(&self.telemetry, "sim.spmm_kblocked");
         report
     }
 
@@ -906,6 +953,36 @@ mod tests {
             crate::autotune::Kernel::Sddmm
         );
         assert_eq!(KernelOp::Spmm { x: &x }.k(), 4);
+    }
+
+    #[test]
+    fn kblocked_op_is_bit_identical_to_spmm_op() {
+        // the reordered path: unpermutation must compose with blocking
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(engine.plan().needs_reordering());
+        let x = generators::random_dense::<f64>(m.ncols(), 24, 7);
+        let plain = engine.spmm(&x).unwrap();
+        for kb in [1, 5, 8, 24, 64] {
+            let blocked = engine
+                .execute(KernelOp::SpmmKBlocked { x: &x, k_block: kb })
+                .unwrap()
+                .into_dense()
+                .unwrap();
+            assert_eq!(plain.data(), blocked.data(), "k_block={kb}");
+        }
+        // op introspection routes the batched op like any SpMM
+        let op = KernelOp::SpmmKBlocked { x: &x, k_block: 8 };
+        assert_eq!(op.kernel(), crate::autotune::Kernel::Spmm);
+        assert_eq!(op.k(), 24);
+        // shape mismatch is a structured error
+        let bad = generators::random_dense::<f64>(m.ncols() + 1, 4, 1);
+        assert!(engine
+            .execute(KernelOp::SpmmKBlocked {
+                x: &bad,
+                k_block: 8
+            })
+            .is_err());
     }
 
     #[test]

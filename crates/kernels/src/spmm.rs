@@ -64,6 +64,37 @@ pub fn spmm_rowwise_par<T: Scalar>(
     Ok(y)
 }
 
+/// Column-blocked row-parallel SpMM for fused multi-RHS operands:
+/// tiles `X`/`Y` over `k_block`-wide column blocks so each sparse
+/// traversal pass touches only an `X` working set of
+/// `X.nrows × k_block` elements. Per output element the accumulation
+/// order is exactly that of [`spmm_rowwise_seq`] — columns never mix —
+/// so the result is bit-identical to the unblocked kernels.
+pub fn spmm_rowwise_kblocked<T: Scalar>(
+    s: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    k_block: usize,
+) -> Result<DenseMatrix<T>, SparseError> {
+    let (m, k) = check_dims(s, x)?;
+    let kb = k_block.max(1);
+    let mut y = DenseMatrix::zeros(m, k);
+    let mut c0 = 0;
+    while c0 < k {
+        let c1 = (c0 + kb).min(k);
+        y.data_mut()
+            .par_chunks_mut(k)
+            .enumerate()
+            .for_each(|(i, y_row)| {
+                let (cols, vals) = s.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    axpy(&mut y_row[c0..c1], v, &x.row(c as usize)[c0..c1]);
+                }
+            });
+        c0 = c1;
+    }
+    Ok(y)
+}
+
 /// ASpT-structured SpMM: dense tiles accumulate per panel (mirroring
 /// the shared-memory kernel), the remainder accumulates row-wise into
 /// the same output. Panels own disjoint output row ranges, so panel
@@ -116,6 +147,74 @@ pub fn spmm_aspt<T: Scalar>(
                 }
             }
         });
+    Ok(y)
+}
+
+/// Column-blocked ASpT SpMM — the batched multi-RHS kernel. Processes
+/// the fused operand one `k_block`-wide column block at a time; each
+/// pass runs the same dense-tile + remainder traversal as [`spmm_aspt()`]
+/// restricted to that block's columns. The per-element accumulation
+/// order matches `spmm_aspt` exactly (blocking only partitions columns,
+/// never reorders nonzeros), so the output is bit-identical while the
+/// dense working set per pass stays bounded.
+pub fn spmm_aspt_kblocked<T: Scalar>(
+    aspt: &AsptMatrix<T>,
+    x: &DenseMatrix<T>,
+    k_block: usize,
+) -> Result<DenseMatrix<T>, SparseError> {
+    if aspt.ncols() != x.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("S.ncols ({}) == X.nrows", aspt.ncols()),
+            got: format!("{}", x.nrows()),
+        });
+    }
+    let k = x.ncols();
+    let kb = k_block.max(1);
+    let mut y = DenseMatrix::zeros(aspt.nrows(), k);
+    let remainder = aspt.remainder();
+
+    let mut c0 = 0;
+    while c0 < k {
+        let c1 = (c0 + kb).min(k);
+
+        // per-pass panel chunks (panels cover consecutive disjoint row
+        // ranges, so the split is identical every pass)
+        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(aspt.panels().len());
+        let mut rest: &mut [T] = y.data_mut();
+        for panel in aspt.panels() {
+            let (head, tail) = rest.split_at_mut((panel.row_end - panel.row_start) * k);
+            chunks.push(head);
+            rest = tail;
+        }
+
+        aspt.panels()
+            .par_iter()
+            .zip(chunks)
+            .for_each(|(panel, y_chunk)| {
+                let panel_rows = panel.row_end - panel.row_start;
+                for tile in &panel.tiles {
+                    for rel in 0..panel_rows {
+                        let y_row = &mut y_chunk[rel * k + c0..rel * k + c1];
+                        for e in tile.rowptr[rel]..tile.rowptr[rel + 1] {
+                            axpy(
+                                y_row,
+                                tile.values[e],
+                                &x.row(tile.colidx[e] as usize)[c0..c1],
+                            );
+                        }
+                    }
+                }
+                for r in panel.rows() {
+                    let rel = r - panel.row_start;
+                    let y_row = &mut y_chunk[rel * k + c0..rel * k + c1];
+                    let (cols, vals) = remainder.row(r);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        axpy(y_row, v, &x.row(c as usize)[c0..c1]);
+                    }
+                }
+            });
+        c0 = c1;
+    }
     Ok(y)
 }
 
@@ -230,6 +329,59 @@ mod tests {
         assert!(spmm_rowwise_par(&s, &x).is_err());
         let aspt = AsptMatrix::build(&s, &AsptConfig::default());
         assert!(spmm_aspt(&aspt, &x).is_err());
+    }
+
+    #[test]
+    fn kblocked_rowwise_is_bit_identical_for_any_block() {
+        let s = generators::power_law::<f64>(64, 48, 400, 0.9, 3);
+        let x = generators::random_dense::<f64>(48, 37, 5);
+        let reference = spmm_rowwise_seq(&s, &x).unwrap();
+        for kb in [1, 2, 7, 16, 37, 64] {
+            let blocked = spmm_rowwise_kblocked(&s, &x, kb).unwrap();
+            assert_eq!(
+                reference.data(),
+                blocked.data(),
+                "k_block={kb} must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn kblocked_aspt_is_bit_identical_for_any_block() {
+        let s = generators::block_diagonal::<f32>(5, 12, 20, 8, 17);
+        let x = generators::random_dense::<f32>(s.ncols(), 33, 19);
+        for cfg in [AsptConfig::paper_figure(), AsptConfig::default()] {
+            let aspt = AsptMatrix::build(&s, &cfg);
+            let reference = spmm_aspt(&aspt, &x).unwrap();
+            for kb in [1, 3, 8, 32, 33, 100] {
+                let blocked = spmm_aspt_kblocked(&aspt, &x, kb).unwrap();
+                assert_eq!(
+                    reference.data(),
+                    blocked.data(),
+                    "k_block={kb} must be bit-identical with {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kblocked_handles_degenerate_shapes() {
+        // zero block width is clamped to 1; k == 0 produces an empty output
+        let s = generators::banded::<f64>(10, 2, 3, 1);
+        let x = generators::random_dense::<f64>(10, 5, 2);
+        let reference = spmm_rowwise_seq(&s, &x).unwrap();
+        assert_eq!(
+            reference.data(),
+            spmm_rowwise_kblocked(&s, &x, 0).unwrap().data()
+        );
+        let empty_x = DenseMatrix::<f64>::zeros(10, 0);
+        let y = spmm_rowwise_kblocked(&s, &empty_x, 8).unwrap();
+        assert_eq!((y.nrows(), y.ncols()), (10, 0));
+        let aspt = AsptMatrix::build(&s, &AsptConfig::default());
+        let y = spmm_aspt_kblocked(&aspt, &empty_x, 8).unwrap();
+        assert_eq!((y.nrows(), y.ncols()), (10, 0));
+        assert!(spmm_aspt_kblocked(&aspt, &generators::random_dense::<f64>(4, 3, 1), 2).is_err());
+        assert!(spmm_rowwise_kblocked(&s, &generators::random_dense::<f64>(4, 3, 1), 2).is_err());
     }
 
     #[test]

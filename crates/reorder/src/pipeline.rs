@@ -212,10 +212,19 @@ pub fn plan_reordering_with<T: Scalar>(
     let dense_ratio_before = dense_ratio_of(m, &config.aspt);
     telemetry.gauge("plan.dense_ratio_before", dense_ratio_before);
 
+    // With fewer than two rows there is no row order to improve, but
+    // the indicators degenerate the wrong way: an empty/1-row remainder
+    // reports avg similarity 0.0, which reads as "poorly clustered" and
+    // would send round 2 hunting for candidates that cannot exist. Skip
+    // both rounds outright (even when forced — there is nothing to
+    // reorder).
+    let degenerate = m.nrows() < 2;
+
     // ---- round 1: reorder the whole matrix --------------------------
     FAULT_REORDER_ROUND1.fire_or_panic();
-    let run_round1 =
-        config.policy.force_round1 || dense_ratio_before <= config.policy.skip_round1_dense_ratio;
+    let run_round1 = !degenerate
+        && (config.policy.force_round1
+            || dense_ratio_before <= config.policy.skip_round1_dense_ratio);
     let (row_perm, round1_stats, round1_applied) = if run_round1 {
         let _span = telemetry.span("round1");
         let pairs = generate_candidates_with(m, &config.lsh, telemetry);
@@ -252,8 +261,8 @@ pub fn plan_reordering_with<T: Scalar>(
     let remainder = aspt.remainder();
     let avgsim_before = avg_consecutive_similarity(remainder);
     telemetry.gauge("plan.avgsim_before", avgsim_before);
-    let run_round2 =
-        config.policy.force_round2 || avgsim_before <= config.policy.skip_round2_avgsim;
+    let run_round2 = !degenerate
+        && (config.policy.force_round2 || avgsim_before <= config.policy.skip_round2_avgsim);
     let (remainder_order, round2_stats, round2_applied) = if run_round2 {
         let _span = telemetry.span("round2");
         let pairs = generate_candidates_with(remainder, &config.lsh, telemetry);
@@ -382,6 +391,32 @@ mod tests {
         // not produce identity, but stats must exist)
         assert!(plan.round1_stats.is_some());
         assert!(plan.round2_stats.is_some());
+    }
+
+    #[test]
+    fn degenerate_sizes_skip_both_rounds() {
+        // regression: avg_consecutive_similarity returns 0.0 below two
+        // rows, which the round-2 heuristic read as "poorly clustered"
+        // and attempted clustering on matrices with no row order at all
+        for m in [
+            CsrMatrix::<f64>::from_parts(0, 4, vec![0], vec![], vec![]).unwrap(),
+            CsrMatrix::<f64>::from_parts(1, 4, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).unwrap(),
+        ] {
+            for policy in [ReorderPolicy::default(), ReorderPolicy::always()] {
+                let cfg = ReorderConfig {
+                    policy,
+                    ..quick_config()
+                };
+                let plan = plan_reordering(&m, &cfg);
+                assert!(!plan.round1_applied, "{} rows", m.nrows());
+                assert!(!plan.round2_applied, "{} rows", m.nrows());
+                assert!(plan.round1_stats.is_none(), "round 1 must not even run");
+                assert!(plan.round2_stats.is_none(), "round 2 must not even run");
+                assert!(plan.row_perm.is_identity());
+                assert!(plan.remainder_order.is_identity());
+                assert_eq!(plan.row_perm.len(), m.nrows());
+            }
+        }
     }
 
     #[test]

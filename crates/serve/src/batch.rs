@@ -1,0 +1,434 @@
+//! Multi-RHS request coalescing: fuse queued SpMM requests that share
+//! a sparsity structure into one wide kernel pass.
+//!
+//! The paper's central observation is that SpMM cost is dominated by
+//! streaming the sparse operand; the dense operand rides along almost
+//! for free until it spills the cache. When several tenants query the
+//! *same* matrix concurrently (the plan-cache working-set assumption),
+//! their `X` operands can be concatenated column-wise and served by a
+//! single sparse traversal — one pass over `rowptr`/`colidx`/values
+//! amortised over every member's columns. The fused pass runs the
+//! k-blocked kernel variants so the wider dense working set stays
+//! cache-resident (see `spmm_kernels::spmm_rowwise_kblocked`).
+//!
+//! Fusion is exact, not approximate: SpMM never mixes columns, so each
+//! member's slice of the fused output is bit-identical to the answer
+//! it would have received alone on the same service path.
+//!
+//! The policy lives in the crate-internal `BatchScheduler::collect`:
+//!
+//! * only SpMM requests fuse, and only with the *same structure*
+//!   (pointer-equal matrix `Arc` or equal [`MatrixFingerprint`]) and
+//!   the same operand height;
+//! * the fused operand is capped at [`BatchConfig::max_batch_k`]
+//!   columns;
+//! * fusion is deadline-aware: a candidate whose remaining deadline is
+//!   *tighter* than the batch head's never joins — riding along could
+//!   only delay it behind work it did not ask for. (The head is the
+//!   oldest queued job, so its remaining deadline is the batch's.)
+
+use crate::engine::{Job, RequestOp};
+use crate::fingerprint::MatrixFingerprint;
+use spmm_sparse::{DenseMatrix, Scalar};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Multi-RHS batching options (see the module docs for the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BatchConfig {
+    /// Upper bound on the fused operand's total column count; a
+    /// candidate that would push the batch past this stays queued.
+    /// Default 128.
+    pub max_batch_k: usize,
+    /// Column-block width for the fused pass: the k-blocked kernels
+    /// sweep the fused operand in blocks of this many columns so the
+    /// dense working set stays cache-resident. Default 32.
+    pub k_block: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch_k: 128,
+            k_block: 32,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Sets the fused-operand column cap (clamped to at least 1).
+    pub fn max_batch_k(mut self, max_batch_k: usize) -> Self {
+        self.max_batch_k = max_batch_k.max(1);
+        self
+    }
+
+    /// Sets the column-block width of the fused pass (clamped to at
+    /// least 1).
+    pub fn k_block(mut self, k_block: usize) -> Self {
+        self.k_block = k_block.max(1);
+        self
+    }
+}
+
+/// One request inside a fused batch: the job plus its column slice of
+/// the fused operand/output.
+pub(crate) struct BatchMember<T> {
+    pub(crate) job: Job<T>,
+    /// This member's dense operand (the `Spmm` payload, kept here so
+    /// fusing never re-matches on the op).
+    pub(crate) x: Arc<DenseMatrix<T>>,
+    /// This member's operand width.
+    pub(crate) k: usize,
+}
+
+/// A coalesced batch: at least two members over one shared structure.
+pub(crate) struct FusedBatch<T> {
+    pub(crate) members: Vec<BatchMember<T>>,
+    /// Total fused column count (`Σ members[i].k`).
+    pub(crate) total_k: usize,
+}
+
+/// What a worker pulled off the queue: a lone job (served by the
+/// existing single-request path) or a fused batch.
+pub(crate) enum Collected<T> {
+    Single(Job<T>),
+    Fused(FusedBatch<T>),
+}
+
+/// The remaining deadline of a queued job at `now` (`None` = no
+/// deadline, i.e. infinitely slack).
+fn remaining_at<T>(job: &Job<T>, now: Instant) -> Option<Duration> {
+    job.request
+        .deadline
+        .map(|d| d.saturating_sub(now.saturating_duration_since(job.enqueued)))
+}
+
+/// Whether `candidate` is strictly tighter than `batch` under the
+/// "`None` is infinite slack" ordering.
+fn tighter(candidate: Option<Duration>, batch: Option<Duration>) -> bool {
+    match (candidate, batch) {
+        (None, _) => false,
+        (Some(_), None) => true,
+        (Some(c), Some(b)) => c < b,
+    }
+}
+
+/// The coalescing policy: given the job a worker just popped, scan the
+/// queue for compatible SpMM requests and pull them into one batch.
+pub(crate) struct BatchScheduler {
+    config: BatchConfig,
+}
+
+impl BatchScheduler {
+    pub(crate) fn new(config: BatchConfig) -> Self {
+        BatchScheduler { config }
+    }
+
+    pub(crate) fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// Collects companions for `head` from `queue` (called with the
+    /// queue lock held). Returns the collected unit plus the number of
+    /// otherwise-compatible candidates skipped for having a tighter
+    /// deadline than the batch.
+    pub(crate) fn collect<T: Scalar>(
+        &self,
+        head: Job<T>,
+        queue: &mut VecDeque<Job<T>>,
+    ) -> (Collected<T>, u64) {
+        let head_x = match &head.request.op {
+            RequestOp::Spmm { x } => Arc::clone(x),
+            RequestOp::Sddmm { .. } => return (Collected::Single(head), 0),
+        };
+        let head_rows = head_x.nrows();
+        let head_k = head_x.ncols();
+        if head_k >= self.config.max_batch_k {
+            return (Collected::Single(head), 0);
+        }
+        let now = Instant::now();
+        let head_remaining = remaining_at(&head, now);
+        // the fingerprint is only computed when a candidate shares the
+        // structure without sharing the allocation
+        let mut head_fp: Option<MatrixFingerprint> = None;
+        let mut companions: Vec<BatchMember<T>> = Vec::new();
+        let mut total_k = head_k;
+        let mut deadline_skipped = 0u64;
+
+        let mut i = 0;
+        while i < queue.len() && total_k < self.config.max_batch_k {
+            let candidate = &queue[i];
+            let x = match &candidate.request.op {
+                RequestOp::Spmm { x } => Arc::clone(x),
+                RequestOp::Sddmm { .. } => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let same_structure = Arc::ptr_eq(&candidate.request.matrix, &head.request.matrix) || {
+                let fp = head_fp.get_or_insert_with(|| MatrixFingerprint::of(&head.request.matrix));
+                MatrixFingerprint::of(&candidate.request.matrix) == *fp
+            };
+            if !same_structure || x.nrows() != head_rows {
+                i += 1;
+                continue;
+            }
+            if total_k + x.ncols() > self.config.max_batch_k {
+                i += 1;
+                continue;
+            }
+            if tighter(remaining_at(candidate, now), head_remaining) {
+                deadline_skipped += 1;
+                i += 1;
+                continue;
+            }
+            if let Some(job) = queue.remove(i) {
+                let k = x.ncols();
+                total_k += k;
+                companions.push(BatchMember { job, x, k });
+            } else {
+                break;
+            }
+        }
+
+        if companions.is_empty() {
+            return (Collected::Single(head), deadline_skipped);
+        }
+        let mut members = Vec::with_capacity(companions.len() + 1);
+        members.push(BatchMember {
+            job: head,
+            x: head_x,
+            k: head_k,
+        });
+        members.extend(companions);
+        (
+            Collected::Fused(FusedBatch { members, total_k }),
+            deadline_skipped,
+        )
+    }
+}
+
+/// Concatenates the members' operands column-wise into one fused
+/// `nrows × Σk` matrix, returning it with each member's column offset
+/// (in member order).
+pub(crate) fn fuse_operands<T: Scalar>(
+    members: &[&BatchMember<T>],
+) -> (DenseMatrix<T>, Vec<usize>) {
+    let nrows = members.first().map_or(0, |m| m.x.nrows());
+    let mut offsets = Vec::with_capacity(members.len());
+    let mut total_k = 0;
+    for m in members {
+        offsets.push(total_k);
+        total_k += m.k;
+    }
+    let mut fused = DenseMatrix::zeros(nrows, total_k);
+    for r in 0..nrows {
+        let row = fused.row_mut(r);
+        for (m, &off) in members.iter().zip(&offsets) {
+            row[off..off + m.k].copy_from_slice(m.x.row(r));
+        }
+    }
+    (fused, offsets)
+}
+
+/// Extracts one member's column slice `[offset, offset + k)` of the
+/// fused output as its own matrix.
+pub(crate) fn slice_columns<T: Scalar>(
+    fused: &DenseMatrix<T>,
+    offset: usize,
+    k: usize,
+) -> DenseMatrix<T> {
+    let mut out = DenseMatrix::zeros(fused.nrows(), k);
+    for r in 0..fused.nrows() {
+        out.row_mut(r)
+            .copy_from_slice(&fused.row(r)[offset..offset + k]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Request, Response};
+    use crate::ServeError;
+    use spmm_data::generators;
+    use spmm_sparse::CsrMatrix;
+    use std::sync::mpsc;
+
+    fn job(
+        matrix: &Arc<CsrMatrix<f64>>,
+        x: DenseMatrix<f64>,
+        deadline: Option<Duration>,
+    ) -> (Job<f64>, mpsc::Receiver<Result<Response<f64>, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        let mut request = Request::spmm(Arc::clone(matrix), x);
+        if let Some(d) = deadline {
+            request = request.with_deadline(d);
+        }
+        (
+            Job {
+                request,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn members_of<T>(collected: Collected<T>) -> Vec<BatchMember<T>> {
+        match collected {
+            Collected::Fused(batch) => batch.members,
+            Collected::Single(_) => panic!("expected a fused batch"),
+        }
+    }
+
+    #[test]
+    fn fuses_same_structure_up_to_the_column_cap() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        let sched = BatchScheduler::new(BatchConfig::default().max_batch_k(20));
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(&m, generators::random_dense(64, 8, 1), None);
+        let (a, _rx1) = job(&m, generators::random_dense(64, 8, 2), None);
+        // would push the batch to 24 > 20: stays queued
+        let (b, _rx2) = job(&m, generators::random_dense(64, 8, 3), None);
+        // still fits (16 + 4 = 20): fused even though it queued later
+        let (c, _rx3) = job(&m, generators::random_dense(64, 4, 4), None);
+        queue.extend([a, b, c]);
+
+        let (collected, skipped) = sched.collect(head, &mut queue);
+        assert_eq!(skipped, 0);
+        let members = members_of(collected);
+        assert_eq!(members.len(), 3);
+        assert_eq!(members.iter().map(|m| m.k).sum::<usize>(), 20);
+        assert_eq!(queue.len(), 1, "the over-cap job stays queued");
+    }
+
+    #[test]
+    fn different_structures_and_ops_never_fuse() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        // same shape, different sparsity structure
+        let other = Arc::new(generators::uniform_random::<f64>(64, 64, 4, 9));
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(&m, generators::random_dense(64, 8, 1), None);
+        let (foreign, _rx1) = job(&other, generators::random_dense(64, 8, 2), None);
+        let (tx, _rx2) = mpsc::channel();
+        let sddmm = Job {
+            request: Request::sddmm(
+                Arc::clone(&m),
+                generators::random_dense::<f64>(64, 8, 3),
+                generators::random_dense::<f64>(64, 8, 4),
+            ),
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        queue.extend([foreign, sddmm]);
+
+        let (collected, skipped) = sched.collect(head, &mut queue);
+        assert_eq!(skipped, 0);
+        assert!(matches!(collected, Collected::Single(_)));
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn clone_equal_structures_fuse_via_fingerprint() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        // a distinct allocation with the identical structure
+        let twin = Arc::new(CsrMatrix::clone(&m));
+        assert!(!Arc::ptr_eq(&m, &twin));
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(&m, generators::random_dense(64, 8, 1), None);
+        let (cand, _rx1) = job(&twin, generators::random_dense(64, 8, 2), None);
+        queue.push_back(cand);
+
+        let (collected, _) = sched.collect(head, &mut queue);
+        assert_eq!(members_of(collected).len(), 2);
+    }
+
+    #[test]
+    fn tighter_deadlines_are_never_fused() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(
+            &m,
+            generators::random_dense(64, 8, 1),
+            Some(Duration::from_secs(60)),
+        );
+        // far tighter than the head: must not ride along
+        let (tight, _rx1) = job(
+            &m,
+            generators::random_dense(64, 8, 2),
+            Some(Duration::from_millis(1)),
+        );
+        // slacker than the head: fuses
+        let (slack, _rx2) = job(
+            &m,
+            generators::random_dense(64, 8, 3),
+            Some(Duration::from_secs(600)),
+        );
+        // no deadline at all: infinite slack, fuses
+        let (free, _rx3) = job(&m, generators::random_dense(64, 8, 4), None);
+        queue.extend([tight, slack, free]);
+
+        let (collected, skipped) = sched.collect(head, &mut queue);
+        assert_eq!(skipped, 1);
+        let members = members_of(collected);
+        assert_eq!(members.len(), 3);
+        assert_eq!(queue.len(), 1, "the tight job stays queued");
+    }
+
+    #[test]
+    fn deadline_free_head_only_fuses_deadline_free_candidates() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(&m, generators::random_dense(64, 8, 1), None);
+        // any finite deadline is tighter than the head's infinite slack
+        let (dl, _rx1) = job(
+            &m,
+            generators::random_dense(64, 8, 2),
+            Some(Duration::from_secs(3600)),
+        );
+        queue.push_back(dl);
+        let (collected, skipped) = sched.collect(head, &mut queue);
+        assert!(matches!(collected, Collected::Single(_)));
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn fuse_then_slice_round_trips_exactly() {
+        let xs = [
+            generators::random_dense::<f64>(16, 3, 1),
+            generators::random_dense::<f64>(16, 5, 2),
+            generators::random_dense::<f64>(16, 2, 3),
+        ];
+        let m = Arc::new(generators::banded::<f64>(16, 2, 1, 1));
+        let members: Vec<BatchMember<f64>> = xs
+            .iter()
+            .map(|x| {
+                let (j, _rx) = job(&m, x.clone(), None);
+                std::mem::forget(_rx);
+                BatchMember {
+                    x: match &j.request.op {
+                        RequestOp::Spmm { x } => Arc::clone(x),
+                        RequestOp::Sddmm { .. } => unreachable!(),
+                    },
+                    k: x.ncols(),
+                    job: j,
+                }
+            })
+            .collect();
+        let refs: Vec<&BatchMember<f64>> = members.iter().collect();
+        let (fused, offsets) = fuse_operands(&refs);
+        assert_eq!(fused.ncols(), 10);
+        assert_eq!(offsets, vec![0, 3, 8]);
+        for (m, &off) in members.iter().zip(&offsets) {
+            let back = slice_columns(&fused, off, m.k);
+            assert_eq!(back.data(), m.x.data(), "round trip must be exact");
+        }
+    }
+}

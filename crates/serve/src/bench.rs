@@ -20,6 +20,7 @@
 //! counters are recorded into the serve telemetry before the manifest
 //! snapshot, so the printed report and the JSON manifest agree.
 
+use crate::batch::BatchConfig;
 use crate::cache::CacheStats;
 use crate::engine::{Request, ServeConfig, ServeEngine, ServePath, ServeStats};
 use crate::error::ServeError;
@@ -58,6 +59,9 @@ pub struct ServeBenchConfig {
     pub deadline: Duration,
     /// Preprocessing budget for the fallback decision. Default 25 ms.
     pub preprocess_budget: Duration,
+    /// Multi-RHS batching for the serving engine, plus the forced
+    /// -fusion probe. Default: disabled.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ServeBenchConfig {
@@ -73,7 +77,33 @@ impl Default for ServeBenchConfig {
             k: 32,
             deadline: Duration::from_millis(250),
             preprocess_budget: Duration::from_millis(25),
+            batch: None,
         }
+    }
+}
+
+/// Outcome of the forced-fusion probe: a single-worker batched engine
+/// is pinned on a cold decoy while same-structure requests pile up
+/// behind it, so fusion happens deterministically; every fused
+/// response is then compared bit for bit against an identically
+/// configured *unbatched* engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BatchProbe {
+    /// Fused batches the probe engine executed.
+    pub batches: u64,
+    /// Requests served inside those batches.
+    pub batched_requests: u64,
+    /// Whether every probe response matched its unbatched reference
+    /// bit for bit.
+    pub exact: bool,
+}
+
+impl BatchProbe {
+    /// Whether the probe observed its contractual outcome: at least
+    /// one fused batch, and exact results.
+    pub fn passed(&self) -> bool {
+        self.batches >= 1 && self.exact
     }
 }
 
@@ -105,16 +135,20 @@ pub struct ServeBenchReport {
     pub hit_probe_preprocess: Duration,
     /// The cold probe's service path (must be [`ServePath::Fallback`]).
     pub cold_probe_path: ServePath,
+    /// The forced-fusion probe's outcome; `None` when batching is off.
+    pub batch_probe: Option<BatchProbe>,
     /// The run manifest snapshot, counters and probe outcomes included.
     pub manifest: RunManifest,
 }
 
 impl ServeBenchReport {
-    /// Whether both probes observed their contractual outcome.
+    /// Whether every probe observed its contractual outcome (the batch
+    /// probe only participates when batching is enabled).
     pub fn probes_passed(&self) -> bool {
         self.hit_probe_path == ServePath::CachedPlan
             && self.hit_probe_preprocess.is_zero()
             && self.cold_probe_path == ServePath::Fallback
+            && self.batch_probe.is_none_or(|p| p.passed())
     }
 
     /// Renders the human-readable summary the CLI prints.
@@ -161,6 +195,29 @@ impl ServeBenchReport {
                 "FAILED"
             }
         ));
+        if let Some(batch) = &c.batch {
+            out.push_str(&format!(
+                "  batching: max_batch_k={} k_block={}   stream: {} batches / {} fused requests ({} deadline skips)\n",
+                batch.max_batch_k,
+                batch.k_block,
+                s.batches,
+                s.batched_requests,
+                s.batch_deadline_skips
+            ));
+        }
+        if let Some(probe) = &self.batch_probe {
+            out.push_str(&format!(
+                "  batch probe: batches={} fused={} exact={} -> {}\n",
+                probe.batches,
+                probe.batched_requests,
+                probe.exact,
+                if probe.passed() {
+                    "ok (fused responses bit-identical to unbatched references)"
+                } else {
+                    "FAILED"
+                }
+            ));
+        }
         out
     }
 }
@@ -187,12 +244,92 @@ pub(crate) fn zipf_schedule(n: usize, population: usize, s: f64, rng: &mut Small
         .collect()
 }
 
+/// Nearest-rank percentile (ceil convention): the smallest sample such
+/// that at least `⌈q·n⌉` samples are ≤ it. The rank is 1-based and
+/// clamped into the sample range, so `q=0` returns the minimum and
+/// `q=1` the maximum — never an out-of-range index and never a rank
+/// below the first sample.
 fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx].as_secs_f64() * 1e3
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1].as_secs_f64() * 1e3
+}
+
+/// Forces fusion deterministically and checks exactness: a 1-worker
+/// batched engine is warmed on `matrix`, pinned on a cold decoy, and
+/// handed three same-structure requests that queue up behind the decoy
+/// and coalesce. Each fused response is compared bit for bit against
+/// an identically configured unbatched engine.
+fn run_batch_probe(
+    batch: BatchConfig,
+    budget: Duration,
+    matrix: &Arc<CsrMatrix<f32>>,
+    k: usize,
+    seed: u64,
+) -> Result<BatchProbe, ServeError> {
+    let k = k.max(1);
+    let batched = ServeEngine::<f32>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(64)
+            .preprocess_budget(budget)
+            .batching(batch)
+            .build(),
+    );
+    let solo = ServeEngine::<f32>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(64)
+            .preprocess_budget(budget)
+            .build(),
+    );
+    let xs: Vec<Arc<DenseMatrix<f32>>> = (0..3u64)
+        .map(|i| {
+            Arc::new(generators::random_dense::<f32>(
+                matrix.ncols(),
+                k,
+                seed ^ (0xBA7C + i),
+            ))
+        })
+        .collect();
+    batched.execute(Request::spmm(matrix.clone(), xs[0].clone()))?;
+    let decoy_m = Arc::new(generators::uniform_random::<f32>(
+        611,
+        401,
+        8,
+        seed ^ 0xDEC0,
+    ));
+    let decoy_x = Arc::new(generators::random_dense::<f32>(
+        decoy_m.ncols(),
+        k,
+        seed ^ 4,
+    ));
+    let decoy = batched.submit(Request::spmm(decoy_m, decoy_x))?;
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| batched.submit(Request::spmm(matrix.clone(), x.clone())))
+        .collect::<Result<_, _>>()?;
+    decoy.wait()?;
+    let mut exact = true;
+    for (x, ticket) in xs.iter().zip(tickets) {
+        let got = ticket.wait()?.output.into_dense();
+        let reference = solo
+            .execute(Request::spmm(matrix.clone(), x.clone()))?
+            .output
+            .into_dense();
+        exact &= match (got, reference) {
+            (Some(got), Some(reference)) => got.data() == reference.data(),
+            _ => false,
+        };
+    }
+    let stats = batched.stats();
+    Ok(BatchProbe {
+        batches: stats.batches,
+        batched_requests: stats.batched_requests,
+        exact,
+    })
 }
 
 /// Runs the serving benchmark and returns the measured report. The
@@ -237,14 +374,15 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let schedule = zipf_schedule(config.requests, matrices.len(), config.zipf_s, &mut rng);
 
-    let serve = ServeEngine::<f32>::start(
-        ServeConfig::builder()
-            .workers(config.workers)
-            .queue_capacity(config.queue_capacity)
-            .cache_capacity(config.cache_capacity)
-            .preprocess_budget(budget)
-            .build(),
-    );
+    let mut serve_config = ServeConfig::builder()
+        .workers(config.workers)
+        .queue_capacity(config.queue_capacity)
+        .cache_capacity(config.cache_capacity)
+        .preprocess_budget(budget);
+    if let Some(batch) = config.batch {
+        serve_config = serve_config.batching(batch);
+    }
+    let serve = ServeEngine::<f32>::start(serve_config.build());
 
     let concurrency = config.concurrency.max(1);
     let stream_start = Instant::now();
@@ -312,6 +450,12 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
     ));
     let cold_probe = serve.execute(Request::spmm(cold_matrix, cold_x).with_deadline(budget))?;
 
+    // -- batch probe: deterministic forced fusion + exactness check -----
+    let batch_probe = config
+        .batch
+        .map(|batch| run_batch_probe(batch, budget, &matrices[hot], config.k, config.seed))
+        .transpose()?;
+
     let stats = serve.stats();
     let cache = serve.cache_stats();
     let p50_ms = percentile_ms(&latencies, 0.50);
@@ -338,6 +482,20 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         ),
     );
     telemetry.meta("bench.cold_probe", &format!("path={}", cold_probe.path));
+    if let Some(probe) = &batch_probe {
+        telemetry.gauge("bench.batch.stream_batches", stats.batches as f64);
+        telemetry.gauge(
+            "bench.batch.stream_fused_requests",
+            stats.batched_requests as f64,
+        );
+        telemetry.meta(
+            "bench.batch_probe",
+            &format!(
+                "batches={} fused_requests={} exact={}",
+                probe.batches, probe.batched_requests, probe.exact
+            ),
+        );
+    }
     let manifest = serve.manifest();
 
     Ok(ServeBenchReport {
@@ -353,6 +511,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         hit_probe_path: hit_probe.path,
         hit_probe_preprocess: hit_probe.preprocess,
         cold_probe_path: cold_probe.path,
+        batch_probe,
         manifest,
     })
 }
@@ -375,10 +534,31 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_sane() {
-        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        assert!((percentile_ms(&sorted, 0.5) - 50.0).abs() <= 1.0);
-        assert!((percentile_ms(&sorted, 0.99) - 99.0).abs() <= 1.0);
+    fn percentiles_follow_the_nearest_rank_convention_exactly() {
+        // n = 1: every quantile is the lone sample
+        let one = [Duration::from_millis(7)];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_ms(&one, q), 7.0, "q={q}");
+        }
+
+        // n = 10, samples 1..=10 ms: rank = ⌈10q⌉ clamped to [1, 10]
+        let ten: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&ten, 0.0), 1.0);
+        assert_eq!(percentile_ms(&ten, 0.10), 1.0);
+        assert_eq!(percentile_ms(&ten, 0.50), 5.0);
+        assert_eq!(percentile_ms(&ten, 0.51), 6.0);
+        assert_eq!(percentile_ms(&ten, 0.90), 9.0);
+        assert_eq!(percentile_ms(&ten, 0.99), 10.0);
+        assert_eq!(percentile_ms(&ten, 1.0), 10.0);
+
+        // n = 100, samples 1..=100 ms: p50 is the 50th sample, p99 the
+        // 99th — the old round-based index was off by one here
+        let hundred: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&hundred, 0.50), 50.0);
+        assert_eq!(percentile_ms(&hundred, 0.99), 99.0);
+        assert_eq!(percentile_ms(&hundred, 0.999), 100.0);
+        assert_eq!(percentile_ms(&hundred, 1.0), 100.0);
+
         assert_eq!(percentile_ms(&[], 0.5), 0.0);
     }
 
@@ -412,5 +592,30 @@ mod tests {
         );
         let rendered = report.render();
         assert!(rendered.contains("plan cache"), "{rendered}");
+    }
+
+    #[test]
+    fn batched_bench_forces_fusion_and_stays_exact() {
+        let config = ServeBenchConfig {
+            requests: 24,
+            concurrency: 2,
+            workers: 2,
+            cache_capacity: 4,
+            batch: Some(BatchConfig::default()),
+            ..ServeBenchConfig::default()
+        };
+        let report = run_serve_bench(&config).unwrap();
+        let probe = report.batch_probe.expect("batching was enabled");
+        assert!(probe.passed(), "{}", report.render());
+        assert!(probe.batches >= 1);
+        assert!(probe.batched_requests >= 2);
+        assert!(probe.exact, "fused responses deviated from references");
+        assert!(report.probes_passed(), "{}", report.render());
+        let rendered = report.render();
+        assert!(rendered.contains("batch probe"), "{rendered}");
+        assert!(
+            report.manifest.meta.contains_key("bench.batch_probe"),
+            "probe outcome must land in the manifest"
+        );
     }
 }

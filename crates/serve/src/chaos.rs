@@ -24,6 +24,7 @@
 //! `point:action@hits[,…]` with action `error` | `panic` |
 //! `delay:<ms>ms` and hits `N` | `every:N` | `N..M` | `*`.
 
+use crate::batch::BatchConfig;
 use crate::bench::zipf_schedule;
 use crate::cache::CacheStats;
 use crate::engine::{HealthSnapshot, Request, ServeConfig, ServeEngine, ServeStats};
@@ -63,6 +64,9 @@ pub struct ChaosBenchConfig {
     /// Scripted fault schedule in [`FaultPlan::parse`] grammar; `None`
     /// runs clean (nothing is armed, zero overhead).
     pub faults: Option<String>,
+    /// Multi-RHS batching for the serving engine: fused passes must
+    /// stay bit-exact under the same fault schedule. Default: disabled.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ChaosBenchConfig {
@@ -77,6 +81,7 @@ impl Default for ChaosBenchConfig {
             seed: 42,
             k: 16,
             faults: None,
+            batch: None,
         }
     }
 }
@@ -148,6 +153,12 @@ impl ChaosBenchReport {
             "  paths: fallbacks {} (quarantined {})  worker panics {}  deadline-exceeded {}\n",
             s.fallbacks, s.quarantined, self.health.worker_panics, s.deadline_exceeded
         ));
+        if let Some(batch) = &c.batch {
+            out.push_str(&format!(
+                "  batching: max_batch_k={} k_block={}   {} batches / {} fused requests\n",
+                batch.max_batch_k, batch.k_block, s.batches, s.batched_requests
+            ));
+        }
         let counter = |name: &str| self.manifest.counters.get(name).copied().unwrap_or(0);
         out.push_str(&format!(
             "  breaker: open {}  half-open {}  closed {}   retries: scheduled {}  suppressed {}  attempted {}\n",
@@ -265,14 +276,15 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let schedule = zipf_schedule(config.requests, corpus.len(), config.zipf_s, &mut rng);
 
-    let serve = ServeEngine::<f64>::start(
-        ServeConfig::builder()
-            .workers(config.workers)
-            .queue_capacity(config.queue_capacity)
-            .cache_capacity(config.cache_capacity)
-            .retry_jitter_seed(config.seed)
-            .build(),
-    );
+    let mut serve_config = ServeConfig::builder()
+        .workers(config.workers)
+        .queue_capacity(config.queue_capacity)
+        .cache_capacity(config.cache_capacity)
+        .retry_jitter_seed(config.seed);
+    if let Some(batch) = config.batch {
+        serve_config = serve_config.batching(batch);
+    }
+    let serve = ServeEngine::<f64>::start(serve_config.build());
 
     let concurrency = config.concurrency.max(1);
     let stream_start = Instant::now();

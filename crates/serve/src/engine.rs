@@ -17,6 +17,9 @@
 //!   blocking on preprocessing it cannot afford. Correct results,
 //!   degraded throughput — never a missed answer.
 
+use crate::batch::{
+    fuse_operands, slice_columns, BatchConfig, BatchScheduler, Collected, FusedBatch,
+};
 use crate::cache::{CacheStats, PlanCache, PlanCacheConfig};
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
@@ -76,6 +79,11 @@ pub struct ServeConfig {
     /// Time source for backoff windows and breaker cooldowns; tests
     /// inject a manual clock. Default: the system clock.
     pub clock: ClockHandle,
+    /// Multi-RHS batching: when set, workers coalesce queued SpMM
+    /// requests sharing a sparsity structure into one fused k-blocked
+    /// kernel pass (see the [`batch`](crate::batch) module). Default:
+    /// disabled.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +103,7 @@ impl Default for ServeConfig {
             breaker_cooldown: cache.breaker_cooldown,
             retry_jitter_seed: cache.retry_jitter_seed,
             clock: cache.clock,
+            batch: None,
         }
     }
 }
@@ -191,6 +200,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enables multi-RHS batching with the given options.
+    pub fn batching(mut self, batch: BatchConfig) -> Self {
+        self.config.batch = Some(batch);
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> ServeConfig {
         self.config
@@ -198,7 +213,7 @@ impl ServeConfigBuilder {
 }
 
 #[derive(Debug, Clone)]
-enum RequestOp<T> {
+pub(crate) enum RequestOp<T> {
     Spmm {
         x: Arc<DenseMatrix<T>>,
     },
@@ -212,9 +227,9 @@ enum RequestOp<T> {
 /// matrix, with an optional deadline measured from submission.
 #[derive(Debug, Clone)]
 pub struct Request<T> {
-    matrix: Arc<CsrMatrix<T>>,
-    op: RequestOp<T>,
-    deadline: Option<Duration>,
+    pub(crate) matrix: Arc<CsrMatrix<T>>,
+    pub(crate) op: RequestOp<T>,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl<T: Scalar> Request<T> {
@@ -330,6 +345,13 @@ pub struct ServeStats {
     /// Fallback servings caused by a quarantined (poisoned)
     /// fingerprint — a subset of [`fallbacks`](ServeStats::fallbacks).
     pub quarantined: u64,
+    /// Fused batches executed (each covers at least two requests).
+    pub batches: u64,
+    /// Requests served as part of a fused batch.
+    pub batched_requests: u64,
+    /// Fusion candidates left queued because their remaining deadline
+    /// was tighter than the batch's.
+    pub batch_deadline_skips: u64,
 }
 
 /// A point-in-time health/readiness snapshot of the serving engine
@@ -364,10 +386,10 @@ impl HealthSnapshot {
     }
 }
 
-struct Job<T> {
-    request: Request<T>,
-    enqueued: Instant,
-    reply: mpsc::Sender<Result<Response<T>, ServeError>>,
+pub(crate) struct Job<T> {
+    pub(crate) request: Request<T>,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: mpsc::Sender<Result<Response<T>, ServeError>>,
 }
 
 struct Inner<T> {
@@ -389,6 +411,10 @@ struct Inner<T> {
     quarantined: AtomicU64,
     worker_panics: AtomicU64,
     workers_alive: AtomicUsize,
+    batch: Option<BatchScheduler>,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    batch_deadline_skips: AtomicU64,
 }
 
 /// Decrements the live-worker gauge however the worker loop exits.
@@ -503,6 +529,170 @@ impl<T: Scalar> Inner<T> {
         })
     }
 
+    /// Serves a fused batch end to end, returning one result per
+    /// member (in member order). The shared pass is exact: SpMM never
+    /// mixes columns, so each member's slice of the fused output is
+    /// bit-identical to the solo answer on the same service path.
+    fn process_batch(&self, batch: &FusedBatch<T>) -> Vec<Result<Response<T>, ServeError>> {
+        let n = batch.members.len();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.batch.batches", 1);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.telemetry
+            .counter("serve.batch.fused_requests", n as u64);
+        self.telemetry
+            .counter("serve.batch.fused_cols", batch.total_k as u64);
+
+        // the worker fault point fires once per kernel pass — a fused
+        // pass fails (or panics) as a unit, exactly like a solo one
+        if let Err(e) = FAULT_SERVE_WORKER
+            .fire()
+            .map_err(|e| ServeError::Execute(SparseError::InvalidStructure(e.to_string())))
+        {
+            return batch.members.iter().map(|_| Err(e.clone())).collect();
+        }
+
+        let mut results: Vec<Option<Result<Response<T>, ServeError>>> = Vec::new();
+        results.resize_with(n, || None);
+        let queue_waits: Vec<Duration> = batch
+            .members
+            .iter()
+            .map(|m| m.job.enqueued.elapsed())
+            .collect();
+        // members whose deadline elapsed while queued are answered
+        // individually; the survivors share the fused pass
+        let mut live: Vec<usize> = Vec::with_capacity(n);
+        for (idx, member) in batch.members.iter().enumerate() {
+            if let Some(deadline) = member.job.request.deadline {
+                if queue_waits[idx] >= deadline {
+                    self.count(&self.deadline_exceeded, "serve.deadline_exceeded");
+                    results[idx] = Some(Err(ServeError::DeadlineExceeded {
+                        waited: queue_waits[idx],
+                    }));
+                    continue;
+                }
+            }
+            live.push(idx);
+        }
+
+        if !live.is_empty() {
+            // the batch's remaining slack is its tightest member's;
+            // plan acquisition follows the same ladder as `process`
+            let remaining = live
+                .iter()
+                .filter_map(|&i| {
+                    batch.members[i]
+                        .job
+                        .request
+                        .deadline
+                        .map(|d| d.saturating_sub(queue_waits[i]))
+                })
+                .min();
+            let tight = remaining.is_some_and(|r| r <= self.preprocess_budget);
+            let head = &batch.members[live[0]].job.request;
+            let fp = MatrixFingerprint::of(&head.matrix);
+            let resolved = if tight {
+                Ok(match self.cache.try_get(&fp) {
+                    Some(engine) => (Some(engine), ServePath::CachedPlan, Duration::ZERO),
+                    None => (None, ServePath::Fallback, Duration::ZERO),
+                })
+            } else {
+                match self
+                    .cache
+                    .get_or_prepare(fp, || Engine::prepare(&head.matrix, &self.engine_config))
+                {
+                    Ok((engine, fresh)) => Ok(if fresh {
+                        let preprocess = engine.preprocessing_time();
+                        (Some(engine), ServePath::FreshPlan, preprocess)
+                    } else {
+                        (Some(engine), ServePath::CachedPlan, Duration::ZERO)
+                    }),
+                    Err(
+                        err @ (ServeError::PoisonedPlan
+                        | ServeError::BreakerOpen { .. }
+                        | ServeError::RetryBackoff { .. }),
+                    ) => {
+                        if head.matrix.check_invariants().is_err() {
+                            Err(err)
+                        } else {
+                            if matches!(err, ServeError::PoisonedPlan) {
+                                for _ in &live {
+                                    self.count(&self.quarantined, "serve.quarantined");
+                                }
+                            }
+                            Ok((None, ServePath::Fallback, Duration::ZERO))
+                        }
+                    }
+                    Err(err) => Err(err),
+                }
+            };
+            match resolved {
+                Err(err) => {
+                    for &i in &live {
+                        results[i] = Some(Err(err.clone()));
+                    }
+                }
+                Ok((engine, path, preprocess)) => {
+                    let live_members: Vec<&crate::batch::BatchMember<T>> =
+                        live.iter().map(|&i| &batch.members[i]).collect();
+                    let (fused, offsets) = fuse_operands(&live_members);
+                    let k_block = self
+                        .batch
+                        .as_ref()
+                        .map_or_else(|| BatchConfig::default().k_block, |s| s.config().k_block);
+                    let service_start = Instant::now();
+                    let outcome = match &engine {
+                        Some(engine) => engine
+                            .execute(KernelOp::SpmmKBlocked { x: &fused, k_block })
+                            .map_err(ServeError::Execute),
+                        None => {
+                            for _ in &live {
+                                self.count(&self.fallbacks, "serve.fallback");
+                            }
+                            spmm::spmm_rowwise_kblocked(&head.matrix, &fused, k_block)
+                                .map(Output::Dense)
+                                .map_err(ServeError::Execute)
+                        }
+                    };
+                    let service = service_start.elapsed();
+                    match outcome {
+                        Err(err) => {
+                            for &i in &live {
+                                results[i] = Some(Err(err.clone()));
+                            }
+                        }
+                        Ok(Output::Dense(y)) => {
+                            for ((member, &i), &off) in live_members.iter().zip(&live).zip(&offsets)
+                            {
+                                let output = Output::Dense(slice_columns(&y, off, member.k));
+                                results[i] = Some(Ok(Response {
+                                    output,
+                                    path,
+                                    queue_wait: queue_waits[i],
+                                    preprocess,
+                                    service,
+                                }));
+                            }
+                        }
+                        Ok(_) => {
+                            let err = ServeError::Execute(SparseError::InvalidStructure(
+                                "fused SpMM produced a non-dense output".into(),
+                            ));
+                            for &i in &live {
+                                results[i] = Some(Err(err.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(ServeError::WorkerPanicked)))
+            .collect()
+    }
+
     fn worker_loop(&self) {
         self.workers_alive.fetch_add(1, Ordering::Release);
         let _liveness = WorkerLiveness(&self.workers_alive);
@@ -525,20 +715,61 @@ impl<T: Scalar> Inner<T> {
                 }
             };
             let Some(job) = job else { return };
-            // a panicking kernel (or prepare) must not take the worker
-            // down with it — the requester sees WorkerPanicked instead
-            let result = match catch_unwind(AssertUnwindSafe(|| self.process(&job))) {
-                Ok(result) => result,
-                Err(_) => {
-                    self.count(&self.worker_panics, "serve.worker.panic");
-                    Err(ServeError::WorkerPanicked)
+            let is_spmm = matches!(job.request.op, RequestOp::Spmm { .. });
+            let collected = match &self.batch {
+                Some(sched) if is_spmm => {
+                    let mut queue = lock_clean(&self.queue);
+                    let (collected, skipped) = sched.collect(job, &mut queue);
+                    drop(queue);
+                    if skipped > 0 {
+                        self.batch_deadline_skips
+                            .fetch_add(skipped, Ordering::Relaxed);
+                        self.telemetry.counter("serve.batch.deadline_skip", skipped);
+                    }
+                    collected
                 }
+                _ => Collected::Single(job),
             };
-            match &result {
-                Ok(_) => self.count(&self.completed, "serve.completed"),
-                Err(_) => self.count(&self.failed, "serve.failed"),
+            match collected {
+                Collected::Single(job) => {
+                    // a panicking kernel (or prepare) must not take the
+                    // worker down with it — the requester sees
+                    // WorkerPanicked instead
+                    let result = match catch_unwind(AssertUnwindSafe(|| self.process(&job))) {
+                        Ok(result) => result,
+                        Err(_) => {
+                            self.count(&self.worker_panics, "serve.worker.panic");
+                            Err(ServeError::WorkerPanicked)
+                        }
+                    };
+                    match &result {
+                        Ok(_) => self.count(&self.completed, "serve.completed"),
+                        Err(_) => self.count(&self.failed, "serve.failed"),
+                    }
+                    let _ = job.reply.send(result);
+                }
+                Collected::Fused(batch) => {
+                    let results =
+                        match catch_unwind(AssertUnwindSafe(|| self.process_batch(&batch))) {
+                            Ok(results) => results,
+                            Err(_) => {
+                                self.count(&self.worker_panics, "serve.worker.panic");
+                                batch
+                                    .members
+                                    .iter()
+                                    .map(|_| Err(ServeError::WorkerPanicked))
+                                    .collect()
+                            }
+                        };
+                    for (member, result) in batch.members.iter().zip(results) {
+                        match &result {
+                            Ok(_) => self.count(&self.completed, "serve.completed"),
+                            Err(_) => self.count(&self.failed, "serve.failed"),
+                        }
+                        let _ = member.job.reply.send(result);
+                    }
+                }
             }
-            let _ = job.reply.send(result);
         }
     }
 }
@@ -621,6 +852,10 @@ impl<T: Scalar> ServeEngine<T> {
             quarantined: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             workers_alive: AtomicUsize::new(0),
+            batch: config.batch.map(BatchScheduler::new),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            batch_deadline_skips: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -686,6 +921,9 @@ impl<T: Scalar> ServeEngine<T> {
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
             deadline_exceeded: i.deadline_exceeded.load(Ordering::Relaxed),
             quarantined: i.quarantined.load(Ordering::Relaxed),
+            batches: i.batches.load(Ordering::Relaxed),
+            batched_requests: i.batched_requests.load(Ordering::Relaxed),
+            batch_deadline_skips: i.batch_deadline_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -947,6 +1185,75 @@ mod tests {
         drop(tx);
         let ticket = Ticket { rx };
         assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerPanicked);
+    }
+
+    #[test]
+    fn fused_spmm_batches_are_exact_and_counted() {
+        let m = Arc::new(generators::uniform_random::<f64>(128, 128, 6, 77));
+        let xs: Vec<Arc<DenseMatrix<f64>>> = (0..3)
+            .map(|s| Arc::new(generators::random_dense(128, 8, s)))
+            .collect();
+        let decoy_m = Arc::new(generators::uniform_random::<f64>(512, 512, 24, 101));
+        let decoy_x = Arc::new(generators::random_dense::<f64>(512, 4, 9));
+
+        let batched = ServeEngine::start(
+            ServeConfig::builder()
+                .workers(1)
+                .queue_capacity(32)
+                .batching(BatchConfig::default())
+                .build(),
+        );
+        // warm the shared structure so the fused pass runs on a cached
+        // plan, then pin the single worker on a cold decoy while the
+        // hot requests pile up behind it and fuse
+        batched
+            .execute(Request::spmm(m.clone(), xs[0].clone()))
+            .unwrap();
+        let decoy = batched.submit(Request::spmm(decoy_m, decoy_x)).unwrap();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| batched.submit(Request::spmm(m.clone(), x.clone())).unwrap())
+            .collect();
+        decoy.wait().unwrap();
+        let responses: Vec<Response<f64>> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+        // an identically configured engine without batching is the
+        // unbatched reference: both serve from a cached ASpT plan, so
+        // the fused slices must match it bit for bit
+        let solo = ServeEngine::start(ServeConfig::builder().workers(1).queue_capacity(32).build());
+        for (x, resp) in xs.iter().zip(&responses) {
+            let reference = solo.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+            assert_eq!(
+                reference.output.clone().into_dense().unwrap().data(),
+                resp.output.clone().into_dense().unwrap().data(),
+                "fused slice must be bit-identical to the unbatched answer"
+            );
+            assert_eq!(resp.path, ServePath::CachedPlan);
+        }
+        let stats = batched.stats();
+        assert!(stats.batches >= 1, "requests never fused: {stats:?}");
+        assert!(stats.batched_requests >= 2);
+        assert_eq!(stats.failed, 0);
+        let manifest = batched.manifest();
+        assert_eq!(manifest.counters["serve.batch.batches"], stats.batches);
+        assert_eq!(
+            manifest.counters["serve.batch.fused_requests"],
+            stats.batched_requests
+        );
+    }
+
+    #[test]
+    fn batching_is_off_by_default() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(64, 64, 4, 5);
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 6);
+        for _ in 0..4 {
+            serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.batched_requests, 0);
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   graceful degradation: a cold miss without preprocessing headroom
 //!   is served by the row-wise baseline on the original CSR instead of
 //!   missing its deadline.
+//! * [`batch`] — multi-RHS request coalescing: workers fuse queued
+//!   SpMM requests that share a sparsity structure into one k-blocked
+//!   kernel pass, amortising the sparse traversal across every
+//!   member's columns. Exact (each member's slice is bit-identical to
+//!   its solo answer) and deadline-aware (a tighter-deadline candidate
+//!   never rides along). Opt in via
+//!   [`ServeConfigBuilder::batching`](engine::ServeConfigBuilder::batching).
 //! * [`run_serve_bench`] — the `serve-bench` workload driver: Zipf
 //!   matrix popularity over the generator corpus, concurrent clients,
 //!   and deterministic hit/cold probes for the caching contract.
@@ -39,6 +46,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batch;
 pub mod bench;
 pub mod cache;
 pub mod chaos;
@@ -46,7 +54,8 @@ pub mod engine;
 pub mod error;
 pub mod fingerprint;
 
-pub use bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
+pub use batch::BatchConfig;
+pub use bench::{run_serve_bench, BatchProbe, ServeBenchConfig, ServeBenchReport};
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
 pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};
 pub use engine::{

@@ -269,6 +269,50 @@ fn chaos_bench_under_mixed_faults_holds_the_invariants() {
     assert!(report.health.ready());
 }
 
+/// Multi-RHS batching under injected failure: the fused k-blocked
+/// passes must stay bit-exact while errors and delays reorder the
+/// queue, and a failed fused pass must answer every member (no lost
+/// requests).
+#[test]
+fn chaos_bench_with_batching_stays_exact_under_faults() {
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 96;
+    config.concurrency = 6;
+    // a single worker keeps a backlog, so fused batches actually form
+    config.workers = 1;
+    config.seed = chaos_seed() ^ 0xBA7C;
+    config.k = 8;
+    config.batch = Some(BatchConfig::default());
+    config.faults = Some("serve.worker:error@every:6,serve.cache.prepare:error@every:5".into());
+    let report = run_chaos_bench(&config).unwrap();
+
+    assert_eq!(
+        report.ok + report.failed,
+        config.requests,
+        "lost requests: {}",
+        report.render()
+    );
+    assert_eq!(
+        report.exact,
+        report.ok,
+        "inexact responses under batching: {}",
+        report.render()
+    );
+    assert!(report.all_successes_exact());
+    assert!(report.failed > 0, "the schedule injected nothing");
+    assert!(
+        report.stats.batches >= 1,
+        "backlogged single-worker stream never fused: {}",
+        report.render()
+    );
+    assert!(
+        report.stats.batched_requests >= 2 * report.stats.batches,
+        "a fused batch has at least two members: {:?}",
+        report.stats
+    );
+    assert!(report.health.ready());
+}
+
 /// A clean chaos-bench run is indistinguishable from a plain benchmark:
 /// no failures, full exactness, no resilience counters in the manifest.
 #[test]

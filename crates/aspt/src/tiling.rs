@@ -233,6 +233,126 @@ impl<T: Scalar> AsptMatrix<T> {
         }
     }
 
+    /// Reassembles a decomposition from previously extracted parts —
+    /// the inverse of taking [`AsptMatrix::panels`],
+    /// [`AsptMatrix::remainder`] and [`AsptMatrix::remainder_src`]
+    /// apart, used by the plan-store codec to rehydrate a tiling
+    /// without re-running [`AsptMatrix::build`].
+    ///
+    /// Every structural invariant `build` establishes is re-validated
+    /// here: panel coverage and ordering under `config.panel_height`,
+    /// per-tile CSR extents, column bounds, and that the source-index
+    /// maps (`src_idx` per tile plus `remainder_src`) form an exact
+    /// partition of `0..nnz`. A violated invariant yields
+    /// `SparseError::InvalidStructure`, never a mis-built matrix.
+    pub fn from_parts(
+        config: AsptConfig,
+        panels: Vec<Panel<T>>,
+        remainder: CsrMatrix<T>,
+        remainder_src: Vec<u32>,
+    ) -> Result<Self, spmm_sparse::SparseError> {
+        use spmm_sparse::SparseError;
+        let bad = |msg: String| Err(SparseError::InvalidStructure(msg));
+        // a decoded config comes from untrusted bytes: reject rather
+        // than panic (`AsptConfig::validate` asserts)
+        if config.panel_height < 1 || config.min_col_nnz < 2 || config.tile_width < 1 {
+            return bad(format!("invalid tiling configuration {config:?}"));
+        }
+        let nrows = remainder.nrows();
+        let ncols = remainder.ncols();
+        let npanels = nrows.div_ceil(config.panel_height);
+        if panels.len() != npanels {
+            return bad(format!(
+                "expected {npanels} panels for {nrows} rows, got {}",
+                panels.len()
+            ));
+        }
+        if remainder_src.len() != remainder.nnz() {
+            return bad(format!(
+                "remainder_src has {} entries for {} remainder nonzeros",
+                remainder_src.len(),
+                remainder.nnz()
+            ));
+        }
+        let mut nnz_dense = 0usize;
+        for (p, panel) in panels.iter().enumerate() {
+            let row_start = p * config.panel_height;
+            let row_end = (row_start + config.panel_height).min(nrows);
+            if panel.row_start != row_start || panel.row_end != row_end {
+                return bad(format!(
+                    "panel {p} covers rows {}..{}, expected {row_start}..{row_end}",
+                    panel.row_start, panel.row_end
+                ));
+            }
+            let panel_rows = row_end - row_start;
+            for (t, tile) in panel.tiles.iter().enumerate() {
+                if tile.rowptr.len() != panel_rows + 1 || tile.rowptr[0] != 0 {
+                    return bad(format!("panel {p} tile {t}: malformed rowptr"));
+                }
+                if tile.rowptr.windows(2).any(|w| w[0] > w[1]) {
+                    return bad(format!("panel {p} tile {t}: rowptr not monotonic"));
+                }
+                let nnz = *tile.rowptr.last().unwrap_or(&0);
+                if tile.colidx.len() != nnz || tile.values.len() != nnz || tile.src_idx.len() != nnz
+                {
+                    return bad(format!("panel {p} tile {t}: array lengths disagree"));
+                }
+                if tile.cols.is_empty() && nnz > 0 {
+                    return bad(format!(
+                        "panel {p} tile {t}: nonzeros but no staged columns"
+                    ));
+                }
+                for &c in &tile.colidx {
+                    if c as usize >= ncols {
+                        return bad(format!("panel {p} tile {t}: column {c} out of range"));
+                    }
+                    if !tile.cols.contains(&c) {
+                        return bad(format!("panel {p} tile {t}: column {c} not staged"));
+                    }
+                }
+                nnz_dense += nnz;
+            }
+        }
+        let nnz_total = nnz_dense + remainder.nnz();
+        // src indices must partition 0..nnz_total exactly
+        let mut seen = vec![false; nnz_total];
+        let mut claim = |s: u32| -> Result<(), SparseError> {
+            let s = s as usize;
+            if s >= nnz_total {
+                return Err(SparseError::InvalidStructure(format!(
+                    "source index {s} out of range for {nnz_total} nonzeros"
+                )));
+            }
+            if seen[s] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "source index {s} claimed twice"
+                )));
+            }
+            seen[s] = true;
+            Ok(())
+        };
+        for panel in &panels {
+            for tile in &panel.tiles {
+                for &s in &tile.src_idx {
+                    claim(s)?;
+                }
+            }
+        }
+        for &s in &remainder_src {
+            claim(s)?;
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            config,
+            panels,
+            remainder,
+            remainder_src,
+            nnz_dense,
+            nnz_total,
+        })
+    }
+
     /// Number of rows of the decomposed matrix.
     pub fn nrows(&self) -> usize {
         self.nrows
@@ -563,6 +683,61 @@ mod tests {
         let m = fig1();
         let mut aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
         aspt.update_values(&[1.0]);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_built_decomposition() {
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        let rebuilt = AsptMatrix::from_parts(
+            *aspt.config(),
+            aspt.panels().to_vec(),
+            aspt.remainder().clone(),
+            aspt.remainder_src().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, aspt);
+        assert_eq!(rebuilt.nnz_dense(), aspt.nnz_dense());
+        assert_eq!(rebuilt.to_csr(), m);
+    }
+
+    #[test]
+    fn from_parts_rejects_tampered_parts() {
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        let parts = || {
+            (
+                *aspt.config(),
+                aspt.panels().to_vec(),
+                aspt.remainder().clone(),
+                aspt.remainder_src().to_vec(),
+            )
+        };
+
+        // duplicated source index
+        let (cfg, mut panels, rem, mut src) = parts();
+        src[0] = src[1];
+        assert!(AsptMatrix::from_parts(cfg, panels.clone(), rem.clone(), src).is_err());
+
+        // panel bounds off by one
+        let (cfg, _, rem, src) = parts();
+        panels[0].row_end -= 1;
+        assert!(AsptMatrix::from_parts(cfg, panels, rem, src).is_err());
+
+        // out-of-range tile column
+        let (cfg, mut panels, rem, src) = parts();
+        panels[0].tiles[0].colidx[0] = 999;
+        assert!(AsptMatrix::from_parts(cfg, panels, rem, src).is_err());
+
+        // invalid configuration must not panic
+        let (mut cfg, panels, rem, src) = parts();
+        cfg.min_col_nnz = 0;
+        assert!(AsptMatrix::from_parts(cfg, panels, rem, src).is_err());
+
+        // remainder_src length mismatch
+        let (cfg, panels, rem, mut src) = parts();
+        src.pop();
+        assert!(AsptMatrix::from_parts(cfg, panels, rem, src).is_err());
     }
 
     #[test]

@@ -18,15 +18,19 @@ usage:
   spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
       classes: scattered powerlaw rmat banded stencil clustered
                shuffled noisy diagonal cf
+  spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--batch] [--max-batch-k N] [--k-block N]
+                      [--plan-store DIR]
   spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--faults \"point:action@hits,...\"] [--batch]
+                      [--plan-store DIR]
       actions: error panic delay:<ms>ms    hits: N every:N N..M *
       points:  kernel.prepare kernel.execute reorder.round1
-               reorder.round2 serve.cache.prepare serve.worker";
+               reorder.round2 serve.cache.prepare serve.worker
+               serve.store.load serve.store.save";
 
 /// One allowed flag of a subcommand: name (without `--`) and whether it
 /// consumes a value.
@@ -40,6 +44,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
         "profile" => Some(&[("k", true), ("device", true), ("json", false)]),
         "reorder" => Some(&[("out", true), ("order", true)]),
         "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
+        "plan" => Some(&[("store", true)]),
         "serve-bench" => Some(&[
             ("requests", true),
             ("concurrency", true),
@@ -52,6 +57,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("batch", false),
             ("max-batch-k", true),
             ("k-block", true),
+            ("plan-store", true),
         ]),
         "chaos-bench" => Some(&[
             ("requests", true),
@@ -64,6 +70,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("faults", true),
             ("json", false),
             ("batch", false),
+            ("plan-store", true),
         ]),
         _ => None,
     }
@@ -122,8 +129,20 @@ pub enum Invocation {
         /// Size scale multiplier.
         scale: usize,
     },
+    /// `plan <save|load|verify> <matrix.mtx> --store <dir>` —
+    /// persist, re-materialise or validate a preprocessing plan in a
+    /// fingerprint-keyed [`PlanStore`].
+    Plan {
+        /// One of `save`, `load` or `verify` (validated at parse time).
+        action: String,
+        /// Matrix Market input path (fingerprinted to key the store).
+        path: PathBuf,
+        /// Plan-store directory.
+        store: PathBuf,
+    },
     /// `serve-bench [--requests N] [--concurrency N] [--workers N]
-    /// [--cache N] [--zipf S] [--seed N] [--k N] [--json]`
+    /// [--cache N] [--zipf S] [--seed N] [--k N] [--json]
+    /// [--plan-store DIR]`
     ServeBench {
         /// The benchmark workload configuration.
         config: ServeBenchConfig,
@@ -233,6 +252,22 @@ impl Invocation {
                     None => 4,
                 },
             }),
+            "plan" => {
+                let action = positional
+                    .first()
+                    .ok_or("missing plan action (save, load or verify)")?
+                    .clone();
+                if !matches!(action.as_str(), "save" | "load" | "verify") {
+                    return Err(format!(
+                        "unknown plan action '{action}' (save, load or verify)"
+                    ));
+                }
+                Ok(Invocation::Plan {
+                    action,
+                    path: positional.get(1).ok_or("missing matrix path")?.into(),
+                    store: flags.get("store").ok_or("plan requires --store")?.into(),
+                })
+            }
             "serve-bench" => {
                 let mut config = ServeBenchConfig::default();
                 let parse_usize = |flags: &std::collections::HashMap<String, String>,
@@ -274,6 +309,9 @@ impl Invocation {
                     }
                     config.batch = Some(batch);
                 }
+                if let Some(v) = flags.get("plan-store") {
+                    config.plan_store = Some(PathBuf::from(v));
+                }
                 Ok(Invocation::ServeBench {
                     config,
                     json: flags.contains_key("json"),
@@ -304,6 +342,9 @@ impl Invocation {
                 config.faults = flags.get("faults").cloned();
                 if flags.contains_key("batch") {
                     config.batch = Some(BatchConfig::default());
+                }
+                if let Some(v) = flags.get("plan-store") {
+                    config.plan_store = Some(PathBuf::from(v));
                 }
                 Ok(Invocation::ChaosBench {
                     config,
@@ -409,6 +450,63 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
                 m.nnz(),
                 out.display()
             ))
+        }
+        Invocation::Plan {
+            action,
+            path,
+            store,
+        } => {
+            let m: CsrMatrix<f32> =
+                mm_io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            let fp = MatrixFingerprint::of(&m);
+            let store = PlanStore::open(store).map_err(|e| e.to_string())?;
+            match action.as_str() {
+                "save" => {
+                    let start = std::time::Instant::now();
+                    let engine =
+                        Engine::prepare(&m, &EngineConfig::default()).map_err(|e| e.to_string())?;
+                    let prepared = start.elapsed();
+                    let file = store.save(&fp, &engine).map_err(|e| e.to_string())?;
+                    Ok(format!(
+                        "saved plan {fp} ({:.1} ms prepare) to {}",
+                        prepared.as_secs_f64() * 1e3,
+                        file.display()
+                    ))
+                }
+                "load" => {
+                    let start = std::time::Instant::now();
+                    let engine = store
+                        .load::<f32>(&fp, &TelemetryHandle::noop())
+                        .map_err(|e| e.to_string())?
+                        .ok_or_else(|| {
+                            format!("no stored plan for {fp} in {}", store.root().display())
+                        })?;
+                    let loaded = start.elapsed();
+                    Ok(format!(
+                        "loaded plan {fp} in {:.1} ms ({} rows, {} nonzeros, reordering {}, zero preprocessing)",
+                        loaded.as_secs_f64() * 1e3,
+                        m.nrows(),
+                        m.nnz(),
+                        if engine.plan().needs_reordering() {
+                            "applied"
+                        } else {
+                            "skipped"
+                        },
+                    ))
+                }
+                "verify" => match store.verify::<f32>(&fp) {
+                    Ok(true) => Ok(format!(
+                        "plan {fp} verifies: header, section checksums and fingerprint all match ({})",
+                        store.path_for::<f32>(&fp).display()
+                    )),
+                    Ok(false) => Err(format!(
+                        "no stored plan for {fp} in {}",
+                        store.root().display()
+                    )),
+                    Err(e) => Err(format!("stored plan for {fp} is invalid: {e}")),
+                },
+                other => Err(format!("unknown plan action '{other}'")),
+            }
         }
         Invocation::ServeBench { config, json } => {
             let report = run_serve_bench(config).map_err(|e| e.to_string())?;
@@ -928,6 +1026,97 @@ mod tests {
         })
         .unwrap();
         assert!(r.contains("recommendation"), "{r}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_plan() {
+        let inv = Invocation::parse(&s(&["plan", "save", "m.mtx", "--store", "plans"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Plan {
+                action: "save".into(),
+                path: "m.mtx".into(),
+                store: "plans".into(),
+            }
+        );
+        for action in ["load", "verify"] {
+            assert!(Invocation::parse(&s(&["plan", action, "m.mtx", "--store", "d"])).is_ok());
+        }
+        // bad action, missing matrix, missing --store, unknown flag
+        assert!(Invocation::parse(&s(&["plan", "frobnicate", "m.mtx", "--store", "d"])).is_err());
+        assert!(Invocation::parse(&s(&["plan", "save", "--store", "d"])).is_err());
+        assert!(Invocation::parse(&s(&["plan", "save", "m.mtx"])).is_err());
+        assert!(
+            Invocation::parse(&s(&["plan", "save", "m.mtx", "--store", "d", "--k", "8"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_serve_bench_plan_store_flag() {
+        match Invocation::parse(&s(&["serve-bench", "--plan-store", "plans"])).unwrap() {
+            Invocation::ServeBench { config, .. } => {
+                assert_eq!(config.plan_store, Some(PathBuf::from("plans")));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        match Invocation::parse(&s(&["serve-bench"])).unwrap() {
+            Invocation::ServeBench { config, .. } => assert_eq!(config.plan_store, None),
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(Invocation::parse(&s(&["serve-bench", "--plan-store"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_plan_save_load_verify() {
+        let dir = std::env::temp_dir().join(format!("spmm_cli_plan_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.mtx");
+        let store = dir.join("plans");
+
+        run(&Invocation::Generate {
+            class: "shuffled".into(),
+            out: input.clone(),
+            seed: 5,
+            scale: 1,
+        })
+        .unwrap();
+
+        let plan = |action: &str| {
+            run(&Invocation::Plan {
+                action: action.into(),
+                path: input.clone(),
+                store: store.clone(),
+            })
+        };
+
+        // load before save is a targeted miss, not a panic
+        let r = plan("load");
+        assert!(r.is_err());
+        assert!(r.unwrap_err().contains("no stored plan"));
+
+        let r = plan("save").unwrap();
+        assert!(r.contains("saved plan"), "{r}");
+
+        let r = plan("load").unwrap();
+        assert!(r.contains("loaded plan"), "{r}");
+        assert!(r.contains("zero preprocessing"), "{r}");
+
+        let r = plan("verify").unwrap();
+        assert!(r.contains("verifies"), "{r}");
+
+        // corrupt the stored file: verify must report invalid, not panic
+        let m: CsrMatrix<f32> = mm_io::read_matrix_market_file(&input).unwrap();
+        let fp = MatrixFingerprint::of(&m);
+        let file = PlanStore::open(&store).unwrap().path_for::<f32>(&fp);
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&file, bytes).unwrap();
+        let r = plan("verify");
+        assert!(r.is_err());
+        assert!(r.unwrap_err().contains("invalid"));
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,8 +6,10 @@
 //! spmm-rr reorder  <in.mtx> --out <out.mtx> [--order <order.txt>]
 //! spmm-rr bench    <matrix.mtx> [--k N] [--device p100|v100]
 //! spmm-rr generate <class> --out <out.mtx> [--seed N] [--scale N]
+//! spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
 //! spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
-//!                     [--cache N] [--zipf S] [--seed N] [--k N] [--json]
+//!                     [--cache N] [--zipf S] [--seed N] [--k N]
+//!                     [--plan-store DIR] [--json]
 //! ```
 //!
 //! `analyze` prints structure statistics, the Fig 5 pipeline decisions
@@ -17,10 +19,15 @@
 //! writes the reordered matrix (and optionally the row order) for use
 //! in other tools; `bench` runs the §4 trial and recommends a variant;
 //! `generate` writes one of the synthetic corpus classes as Matrix
-//! Market; `serve-bench` drives the plan-cached serving layer with a
-//! Zipf-popular workload and prints throughput, latency percentiles,
-//! the plan-cache hit rate and the hit/cold probe outcomes (the run
-//! manifest JSON with `--json`).
+//! Market; `plan` snapshots (`save`), restores (`load`) or checks
+//! (`verify`) a prepared engine in a fingerprint-keyed on-disk plan
+//! store, so a later process warm-starts without re-running the Fig 5
+//! preprocessing; `serve-bench` drives the plan-cached serving layer
+//! with a Zipf-popular workload and prints throughput, latency
+//! percentiles, the plan-cache hit rate and the hit/cold probe
+//! outcomes (the run manifest JSON with `--json`); with `--plan-store`
+//! it also runs the warm-start probe (stored plans must be bit-exact
+//! and >= 10x faster to load than to prepare).
 
 use spmm_cli::{run, Invocation};
 use std::process::ExitCode;

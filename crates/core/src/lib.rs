@@ -113,9 +113,9 @@ pub mod prelude {
     };
     pub use spmm_serve::{
         run_chaos_bench, run_serve_bench, BatchConfig, BatchProbe, CacheStats, ChaosBenchConfig,
-        ChaosBenchReport, HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, Request,
-        Response, ServeBenchConfig, ServeBenchReport, ServeConfig, ServeEngine, ServeError,
-        ServePath, ServeStats, Ticket,
+        ChaosBenchReport, HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, PlanStore,
+        PlanStoreProbe, Request, Response, ServeBenchConfig, ServeBenchReport, ServeConfig,
+        ServeEngine, ServeError, ServePath, ServeStats, StoredPlan, Ticket,
     };
     pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
     pub use spmm_telemetry::{

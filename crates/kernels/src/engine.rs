@@ -355,6 +355,100 @@ impl<T: Scalar> Engine<T> {
         })
     }
 
+    /// Rehydrates an engine from previously prepared parts — the plan
+    /// store's path around [`Engine::prepare`]. No planning, no LSH, no
+    /// tiling: the deserialized plan, reordered CSR, nonzero map and
+    /// tiling are validated for mutual consistency and wired together.
+    ///
+    /// The rebuilt engine's [`Engine::preprocessing_time`] is zero (its
+    /// report has no stages): nothing was preprocessed here, which is
+    /// exactly what cross-process amortization claims.
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::InvalidStructure`] when the parts
+    /// disagree: CSR invariants, permutation/row-count mismatches, a
+    /// nonzero map that is not a bijection, or a tiling that does not
+    /// reconstruct the reordered matrix.
+    pub fn from_parts(
+        plan: ReorderPlan,
+        aspt: AsptMatrix<T>,
+        reordered: CsrMatrix<T>,
+        nnz_map: Vec<usize>,
+        k_hint: Option<usize>,
+        telemetry: &TelemetryHandle,
+    ) -> Result<Self, SparseError> {
+        let bad = |msg: String| Err(SparseError::InvalidStructure(msg));
+        reordered.check_invariants()?;
+        if plan.row_perm.len() != reordered.nrows() {
+            return bad(format!(
+                "row permutation covers {} rows, matrix has {}",
+                plan.row_perm.len(),
+                reordered.nrows()
+            ));
+        }
+        if plan.remainder_order.len() != reordered.nrows() {
+            return bad(format!(
+                "remainder order covers {} rows, matrix has {}",
+                plan.remainder_order.len(),
+                reordered.nrows()
+            ));
+        }
+        if nnz_map.len() != reordered.nnz() {
+            return bad(format!(
+                "nnz map has {} entries, matrix has {} nonzeros",
+                nnz_map.len(),
+                reordered.nnz()
+            ));
+        }
+        let mut seen = vec![false; nnz_map.len()];
+        for &old in &nnz_map {
+            if old >= nnz_map.len() || seen[old] {
+                return bad("nnz map is not a bijection on the nonzeros".to_string());
+            }
+            seen[old] = true;
+        }
+        if aspt.nrows() != reordered.nrows()
+            || aspt.ncols() != reordered.ncols()
+            || aspt.nnz() != reordered.nnz()
+        {
+            return bad(format!(
+                "tiling shape {}x{}+{}nnz disagrees with matrix {}x{}+{}nnz",
+                aspt.nrows(),
+                aspt.ncols(),
+                aspt.nnz(),
+                reordered.nrows(),
+                reordered.ncols(),
+                reordered.nnz()
+            ));
+        }
+        if aspt.to_csr() != reordered {
+            return bad("tiling does not reconstruct the reordered matrix".to_string());
+        }
+        let collector = Arc::new(Collector::new());
+        let telemetry = if telemetry.is_enabled() {
+            TelemetryHandle::new(Arc::new(FanoutRecorder::new(vec![
+                collector.clone() as Arc<dyn Recorder>,
+                telemetry.recorder(),
+            ])))
+        } else {
+            TelemetryHandle::new(collector.clone())
+        };
+        let report = PrepareReport {
+            manifest: collector.manifest(),
+        };
+        Ok(Self {
+            original_ncols: reordered.ncols(),
+            plan: Arc::new(plan),
+            aspt: Arc::new(aspt),
+            reordered: Arc::new(reordered),
+            nnz_map: Arc::new(nnz_map),
+            report,
+            k_hint,
+            collector,
+            telemetry,
+        })
+    }
+
     /// The reordering plan that was applied.
     pub fn plan(&self) -> &ReorderPlan {
         &self.plan
@@ -393,6 +487,20 @@ impl<T: Scalar> Engine<T> {
     /// The `k` hint this engine was configured with, if any.
     pub fn k_hint(&self) -> Option<usize> {
         self.k_hint
+    }
+
+    /// The reordered matrix the kernels execute against (identity
+    /// reorder when round 1 was skipped). Exposed for the plan-store
+    /// codec; results from `spmm`/`sddmm` are always mapped back to the
+    /// original order, so normal callers never need this.
+    pub fn reordered(&self) -> &CsrMatrix<T> {
+        &self.reordered
+    }
+
+    /// The nonzero map: `nnz_map()[reordered_nnz] = original_nnz`.
+    /// Exposed for the plan-store codec.
+    pub fn nnz_map(&self) -> &[usize] {
+        &self.nnz_map
     }
 
     /// Remainder processing order, if round 2 chose one.
@@ -442,7 +550,15 @@ impl<T: Scalar> Engine<T> {
                 self.unpermute_rows(&y_reord, &mut y);
                 Ok(Output::Dense(y))
             }
-            KernelOp::Sddmm { x, y } => Ok(Output::Values(self.sddmm_impl(x, y)?)),
+            KernelOp::Sddmm { x, y } => {
+                let vals_reord = self.sddmm_reordered_vals(x, y)?;
+                if self.plan.row_perm.is_identity() {
+                    return Ok(Output::Values(vals_reord));
+                }
+                let mut out = vec![T::ZERO; vals_reord.len()];
+                self.scatter_to_source_order(vals_reord, &mut out);
+                Ok(Output::Values(out))
+            }
             KernelOp::SddmmInto { x, y, out } => {
                 if out.len() != self.nnz_map.len() {
                     return Err(SparseError::DimensionMismatch {
@@ -450,8 +566,14 @@ impl<T: Scalar> Engine<T> {
                         got: format!("{}", out.len()),
                     });
                 }
-                let vals = self.sddmm_impl(x, y)?;
-                out.copy_from_slice(&vals);
+                // write the caller's buffer directly — no intermediate
+                // source-order allocation
+                let vals_reord = self.sddmm_reordered_vals(x, y)?;
+                if self.plan.row_perm.is_identity() {
+                    out.copy_from_slice(&vals_reord);
+                } else {
+                    self.scatter_to_source_order(vals_reord, out);
+                }
                 Ok(Output::Written)
             }
         }
@@ -532,7 +654,14 @@ impl<T: Scalar> Engine<T> {
         }
     }
 
-    fn sddmm_impl(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<Vec<T>, SparseError> {
+    /// Runs the SDDMM kernel and returns its values in *reordered*
+    /// nonzero order; callers scatter back to source order themselves
+    /// (directly into their own buffer, when they have one).
+    fn sddmm_reordered_vals(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &DenseMatrix<T>,
+    ) -> Result<Vec<T>, SparseError> {
         let _span = self.telemetry.span("exec.sddmm");
         self.record_exec_counters();
         // the kernel reads Y rows in reordered row space
@@ -549,15 +678,15 @@ impl<T: Scalar> Engine<T> {
             y_perm = p;
             &y_perm
         };
-        let vals_reord = sddmm_aspt(&self.aspt, x, y_for_kernel, self.reordered.rowptr())?;
-        if self.plan.row_perm.is_identity() {
-            return Ok(vals_reord);
-        }
-        let mut out = vec![T::ZERO; vals_reord.len()];
+        sddmm_aspt(&self.aspt, x, y_for_kernel, self.reordered.rowptr())
+    }
+
+    /// Scatters reordered-nonzero-order values into source order:
+    /// `out[nnz_map[j]] = vals_reord[j]`.
+    fn scatter_to_source_order(&self, vals_reord: Vec<T>, out: &mut [T]) {
         for (j, v) in vals_reord.into_iter().enumerate() {
             out[self.nnz_map[j]] = v;
         }
-        Ok(out)
     }
 
     /// Number of nonzeros processed per kernel call, with the
@@ -633,11 +762,18 @@ impl<T: Scalar> Engine<T> {
     /// # Panics
     /// Panics if `values.len()` differs from the matrix's nnz.
     pub fn update_values(&mut self, values: &[T]) {
-        let reordered_vals = self.reorder_values(values);
-        Arc::make_mut(&mut self.reordered)
-            .values_mut()
-            .copy_from_slice(&reordered_vals);
-        Arc::make_mut(&mut self.aspt).update_values(&reordered_vals);
+        assert_eq!(
+            values.len(),
+            self.nnz_map.len(),
+            "value array must match the matrix's nnz"
+        );
+        // permute straight into the reordered CSR's value array (no
+        // intermediate scratch), then refresh the tiles from it
+        let reordered = Arc::make_mut(&mut self.reordered);
+        for (slot, &old) in reordered.values_mut().iter_mut().zip(self.nnz_map.iter()) {
+            *slot = values[old];
+        }
+        Arc::make_mut(&mut self.aspt).update_values(reordered.values());
     }
 
     /// Maps a value array from the original nonzero order into this
@@ -1011,6 +1147,79 @@ mod tests {
             engine.with_updated_values(&[1.0]),
             Err(SparseError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn from_parts_rebuilds_a_bit_identical_engine() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(engine.plan().needs_reordering());
+        let rebuilt = Engine::from_parts(
+            engine.plan().clone(),
+            engine.aspt().clone(),
+            engine.reordered().clone(),
+            engine.nnz_map().to_vec(),
+            engine.k_hint(),
+            &TelemetryHandle::noop(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.preprocessing_time(), Duration::ZERO);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 7);
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 8);
+        assert_eq!(
+            engine.spmm(&x).unwrap().data(),
+            rebuilt.spmm(&x).unwrap().data()
+        );
+        assert_eq!(
+            engine.sddmm(&x, &y).unwrap(),
+            rebuilt.sddmm(&x, &y).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let noop = TelemetryHandle::noop();
+
+        // nnz map not a bijection
+        let mut map = engine.nnz_map().to_vec();
+        map[0] = map[1];
+        assert!(Engine::from_parts(
+            engine.plan().clone(),
+            engine.aspt().clone(),
+            engine.reordered().clone(),
+            map,
+            None,
+            &noop,
+        )
+        .is_err());
+
+        // tiling from a different matrix
+        let other = generators::uniform_random::<f64>(m.nrows(), m.ncols(), 8, 5);
+        let other_engine = Engine::prepare(&other, &cfg()).unwrap();
+        assert!(Engine::from_parts(
+            engine.plan().clone(),
+            other_engine.aspt().clone(),
+            engine.reordered().clone(),
+            engine.nnz_map().to_vec(),
+            None,
+            &noop,
+        )
+        .is_err());
+
+        // permutation length mismatch
+        let mut plan = engine.plan().clone();
+        plan.row_perm = Permutation::identity(3);
+        assert!(Engine::from_parts(
+            plan,
+            engine.aspt().clone(),
+            engine.reordered().clone(),
+            engine.nnz_map().to_vec(),
+            None,
+            &noop,
+        )
+        .is_err());
     }
 
     #[test]

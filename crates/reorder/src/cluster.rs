@@ -106,22 +106,24 @@ pub fn cluster_rows<T: Scalar>(
         ..Default::default()
     };
 
-    let mut heap: BinaryHeap<HeapEntry> = pairs
-        .iter()
-        .map(|p| {
-            assert!(
-                (p.i as usize) < n && (p.j as usize) < n,
-                "pair out of range"
-            );
-            HeapEntry {
-                sim: p.similarity,
-                i: p.i.min(p.j),
-                j: p.i.max(p.j),
-            }
-        })
-        .collect();
-    let mut known: HashSet<(u32, u32)> =
-        pairs.iter().map(|p| (p.i.min(p.j), p.i.max(p.j))).collect();
+    // one pass over the candidates fills both the heap feed and the
+    // dedup set (each pre-sized), normalising the key once per pair
+    let mut entries: Vec<HeapEntry> = Vec::with_capacity(pairs.len());
+    let mut known: HashSet<(u32, u32)> = HashSet::with_capacity(pairs.len());
+    for p in pairs {
+        assert!(
+            (p.i as usize) < n && (p.j as usize) < n,
+            "pair out of range"
+        );
+        let key = (p.i.min(p.j), p.i.max(p.j));
+        entries.push(HeapEntry {
+            sim: p.similarity,
+            i: key.0,
+            j: key.1,
+        });
+        known.insert(key);
+    }
+    let mut heap = BinaryHeap::from(entries);
 
     let mut uf = UnionFind::new(n);
     let mut deleted = vec![false; n];

@@ -24,12 +24,16 @@ use crate::batch::BatchConfig;
 use crate::cache::CacheStats;
 use crate::engine::{Request, ServeConfig, ServeEngine, ServePath, ServeStats};
 use crate::error::ServeError;
+use crate::fingerprint::MatrixFingerprint;
+use crate::store::PlanStore;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spmm_data::corpus::{Corpus, CorpusProfile};
 use spmm_data::generators;
-use spmm_sparse::{CsrMatrix, DenseMatrix};
-use spmm_telemetry::RunManifest;
+use spmm_kernels::{Engine, EngineConfig};
+use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
+use spmm_telemetry::{RunManifest, TelemetryHandle};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +66,12 @@ pub struct ServeBenchConfig {
     /// Multi-RHS batching for the serving engine, plus the forced
     /// -fusion probe. Default: disabled.
     pub batch: Option<BatchConfig>,
+    /// Directory for a persistent [`PlanStore`]: the serving engine
+    /// runs with the store as its disk tier (warm-loading at startup,
+    /// read/write-through during the stream) and the warm-start probe
+    /// measures cold-prepare vs store-load per corpus structure.
+    /// Default: disabled.
+    pub plan_store: Option<PathBuf>,
 }
 
 impl Default for ServeBenchConfig {
@@ -78,6 +88,7 @@ impl Default for ServeBenchConfig {
             deadline: Duration::from_millis(250),
             preprocess_budget: Duration::from_millis(25),
             batch: None,
+            plan_store: None,
         }
     }
 }
@@ -104,6 +115,37 @@ impl BatchProbe {
     /// one fused batch, and exact results.
     pub fn passed(&self) -> bool {
         self.batches >= 1 && self.exact
+    }
+}
+
+/// Outcome of the warm-start probe: every corpus structure is prepared
+/// cold (timed), persisted to the [`PlanStore`], and re-materialised
+/// from disk (timed). A stored plan must answer SpMM *and* SDDMM
+/// bit-identically to the live engine it snapshotted, and loading all
+/// plans must be at least 10× faster than preparing them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct PlanStoreProbe {
+    /// Total wall-clock milliseconds of `Engine::prepare` across the
+    /// corpus (the cold path a store-less restart would pay).
+    pub cold_prepare_ms: f64,
+    /// Total wall-clock milliseconds of `PlanStore::load` across the
+    /// same structures (the warm path a restarted process pays).
+    pub warm_load_ms: f64,
+    /// `cold_prepare_ms / warm_load_ms`.
+    pub speedup: f64,
+    /// Structures measured (the corpus size).
+    pub plans: usize,
+    /// Whether every stored plan answered SpMM and SDDMM
+    /// bit-identically to its live engine.
+    pub exact: bool,
+}
+
+impl PlanStoreProbe {
+    /// Whether the probe observed its contractual outcome: bit-exact
+    /// answers and a ≥ 10× warm-start speedup.
+    pub fn passed(&self) -> bool {
+        self.exact && self.speedup >= 10.0
     }
 }
 
@@ -137,6 +179,9 @@ pub struct ServeBenchReport {
     pub cold_probe_path: ServePath,
     /// The forced-fusion probe's outcome; `None` when batching is off.
     pub batch_probe: Option<BatchProbe>,
+    /// The warm-start probe's outcome; `None` when no plan store is
+    /// configured.
+    pub plan_store_probe: Option<PlanStoreProbe>,
     /// The run manifest snapshot, counters and probe outcomes included.
     pub manifest: RunManifest,
 }
@@ -149,6 +194,7 @@ impl ServeBenchReport {
             && self.hit_probe_preprocess.is_zero()
             && self.cold_probe_path == ServePath::Fallback
             && self.batch_probe.is_none_or(|p| p.passed())
+            && self.plan_store_probe.is_none_or(|p| p.passed())
     }
 
     /// Renders the human-readable summary the CLI prints.
@@ -213,6 +259,21 @@ impl ServeBenchReport {
                 probe.exact,
                 if probe.passed() {
                     "ok (fused responses bit-identical to unbatched references)"
+                } else {
+                    "FAILED"
+                }
+            ));
+        }
+        if let Some(probe) = &self.plan_store_probe {
+            out.push_str(&format!(
+                "  plan store probe: {} plans, cold prepare {:.3} ms, warm load {:.3} ms, speedup {:.1}x, exact={} -> {}\n",
+                probe.plans,
+                probe.cold_prepare_ms,
+                probe.warm_load_ms,
+                probe.speedup,
+                probe.exact,
+                if probe.passed() {
+                    "ok (bit-exact warm start, >= 10x faster than prepare)"
                 } else {
                     "FAILED"
                 }
@@ -332,6 +393,60 @@ fn run_batch_probe(
     })
 }
 
+/// Measures the warm-start contract: for every corpus structure, time
+/// a cold `Engine::prepare`, persist the plan, time `PlanStore::load`,
+/// and compare the stored engine's SpMM and SDDMM answers bit for bit
+/// against the live engine's.
+fn run_plan_store_probe(
+    store: &PlanStore,
+    matrices: &[Arc<CsrMatrix<f32>>],
+    k: usize,
+    seed: u64,
+    telemetry: &TelemetryHandle,
+) -> Result<PlanStoreProbe, ServeError> {
+    let engine_config = EngineConfig::default();
+    let k = k.max(1);
+    let mut cold = Duration::ZERO;
+    let mut warm = Duration::ZERO;
+    let mut exact = true;
+    for (i, m) in matrices.iter().enumerate() {
+        let fp = MatrixFingerprint::of(m);
+        let cold_start = Instant::now();
+        let live = Engine::prepare(m, &engine_config).map_err(ServeError::Prepare)?;
+        cold += cold_start.elapsed();
+        store.save(&fp, &live).map_err(ServeError::Prepare)?;
+        let warm_start = Instant::now();
+        let stored = store
+            .load::<f32>(&fp, telemetry)
+            .map_err(ServeError::Prepare)?
+            .ok_or_else(|| {
+                ServeError::Prepare(SparseError::Io("just-saved plan is missing".into()))
+            })?;
+        warm += warm_start.elapsed();
+        let x = generators::random_dense::<f32>(m.ncols(), k, seed ^ (0x5707 + i as u64));
+        let y = generators::random_dense::<f32>(m.nrows(), k, seed ^ (0x7057 + i as u64));
+        let spmm_exact = live.spmm(&x).map_err(ServeError::Execute)?.data()
+            == stored.spmm(&x).map_err(ServeError::Execute)?.data();
+        let sddmm_exact = live.sddmm(&x, &y).map_err(ServeError::Execute)?
+            == stored.sddmm(&x, &y).map_err(ServeError::Execute)?;
+        exact &= spmm_exact && sddmm_exact;
+    }
+    let cold_prepare_ms = cold.as_secs_f64() * 1e3;
+    let warm_load_ms = warm.as_secs_f64() * 1e3;
+    let speedup = if warm_load_ms > 0.0 {
+        cold_prepare_ms / warm_load_ms
+    } else {
+        f64::INFINITY
+    };
+    Ok(PlanStoreProbe {
+        cold_prepare_ms,
+        warm_load_ms,
+        speedup,
+        plans: matrices.len(),
+        exact,
+    })
+}
+
 /// Runs the serving benchmark and returns the measured report. The
 /// probes' contractual outcomes are asserted by the caller (or CI) via
 /// [`ServeBenchReport::probes_passed`], not by this function — a
@@ -374,6 +489,10 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let schedule = zipf_schedule(config.requests, matrices.len(), config.zipf_s, &mut rng);
 
+    let store = match &config.plan_store {
+        Some(dir) => Some(Arc::new(PlanStore::open(dir).map_err(ServeError::Prepare)?)),
+        None => None,
+    };
     let mut serve_config = ServeConfig::builder()
         .workers(config.workers)
         .queue_capacity(config.queue_capacity)
@@ -381,6 +500,9 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         .preprocess_budget(budget);
     if let Some(batch) = config.batch {
         serve_config = serve_config.batching(batch);
+    }
+    if let Some(store) = &store {
+        serve_config = serve_config.plan_store(Arc::clone(store));
     }
     let serve = ServeEngine::<f32>::start(serve_config.build());
 
@@ -456,6 +578,14 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         .map(|batch| run_batch_probe(batch, budget, &matrices[hot], config.k, config.seed))
         .transpose()?;
 
+    // -- plan store probe: cold prepare vs warm load, bit-exactness -----
+    let plan_store_probe = store
+        .as_ref()
+        .map(|store| {
+            run_plan_store_probe(store, &matrices, config.k, config.seed, serve.telemetry())
+        })
+        .transpose()?;
+
     let stats = serve.stats();
     let cache = serve.cache_stats();
     let p50_ms = percentile_ms(&latencies, 0.50);
@@ -496,6 +626,18 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
             ),
         );
     }
+    if let Some(probe) = &plan_store_probe {
+        telemetry.gauge("bench.store.cold_prepare_ms", probe.cold_prepare_ms);
+        telemetry.gauge("bench.store.warm_load_ms", probe.warm_load_ms);
+        telemetry.gauge("bench.store.speedup", probe.speedup);
+        telemetry.meta(
+            "bench.plan_store_probe",
+            &format!(
+                "plans={} cold_prepare_ms={:.3} warm_load_ms={:.3} speedup={:.2} exact={}",
+                probe.plans, probe.cold_prepare_ms, probe.warm_load_ms, probe.speedup, probe.exact
+            ),
+        );
+    }
     let manifest = serve.manifest();
 
     Ok(ServeBenchReport {
@@ -512,6 +654,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         hit_probe_preprocess: hit_probe.preprocess,
         cold_probe_path: cold_probe.path,
         batch_probe,
+        plan_store_probe,
         manifest,
     })
 }
@@ -592,6 +735,59 @@ mod tests {
         );
         let rendered = report.render();
         assert!(rendered.contains("plan cache"), "{rendered}");
+    }
+
+    #[test]
+    fn plan_store_bench_probe_is_exact_and_warm_starts() {
+        let dir = std::env::temp_dir().join(format!(
+            "spmm-bench-store-{}-{:p}",
+            std::process::id(),
+            &() as *const ()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ServeBenchConfig {
+            requests: 12,
+            concurrency: 2,
+            workers: 2,
+            cache_capacity: 4,
+            plan_store: Some(dir.clone()),
+            ..ServeBenchConfig::default()
+        };
+        let report = run_serve_bench(&config).unwrap();
+        let probe = report.plan_store_probe.expect("plan store was configured");
+        assert!(probe.exact, "stored plans deviated: {}", report.render());
+        assert_eq!(probe.plans, report.corpus_size);
+        assert!(
+            probe.speedup > 1.0,
+            "loading must beat preparing: {}",
+            report.render()
+        );
+        // the stream itself ran write-through
+        assert!(report.manifest.counters.get("serve.store.save").copied() >= Some(1));
+        assert!(
+            report.manifest.meta.contains_key("bench.plan_store_probe"),
+            "probe outcome must land in the manifest"
+        );
+        // the probe's standalone engines never touch the stream counters
+        assert_eq!(
+            report.stats.submitted + report.stats.rejected,
+            (config.requests + 3) as u64
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("plan store probe"), "{rendered}");
+
+        // a second run over the same directory warm-loads at startup
+        let report2 = run_serve_bench(&config).unwrap();
+        assert!(
+            report2.manifest.counters.get("serve.store.warm").copied() >= Some(1),
+            "restart must warm-load persisted plans"
+        );
+        // warm-loaded plans must not confuse the other probes: the hit
+        // probe still hits, and the never-persisted cold structure
+        // still degrades to the fallback
+        assert_eq!(report2.hit_probe_path, ServePath::CachedPlan);
+        assert_eq!(report2.cold_probe_path, ServePath::Fallback);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,6 +48,7 @@
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
 use crate::lock_clean;
+use crate::store::PlanStore;
 use spmm_faults::{splitmix64, ClockHandle, FaultPoint};
 use spmm_kernels::Engine;
 use spmm_sparse::{Scalar, SparseError};
@@ -95,6 +96,12 @@ pub struct PlanCacheConfig {
     /// Time source for backoff windows and breaker cooldowns. Tests
     /// inject a manual clock; defaults to the system clock.
     pub clock: ClockHandle,
+    /// Optional disk-backed second tier ([`PlanStore`]): a miss first
+    /// tries to load a persisted plan (read-through, counted as
+    /// `serve.store.{hit,miss,reject}`) and a freshly prepared plan is
+    /// persisted back (write-through, `serve.store.{save,save_error}`,
+    /// never failing the request). Disabled by default.
+    pub store: Option<Arc<PlanStore>>,
 }
 
 impl Default for PlanCacheConfig {
@@ -109,6 +116,7 @@ impl Default for PlanCacheConfig {
             breaker_cooldown: Duration::from_millis(250),
             retry_jitter_seed: 0,
             clock: ClockHandle::default(),
+            store: None,
         }
     }
 }
@@ -178,6 +186,12 @@ impl PlanCacheConfigBuilder {
     /// Sets the time source.
     pub fn clock(mut self, clock: ClockHandle) -> Self {
         self.config.clock = clock;
+        self
+    }
+
+    /// Attaches a disk-backed plan store as the cache's second tier.
+    pub fn store(mut self, store: Arc<PlanStore>) -> Self {
+        self.config.store = Some(store);
         self
     }
 
@@ -322,6 +336,7 @@ pub struct PlanCache<T> {
     breaker_cooldown: Duration,
     retry_jitter_seed: u64,
     clock: ClockHandle,
+    store: Option<Arc<PlanStore>>,
     /// Monotonic lookup clock driving LRU recency.
     tick: AtomicU64,
     hits: AtomicU64,
@@ -347,6 +362,7 @@ impl<T: Scalar> PlanCache<T> {
             breaker_cooldown: config.breaker_cooldown,
             retry_jitter_seed: config.retry_jitter_seed,
             clock: config.clock,
+            store: config.store,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -511,6 +527,27 @@ impl<T: Scalar> PlanCache<T> {
                 self.telemetry.counter("serve.breaker.half_open", 1);
             }
         }
+        // Disk-tier read-through. Both paths that are about to pay for
+        // a live prepare — the slot creator and an admitted retry —
+        // first consult the persistent store. A stored plan fulfils the
+        // slot like a warm cache entry (zero preprocessing, reported as
+        // not-fresh); a malformed or stale file is *rejected* and the
+        // lookup degrades to the live prepare below.
+        if let Some(store) = &self.store {
+            match store.load::<T>(&fp, &self.telemetry) {
+                Ok(Some(engine)) => {
+                    let engine = Arc::new(engine);
+                    slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
+                    self.telemetry.counter("serve.store.hit", 1);
+                    if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
+                        self.telemetry.counter("serve.breaker.close", 1);
+                    }
+                    return Ok((engine, false));
+                }
+                Ok(None) => self.telemetry.counter("serve.store.miss", 1),
+                Err(_) => self.telemetry.counter("serve.store.reject", 1),
+            }
+        }
         match catch_unwind(AssertUnwindSafe(|| {
             FAULT_SERVE_CACHE_PREPARE
                 .fire()
@@ -522,6 +559,16 @@ impl<T: Scalar> PlanCache<T> {
                 slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
                 if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
                     self.telemetry.counter("serve.breaker.close", 1);
+                }
+                // Write-through: persist the paid-for plan so later
+                // processes warm-start. A save failure is logged as a
+                // counter and never fails the request — the caller has
+                // a perfectly good engine in hand.
+                if let Some(store) = &self.store {
+                    match store.save(&fp, &engine) {
+                        Ok(_) => self.telemetry.counter("serve.store.save", 1),
+                        Err(_) => self.telemetry.counter("serve.store.save_error", 1),
+                    }
                 }
                 Ok((engine, true))
             }
@@ -551,6 +598,35 @@ impl<T: Scalar> PlanCache<T> {
                 resume_unwind(panic)
             }
         }
+    }
+
+    /// Seeds the cache with an already-materialised plan — the serving
+    /// engine's startup warm-load path, where plans are read from a
+    /// [`PlanStore`] before traffic arrives. Counts as an insert but
+    /// neither a hit nor a miss (no lookup happened). Returns `false`
+    /// without touching the cache when `fp` already has an entry.
+    pub fn insert_ready(&self, fp: MatrixFingerprint, engine: Arc<Engine<T>>) -> bool {
+        let tick = self.next_tick();
+        let mut shard = lock_clean(self.shard_for(&fp));
+        if shard.entries.contains_key(&fp) {
+            return false;
+        }
+        self.evict_lru_if_full(&mut shard);
+        let slot = Arc::new(PlanSlot {
+            state: Mutex::new(SlotState::Ready(engine)),
+            ready: Condvar::new(),
+        });
+        shard.entries.insert(
+            fp,
+            Entry {
+                slot,
+                last_used: tick,
+            },
+        );
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.cache.insert", 1);
+        true
     }
 
     /// Refreshes the cached plan for `fp` in place with new values
@@ -991,6 +1067,116 @@ mod tests {
         let (_, fresh) = cache.get_or_prepare(fb, || prepare(&mb)).unwrap();
         assert!(fresh, "swept fingerprint is preparable again");
         assert_eq!(cache.clear_poisoned(), 0, "sweep is idempotent");
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "spmm-cache-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn with_store(dir: &std::path::Path, telemetry: TelemetryHandle) -> PlanCache<f64> {
+        PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(4)
+                .shards(1)
+                .telemetry(telemetry)
+                .store(Arc::new(PlanStore::open(dir).unwrap()))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn store_tier_write_through_then_read_through() {
+        let dir = temp_store_dir("rt");
+        let m = matrix(41);
+        let fp = MatrixFingerprint::of(&m);
+
+        // first process: a cold miss prepares live and persists
+        let writer_tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache_a = with_store(&dir, TelemetryHandle::new(writer_tel.clone()));
+        let (live, fresh) = cache_a.get_or_prepare(fp, || prepare(&m)).unwrap();
+        assert!(fresh, "cold miss with an empty store runs prepare");
+        assert_eq!(writer_tel.counter_value("serve.store.miss"), 1);
+        assert_eq!(writer_tel.counter_value("serve.store.save"), 1);
+
+        // second process: the store satisfies the miss without a prepare
+        let reader_tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache_b = with_store(&dir, TelemetryHandle::new(reader_tel.clone()));
+        let (stored, fresh) = cache_b
+            .get_or_prepare(fp, || unreachable!("store hit must skip prepare"))
+            .unwrap();
+        assert!(!fresh, "a store hit is not a fresh prepare");
+        assert_eq!(reader_tel.counter_value("serve.store.hit"), 1);
+        assert_eq!(reader_tel.counter_value("serve.store.save"), 0);
+
+        let x = generators::random_dense::<f64>(m.ncols(), 5, 9);
+        assert_eq!(
+            live.spmm(&x).unwrap().data(),
+            stored.spmm(&x).unwrap().data(),
+            "stored plan must be bit-identical to the live one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_file_degrades_to_live_prepare() {
+        let dir = temp_store_dir("corrupt");
+        let m = matrix(43);
+        let fp = MatrixFingerprint::of(&m);
+        let seed_cache = with_store(&dir, TelemetryHandle::default());
+        seed_cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+
+        // flip a byte in the middle of the stored file
+        let store = PlanStore::open(&dir).unwrap();
+        let path = store.path_for::<f64>(&fp);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache = with_store(&dir, TelemetryHandle::new(tel.clone()));
+        let (engine, fresh) = cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        assert!(fresh, "a rejected file degrades to the live prepare");
+        assert_eq!(tel.counter_value("serve.store.reject"), 1);
+        assert_eq!(
+            tel.counter_value("serve.store.save"),
+            1,
+            "the live prepare re-persists a good file over the bad one"
+        );
+
+        let x = generators::random_dense::<f64>(m.ncols(), 3, 2);
+        let expected = spmm_kernels::spmm::spmm_rowwise_seq(&m, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_ready_seeds_without_counting_lookups() {
+        let cache = single_shard(4);
+        let m = matrix(47);
+        let fp = MatrixFingerprint::of(&m);
+        let engine = Arc::new(prepare(&m).unwrap());
+        assert!(cache.insert_ready(fp, Arc::clone(&engine)));
+        assert!(!cache.insert_ready(fp, engine), "existing entry untouched");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "seeding is not a lookup"
+        );
+        assert_eq!(stats.inserts, 1, "duplicate seed does not double-count");
+        // the seeded plan serves hits without a prepare
+        let (served, fresh) = cache
+            .get_or_prepare(fp, || unreachable!("seeded entry must hit"))
+            .unwrap();
+        assert!(!fresh);
+        assert_eq!(served.ncols(), m.ncols());
     }
 
     #[test]

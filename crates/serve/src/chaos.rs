@@ -29,6 +29,7 @@ use crate::bench::zipf_schedule;
 use crate::cache::CacheStats;
 use crate::engine::{HealthSnapshot, Request, ServeConfig, ServeEngine, ServeStats};
 use crate::error::ServeError;
+use crate::store::PlanStore;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spmm_data::generators;
@@ -37,6 +38,7 @@ use spmm_kernels::{sddmm, spmm, Output};
 use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
 use spmm_telemetry::RunManifest;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,6 +69,11 @@ pub struct ChaosBenchConfig {
     /// Multi-RHS batching for the serving engine: fused passes must
     /// stay bit-exact under the same fault schedule. Default: disabled.
     pub batch: Option<BatchConfig>,
+    /// Persistent plan-store directory for the serving engine, so the
+    /// schedule can target `serve.store.load` / `serve.store.save` and
+    /// prove a failing disk tier degrades to live preparation without
+    /// losing exactness. Default: no store.
+    pub plan_store: Option<PathBuf>,
 }
 
 impl Default for ChaosBenchConfig {
@@ -82,6 +89,7 @@ impl Default for ChaosBenchConfig {
             k: 16,
             faults: None,
             batch: None,
+            plan_store: None,
         }
     }
 }
@@ -160,6 +168,18 @@ impl ChaosBenchReport {
             ));
         }
         let counter = |name: &str| self.manifest.counters.get(name).copied().unwrap_or(0);
+        if let Some(dir) = &c.plan_store {
+            out.push_str(&format!(
+                "  plan store: {}   warm {}  hit {}  miss {}  save {}  reject {}  save-errors {}\n",
+                dir.display(),
+                counter("serve.store.warm"),
+                counter("serve.store.hit"),
+                counter("serve.store.miss"),
+                counter("serve.store.save"),
+                counter("serve.store.reject"),
+                counter("serve.store.save_error"),
+            ));
+        }
         out.push_str(&format!(
             "  breaker: open {}  half-open {}  closed {}   retries: scheduled {}  suppressed {}  attempted {}\n",
             counter("serve.breaker.open"),
@@ -283,6 +303,10 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
         .retry_jitter_seed(config.seed);
     if let Some(batch) = config.batch {
         serve_config = serve_config.batching(batch);
+    }
+    if let Some(dir) = &config.plan_store {
+        let store = PlanStore::open(dir).map_err(ServeError::Prepare)?;
+        serve_config = serve_config.plan_store(Arc::new(store));
     }
     let serve = ServeEngine::<f64>::start(serve_config.build());
 

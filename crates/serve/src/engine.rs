@@ -24,6 +24,7 @@ use crate::cache::{CacheStats, PlanCache, PlanCacheConfig};
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
 use crate::lock_clean;
+use crate::store::PlanStore;
 use spmm_faults::{ClockHandle, FaultPoint};
 use spmm_kernels::{sddmm, spmm, Engine, EngineConfig, KernelOp, Output};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
@@ -84,6 +85,11 @@ pub struct ServeConfig {
     /// kernel pass (see the [`batch`](crate::batch) module). Default:
     /// disabled.
     pub batch: Option<BatchConfig>,
+    /// Optional persistent plan store ([`PlanStore`]): the plan cache
+    /// reads through to it on misses, writes freshly prepared plans
+    /// back, and [`ServeEngine::start`] warm-loads every compatible
+    /// stored plan before traffic arrives. Default: disabled.
+    pub plan_store: Option<Arc<PlanStore>>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +110,7 @@ impl Default for ServeConfig {
             retry_jitter_seed: cache.retry_jitter_seed,
             clock: cache.clock,
             batch: None,
+            plan_store: None,
         }
     }
 }
@@ -203,6 +210,13 @@ impl ServeConfigBuilder {
     /// Enables multi-RHS batching with the given options.
     pub fn batching(mut self, batch: BatchConfig) -> Self {
         self.config.batch = Some(batch);
+        self
+    }
+
+    /// Attaches a persistent plan store (disk read/write-through tier
+    /// plus startup warm-loading).
+    pub fn plan_store(mut self, store: Arc<PlanStore>) -> Self {
+        self.config.plan_store = Some(store);
         self
     }
 
@@ -820,19 +834,23 @@ impl<T: Scalar> ServeEngine<T> {
         } else {
             TelemetryHandle::new(collector.clone())
         };
-        let cache = PlanCache::new(
-            PlanCacheConfig::builder()
-                .capacity(config.cache_capacity)
-                .shards(config.cache_shards)
-                .telemetry(telemetry.clone())
-                .retry_backoff_base(config.retry_backoff_base)
-                .retry_backoff_cap(config.retry_backoff_cap)
-                .breaker_threshold(config.breaker_threshold)
-                .breaker_cooldown(config.breaker_cooldown)
-                .retry_jitter_seed(config.retry_jitter_seed)
-                .clock(config.clock.clone())
-                .build(),
-        );
+        let mut cache_config = PlanCacheConfig::builder()
+            .capacity(config.cache_capacity)
+            .shards(config.cache_shards)
+            .telemetry(telemetry.clone())
+            .retry_backoff_base(config.retry_backoff_base)
+            .retry_backoff_cap(config.retry_backoff_cap)
+            .breaker_threshold(config.breaker_threshold)
+            .breaker_cooldown(config.breaker_cooldown)
+            .retry_jitter_seed(config.retry_jitter_seed)
+            .clock(config.clock.clone());
+        if let Some(store) = &config.plan_store {
+            cache_config = cache_config.store(Arc::clone(store));
+        }
+        let cache = PlanCache::new(cache_config.build());
+        if let Some(store) = &config.plan_store {
+            Self::warm_load(store, &cache, &telemetry);
+        }
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -864,6 +882,35 @@ impl<T: Scalar> ServeEngine<T> {
             })
             .collect();
         ServeEngine { inner, workers }
+    }
+
+    /// Materialises every compatible plan in `store` into the cache
+    /// before traffic arrives, so a restarted process starts warm. A
+    /// plan counts as `serve.store.warm` when seeded; files for other
+    /// scalar widths are skipped silently, and unreadable or stale
+    /// files count as `serve.store.reject` without blocking startup.
+    fn warm_load(store: &PlanStore, cache: &PlanCache<T>, telemetry: &TelemetryHandle) {
+        let plans = match store.list() {
+            Ok(plans) => plans,
+            Err(_) => {
+                telemetry.counter("serve.store.reject", 1);
+                return;
+            }
+        };
+        for plan in plans {
+            if plan.scalar_bytes != T::BYTES {
+                continue;
+            }
+            match store.load::<T>(&plan.fingerprint, telemetry) {
+                Ok(Some(engine)) => {
+                    if cache.insert_ready(plan.fingerprint, Arc::new(engine)) {
+                        telemetry.counter("serve.store.warm", 1);
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => telemetry.counter("serve.store.reject", 1),
+            }
+        }
     }
 
     /// Enqueues a request, returning a [`Ticket`] to redeem for the
@@ -1254,6 +1301,47 @@ mod tests {
         let stats = serve.stats();
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.batched_requests, 0);
+    }
+
+    #[test]
+    fn plan_store_warm_loads_across_engine_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "spmm-serve-warm-{}-{:p}",
+            std::process::id(),
+            &() as *const ()
+        ));
+        let store = Arc::new(PlanStore::open(&dir).unwrap());
+        let m = generators::uniform_random::<f64>(128, 128, 6, 55);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 5);
+
+        // first process: pays for the prepare, persists the plan
+        let first = ServeEngine::<f64>::start(
+            ServeConfig::builder()
+                .workers(1)
+                .plan_store(store.clone())
+                .build(),
+        );
+        let cold = first.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        assert_eq!(cold.path, ServePath::FreshPlan);
+        assert_eq!(first.manifest().counters["serve.store.save"], 1);
+        let reference = cold.output.into_dense().unwrap();
+        drop(first);
+
+        // restarted process: the plan is warm-loaded before traffic,
+        // so the very first request is a cache hit with zero preprocess
+        let second =
+            ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+        assert_eq!(second.manifest().counters["serve.store.warm"], 1);
+        assert_eq!(second.cache_stats().inserts, 1, "seeded at startup");
+        let warm = second.execute(Request::spmm(m, x)).unwrap();
+        assert_eq!(warm.path, ServePath::CachedPlan);
+        assert_eq!(warm.preprocess, Duration::ZERO);
+        assert_eq!(
+            reference.data(),
+            warm.output.into_dense().unwrap().data(),
+            "warm-loaded plan must answer bit-identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

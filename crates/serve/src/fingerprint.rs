@@ -72,6 +72,19 @@ impl MatrixFingerprint {
         }
     }
 
+    /// Rebuilds a fingerprint from its raw fields — only for the plan
+    /// store, which persists fingerprints inside file headers and must
+    /// reconstruct them on load (then cross-checks against a fingerprint
+    /// recomputed from the decoded matrix).
+    pub(crate) fn from_raw(nrows: u64, ncols: u64, nnz: u64, hash: u64) -> Self {
+        MatrixFingerprint {
+            nrows,
+            ncols,
+            nnz,
+            hash,
+        }
+    }
+
     /// Row count of the fingerprinted matrix.
     pub fn nrows(&self) -> usize {
         self.nrows as usize

@@ -53,9 +53,10 @@ pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
+pub mod store;
 
 pub use batch::BatchConfig;
-pub use bench::{run_serve_bench, BatchProbe, ServeBenchConfig, ServeBenchReport};
+pub use bench::{run_serve_bench, BatchProbe, PlanStoreProbe, ServeBenchConfig, ServeBenchReport};
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
 pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};
 pub use engine::{
@@ -64,6 +65,7 @@ pub use engine::{
 };
 pub use error::ServeError;
 pub use fingerprint::MatrixFingerprint;
+pub use store::{PlanStore, StoredPlan};
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 

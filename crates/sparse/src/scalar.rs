@@ -54,10 +54,18 @@ pub trait Scalar:
     fn mul_add(self, a: Self, b: Self) -> Self;
     /// `true` if the value is finite (not NaN/±inf).
     fn is_finite(self) -> bool;
+    /// Raw IEEE-754 bit pattern widened to `u64` (`f32` occupies the
+    /// low 32 bits). Used by the plan-store codec, where round-trips
+    /// must be bit-exact — including NaN payloads and signed zeros
+    /// that `to_f64`/`from_f64` would not preserve.
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`Scalar::to_bits64`]; for `f32` the high 32 bits
+    /// are ignored.
+    fn from_bits64(bits: u64) -> Self;
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $bytes:expr) => {
+    ($t:ty, $bytes:expr, $bits:ty) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -87,12 +95,20 @@ macro_rules! impl_scalar {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+            #[inline(always)]
+            fn to_bits64(self) -> u64 {
+                u64::from(<$t>::to_bits(self))
+            }
+            #[inline(always)]
+            fn from_bits64(bits: u64) -> Self {
+                <$t>::from_bits(bits as $bits)
+            }
         }
     };
 }
 
-impl_scalar!(f32, 4);
-impl_scalar!(f64, 8);
+impl_scalar!(f32, 4, u32);
+impl_scalar!(f64, 8, u64);
 
 #[cfg(test)]
 mod tests {
@@ -120,6 +136,33 @@ mod tests {
     fn f64_impl() {
         roundtrip::<f64>();
         assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn bits64_roundtrip_is_bit_exact() {
+        // plain values, signed zero, NaN with a payload, infinities
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            -2.25e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(f64::from_bits64(v.to_bits64()).to_bits(), v.to_bits());
+        }
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64::from_bits64(nan.to_bits64()).to_bits(), nan.to_bits());
+        for v in [0.0f32, -0.0, 1.5, -3.0e38, f32::INFINITY] {
+            assert_eq!(f32::from_bits64(v.to_bits64()).to_bits(), v.to_bits());
+            // f32 bit patterns stay in the low 32 bits
+            assert_eq!(v.to_bits64() >> 32, 0);
+        }
+        let nan32 = f32::from_bits(0x7fc0_1234);
+        assert_eq!(
+            f32::from_bits64(nan32.to_bits64()).to_bits(),
+            nan32.to_bits()
+        );
     }
 
     #[test]

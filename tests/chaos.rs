@@ -313,6 +313,109 @@ fn chaos_bench_with_batching_stays_exact_under_faults() {
     assert!(report.health.ready());
 }
 
+/// A failing plan-store load degrades to a live prepare — counted as
+/// `serve.store.reject`, bit-exact, never a panic or a failed request —
+/// and the write-through still persists the plan, so a restart past the
+/// schedule warm-starts from disk.
+#[test]
+fn store_load_fault_degrades_to_live_prepare_exactly() {
+    let dir = std::env::temp_dir().join(format!("spmm-chaos-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(PlanStore::open(&dir).unwrap());
+    let guard = FaultPlan::parse("serve.store.load:error@1", chaos_seed())
+        .unwrap()
+        .arm();
+    let serve = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .plan_store(store.clone())
+            .build(),
+    );
+    let (m, x) = integer_case(chaos_seed() ^ 5);
+    let expected = spmm_rowwise_seq(&m, &x).unwrap();
+
+    // hit 1: the read-through load fails mid-request; the cache rejects
+    // the store and prepares live — the answer is still exact
+    let resp = serve.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+    assert_eq!(resp.path, ServePath::FreshPlan);
+    match resp.output {
+        Output::Dense(got) => assert_eq!(got.data(), expected.data()),
+        other => panic!("unexpected output {other:?}"),
+    }
+    let counter = |name: &str| serve.telemetry().counter_value(name);
+    assert_eq!(counter("serve.store.reject"), 1);
+    assert_eq!(
+        counter("serve.store.save"),
+        1,
+        "write-through must still run"
+    );
+    assert_eq!(guard.hits("serve.store.load"), 1);
+    serve.shutdown();
+    drop(guard);
+
+    // the plan survived the faulted load, so a restarted engine past
+    // the schedule warm-starts and serves its first request cached
+    let serve =
+        ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+    assert_eq!(serve.telemetry().counter_value("serve.store.warm"), 1);
+    let resp = serve.execute(Request::spmm(m, x)).unwrap();
+    assert_eq!(resp.path, ServePath::CachedPlan);
+    assert!(resp.preprocess.is_zero());
+    match resp.output {
+        Output::Dense(got) => assert_eq!(got.data(), expected.data()),
+        other => panic!("unexpected output {other:?}"),
+    }
+    serve.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Chaos traffic against a fault-injected disk tier: loads and saves
+/// fail on schedule mid-stream, yet no request fails, every success is
+/// bit-exact, and the degradations are accounted in the manifest.
+#[test]
+fn chaos_bench_with_faulted_plan_store_stays_exact() {
+    let dir = std::env::temp_dir().join(format!("spmm-chaos-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 96;
+    config.concurrency = 4;
+    config.workers = 3;
+    config.seed = chaos_seed() ^ 0x570E;
+    config.k = 8;
+    config.plan_store = Some(dir.clone());
+    config.faults = Some("serve.store.load:error@every:2,serve.store.save:error@every:3".into());
+    let report = run_chaos_bench(&config).unwrap();
+
+    assert!(report.all_successes_exact(), "{}", report.render());
+    assert_eq!(
+        report.failed,
+        0,
+        "a faulted store tier must never fail a request: {}",
+        report.render()
+    );
+    for point in ["serve.store.load", "serve.store.save"] {
+        assert!(
+            report.fault_hits.get(point).copied().unwrap_or(0) > 0,
+            "{point} never fired: {:?}",
+            report.fault_hits
+        );
+    }
+    let counter = |name: &str| report.manifest.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("serve.store.reject") > 0, "{}", report.render());
+    assert!(counter("serve.store.save_error") > 0, "{}", report.render());
+    assert!(
+        counter("serve.store.save") > 0,
+        "off-schedule saves must still land: {}",
+        report.render()
+    );
+    assert!(
+        report.render().contains("plan store:"),
+        "{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A clean chaos-bench run is indistinguishable from a plain benchmark:
 /// no failures, full exactness, no resilience counters in the manifest.
 #[test]

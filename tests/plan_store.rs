@@ -1,0 +1,223 @@
+//! Integration tests for the persistent plan store: codec round-trips
+//! over arbitrary structures, corruption rejection, and the serving
+//! stack's disk tier (write-through, warm start across restarts).
+//!
+//! The store's own unit tests cover the codec surface; these tests
+//! drive it the way a deployment does — through the public prelude,
+//! with property-generated matrices and through `ServeEngine`.
+
+use proptest::prelude::*;
+use spmm_rr::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-test store directory (removed by each test on success;
+/// stragglers land in the OS temp dir).
+fn temp_store_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "spmm-plan-store-it-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Strategy: a random sparse matrix as a set of (row, col, value)
+/// entries — arbitrary structure, not just the generator classes.
+fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nrows, ncols)| {
+        proptest::collection::vec((0..nrows as u32, 0..ncols as u32, -4.0f64..4.0), 1..max_nnz)
+            .prop_map(move |entries| {
+                let coo = CooMatrix::from_entries(nrows, ncols, entries).unwrap();
+                CsrMatrix::from_coo(&coo)
+            })
+    })
+}
+
+/// Byte offset range of the `k_hint` field in the plan-file header
+/// (magic 8 + version 4 + scalar 4 + fingerprint 32). It is a tuning
+/// hint, not plan data: the only header bytes without an integrity
+/// check of their own (the variant tag that follows is cross-checked
+/// against the decoded plan).
+const K_HINT_BYTES: std::ops::Range<usize> = 48..56;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Round trip over arbitrary structures: the rebuilt engine answers
+    // SpMM and SDDMM **bit-identically** to the live one (same plan,
+    // same tiling, same summation order) with zero preprocessing.
+    #[test]
+    fn roundtrip_is_bit_exact_f64(m in sparse_matrix(40, 160), k in 1usize..9) {
+        let dir = temp_store_dir();
+        let store = PlanStore::open(&dir).unwrap();
+        let fp = MatrixFingerprint::of(&m);
+        let live = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+        store.save(&fp, &live).unwrap();
+        let stored = store
+            .load::<f64>(&fp, &TelemetryHandle::noop())
+            .unwrap()
+            .unwrap();
+        prop_assert!(stored.preprocessing_time().is_zero());
+        let x = generators::random_dense::<f64>(m.ncols(), k, 11);
+        let y = generators::random_dense::<f64>(m.nrows(), k, 12);
+        prop_assert_eq!(
+            live.spmm(&x).unwrap().data(),
+            stored.spmm(&x).unwrap().data()
+        );
+        prop_assert_eq!(live.sddmm(&x, &y).unwrap(), stored.sddmm(&x, &y).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // The same contract at f32 width, over the generator classes the
+    // serving corpus uses.
+    #[test]
+    fn roundtrip_is_bit_exact_f32(seed in 0u64..512, k in 1usize..9) {
+        let dir = temp_store_dir();
+        let store = PlanStore::open(&dir).unwrap();
+        let m = generators::shuffled_block_diagonal::<f32>(48, 12, 32, 12, seed);
+        let fp = MatrixFingerprint::of(&m);
+        let live = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+        store.save(&fp, &live).unwrap();
+        let stored = store
+            .load::<f32>(&fp, &TelemetryHandle::noop())
+            .unwrap()
+            .unwrap();
+        let x = generators::random_dense::<f32>(m.ncols(), k, seed ^ 21);
+        let y = generators::random_dense::<f32>(m.nrows(), k, seed ^ 22);
+        prop_assert_eq!(
+            live.spmm(&x).unwrap().data(),
+            stored.spmm(&x).unwrap().data()
+        );
+        prop_assert_eq!(live.sddmm(&x, &y).unwrap(), stored.sddmm(&x, &y).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Corruption is rejected, never a panic and never a silently wrong
+    // plan: every strict prefix of the file fails to load, and a
+    // single flipped bit anywhere outside the k_hint field fails to
+    // load — header fields are validated, section payloads are
+    // checksummed, the variant tag is cross-checked against the plan,
+    // and the fingerprint is re-derived from the decoded parts.
+    #[test]
+    fn corruption_is_rejected_never_panics(
+        seed in 0u64..64,
+        flip in 0usize..1_000_000,
+        cut in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let dir = temp_store_dir();
+        let store = PlanStore::open(&dir).unwrap();
+        let m = generators::uniform_random::<f32>(40, 32, 4, seed);
+        let fp = MatrixFingerprint::of(&m);
+        let live = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+        let path = store.save(&fp, &live).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        let cut = cut % pristine.len();
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        prop_assert!(
+            store.load::<f32>(&fp, &TelemetryHandle::noop()).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+
+        let mut pos = flip % pristine.len();
+        if K_HINT_BYTES.contains(&pos) {
+            pos = K_HINT_BYTES.end; // redirect onto the variant tag
+        }
+        let mut bad = pristine.clone();
+        bad[pos] ^= 1 << bit;
+        std::fs::write(&path, &bad).unwrap();
+        prop_assert!(
+            store.load::<f32>(&fp, &TelemetryHandle::noop()).is_err(),
+            "flipped bit {bit} at byte {pos} must be rejected"
+        );
+
+        // and the pristine bytes still verify afterwards
+        std::fs::write(&path, &pristine).unwrap();
+        prop_assert!(store.verify::<f32>(&fp).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The k_hint header field is exempt from the flipped-bit property
+/// above because it is a tuning hint with no checksum of its own. A
+/// perturbed hint may change *how* the engine executes but never
+/// *what* it computes: on an integer-valued case (every partial sum
+/// exactly representable, addition associative) any execution path is
+/// bit-identical, so a load that succeeds must still answer exactly.
+#[test]
+fn perturbed_k_hint_never_changes_answers() {
+    let dir = temp_store_dir();
+    let store = PlanStore::open(&dir).unwrap();
+    let mut m = generators::shuffled_block_diagonal::<f64>(48, 12, 32, 12, 9);
+    for v in m.values_mut() {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+    let mut x = generators::random_dense::<f64>(m.ncols(), 8, 10);
+    for v in x.data_mut() {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+    let fp = MatrixFingerprint::of(&m);
+    let live = Engine::prepare(&m, &EngineConfig::default()).unwrap();
+    let expected = live.spmm(&x).unwrap();
+    let path = store.save(&fp, &live).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for byte in K_HINT_BYTES {
+        for bit in 0..8u32 {
+            let mut bad = pristine.clone();
+            bad[byte] ^= 1 << bit;
+            std::fs::write(&path, &bad).unwrap();
+            match store.load::<f64>(&fp, &TelemetryHandle::noop()) {
+                Ok(Some(engine)) => assert_eq!(
+                    engine.spmm(&x).unwrap().data(),
+                    expected.data(),
+                    "byte {byte} bit {bit}: loaded engine answered differently"
+                ),
+                Ok(None) => unreachable!("file exists"),
+                Err(_) => {} // a hint the validator refuses is also fine
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The serving stack's disk tier end to end: engine A persists the
+/// plan write-through; a restarted engine B warm-starts from the same
+/// directory and serves its *first* request from the cached plan —
+/// zero preprocessing, bit-identical output.
+#[test]
+fn serve_engine_warm_starts_from_disk() {
+    let dir = temp_store_dir();
+    let store = Arc::new(PlanStore::open(&dir).unwrap());
+    let m = Arc::new(generators::shuffled_block_diagonal::<f64>(
+        64, 16, 48, 16, 33,
+    ));
+    let x = Arc::new(generators::random_dense::<f64>(m.ncols(), 16, 34));
+
+    let a = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .plan_store(store.clone())
+            .build(),
+    );
+    let cold = a.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+    assert_eq!(cold.path, ServePath::FreshPlan);
+    assert_eq!(a.telemetry().counter_value("serve.store.save"), 1);
+    a.shutdown();
+
+    let b = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+    assert_eq!(b.telemetry().counter_value("serve.store.warm"), 1);
+    let warm = b.execute(Request::spmm(m, x)).unwrap();
+    assert_eq!(warm.path, ServePath::CachedPlan);
+    assert!(warm.preprocess.is_zero());
+    match (&cold.output, &warm.output) {
+        (Output::Dense(c), Output::Dense(w)) => assert_eq!(c.data(), w.data()),
+        other => panic!("unexpected outputs {other:?}"),
+    }
+    b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

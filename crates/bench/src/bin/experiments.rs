@@ -6,6 +6,7 @@
 //!
 //! ids: fig8 fig9 fig10 fig11 fig12 table1 table2 table3 table4
 //!      ablate-panel ablate-lsh ablate-threshold ablate-heuristics
+//!      formats spmv-vertex op-crossover sensitivity scaling
 //!      all           (every id above)
 //! ```
 //!
@@ -35,6 +36,7 @@ const ALL_IDS: &[&str] = &[
     "ablate-reorder-alg",
     "formats",
     "spmv-vertex",
+    "op-crossover",
     "sensitivity",
     "scaling",
 ];
@@ -114,6 +116,7 @@ fn main() -> ExitCode {
         id.starts_with("ablate-")
             || id == "formats"
             || id == "spmv-vertex"
+            || id == "op-crossover"
             || id == "sensitivity"
             || id == "scaling"
     };
@@ -167,6 +170,7 @@ fn main() -> ExitCode {
             "ablate-reorder-alg" => ablations::ablate_reorder_alg(&args.options),
             "formats" => spmm_bench::related::formats(&args.options),
             "spmv-vertex" => spmm_bench::related::spmv_vertex(&args.options),
+            "op-crossover" => spmm_bench::related::op_crossover(&args.options),
             "sensitivity" => spmm_bench::related::sensitivity(&args.options),
             "scaling" => spmm_bench::related::scaling(&args.options),
             _ => unreachable!("ids validated in parse_args"),

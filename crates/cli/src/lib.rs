@@ -21,8 +21,8 @@ usage:
   spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
-                      [--batch] [--max-batch-k N] [--k-block N]
-                      [--plan-store DIR]
+                      [--op spmm|spmv|spgemm] [--batch]
+                      [--max-batch-k N] [--k-block N] [--plan-store DIR]
   spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--faults \"point:action@hits,...\"] [--batch]
@@ -53,6 +53,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("zipf", true),
             ("seed", true),
             ("k", true),
+            ("op", true),
             ("json", false),
             ("batch", false),
             ("max-batch-k", true),
@@ -289,6 +290,9 @@ impl Invocation {
                 }
                 if let Some(v) = flags.get("seed") {
                     config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+                }
+                if let Some(v) = flags.get("op") {
+                    config.op = v.parse().map_err(|e| format!("bad --op value: {e}"))?;
                 }
                 let batching = flags.contains_key("batch")
                     || flags.contains_key("max-batch-k")
@@ -865,6 +869,30 @@ mod tests {
             other => panic!("wrong invocation: {other:?}"),
         }
         assert!(Invocation::parse(&s(&["chaos-bench", "--max-batch-k", "8"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_op_flag() {
+        for (spelling, want) in [
+            ("spmm", BenchOp::Spmm),
+            ("spmv", BenchOp::Spmv),
+            ("spgemm", BenchOp::Spgemm),
+        ] {
+            match Invocation::parse(&s(&["serve-bench", "--op", spelling])).unwrap() {
+                Invocation::ServeBench { config, .. } => assert_eq!(config.op, want),
+                other => panic!("wrong invocation: {other:?}"),
+            }
+        }
+        // default stream is SpMM
+        match Invocation::parse(&s(&["serve-bench"])).unwrap() {
+            Invocation::ServeBench { config, .. } => assert_eq!(config.op, BenchOp::Spmm),
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        let err = Invocation::parse(&s(&["serve-bench", "--op", "sddmm"])).unwrap_err();
+        assert!(err.contains("bad --op value"), "{err}");
+        assert!(Invocation::parse(&s(&["serve-bench", "--op"])).is_err());
+        // chaos-bench schedules its own mixed-op traffic; no --op there
+        assert!(Invocation::parse(&s(&["chaos-bench", "--op", "spmv"])).is_err());
     }
 
     #[test]

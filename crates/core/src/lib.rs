@@ -97,14 +97,19 @@ pub mod prelude {
     };
     pub use spmm_formats::{CsbMatrix, EllMatrix, SellPMatrix};
     pub use spmm_gpu_sim::kernels::{
-        simulate_sddmm_aspt, simulate_sddmm_rowwise, simulate_spmm_aspt, simulate_spmm_rowwise,
+        simulate_sddmm_aspt, simulate_sddmm_rowwise, simulate_spgemm_clustered,
+        simulate_spgemm_naive, simulate_spmm_aspt, simulate_spmm_rowwise, simulate_spmv_aspt,
+        simulate_spmv_rowwise,
     };
     pub use spmm_gpu_sim::{DeviceConfig, SimReport};
     pub use spmm_kernels::sddmm::{sddmm_rowwise_par, sddmm_rowwise_seq};
+    pub use spmm_kernels::spgemm::{spgemm_clustered, spgemm_gustavson_par, spgemm_gustavson_seq};
     pub use spmm_kernels::spmm::{spmm_rowwise_par, spmm_rowwise_seq};
+    pub use spmm_kernels::spmv::{spmv_aspt, spmv_rowwise_par, spmv_rowwise_seq};
     pub use spmm_kernels::{
-        choose_variant, choose_variant_for_op, tuned_engine, tuned_execute, Engine, EngineConfig,
-        EngineConfigBuilder, Kernel, KernelOp, Output, PrepareReport, TrialReport, Variant,
+        choose_variant, choose_variant_for_op, choose_variant_spgemm, tuned_engine, tuned_execute,
+        Engine, EngineConfig, EngineConfigBuilder, Kernel, KernelOp, Output, PrepareReport,
+        TrialReport, Variant,
     };
     pub use spmm_lsh::LshConfig;
     pub use spmm_reorder::{
@@ -112,10 +117,11 @@ pub mod prelude {
         ReorderPolicy,
     };
     pub use spmm_serve::{
-        run_chaos_bench, run_serve_bench, BatchConfig, BatchProbe, CacheStats, ChaosBenchConfig,
-        ChaosBenchReport, HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, PlanStore,
-        PlanStoreProbe, Request, Response, ServeBenchConfig, ServeBenchReport, ServeConfig,
-        ServeEngine, ServeError, ServePath, ServeStats, StoredPlan, Ticket,
+        run_chaos_bench, run_serve_bench, BatchConfig, BatchProbe, BenchOp, CacheStats,
+        ChaosBenchConfig, ChaosBenchReport, HealthSnapshot, MatrixFingerprint, PlanCache,
+        PlanCacheConfig, PlanStore, PlanStoreProbe, Request, RequestOp, Response, ServeBenchConfig,
+        ServeBenchReport, ServeConfig, ServeEngine, ServeError, ServePath, ServeStats, StoredPlan,
+        Ticket,
     };
     pub use spmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
     pub use spmm_telemetry::{

@@ -10,7 +10,10 @@
 
 use spmm_aspt::AsptMatrix;
 use spmm_faults::FaultPoint;
-use spmm_gpu_sim::kernels::{simulate_sddmm_aspt, simulate_spmm_aspt, simulate_spmm_aspt_kblocked};
+use spmm_gpu_sim::kernels::{
+    simulate_sddmm_aspt, simulate_spgemm_clustered, simulate_spmm_aspt,
+    simulate_spmm_aspt_kblocked, simulate_spmv_aspt,
+};
 use spmm_gpu_sim::{DeviceConfig, SimReport};
 use spmm_reorder::{plan_reordering_with, ReorderConfig, ReorderPlan};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
@@ -19,7 +22,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::sddmm::sddmm_aspt;
+use crate::spgemm::spgemm_clustered;
 use crate::spmm::{spmm_aspt, spmm_aspt_kblocked};
+use crate::spmv::spmv_aspt;
 
 /// Fault point at the head of [`Engine::prepare`], after the CSR
 /// invariants check: an injected error surfaces exactly like a
@@ -150,7 +155,12 @@ impl PrepareReport {
 /// op-agnostic — the serving layer, the autotuner's
 /// [`crate::autotune::tuned_execute`] — pass a `KernelOp` through
 /// instead of growing a method per kernel.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches need a wildcard
+/// arm, so new kernel families (SpMV and SpGEMM arrived this way) stop
+/// being breaking changes.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum KernelOp<'a, T> {
     /// `Y = S · X`, allocating the output (see [`Engine::spmm`]).
     Spmm {
@@ -193,45 +203,82 @@ pub enum KernelOp<'a, T> {
         /// Output of length `nnz`, original nonzero order.
         out: &'a mut [T],
     },
+    /// `y = S · x`, the `k = 1` fast path (see [`Engine::spmv`]): the
+    /// operand is a flat slice, not a 1-column [`DenseMatrix`], and the
+    /// kernel skips the k-blocking machinery entirely.
+    Spmv {
+        /// Dense vector operand of length `S.ncols`.
+        x: &'a [T],
+    },
+    /// `C = S · B`, sparse × sparse (see [`Engine::spgemm`]):
+    /// Gustavson's algorithm over the reordered rows, with rows that
+    /// the reordering packed into the same panel sharing one dense
+    /// accumulator.
+    Spgemm {
+        /// Sparse right-hand operand, `S.ncols × n`.
+        b: &'a CsrMatrix<T>,
+    },
 }
 
 impl<T: Scalar> KernelOp<'_, T> {
     /// The kernel family this op belongs to (what the §4 trial tunes).
-    pub fn kernel(&self) -> crate::autotune::Kernel {
+    pub fn op_kind(&self) -> crate::autotune::Kernel {
         match self {
             KernelOp::Spmm { .. } | KernelOp::SpmmInto { .. } | KernelOp::SpmmKBlocked { .. } => {
                 crate::autotune::Kernel::Spmm
             }
             KernelOp::Sddmm { .. } | KernelOp::SddmmInto { .. } => crate::autotune::Kernel::Sddmm,
+            KernelOp::Spmv { .. } => crate::autotune::Kernel::Spmv,
+            KernelOp::Spgemm { .. } => crate::autotune::Kernel::Spgemm,
         }
     }
 
-    /// Dense-operand width `k`.
-    pub fn k(&self) -> usize {
+    /// The kernel family this op belongs to.
+    #[deprecated(since = "0.6.0", note = "renamed to `op_kind`")]
+    pub fn kernel(&self) -> crate::autotune::Kernel {
+        self.op_kind()
+    }
+
+    /// Dense-operand width `k`, for the ops that have a dense operand:
+    /// `Some(x.ncols())` for the SpMM/SDDMM families, `Some(1)` for
+    /// SpMV, `None` for SpGEMM (no dense operand at all).
+    pub fn k(&self) -> Option<usize> {
         match self {
             KernelOp::Spmm { x }
             | KernelOp::SpmmInto { x, .. }
             | KernelOp::SpmmKBlocked { x, .. }
             | KernelOp::Sddmm { x, .. }
-            | KernelOp::SddmmInto { x, .. } => x.ncols(),
+            | KernelOp::SddmmInto { x, .. } => Some(x.ncols()),
+            KernelOp::Spmv { .. } => Some(1),
+            KernelOp::Spgemm { .. } => None,
         }
     }
 }
 
 /// What [`Engine::execute`] produced, matching the [`KernelOp`] shape:
-/// `Spmm → Dense`, `Sddmm → Values`, `*Into → Written`.
+/// `Spmm → Dense`, `Sddmm → Values`, `Spmv → Vector`,
+/// `Spgemm → Sparse`, `*Into → Written`.
+///
+/// The enum is `#[non_exhaustive]` (new kernel families bring new
+/// output shapes); prefer the typed `into_*`/`as_*` accessors, which
+/// return `None` on a shape mismatch instead of forcing a match.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Output<T> {
     /// A freshly allocated SpMM result (original row order).
     Dense(DenseMatrix<T>),
     /// Freshly allocated SDDMM values (original nonzero order).
     Values(Vec<T>),
+    /// A freshly allocated SpMV result (original row order).
+    Vector(Vec<T>),
+    /// A freshly allocated SpGEMM product (original row order).
+    Sparse(CsrMatrix<T>),
     /// The op wrote into its caller-provided buffer.
     Written,
 }
 
 impl<T> Output<T> {
-    /// The dense result, if this was a [`KernelOp::Spmm`].
+    /// The dense result, if this was a [`KernelOp::Spmm`]-family op.
     pub fn into_dense(self) -> Option<DenseMatrix<T>> {
         match self {
             Output::Dense(y) => Some(y),
@@ -243,6 +290,54 @@ impl<T> Output<T> {
     pub fn into_values(self) -> Option<Vec<T>> {
         match self {
             Output::Values(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The vector result, if this was a [`KernelOp::Spmv`].
+    pub fn into_vector(self) -> Option<Vec<T>> {
+        match self {
+            Output::Vector(y) => Some(y),
+            _ => None,
+        }
+    }
+
+    /// The sparse product, if this was a [`KernelOp::Spgemm`].
+    pub fn into_sparse(self) -> Option<CsrMatrix<T>> {
+        match self {
+            Output::Sparse(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Borrowing twin of [`Output::into_dense`].
+    pub fn as_dense(&self) -> Option<&DenseMatrix<T>> {
+        match self {
+            Output::Dense(y) => Some(y),
+            _ => None,
+        }
+    }
+
+    /// Borrowing twin of [`Output::into_values`].
+    pub fn as_values(&self) -> Option<&[T]> {
+        match self {
+            Output::Values(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrowing twin of [`Output::into_vector`].
+    pub fn as_vector(&self) -> Option<&[T]> {
+        match self {
+            Output::Vector(y) => Some(y),
+            _ => None,
+        }
+    }
+
+    /// Borrowing twin of [`Output::into_sparse`].
+    pub fn as_sparse(&self) -> Option<&CsrMatrix<T>> {
+        match self {
+            Output::Sparse(c) => Some(c),
             _ => None,
         }
     }
@@ -576,6 +671,33 @@ impl<T: Scalar> Engine<T> {
                 }
                 Ok(Output::Written)
             }
+            KernelOp::Spmv { x } => {
+                let _span = self.telemetry.span("exec.spmv");
+                self.record_exec_counters();
+                let y_reord = spmv_aspt(&self.aspt, x)?;
+                if self.plan.row_perm.is_identity() {
+                    return Ok(Output::Vector(y_reord));
+                }
+                let mut y = vec![T::ZERO; y_reord.len()];
+                for (new, v) in y_reord.into_iter().enumerate() {
+                    y[self.plan.row_perm.old_of(new) as usize] = v;
+                }
+                Ok(Output::Vector(y))
+            }
+            KernelOp::Spgemm { b } => {
+                let _span = self.telemetry.span("exec.spgemm");
+                self.record_exec_counters();
+                // Gustavson over the reordered rows: rows the plan
+                // packed into one panel share a dense accumulator
+                let c_reord =
+                    spgemm_clustered(&self.reordered, b, self.aspt.config().panel_height)?;
+                if self.plan.row_perm.is_identity() {
+                    return Ok(Output::Sparse(c_reord));
+                }
+                Ok(Output::Sparse(
+                    c_reord.permute_rows(&self.plan.row_perm.inverse()),
+                ))
+            }
         }
     }
 
@@ -651,6 +773,33 @@ impl<T: Scalar> Engine<T> {
         match self.execute(KernelOp::Sddmm { x, y })? {
             Output::Values(v) => Ok(v),
             _ => unreachable!("Sddmm ops produce Values outputs"),
+        }
+    }
+
+    /// `y = S · x`, rows of `y` in the original row order of `S` — the
+    /// `k = 1` fast path over the dense tiles, bit-identical to
+    /// [`Engine::spmm`] with a 1-column operand. Wrapper over
+    /// [`Engine::execute`].
+    ///
+    /// # Errors
+    /// Fails when `x.len()` differs from `S.ncols`.
+    pub fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        match self.execute(KernelOp::Spmv { x })? {
+            Output::Vector(y) => Ok(y),
+            _ => unreachable!("Spmv ops produce Vector outputs"),
+        }
+    }
+
+    /// `C = S · B`, rows of `C` in the original row order of `S` —
+    /// Gustavson's algorithm with panel-wise accumulator reuse over the
+    /// reordered rows. Wrapper over [`Engine::execute`].
+    ///
+    /// # Errors
+    /// Fails when `B.nrows` differs from `S.ncols`.
+    pub fn spgemm(&self, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
+        match self.execute(KernelOp::Spgemm { b })? {
+            Output::Sparse(c) => Ok(c),
+            _ => unreachable!("Spgemm ops produce Sparse outputs"),
         }
     }
 
@@ -738,6 +887,26 @@ impl<T: Scalar> Engine<T> {
         let _span = self.telemetry.span("sim.sddmm");
         let report = simulate_sddmm_aspt(&self.aspt, self.remainder_order(), k, device);
         report.traffic.record_to(&self.telemetry, "sim.sddmm");
+        report
+    }
+
+    /// Simulated SpMV performance (the `k = 1` transaction model over
+    /// this engine's tiling).
+    pub fn simulate_spmv(&self, device: &DeviceConfig) -> SimReport {
+        let _span = self.telemetry.span("sim.spmv");
+        let report = simulate_spmv_aspt(&self.aspt, self.remainder_order(), device);
+        report.traffic.record_to(&self.telemetry, "sim.spmv");
+        report
+    }
+
+    /// Simulated SpGEMM performance of this engine's configuration:
+    /// the panel-clustered Gustavson transaction model over the
+    /// reordered rows.
+    pub fn simulate_spgemm(&self, b: &CsrMatrix<T>, device: &DeviceConfig) -> SimReport {
+        let _span = self.telemetry.span("sim.spgemm");
+        let report =
+            simulate_spgemm_clustered(&self.reordered, b, self.aspt.config().panel_height, device);
+        report.traffic.record_to(&self.telemetry, "sim.spgemm");
         report
     }
 
@@ -1081,14 +1250,83 @@ mod tests {
 
         // op introspection used by the autotuner routing
         assert_eq!(
-            KernelOp::Spmm { x: &x }.kernel(),
+            KernelOp::Spmm { x: &x }.op_kind(),
             crate::autotune::Kernel::Spmm
         );
         assert_eq!(
-            KernelOp::Sddmm { x: &x, y: &y }.kernel(),
+            KernelOp::Sddmm { x: &x, y: &y }.op_kind(),
             crate::autotune::Kernel::Sddmm
         );
-        assert_eq!(KernelOp::Spmm { x: &x }.k(), 4);
+        assert_eq!(KernelOp::Spmm { x: &x }.k(), Some(4));
+    }
+
+    #[test]
+    fn spmv_op_is_bit_identical_to_spmm_k1() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(engine.plan().needs_reordering());
+        let x_mat = generators::random_dense::<f64>(m.ncols(), 1, 7);
+        let x: Vec<f64> = x_mat.data().to_vec();
+        let via_spmm = engine.spmm(&x_mat).unwrap();
+        let via_spmv = engine.spmv(&x).unwrap();
+        assert_eq!(via_spmm.data(), via_spmv.as_slice());
+        // dispatch and wrapper agree
+        let via_op = engine
+            .execute(KernelOp::Spmv { x: &x })
+            .unwrap()
+            .into_vector()
+            .unwrap();
+        assert_eq!(via_op, via_spmv);
+        // op introspection
+        let op: KernelOp<'_, f64> = KernelOp::Spmv { x: &x };
+        assert_eq!(op.op_kind(), crate::autotune::Kernel::Spmv);
+        assert_eq!(op.k(), Some(1));
+        // shape mismatch is a structured error
+        assert!(engine.spmv(&x[1..]).is_err());
+    }
+
+    #[test]
+    fn spgemm_op_matches_reference_gustavson() {
+        use crate::spgemm::spgemm_gustavson_seq;
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 5);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(engine.plan().needs_reordering());
+        let b = generators::uniform_random::<f64>(m.ncols(), 40, 6, 17);
+        let expected = spgemm_gustavson_seq(&m, &b).unwrap();
+        let got = engine.spgemm(&b).unwrap();
+        assert!(expected.same_structure(&got), "structure must match");
+        assert_eq!(expected.values(), got.values(), "values must be bit-equal");
+        // dispatch and wrapper agree
+        let via_op = engine
+            .execute(KernelOp::Spgemm { b: &b })
+            .unwrap()
+            .into_sparse()
+            .unwrap();
+        assert!(got.same_structure(&via_op));
+        assert_eq!(got.values(), via_op.values());
+        // op introspection: SpGEMM has no dense operand
+        let op = KernelOp::Spgemm { b: &b };
+        assert_eq!(op.op_kind(), crate::autotune::Kernel::Spgemm);
+        assert_eq!(op.k(), None);
+        // shape mismatch is a structured error
+        let bad = generators::uniform_random::<f64>(m.ncols() + 1, 8, 4, 3);
+        assert!(engine.spgemm(&bad).is_err());
+    }
+
+    #[test]
+    fn output_accessors_return_none_on_shape_mismatch() {
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 21);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 1);
+        let out = engine.execute(KernelOp::Spmm { x: &x }).unwrap();
+        assert!(out.as_dense().is_some());
+        assert!(out.as_values().is_none());
+        assert!(out.as_vector().is_none());
+        assert!(out.as_sparse().is_none());
+        assert!(out.clone().into_vector().is_none());
+        assert!(out.clone().into_sparse().is_none());
+        assert!(out.clone().into_values().is_none());
+        assert!(out.into_dense().is_some());
     }
 
     #[test]
@@ -1109,8 +1347,8 @@ mod tests {
         }
         // op introspection routes the batched op like any SpMM
         let op = KernelOp::SpmmKBlocked { x: &x, k_block: 8 };
-        assert_eq!(op.kernel(), crate::autotune::Kernel::Spmm);
-        assert_eq!(op.k(), 24);
+        assert_eq!(op.op_kind(), crate::autotune::Kernel::Spmm);
+        assert_eq!(op.k(), Some(24));
         // shape mismatch is a structured error
         let bad = generators::random_dense::<f64>(m.ncols() + 1, 4, 1);
         assert!(engine

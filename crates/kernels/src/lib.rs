@@ -9,6 +9,10 @@
 //!   row-parallel) and the ASpT-structured kernel (dense tiles
 //!   accumulated panel-parallel + remainder).
 //! * [`sddmm`] — Alg 2 SDDMM, same three variants.
+//! * [`spmv`] — the dedicated `k = 1` path: flat-slice operand, scalar
+//!   accumulators, bit-identical to SpMM on an `n × 1` operand.
+//! * [`spgemm`] — Gustavson sparse×sparse, including the cluster-wise
+//!   variant that reuses one dense accumulator per ASpT panel.
 //! * [`engine`] — [`engine::Engine`]: plans the reordering (Fig 5),
 //!   builds the ASpT decomposition, executes SpMM/SDDMM returning
 //!   outputs **in the original row/nonzero order**, and exposes the
@@ -21,10 +25,12 @@
 pub mod autotune;
 pub mod engine;
 pub mod sddmm;
+pub mod spgemm;
 pub mod spmm;
+pub mod spmv;
 
 pub use autotune::{
-    choose_variant, choose_variant_for_op, tuned_engine, tuned_execute, Kernel, TrialReport,
-    Variant,
+    choose_variant, choose_variant_for_op, choose_variant_spgemm, tuned_engine, tuned_execute,
+    Kernel, TrialReport, Variant,
 };
 pub use engine::{Engine, EngineConfig, EngineConfigBuilder, KernelOp, Output, PrepareReport};

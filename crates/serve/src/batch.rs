@@ -17,9 +17,10 @@
 //!
 //! The policy lives in the crate-internal `BatchScheduler::collect`:
 //!
-//! * only SpMM requests fuse, and only with the *same structure*
-//!   (pointer-equal matrix `Arc` or equal [`MatrixFingerprint`]) and
-//!   the same operand height;
+//! * only SpMM and SpMV requests fuse (an SpMV member joins as a
+//!   one-column operand and gets its slice back as a flat vector),
+//!   and only with the *same structure* (pointer-equal matrix `Arc`
+//!   or equal [`MatrixFingerprint`]) and the same operand height;
 //! * the fused operand is capped at [`BatchConfig::max_batch_k`]
 //!   columns;
 //! * fusion is deadline-aware: a candidate whose remaining deadline is
@@ -76,11 +77,15 @@ impl BatchConfig {
 /// the fused operand/output.
 pub(crate) struct BatchMember<T> {
     pub(crate) job: Job<T>,
-    /// This member's dense operand (the `Spmm` payload, kept here so
-    /// fusing never re-matches on the op).
+    /// This member's dense operand (the `Spmm` payload, or an `Spmv`
+    /// vector lifted to a one-column matrix; kept here so fusing never
+    /// re-matches on the op).
     pub(crate) x: Arc<DenseMatrix<T>>,
     /// This member's operand width.
     pub(crate) k: usize,
+    /// Whether this member is an SpMV request: its slice of the fused
+    /// output is returned as `Output::Vector`, not `Output::Dense`.
+    pub(crate) vector: bool,
 }
 
 /// A coalesced batch: at least two members over one shared structure.
@@ -115,8 +120,25 @@ fn tighter(candidate: Option<Duration>, batch: Option<Duration>) -> bool {
     }
 }
 
+/// Lifts an SpMV operand to the one-column dense matrix it is, so it
+/// can ride the fused SpMM pass.
+fn as_column<T: Scalar>(x: &Arc<Vec<T>>) -> Arc<DenseMatrix<T>> {
+    Arc::new(DenseMatrix::from_vec(x.len(), 1, x.as_ref().clone()))
+}
+
+/// The batchable payload of a queued request: the operand as a dense
+/// matrix plus whether it came in as an SpMV vector.
+fn batchable_operand<T: Scalar>(op: &RequestOp<T>) -> Option<(Arc<DenseMatrix<T>>, bool)> {
+    match op {
+        RequestOp::Spmm { x } => Some((Arc::clone(x), false)),
+        RequestOp::Spmv { x } => Some((as_column(x), true)),
+        _ => None,
+    }
+}
+
 /// The coalescing policy: given the job a worker just popped, scan the
-/// queue for compatible SpMM requests and pull them into one batch.
+/// queue for compatible SpMM/SpMV requests and pull them into one
+/// batch.
 pub(crate) struct BatchScheduler {
     config: BatchConfig,
 }
@@ -139,9 +161,8 @@ impl BatchScheduler {
         head: Job<T>,
         queue: &mut VecDeque<Job<T>>,
     ) -> (Collected<T>, u64) {
-        let head_x = match &head.request.op {
-            RequestOp::Spmm { x } => Arc::clone(x),
-            RequestOp::Sddmm { .. } => return (Collected::Single(head), 0),
+        let Some((head_x, head_vector)) = batchable_operand(&head.request.op) else {
+            return (Collected::Single(head), 0);
         };
         let head_rows = head_x.nrows();
         let head_k = head_x.ncols();
@@ -160,12 +181,9 @@ impl BatchScheduler {
         let mut i = 0;
         while i < queue.len() && total_k < self.config.max_batch_k {
             let candidate = &queue[i];
-            let x = match &candidate.request.op {
-                RequestOp::Spmm { x } => Arc::clone(x),
-                RequestOp::Sddmm { .. } => {
-                    i += 1;
-                    continue;
-                }
+            let Some((x, vector)) = batchable_operand(&candidate.request.op) else {
+                i += 1;
+                continue;
             };
             let same_structure = Arc::ptr_eq(&candidate.request.matrix, &head.request.matrix) || {
                 let fp = head_fp.get_or_insert_with(|| MatrixFingerprint::of(&head.request.matrix));
@@ -187,7 +205,7 @@ impl BatchScheduler {
             if let Some(job) = queue.remove(i) {
                 let k = x.ncols();
                 total_k += k;
-                companions.push(BatchMember { job, x, k });
+                companions.push(BatchMember { job, x, k, vector });
             } else {
                 break;
             }
@@ -201,6 +219,7 @@ impl BatchScheduler {
             job: head,
             x: head_x,
             k: head_k,
+            vector: head_vector,
         });
         members.extend(companions);
         (
@@ -265,7 +284,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let mut request = Request::spmm(Arc::clone(matrix), x);
         if let Some(d) = deadline {
-            request = request.with_deadline(d);
+            request = request.deadline(d);
         }
         (
             Job {
@@ -400,6 +419,35 @@ mod tests {
     }
 
     #[test]
+    fn spmv_requests_join_spmm_batches_as_one_column_members() {
+        let m = Arc::new(generators::banded::<f64>(64, 4, 2, 1));
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let mut queue = VecDeque::new();
+        let (head, _rx0) = job(&m, generators::random_dense(64, 8, 1), None);
+        let v: Vec<f64> = generators::random_dense::<f64>(64, 1, 2).data().to_vec();
+        let (tx, _rx1) = mpsc::channel();
+        let spmv = Job {
+            request: Request::spmv(Arc::clone(&m), v.clone()),
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        queue.push_back(spmv);
+
+        let (collected, skipped) = sched.collect(head, &mut queue);
+        assert_eq!(skipped, 0);
+        let members = members_of(collected);
+        assert_eq!(members.len(), 2);
+        assert!(!members[0].vector);
+        assert!(members[1].vector, "the SpMV member keeps its shape tag");
+        assert_eq!(members[1].k, 1);
+        assert_eq!(
+            members[1].x.data(),
+            v.as_slice(),
+            "the lifted one-column operand carries the vector verbatim"
+        );
+    }
+
+    #[test]
     fn fuse_then_slice_round_trips_exactly() {
         let xs = [
             generators::random_dense::<f64>(16, 3, 1),
@@ -415,10 +463,11 @@ mod tests {
                 BatchMember {
                     x: match &j.request.op {
                         RequestOp::Spmm { x } => Arc::clone(x),
-                        RequestOp::Sddmm { .. } => unreachable!(),
+                        _ => unreachable!(),
                     },
                     k: x.ncols(),
                     job: j,
+                    vector: false,
                 }
             })
             .collect();

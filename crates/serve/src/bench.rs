@@ -37,6 +37,47 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Which kernel family the main `serve-bench` request stream
+/// exercises. The deterministic probes (hit, cold, batch, plan-store)
+/// always run SpMM so their contractual accounting is identical across
+/// streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchOp {
+    /// SpMM traffic with every 5th request probing SDDMM (the
+    /// historical mixed stream). The default.
+    Spmm,
+    /// A pure SpMV stream (`k = 1` flat-vector requests).
+    Spmv,
+    /// A pure SpGEMM stream (sparse × sparse requests).
+    Spgemm,
+}
+
+impl std::fmt::Display for BenchOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BenchOp::Spmm => "spmm",
+            BenchOp::Spmv => "spmv",
+            BenchOp::Spgemm => "spgemm",
+        })
+    }
+}
+
+impl std::str::FromStr for BenchOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spmm" => Ok(BenchOp::Spmm),
+            "spmv" => Ok(BenchOp::Spmv),
+            "spgemm" => Ok(BenchOp::Spgemm),
+            other => Err(format!(
+                "unknown op '{other}' (expected spmm, spmv or spgemm)"
+            )),
+        }
+    }
+}
+
 /// Workload knobs for [`run_serve_bench`].
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -59,6 +100,9 @@ pub struct ServeBenchConfig {
     pub seed: u64,
     /// Dense-operand width `k`. Default 32.
     pub k: usize,
+    /// Kernel family of the main request stream. Default
+    /// [`BenchOp::Spmm`].
+    pub op: BenchOp,
     /// Per-request deadline. Default 250 ms.
     pub deadline: Duration,
     /// Preprocessing budget for the fallback decision. Default 25 ms.
@@ -85,6 +129,7 @@ impl Default for ServeBenchConfig {
             zipf_s: 1.1,
             seed: 42,
             k: 32,
+            op: BenchOp::Spmm,
             deadline: Duration::from_millis(250),
             preprocess_budget: Duration::from_millis(25),
             batch: None,
@@ -203,8 +248,8 @@ impl ServeBenchReport {
         let s = &self.stats;
         let mut out = String::new();
         out.push_str(&format!(
-            "serve-bench: {} requests over {} matrices, {} clients, {} workers, cache {}, zipf s={:.2}\n",
-            c.requests, self.corpus_size, c.concurrency, c.workers, c.cache_capacity, c.zipf_s
+            "serve-bench[{}]: {} requests over {} matrices, {} clients, {} workers, cache {}, zipf s={:.2}\n",
+            c.op, c.requests, self.corpus_size, c.concurrency, c.workers, c.cache_capacity, c.zipf_s
         ));
         out.push_str(&format!(
             "  completed {}  rejected {}  fallbacks {}  deadline-exceeded {}  failed {}\n",
@@ -485,6 +530,37 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
             ))
         })
         .collect();
+    // per-structure operands for the alternative streams, built only
+    // when that stream is requested
+    let vs: Vec<Arc<Vec<f32>>> = if config.op == BenchOp::Spmv {
+        matrices
+            .iter()
+            .map(|m| {
+                Arc::new(
+                    generators::random_dense::<f32>(m.ncols(), 1, config.seed ^ 4)
+                        .data()
+                        .to_vec(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let bs: Vec<Arc<CsrMatrix<f32>>> = if config.op == BenchOp::Spgemm {
+        matrices
+            .iter()
+            .map(|m| {
+                Arc::new(generators::uniform_random::<f32>(
+                    m.ncols(),
+                    96,
+                    4,
+                    config.seed ^ 5,
+                ))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let schedule = zipf_schedule(config.requests, matrices.len(), config.zipf_s, &mut rng);
@@ -513,7 +589,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
             .map(|client| {
                 let serve = &serve;
                 let schedule = &schedule;
-                let (matrices, xs, ys) = (&matrices, &xs, &ys);
+                let (matrices, xs, ys, vs, bs) = (&matrices, &xs, &ys, &vs, &bs);
                 scope.spawn(move || {
                     let mut latencies = Vec::new();
                     // closed loop: this client walks its stripe in order
@@ -522,13 +598,18 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
                         .enumerate()
                         .filter(|(idx, _)| idx % concurrency == client)
                     {
-                        // every 5th request exercises the SDDMM path
-                        let request = if idx % 5 == 4 {
-                            Request::sddmm(matrices[mi].clone(), xs[mi].clone(), ys[mi].clone())
-                        } else {
-                            Request::spmm(matrices[mi].clone(), xs[mi].clone())
+                        let request = match config.op {
+                            BenchOp::Spmv => Request::spmv(matrices[mi].clone(), vs[mi].clone()),
+                            BenchOp::Spgemm => {
+                                Request::spgemm(matrices[mi].clone(), bs[mi].clone())
+                            }
+                            // every 5th request exercises the SDDMM path
+                            BenchOp::Spmm if idx % 5 == 4 => {
+                                Request::sddmm(matrices[mi].clone(), xs[mi].clone(), ys[mi].clone())
+                            }
+                            BenchOp::Spmm => Request::spmm(matrices[mi].clone(), xs[mi].clone()),
                         }
-                        .with_deadline(config.deadline);
+                        .deadline(config.deadline);
                         let submitted = Instant::now();
                         // a rejected submission is already counted by
                         // the engine; only successes carry a latency
@@ -570,7 +651,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         config.k,
         config.seed ^ 3,
     ));
-    let cold_probe = serve.execute(Request::spmm(cold_matrix, cold_x).with_deadline(budget))?;
+    let cold_probe = serve.execute(Request::spmm(cold_matrix, cold_x).deadline(budget))?;
 
     // -- batch probe: deterministic forced fusion + exactness check -----
     let batch_probe = config
@@ -603,6 +684,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
     telemetry.gauge("bench.p50_ms", p50_ms);
     telemetry.gauge("bench.p99_ms", p99_ms);
     telemetry.gauge("bench.hit_rate", cache.hit_rate());
+    telemetry.meta("bench.op", &config.op.to_string());
     telemetry.meta(
         "bench.hit_probe",
         &format!(
@@ -735,6 +817,38 @@ mod tests {
         );
         let rendered = report.render();
         assert!(rendered.contains("plan cache"), "{rendered}");
+    }
+
+    #[test]
+    fn spmv_and_spgemm_streams_run_and_keep_probe_accounting() {
+        for op in [BenchOp::Spmv, BenchOp::Spgemm] {
+            let config = ServeBenchConfig {
+                requests: 16,
+                concurrency: 2,
+                workers: 2,
+                cache_capacity: 4,
+                op,
+                ..ServeBenchConfig::default()
+            };
+            let report = run_serve_bench(&config).unwrap();
+            assert!(report.probes_passed(), "[{op}] {}", report.render());
+            assert_eq!(
+                report.stats.submitted + report.stats.rejected,
+                (config.requests + 3) as u64,
+                "[{op}] probes must stay SpMM so accounting is unchanged"
+            );
+            assert_eq!(report.stats.failed, 0, "[{op}] {}", report.render());
+            assert_eq!(report.manifest.meta["bench.op"], op.to_string());
+            assert!(report.render().contains(&format!("serve-bench[{op}]")));
+        }
+    }
+
+    #[test]
+    fn bench_op_round_trips_through_strings() {
+        for op in [BenchOp::Spmm, BenchOp::Spmv, BenchOp::Spgemm] {
+            assert_eq!(op.to_string().parse::<BenchOp>().unwrap(), op);
+        }
+        assert!("cholesky".parse::<BenchOp>().is_err());
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! resilience contracts hold *under injected failure*:
 //!
 //! * **Exactness under chaos.** Every operand is quantised to small
-//!   integer values, so every partial sum is exactly representable in
-//!   `f64` and addition is associative — the tiled kernels, the
-//!   row-wise fallback and the sequential reference must agree **bit
-//!   for bit**, whatever path a faulted run degrades a request onto.
-//!   Every successful response is checked against its precomputed
-//!   reference; `exact == ok` is the headline invariant.
+//!   integer values, so every partial sum in SpMM, SpMV, SDDMM and
+//!   SpGEMM is exactly representable in `f64` and addition is
+//!   associative — the tiled kernels, the row-wise/Gustavson fallbacks
+//!   and the sequential references must agree **bit for bit**,
+//!   whatever path a faulted run degrades a request onto. The traffic
+//!   mixes all four kernel families; every successful response is
+//!   checked against its precomputed reference; `exact == ok` is the
+//!   headline invariant.
 //! * **No lost answers.** Every submitted request resolves to a
 //!   response or an error — injected panics surface as
 //!   [`ServeError::WorkerPanicked`] or quarantine-fallback servings,
@@ -34,7 +36,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spmm_data::generators;
 use spmm_faults::FaultPlan;
-use spmm_kernels::{sddmm, spmm, Output};
+use spmm_kernels::{sddmm, spgemm, spmm, spmv, Output};
 use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
 use spmm_telemetry::RunManifest;
 use std::collections::BTreeMap;
@@ -212,22 +214,39 @@ impl ChaosBenchReport {
 }
 
 /// Quantises values onto the integer grid `{-8, …, 8}` so that every
-/// product and partial sum in SpMM/SDDMM is exactly representable and
-/// summation order cannot change the result.
+/// product and partial sum in SpMM/SpMV/SDDMM/SpGEMM is exactly
+/// representable and summation order cannot change the result.
 fn quantize(values: &mut [f64]) {
     for v in values {
         *v = (*v * 8.0).round().clamp(-8.0, 8.0);
     }
 }
 
+/// Which kernel family a scheduled request exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosOp {
+    Spmm,
+    Spmv,
+    Sddmm,
+    Spgemm,
+}
+
 struct ChaosCase {
     matrix: Arc<CsrMatrix<f64>>,
     x: Arc<DenseMatrix<f64>>,
     y: Arc<DenseMatrix<f64>>,
+    /// The SpMV vector operand (quantised).
+    v: Arc<Vec<f64>>,
+    /// The sparse SpGEMM right-hand operand (quantised).
+    b: Arc<CsrMatrix<f64>>,
     /// Sequential row-wise SpMM reference (bit-exact target).
     spmm_ref: DenseMatrix<f64>,
+    /// Sequential row-wise SpMV reference (bit-exact target).
+    spmv_ref: Vec<f64>,
     /// Sequential row-wise SDDMM reference (bit-exact target).
     sddmm_ref: Vec<f64>,
+    /// Sequential Gustavson SpGEMM reference (bit-exact target).
+    spgemm_ref: CsrMatrix<f64>,
 }
 
 fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
@@ -246,27 +265,51 @@ fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
             let mut y =
                 generators::random_dense::<f64>(matrix.nrows(), config.k, config.seed ^ (31 + i));
             quantize(y.data_mut());
+            let mut v: Vec<f64> =
+                generators::random_dense::<f64>(matrix.ncols(), 1, config.seed ^ (47 + i))
+                    .data()
+                    .to_vec();
+            quantize(&mut v);
+            let mut b = generators::uniform_random::<f64>(
+                matrix.ncols(),
+                40 + 8 * i as usize,
+                3 + (i as usize % 2),
+                config.seed ^ (0xBEEF + i),
+            );
+            quantize(b.values_mut());
             let spmm_ref = spmm::spmm_rowwise_seq(&matrix, &x)
                 .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+            let spmv_ref = spmv::spmv_rowwise_seq(&matrix, &v)
+                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
             let sddmm_ref = sddmm::sddmm_rowwise_seq(&matrix, &x, &y)
+                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+            let spgemm_ref = spgemm::spgemm_gustavson_seq(&matrix, &b)
                 .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
             ChaosCase {
                 matrix: Arc::new(matrix),
                 x: Arc::new(x),
                 y: Arc::new(y),
+                v: Arc::new(v),
+                b: Arc::new(b),
                 spmm_ref,
+                spmv_ref,
                 sddmm_ref,
+                spgemm_ref,
             }
         })
         .collect()
 }
 
 /// Whether a successful response is bit-equal to its reference.
-fn is_exact(case: &ChaosCase, sddmm: bool, output: &Output<f64>) -> bool {
-    match output {
-        Output::Dense(got) => !sddmm && got.data() == case.spmm_ref.data(),
-        Output::Values(got) => sddmm && *got == case.sddmm_ref,
-        Output::Written => false,
+fn is_exact(case: &ChaosCase, op: ChaosOp, output: &Output<f64>) -> bool {
+    match (op, output) {
+        (ChaosOp::Spmm, Output::Dense(got)) => got.data() == case.spmm_ref.data(),
+        (ChaosOp::Spmv, Output::Vector(got)) => *got == case.spmv_ref,
+        (ChaosOp::Sddmm, Output::Values(got)) => *got == case.sddmm_ref,
+        (ChaosOp::Spgemm, Output::Sparse(got)) => {
+            got.same_structure(&case.spgemm_ref) && got.values() == case.spgemm_ref.values()
+        }
+        _ => false,
     }
 }
 
@@ -327,17 +370,26 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
                         .filter(|(idx, _)| idx % concurrency == client)
                     {
                         let case = &corpus[mi];
-                        // every 4th request exercises the SDDMM path
-                        let sddmm = idx % 4 == 3;
-                        let request = if sddmm {
-                            Request::sddmm(case.matrix.clone(), case.x.clone(), case.y.clone())
-                        } else {
-                            Request::spmm(case.matrix.clone(), case.x.clone())
+                        // round-robin over the four kernel families so
+                        // every path sees the fault schedule
+                        let op = match idx % 4 {
+                            1 => ChaosOp::Spmv,
+                            2 => ChaosOp::Spgemm,
+                            3 => ChaosOp::Sddmm,
+                            _ => ChaosOp::Spmm,
+                        };
+                        let request = match op {
+                            ChaosOp::Spmm => Request::spmm(case.matrix.clone(), case.x.clone()),
+                            ChaosOp::Spmv => Request::spmv(case.matrix.clone(), case.v.clone()),
+                            ChaosOp::Sddmm => {
+                                Request::sddmm(case.matrix.clone(), case.x.clone(), case.y.clone())
+                            }
+                            ChaosOp::Spgemm => Request::spgemm(case.matrix.clone(), case.b.clone()),
                         };
                         match serve.execute(request) {
                             Ok(resp) => {
                                 ok += 1;
-                                if is_exact(case, sddmm, &resp.output) {
+                                if is_exact(case, op, &resp.output) {
                                     exact += 1;
                                 }
                             }
@@ -426,7 +478,14 @@ mod tests {
             // recomputing them must be bit-identical (determinism)
             let again = spmm::spmm_rowwise_seq(&case.matrix, &case.x).unwrap();
             assert_eq!(again.data(), case.spmm_ref.data());
+            let v_again = spmv::spmv_rowwise_seq(&case.matrix, &case.v).unwrap();
+            assert_eq!(v_again, case.spmv_ref);
+            let c_again = spgemm::spgemm_gustavson_seq(&case.matrix, &case.b).unwrap();
+            assert!(c_again.same_structure(&case.spgemm_ref));
+            assert_eq!(c_again.values(), case.spgemm_ref.values());
             assert!(case.matrix.values().iter().all(|v| v.fract() == 0.0));
+            assert!(case.b.values().iter().all(|v| v.fract() == 0.0));
+            assert!(case.v.iter().all(|v| v.fract() == 0.0));
         }
     }
 

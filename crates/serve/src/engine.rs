@@ -26,7 +26,7 @@ use crate::fingerprint::MatrixFingerprint;
 use crate::lock_clean;
 use crate::store::PlanStore;
 use spmm_faults::{ClockHandle, FaultPoint};
-use spmm_kernels::{sddmm, spmm, Engine, EngineConfig, KernelOp, Output};
+use spmm_kernels::{sddmm, spgemm, spmm, spmv, Engine, EngineConfig, KernelOp, Output};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
 use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
 use std::collections::VecDeque;
@@ -226,14 +226,42 @@ impl ServeConfigBuilder {
     }
 }
 
+/// The kernel invocation a [`Request`] carries, one variant per
+/// kernel family served by the engine.
+///
+/// Construct requests through the [`Request`] builders
+/// ([`Request::spmm`], [`Request::spmv`], [`Request::sddmm`],
+/// [`Request::spgemm`]) rather than assembling ops by hand: both the
+/// enum and its variants are `#[non_exhaustive]`, so new kernel
+/// families can be added without breaking downstream matches.
 #[derive(Debug, Clone)]
-pub(crate) enum RequestOp<T> {
+#[non_exhaustive]
+pub enum RequestOp<T> {
+    /// Sparse × dense: `matrix × x`.
+    #[non_exhaustive]
     Spmm {
+        /// The dense operand (`matrix.ncols() × k`).
         x: Arc<DenseMatrix<T>>,
     },
+    /// Sparse × vector, the dedicated `k = 1` path: `matrix × x`.
+    #[non_exhaustive]
+    Spmv {
+        /// The dense vector operand, length `matrix.ncols()`.
+        x: Arc<Vec<T>>,
+    },
+    /// Sampled dense-dense: `matrix ⊙ (x · yᵀ)` on the nonzeros.
+    #[non_exhaustive]
     Sddmm {
+        /// The row-side dense operand.
         x: Arc<DenseMatrix<T>>,
+        /// The column-side dense operand.
         y: Arc<DenseMatrix<T>>,
+    },
+    /// Sparse × sparse (Gustavson): `matrix × b`.
+    #[non_exhaustive]
+    Spgemm {
+        /// The sparse right-hand operand (`matrix.ncols()` rows).
+        b: Arc<CsrMatrix<T>>,
     },
 }
 
@@ -256,6 +284,18 @@ impl<T: Scalar> Request<T> {
         }
     }
 
+    /// An SpMV request: `matrix × x` for one dense vector (`k = 1`).
+    /// Served by the dedicated flat-slice SpMV path; under batching,
+    /// SpMV requests sharing a structure coalesce into the fused
+    /// k-blocked SpMM pass as one-column members (still bit-exact).
+    pub fn spmv(matrix: impl Into<Arc<CsrMatrix<T>>>, x: impl Into<Arc<Vec<T>>>) -> Self {
+        Request {
+            matrix: matrix.into(),
+            op: RequestOp::Spmv { x: x.into() },
+            deadline: None,
+        }
+    }
+
     /// An SDDMM request: `matrix ⊙ (x · yᵀ)` sampled on the nonzeros.
     pub fn sddmm(
         matrix: impl Into<Arc<CsrMatrix<T>>>,
@@ -272,19 +312,40 @@ impl<T: Scalar> Request<T> {
         }
     }
 
+    /// An SpGEMM request: `matrix × b`, both operands sparse
+    /// (Gustavson). The response carries [`Output::Sparse`].
+    pub fn spgemm(matrix: impl Into<Arc<CsrMatrix<T>>>, b: impl Into<Arc<CsrMatrix<T>>>) -> Self {
+        Request {
+            matrix: matrix.into(),
+            op: RequestOp::Spgemm { b: b.into() },
+            deadline: None,
+        }
+    }
+
     /// Attaches a deadline, measured from [`ServeEngine::submit`].
     /// A request still queued when it elapses is abandoned with
     /// [`ServeError::DeadlineExceeded`]; a cold request whose remaining
     /// slack is within the preprocessing budget degrades to the
     /// row-wise fallback.
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+    pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Former name of [`Request::deadline`].
+    #[deprecated(since = "0.6.0", note = "renamed to `deadline`")]
+    pub fn with_deadline(self, deadline: Duration) -> Self {
+        self.deadline(deadline)
     }
 
     /// The request's matrix.
     pub fn matrix(&self) -> &CsrMatrix<T> {
         &self.matrix
+    }
+
+    /// The kernel invocation this request carries.
+    pub fn op(&self) -> &RequestOp<T> {
+        &self.op
     }
 }
 
@@ -449,7 +510,9 @@ impl<T: Scalar> Inner<T> {
     fn execute_on(&self, engine: &Engine<T>, op: &RequestOp<T>) -> Result<Output<T>, ServeError> {
         let result = match op {
             RequestOp::Spmm { x } => engine.execute(KernelOp::Spmm { x }),
+            RequestOp::Spmv { x } => engine.execute(KernelOp::Spmv { x: x.as_slice() }),
             RequestOp::Sddmm { x, y } => engine.execute(KernelOp::Sddmm { x, y }),
+            RequestOp::Spgemm { b } => engine.execute(KernelOp::Spgemm { b }),
         };
         result.map_err(ServeError::Execute)
     }
@@ -461,7 +524,9 @@ impl<T: Scalar> Inner<T> {
     ) -> Result<Output<T>, ServeError> {
         let result = match op {
             RequestOp::Spmm { x } => spmm::spmm_rowwise_par(m, x).map(Output::Dense),
+            RequestOp::Spmv { x } => spmv::spmv_rowwise_par(m, x).map(Output::Vector),
             RequestOp::Sddmm { x, y } => sddmm::sddmm_rowwise_par(m, x, y).map(Output::Values),
+            RequestOp::Spgemm { b } => spgemm::spgemm_gustavson_par(m, b).map(Output::Sparse),
         };
         result.map_err(ServeError::Execute)
     }
@@ -678,7 +743,15 @@ impl<T: Scalar> Inner<T> {
                         Ok(Output::Dense(y)) => {
                             for ((member, &i), &off) in live_members.iter().zip(&live).zip(&offsets)
                             {
-                                let output = Output::Dense(slice_columns(&y, off, member.k));
+                                let slice = slice_columns(&y, off, member.k);
+                                // an SpMV member gets its answer back in
+                                // its own shape: the one-column slice as
+                                // a flat vector
+                                let output = if member.vector {
+                                    Output::Vector(slice.data().to_vec())
+                                } else {
+                                    Output::Dense(slice)
+                                };
                                 results[i] = Some(Ok(Response {
                                     output,
                                     path,
@@ -729,9 +802,14 @@ impl<T: Scalar> Inner<T> {
                 }
             };
             let Some(job) = job else { return };
-            let is_spmm = matches!(job.request.op, RequestOp::Spmm { .. });
+            // SpMM and SpMV both fuse (an SpMV member joins as a
+            // one-column operand); SDDMM/SpGEMM are always solo
+            let batchable = matches!(
+                job.request.op,
+                RequestOp::Spmm { .. } | RequestOp::Spmv { .. }
+            );
             let collected = match &self.batch {
-                Some(sched) if is_spmm => {
+                Some(sched) if batchable => {
                     let mut queue = lock_clean(&self.queue);
                     let (collected, skipped) = sched.collect(job, &mut queue);
                     drop(queue);
@@ -1094,6 +1172,148 @@ mod tests {
     }
 
     #[test]
+    fn spmv_requests_ride_cold_warm_and_fallback_paths() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(128, 96, 6, 13);
+        let v: Vec<f64> = generators::random_dense::<f64>(m.ncols(), 1, 2)
+            .data()
+            .to_vec();
+        let expected = spmv::spmv_rowwise_seq(&m, &v).unwrap();
+
+        let cold = serve.execute(Request::spmv(m.clone(), v.clone())).unwrap();
+        assert_eq!(cold.path, ServePath::FreshPlan);
+        let warm = serve.execute(Request::spmv(m.clone(), v.clone())).unwrap();
+        assert_eq!(warm.path, ServePath::CachedPlan);
+        for resp in [cold, warm] {
+            let got = resp.output.into_vector().unwrap();
+            let diff = expected
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-10, "SpMV deviates by {diff}");
+        }
+
+        // tight deadline + cold structure ⇒ the row-wise SpMV fallback
+        let cold_m = generators::uniform_random::<f64>(96, 96, 5, 99);
+        let cold_v: Vec<f64> = generators::random_dense::<f64>(96, 1, 3).data().to_vec();
+        let fallback_expected = spmv::spmv_rowwise_seq(&cold_m, &cold_v).unwrap();
+        let deadline = serve.inner.preprocess_budget;
+        let resp = serve
+            .execute(Request::spmv(cold_m, cold_v).deadline(deadline))
+            .unwrap();
+        assert_eq!(resp.path, ServePath::Fallback);
+        assert_eq!(
+            resp.output.into_vector().unwrap(),
+            fallback_expected,
+            "the fallback is the sequential reference bit for bit"
+        );
+    }
+
+    #[test]
+    fn spgemm_requests_ride_cold_warm_and_fallback_paths() {
+        let serve = small_serve(2, 16);
+        let m = generators::uniform_random::<f64>(128, 96, 6, 17);
+        let b = Arc::new(generators::uniform_random::<f64>(96, 64, 4, 23));
+        let expected = spgemm::spgemm_gustavson_seq(&m, &b).unwrap();
+
+        let cold = serve
+            .execute(Request::spgemm(m.clone(), b.clone()))
+            .unwrap();
+        assert_eq!(cold.path, ServePath::FreshPlan);
+        let warm = serve
+            .execute(Request::spgemm(m.clone(), b.clone()))
+            .unwrap();
+        assert_eq!(warm.path, ServePath::CachedPlan);
+        for resp in [cold, warm] {
+            let got = resp.output.into_sparse().unwrap();
+            assert!(got.same_structure(&expected), "structure must match");
+            let diff = got
+                .values()
+                .iter()
+                .zip(expected.values())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-10, "SpGEMM deviates by {diff}");
+        }
+
+        // tight deadline + cold structure ⇒ the Gustavson fallback
+        let cold_m = generators::uniform_random::<f64>(96, 96, 5, 101);
+        let cold_b = generators::uniform_random::<f64>(96, 48, 3, 7);
+        let fallback_expected = spgemm::spgemm_gustavson_seq(&cold_m, &cold_b).unwrap();
+        let deadline = serve.inner.preprocess_budget;
+        let resp = serve
+            .execute(Request::spgemm(cold_m, cold_b).deadline(deadline))
+            .unwrap();
+        assert_eq!(resp.path, ServePath::Fallback);
+        let got = resp.output.into_sparse().unwrap();
+        assert!(got.same_structure(&fallback_expected));
+        assert_eq!(got.values(), fallback_expected.values());
+    }
+
+    #[test]
+    fn spmv_requests_fuse_with_spmm_and_stay_bit_exact() {
+        let m = Arc::new(generators::uniform_random::<f64>(128, 128, 6, 79));
+        let x = Arc::new(generators::random_dense::<f64>(128, 8, 1));
+        let vs: Vec<Arc<Vec<f64>>> = (0..2)
+            .map(|s| {
+                Arc::new(
+                    generators::random_dense::<f64>(128, 1, 40 + s)
+                        .data()
+                        .to_vec(),
+                )
+            })
+            .collect();
+        let decoy_m = Arc::new(generators::uniform_random::<f64>(512, 512, 24, 103));
+        let decoy_x = Arc::new(generators::random_dense::<f64>(512, 4, 9));
+
+        let batched = ServeEngine::start(
+            ServeConfig::builder()
+                .workers(1)
+                .queue_capacity(32)
+                .batching(BatchConfig::default())
+                .build(),
+        );
+        // warm the shared structure, pin the worker on a cold decoy,
+        // then pile one SpMM and two SpMV requests up behind it
+        batched
+            .execute(Request::spmm(m.clone(), x.clone()))
+            .unwrap();
+        let decoy = batched.submit(Request::spmm(decoy_m, decoy_x)).unwrap();
+        let spmm_ticket = batched.submit(Request::spmm(m.clone(), x.clone())).unwrap();
+        let spmv_tickets: Vec<_> = vs
+            .iter()
+            .map(|v| batched.submit(Request::spmv(m.clone(), v.clone())).unwrap())
+            .collect();
+        decoy.wait().unwrap();
+        let spmm_resp = spmm_ticket.wait().unwrap();
+        let spmv_resps: Vec<Response<f64>> = spmv_tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap())
+            .collect();
+
+        let solo = ServeEngine::start(ServeConfig::builder().workers(1).queue_capacity(32).build());
+        let spmm_ref = solo.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+        assert_eq!(
+            spmm_ref.output.into_dense().unwrap().data(),
+            spmm_resp.output.into_dense().unwrap().data(),
+            "the dense member must stay bit-identical"
+        );
+        for (v, resp) in vs.iter().zip(&spmv_resps) {
+            let reference = solo.execute(Request::spmv(m.clone(), v.clone())).unwrap();
+            assert_eq!(
+                reference.output.into_vector().unwrap(),
+                resp.output.clone().into_vector().unwrap(),
+                "a fused SpMV slice must be bit-identical to the solo answer"
+            );
+        }
+        let stats = batched.stats();
+        assert!(stats.batches >= 1, "requests never fused: {stats:?}");
+        assert!(stats.batched_requests >= 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
     fn tight_deadline_cold_miss_degrades_to_fallback() {
         let serve = small_serve(1, 16);
         let m = generators::uniform_random::<f64>(128, 128, 6, 11);
@@ -1104,7 +1324,7 @@ mod tests {
         // path is taken deterministically, and the cache is cold
         let deadline = serve.inner.preprocess_budget;
         let resp = serve
-            .execute(Request::spmm(m.clone(), x.clone()).with_deadline(deadline))
+            .execute(Request::spmm(m.clone(), x.clone()).deadline(deadline))
             .unwrap();
         assert_eq!(resp.path, ServePath::Fallback);
         assert_eq!(resp.preprocess, Duration::ZERO);

@@ -56,12 +56,14 @@ pub mod fingerprint;
 pub mod store;
 
 pub use batch::BatchConfig;
-pub use bench::{run_serve_bench, BatchProbe, PlanStoreProbe, ServeBenchConfig, ServeBenchReport};
+pub use bench::{
+    run_serve_bench, BatchProbe, BenchOp, PlanStoreProbe, ServeBenchConfig, ServeBenchReport,
+};
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
 pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};
 pub use engine::{
-    HealthSnapshot, Request, Response, ServeConfig, ServeConfigBuilder, ServeEngine, ServePath,
-    ServeStats, Ticket,
+    HealthSnapshot, Request, RequestOp, Response, ServeConfig, ServeConfigBuilder, ServeEngine,
+    ServePath, ServeStats, Ticket,
 };
 pub use error::ServeError;
 pub use fingerprint::MatrixFingerprint;

@@ -1,0 +1,87 @@
+//! Deprecation lint for the public dispatch surface.
+//!
+//! This binary denies `deprecated`, so it fails to *compile* if the
+//! canonical post-redesign spellings below ever route through (or
+//! regress to) a deprecated item. It is the in-repo guarantee that a
+//! downstream crate can use the documented API — builder-style
+//! requests, `op_kind`/`k` on [`KernelOp`], the typed [`Output`]
+//! accessors — without tripping `#[warn(deprecated)]`.
+//!
+//! The old spellings (`Request::with_deadline`, `KernelOp::kernel`)
+//! still exist for one release; they are exercised nowhere here on
+//! purpose.
+#![deny(deprecated)]
+
+use spmm_rr::prelude::*;
+use std::time::Duration;
+
+fn small_case() -> (CsrMatrix<f64>, DenseMatrix<f64>, Vec<f64>, CsrMatrix<f64>) {
+    let s = generators::shuffled_block_diagonal::<f64>(8, 8, 16, 8, 5);
+    let x = generators::random_dense::<f64>(s.ncols(), 4, 6);
+    let v = generators::random_dense::<f64>(s.ncols(), 1, 7)
+        .data()
+        .to_vec();
+    let b = generators::uniform_random::<f64>(s.ncols(), 24, 3, 8);
+    (s, x, v, b)
+}
+
+#[test]
+fn canonical_kernel_surface_is_deprecation_free() {
+    let (s, x, v, b) = small_case();
+    let engine = Engine::prepare(&s, &EngineConfig::default()).unwrap();
+
+    // KernelOp construction, op_kind() and k() — the canonical
+    // introspection pair (kernel() is the deprecated spelling)
+    let op: KernelOp<'_, f64> = KernelOp::Spmv { x: &v };
+    assert_eq!(op.op_kind(), Kernel::Spmv);
+    assert_eq!(op.k(), Some(1));
+    let op: KernelOp<'_, f64> = KernelOp::Spgemm { b: &b };
+    assert_eq!(op.op_kind(), Kernel::Spgemm);
+    assert_eq!(op.k(), None);
+    let op = KernelOp::Spmm { x: &x };
+    assert_eq!(op.k(), Some(x.ncols()));
+
+    // execute + typed accessors; the wrong-shape accessor answers None
+    // instead of forcing a match on the non_exhaustive enum
+    let out = engine.execute(KernelOp::Spmv { x: &v }).unwrap();
+    assert!(out.as_vector().is_some());
+    assert!(out.clone().into_dense().is_none());
+    let y = engine.execute(KernelOp::Spmm { x: &x }).unwrap();
+    assert!(y.as_dense().is_some());
+    let c = engine.execute(KernelOp::Spgemm { b: &b }).unwrap();
+    assert_eq!(c.into_sparse().unwrap().nrows(), s.nrows());
+}
+
+#[test]
+fn canonical_serving_surface_is_deprecation_free() {
+    let (s, x, v, b) = small_case();
+    let serve = ServeEngine::<f64>::start(ServeConfig::default());
+
+    // builder-style requests with `.deadline(..)` chaining — the
+    // canonical spelling (with_deadline is the deprecated one)
+    let deadline = Duration::from_secs(5);
+    let dense = serve
+        .execute(Request::spmm(s.clone(), x.clone()).deadline(deadline))
+        .unwrap();
+    assert!(dense.output.as_dense().is_some());
+    let vector = serve
+        .execute(Request::spmv(s.clone(), v).deadline(deadline))
+        .unwrap();
+    assert!(vector.output.as_vector().is_some());
+    let sparse = serve
+        .execute(Request::spgemm(s.clone(), b).deadline(deadline))
+        .unwrap();
+    assert!(sparse.output.as_sparse().is_some());
+    let values = serve
+        .execute(Request::sddmm(
+            s.clone(),
+            x.clone(),
+            generators::random_dense::<f64>(s.nrows(), 4, 9),
+        ))
+        .unwrap();
+    assert!(values.output.as_values().is_some());
+
+    // RequestOp introspection goes through the accessor
+    let req = Request::spmm(s, x);
+    assert!(matches!(req.op(), RequestOp::Spmm { .. }));
+}

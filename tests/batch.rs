@@ -88,13 +88,13 @@ fn random_batch_compositions_stay_bit_identical_to_solo_references() {
             // exists whatever the draw
             let mut request = Request::spmm(mats[mi].clone(), x);
             if i < 3 {
-                request = request.with_deadline(Duration::from_secs(60));
+                request = request.deadline(Duration::from_secs(60));
             } else {
                 match rng.random_range(0..4u32) {
                     0 => {}
-                    1 => request = request.with_deadline(Duration::from_secs(30)),
-                    2 => request = request.with_deadline(Duration::from_secs(60)),
-                    _ => request = request.with_deadline(Duration::from_secs(600)),
+                    1 => request = request.deadline(Duration::from_secs(30)),
+                    2 => request = request.deadline(Duration::from_secs(60)),
+                    _ => request = request.deadline(Duration::from_secs(600)),
                 }
             }
             tickets.push(engine.submit(request).unwrap());

@@ -63,7 +63,7 @@ fn cold_miss_under_deadline_completes_via_rowwise_fallback() {
     // preprocessing budget: the tight path fires deterministically and
     // the cold cache forces the fallback
     let resp = engine
-        .execute(Request::spmm(m, x).with_deadline(Duration::from_millis(25)))
+        .execute(Request::spmm(m, x).deadline(Duration::from_millis(25)))
         .unwrap();
     assert_eq!(resp.path, ServePath::Fallback);
     assert_eq!(resp.preprocess, Duration::ZERO);

@@ -1,0 +1,202 @@
+//! API-compatible **stub** for the subset of `criterion` this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`throughput`, and
+//! `bench_function`/`bench_with_input` with `Bencher::iter`. The build
+//! container cannot reach the crate registry, so a minimal wall-clock
+//! harness is provided: each benchmark runs a small fixed number of
+//! timed iterations and prints mean time (and derived throughput) per
+//! line. No statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per benchmark (after one warm-up call).
+const STUB_ITERS: u32 = 5;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let _ = self;
+        BenchmarkGroup {
+            name: name.to_owned(),
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted, unused by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to derive rates in the report line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { total_nanos: 0.0 };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { total_nanos: 0.0 };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let mean_nanos = bencher.total_nanos / STUB_ITERS as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / mean_nanos * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / mean_nanos * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:.3} ms{}",
+            self.name,
+            id,
+            mean_nanos / 1e6,
+            rate
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations (one warm-up call
+    /// first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            std::hint::black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it
+/// from criterion.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions (subset of upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (subset of upstream macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g", "case"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= STUB_ITERS);
+    }
+}

@@ -1,0 +1,172 @@
+//! API-compatible **stub** for the subset of `rayon` this workspace
+//! uses. The build container cannot reach the crate registry, so the
+//! parallel iterator entry points are provided with *sequential*
+//! semantics: every `par_*` method returns the corresponding standard
+//! iterator. Numerics are unaffected (the workspace's kernels are
+//! designed to be bit-identical regardless of parallelism); only
+//! wall-clock parallel speedups are lost.
+
+pub mod prelude {
+    /// `into_par_iter()` for anything iterable (sequential fallback).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_iter_mut()` by reference (sequential fallback).
+    pub trait IntoParallelRefIterator {
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter<'a>(&'a self) -> <&'a Self as IntoIterator>::IntoIter
+        where
+            &'a Self: IntoIterator,
+        {
+            self.into_iter()
+        }
+
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut<'a>(&'a mut self) -> <&'a mut Self as IntoIterator>::IntoIter
+        where
+            &'a mut Self: IntoIterator,
+        {
+            self.into_iter()
+        }
+    }
+    impl<T: ?Sized> IntoParallelRefIterator for T {}
+
+    /// Rayon-only adapter names, mapped onto their std equivalents.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Sequential stand-in for rayon's `flat_map_iter`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Sequential stand-in for rayon's `map_init`.
+        fn map_init<I, R, F, G>(self, init: G, f: F) -> MapInit<Self, I, F>
+        where
+            G: Fn() -> I,
+            F: FnMut(&mut I, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                f,
+            }
+        }
+
+        /// Sequential stand-in for rayon's `with_min_len` (no-op).
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        /// Sequential stand-in for rayon's `with_max_len` (no-op).
+        fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// Iterator produced by [`ParallelIteratorExt::map_init`].
+    pub struct MapInit<I, S, F> {
+        iter: I,
+        state: S,
+        f: F,
+    }
+    impl<I: Iterator, S, R, F: FnMut(&mut S, I::Item) -> R> Iterator for MapInit<I, S, F> {
+        type Item = R;
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.f)(&mut self.state, item))
+        }
+    }
+
+    /// Slice-specific `par_*` methods (sequential fallback).
+    pub trait ParallelSliceMut<T> {
+        /// The underlying slice.
+        fn as_seq_slice_mut(&mut self) -> &mut [T];
+
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_seq_slice_mut().chunks_mut(chunk_size)
+        }
+
+        /// Sequential stand-in for rayon's `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_seq_slice_mut().sort_unstable();
+        }
+
+        /// Sequential stand-in for rayon's `par_sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K: Ord>(&mut self, f: impl FnMut(&T) -> K) {
+            self.as_seq_slice_mut().sort_unstable_by_key(f);
+        }
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_seq_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    /// Slice-specific shared `par_*` methods (sequential fallback).
+    pub trait ParallelSlice<T> {
+        /// The underlying slice.
+        fn as_seq_slice(&self) -> &[T];
+
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_seq_slice().chunks(chunk_size)
+        }
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn as_seq_slice(&self) -> &[T] {
+            self
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_behave_like_std() {
+        let v = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let mut w = v.clone();
+        w.par_sort_unstable();
+        assert_eq!(w, vec![1, 2, 3]);
+
+        let mut buf = [0u8; 6];
+        for (i, chunk) in buf.par_chunks_mut(2).enumerate() {
+            chunk.fill(i as u8);
+        }
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+
+        let total: usize = (0..5usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! API-compatible **stub** for the subset of `serde` this workspace
+//! uses: the `Serialize`/`Deserialize` trait names (as derive targets
+//! and potential bounds) and the derive macro re-exports. Nothing in
+//! the workspace serializes through serde's data model — JSON emission
+//! goes through `serde_json::json!`/`Value` and the in-repo
+//! `spmm-telemetry` writer — so the traits are markers implemented for
+//! every type.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization half of the data model (name-compatible subset).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

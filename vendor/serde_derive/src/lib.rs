@@ -1,0 +1,20 @@
+//! API-compatible **stub** for `serde_derive`: the derive macros accept
+//! any input and expand to nothing. The workspace derives
+//! `Serialize`/`Deserialize` on config/report types for forward
+//! compatibility but never routes them through serde's trait surface
+//! (JSON emission uses `serde_json::json!`/`Value` and the in-repo
+//! `spmm-telemetry` writer), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,526 @@
+//! API-compatible **stub** for the subset of `serde_json` this
+//! workspace uses: [`Value`], the [`json!`] macro, and
+//! [`to_string_pretty`]. The build container cannot reach the crate
+//! registry, so the JSON document model is implemented locally.
+//! Interpolated expressions in `json!` convert through the [`ToJson`]
+//! trait rather than serde's `Serialize` data model; the impls cover
+//! every type the workspace interpolates (primitives, strings,
+//! vectors, options and `Value` itself).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document (subset of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, stored as `f64` (integers round-trip exactly up
+    /// to 2^53, far beyond the counters this workspace records).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys (deterministic emission).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `true` if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` if the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// `true` if the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Object member by key (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// Mixed-type comparisons (serde_json supports `value == "s"`,
+// `value == 3`, ... in both orders; tests lean on them).
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+macro_rules! impl_value_num_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_num_eq!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Conversion into [`Value`] for `json!` interpolation (stand-in for
+/// serde_json's `Serialize`-driven `to_value`).
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+macro_rules! impl_tojson_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_tojson_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Converts any interpolatable value into a [`Value`] (used by
+/// [`json!`]; stand-in for `serde_json::to_value`).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+/// Serialization error (stand-in; this stub's emission is infallible,
+/// the type exists so `?` call sites keep compiling).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::other(e.to_string())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON emission.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+/// Two-space-indented JSON emission.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax (subset of
+/// `serde_json::json!`): object/array literals, `null`/`true`/`false`,
+/// and interpolated expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_internal_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal_object!({} $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array muncher for [`json!`] — not public API. The accumulator keeps
+/// a trailing comma after every element so repetition boundaries stay
+/// unambiguous.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // done
+    ([ $($elem:expr,)* ]) => { $crate::Value::Array(vec![ $($elem),* ]) };
+    // separating / trailing comma after a structured element
+    ([ $($elem:expr,)* ] , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* ] $($rest)*)
+    };
+    // nested structures and literals: wrap in json! then continue
+    ([ $($elem:expr,)* ] null $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!(null), ] $($rest)*)
+    };
+    ([ $($elem:expr,)* ] true $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!(true), ] $($rest)*)
+    };
+    ([ $($elem:expr,)* ] false $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!(false), ] $($rest)*)
+    };
+    ([ $($elem:expr,)* ] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    ([ $($elem:expr,)* ] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    // plain expression element (consumes up to the next top-level comma)
+    ([ $($elem:expr,)* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::to_value(&$next), ] $($rest)*)
+    };
+    ([ $($elem:expr,)* ] $next:expr) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::to_value(&$next), ])
+    };
+}
+
+/// Object muncher for [`json!`] — not public API. Same trailing-comma
+/// accumulator convention as the array muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // done
+    ({ $($key:expr => $val:expr,)* }) => {{
+        #[allow(unused_mut)]
+        let mut members = ::std::collections::BTreeMap::new();
+        $(members.insert(::std::string::String::from($key), $val);)*
+        $crate::Value::Object(members)
+    }};
+    // separating / trailing comma after a structured value
+    ({ $($key:expr => $val:expr,)* } , $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* } $($rest)*)
+    };
+    // key : structured / literal values
+    ({ $($key:expr => $val:expr,)* } $k:literal : null $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::json!(null), } $($rest)*)
+    };
+    ({ $($key:expr => $val:expr,)* } $k:literal : true $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::json!(true), } $($rest)*)
+    };
+    ({ $($key:expr => $val:expr,)* } $k:literal : false $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::json!(false), } $($rest)*)
+    };
+    ({ $($key:expr => $val:expr,)* } $k:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::json!([ $($inner)* ]), } $($rest)*)
+    };
+    ({ $($key:expr => $val:expr,)* } $k:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::json!({ $($inner)* }), } $($rest)*)
+    };
+    // key : plain expression (consumes up to the next top-level comma)
+    ({ $($key:expr => $val:expr,)* } $k:literal : $v:expr , $($rest:tt)*) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::to_value(&$v), } $($rest)*)
+    };
+    ({ $($key:expr => $val:expr,)* } $k:literal : $v:expr) => {
+        $crate::json_internal_object!({ $($key => $val,)* $k => $crate::to_value(&$v), })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_documents() {
+        let records = vec![json!({"a": 1}), json!({"a": 2})];
+        let name = String::from("power_law");
+        let v = json!({
+            "id": "fig8",
+            "name": name,
+            "speedup": 1.25f64,
+            "count": 3usize,
+            "ok": true,
+            "missing": null,
+            "nested": {"x": [1, 2, 3], "y": {"z": false}},
+            "records": records,
+        });
+        assert_eq!(v["id"].as_str(), Some("fig8"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["speedup"].as_f64(), Some(1.25));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["nested"]["x"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nested"]["y"]["z"].as_bool(), Some(false));
+        assert_eq!(v["records"].as_array().unwrap()[1]["a"].as_u64(), Some(2));
+        assert!(v["absent"].is_null());
+    }
+
+    #[test]
+    fn emission_is_valid_and_pretty_is_indented() {
+        let v = json!({"b": [1.5, "x"], "a": 7});
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":7,\"b\":[1.5,\"x\"]}");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 7"));
+    }
+
+    #[test]
+    fn escaping_and_numbers() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(1e300)).unwrap(), "1e300");
+    }
+
+    #[test]
+    fn interpolation_through_references() {
+        let label: &&str = &"hello";
+        let opt: Option<u32> = None;
+        let v = json!({"label": label, "opt": opt});
+        assert_eq!(v["label"].as_str(), Some("hello"));
+        assert!(v["opt"].is_null());
+    }
+}

@@ -23,14 +23,15 @@ usage:
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--op spmm|spmv|spgemm] [--batch]
                       [--max-batch-k N] [--k-block N] [--plan-store DIR]
+                      [--shards N]
   spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--faults \"point:action@hits,...\"] [--batch]
-                      [--plan-store DIR]
+                      [--plan-store DIR] [--shards N]
       actions: error panic delay:<ms>ms    hits: N every:N N..M *
       points:  kernel.prepare kernel.execute reorder.round1
                reorder.round2 serve.cache.prepare serve.worker
-               serve.store.load serve.store.save";
+               serve.store.load serve.store.save serve.router.route";
 
 /// One allowed flag of a subcommand: name (without `--`) and whether it
 /// consumes a value.
@@ -59,6 +60,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("max-batch-k", true),
             ("k-block", true),
             ("plan-store", true),
+            ("shards", true),
         ]),
         "chaos-bench" => Some(&[
             ("requests", true),
@@ -72,6 +74,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("json", false),
             ("batch", false),
             ("plan-store", true),
+            ("shards", true),
         ]),
         _ => None,
     }
@@ -316,6 +319,10 @@ impl Invocation {
                 if let Some(v) = flags.get("plan-store") {
                     config.plan_store = Some(PathBuf::from(v));
                 }
+                config.shards = parse_usize(&flags, "shards", config.shards)?;
+                if config.shards == 0 {
+                    return Err("bad --shards value '0' (need at least one shard)".into());
+                }
                 Ok(Invocation::ServeBench {
                     config,
                     json: flags.contains_key("json"),
@@ -349,6 +356,10 @@ impl Invocation {
                 }
                 if let Some(v) = flags.get("plan-store") {
                     config.plan_store = Some(PathBuf::from(v));
+                }
+                config.shards = parse_usize(&flags, "shards", config.shards)?;
+                if config.shards == 0 {
+                    return Err("bad --shards value '0' (need at least one shard)".into());
                 }
                 Ok(Invocation::ChaosBench {
                     config,
@@ -1093,6 +1104,53 @@ mod tests {
             other => panic!("wrong invocation: {other:?}"),
         }
         assert!(Invocation::parse(&s(&["serve-bench", "--plan-store"])).is_err());
+    }
+
+    #[test]
+    fn parse_shards_flag() {
+        for cmd in ["serve-bench", "chaos-bench"] {
+            match Invocation::parse(&s(&[cmd, "--shards", "4"])).unwrap() {
+                Invocation::ServeBench { config, .. } => assert_eq!(config.shards, 4),
+                Invocation::ChaosBench { config, .. } => assert_eq!(config.shards, 4),
+                other => panic!("wrong invocation: {other:?}"),
+            }
+            // default stays single-engine; zero is a targeted error
+            match Invocation::parse(&s(&[cmd])).unwrap() {
+                Invocation::ServeBench { config, .. } => assert_eq!(config.shards, 1),
+                Invocation::ChaosBench { config, .. } => assert_eq!(config.shards, 1),
+                other => panic!("wrong invocation: {other:?}"),
+            }
+            let err = Invocation::parse(&s(&[cmd, "--shards", "0"])).unwrap_err();
+            assert!(err.contains("--shards"), "{err}");
+            assert!(Invocation::parse(&s(&[cmd, "--shards", "x"])).is_err());
+            assert!(Invocation::parse(&s(&[cmd, "--shards"])).is_err());
+        }
+        // --shards is not a flag of the one-shot commands
+        assert!(Invocation::parse(&s(&["analyze", "m.mtx", "--shards", "2"])).is_err());
+    }
+
+    #[test]
+    fn sharded_serve_bench_runs_and_reports_the_shard_probe() {
+        let inv = Invocation::parse(&s(&[
+            "serve-bench",
+            "--requests",
+            "12",
+            "--concurrency",
+            "2",
+            "--workers",
+            "1",
+            "--cache",
+            "4",
+            "--k",
+            "16",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("sharded: 2 engines"), "{out}");
+        assert!(out.contains("shard probe"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
 //! spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
 //!                     [--cache N] [--zipf S] [--seed N] [--k N]
-//!                     [--plan-store DIR] [--json]
+//!                     [--plan-store DIR] [--shards N] [--json]
+//! spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
+//!                     [--faults "point:action@hits,..."] [--shards N]
+//!                     [--json]
 //! ```
 //!
 //! `analyze` prints structure statistics, the Fig 5 pipeline decisions
@@ -27,7 +30,12 @@
 //! percentiles, the plan-cache hit rate and the hit/cold probe
 //! outcomes (the run manifest JSON with `--json`); with `--plan-store`
 //! it also runs the warm-start probe (stored plans must be bit-exact
-//! and >= 10x faster to load than to prepare).
+//! and >= 10x faster to load than to prepare); with `--shards N` it
+//! drives a rendezvous-routed fleet of N engines over a shared store
+//! tier and runs the kill-failover probe (bit-exact answers, zero
+//! duplicate prepares); `chaos-bench` replays seeded fault schedules
+//! against the serving layer (sharded with `--shards N`) and verifies
+//! every success bit-for-bit against the sequential reference.
 
 use spmm_cli::{run, Invocation};
 use std::process::ExitCode;

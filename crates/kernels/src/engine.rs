@@ -233,12 +233,6 @@ impl<T: Scalar> KernelOp<'_, T> {
         }
     }
 
-    /// The kernel family this op belongs to.
-    #[deprecated(since = "0.6.0", note = "renamed to `op_kind`")]
-    pub fn kernel(&self) -> crate::autotune::Kernel {
-        self.op_kind()
-    }
-
     /// Dense-operand width `k`, for the ops that have a dense operand:
     /// `Some(x.ncols())` for the SpMM/SDDMM families, `Some(1)` for
     /// SpMV, `None` for SpGEMM (no dense operand at all).

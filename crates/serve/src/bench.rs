@@ -25,6 +25,7 @@ use crate::cache::CacheStats;
 use crate::engine::{Request, ServeConfig, ServeEngine, ServePath, ServeStats};
 use crate::error::ServeError;
 use crate::fingerprint::MatrixFingerprint;
+use crate::router::{RouterConfig, ShardRouter};
 use crate::store::PlanStore;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +35,7 @@ use spmm_kernels::{Engine, EngineConfig};
 use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
 use spmm_telemetry::{RunManifest, TelemetryHandle};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -116,6 +118,13 @@ pub struct ServeBenchConfig {
     /// measures cold-prepare vs store-load per corpus structure.
     /// Default: disabled.
     pub plan_store: Option<PathBuf>,
+    /// Fleet size: with a value greater than 1 the stream is driven
+    /// through a [`ShardRouter`] of this many engines (each configured
+    /// from the knobs above) over a shared plan-store tier, and the
+    /// shard probe kills one shard mid-stream to prove failover
+    /// warm-loads instead of re-preparing. Default 1 (no router; the
+    /// classic single-engine path, byte-for-byte unchanged).
+    pub shards: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -134,6 +143,7 @@ impl Default for ServeBenchConfig {
             preprocess_budget: Duration::from_millis(25),
             batch: None,
             plan_store: None,
+            shards: 1,
         }
     }
 }
@@ -194,6 +204,58 @@ impl PlanStoreProbe {
     }
 }
 
+/// Outcome of the shard probe (sharded runs only): a quantised probe
+/// structure is served by its rendezvous owner (the *victim*), the
+/// victim is killed mid-stream, and the structure is requested again.
+/// The request must fail over to the next rendezvous candidate and be
+/// served from the shared plan store — [`ServePath::CachedPlan`], zero
+/// preprocessing — with both answers bit-equal to the sequential
+/// reference. Fleet-wide duplicate prepares are counted as successful
+/// `serve.store.save`s (plus `save_error`s) beyond the number of
+/// distinct persisted fingerprints: every live prepare writes through
+/// exactly once, so any excess means one structure was prepared twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardProbe {
+    /// Fleet size the run started with.
+    pub shards: usize,
+    /// The probe structure's rendezvous owner, killed mid-stream.
+    pub victim: usize,
+    /// The shard that served the post-kill probe request.
+    pub failover_shard: usize,
+    /// The post-kill request's service path (must be
+    /// [`ServePath::CachedPlan`]: a store warm load, not a re-prepare).
+    pub failover_path: ServePath,
+    /// Preprocessing the post-kill request paid (must be zero).
+    pub failover_preprocess: Duration,
+    /// Fleet-wide `serve.store.hit` count (read-through warm loads).
+    pub store_warm_hits: u64,
+    /// Structures prepared more than once fleet-wide (must be zero).
+    pub duplicate_prepares: u64,
+    /// Whether both probe responses were bit-equal to the sequential
+    /// row-wise reference.
+    pub exact: bool,
+    /// Ready shards after the kill (must be `shards - 1`).
+    pub ready_shards: usize,
+}
+
+impl ShardProbe {
+    /// Whether the probe observed its contractual outcome: the killed
+    /// shard's traffic failed over to a *different* shard that
+    /// warm-loaded the plan from the store (cached path, zero
+    /// preprocessing), answers stayed bit-exact, no structure was
+    /// prepared twice fleet-wide, and exactly one shard went down.
+    pub fn passed(&self) -> bool {
+        self.exact
+            && self.failover_shard != self.victim
+            && self.failover_path == ServePath::CachedPlan
+            && self.failover_preprocess.is_zero()
+            && self.store_warm_hits >= 1
+            && self.duplicate_prepares == 0
+            && self.ready_shards + 1 == self.shards
+    }
+}
+
 /// What [`run_serve_bench`] measured.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -227,6 +289,8 @@ pub struct ServeBenchReport {
     /// The warm-start probe's outcome; `None` when no plan store is
     /// configured.
     pub plan_store_probe: Option<PlanStoreProbe>,
+    /// The shard probe's outcome; `None` on single-engine runs.
+    pub shard_probe: Option<ShardProbe>,
     /// The run manifest snapshot, counters and probe outcomes included.
     pub manifest: RunManifest,
 }
@@ -240,6 +304,7 @@ impl ServeBenchReport {
             && self.cold_probe_path == ServePath::Fallback
             && self.batch_probe.is_none_or(|p| p.passed())
             && self.plan_store_probe.is_none_or(|p| p.passed())
+            && self.shard_probe.is_none_or(|p| p.passed())
     }
 
     /// Renders the human-readable summary the CLI prints.
@@ -251,6 +316,12 @@ impl ServeBenchReport {
             "serve-bench[{}]: {} requests over {} matrices, {} clients, {} workers, cache {}, zipf s={:.2}\n",
             c.op, c.requests, self.corpus_size, c.concurrency, c.workers, c.cache_capacity, c.zipf_s
         ));
+        if c.shards > 1 {
+            out.push_str(&format!(
+                "  sharded: {} engines behind rendezvous routing, shared plan-store tier\n",
+                c.shards
+            ));
+        }
         out.push_str(&format!(
             "  completed {}  rejected {}  fallbacks {}  deadline-exceeded {}  failed {}\n",
             s.completed, s.rejected, s.fallbacks, s.deadline_exceeded, s.failed
@@ -324,6 +395,25 @@ impl ServeBenchReport {
                 }
             ));
         }
+        if let Some(probe) = &self.shard_probe {
+            out.push_str(&format!(
+                "  shard probe: victim={} failover={} path={} preprocess={:?} warm-hits={} duplicates={} ready={}/{} exact={} -> {}\n",
+                probe.victim,
+                probe.failover_shard,
+                probe.failover_path,
+                probe.failover_preprocess,
+                probe.store_warm_hits,
+                probe.duplicate_prepares,
+                probe.ready_shards,
+                probe.shards,
+                probe.exact,
+                if probe.passed() {
+                    "ok (failover warm-loaded from the store; zero duplicate prepares fleet-wide)"
+                } else {
+                    "FAILED"
+                }
+            ));
+        }
         out
     }
 }
@@ -382,14 +472,14 @@ fn run_batch_probe(
             .queue_capacity(64)
             .preprocess_budget(budget)
             .batching(batch)
-            .build(),
+            .build()?,
     );
     let solo = ServeEngine::<f32>::start(
         ServeConfig::builder()
             .workers(1)
             .queue_capacity(64)
             .preprocess_budget(budget)
-            .build(),
+            .build()?,
     );
     let xs: Vec<Arc<DenseMatrix<f32>>> = (0..3u64)
         .map(|i| {
@@ -501,6 +591,9 @@ fn run_plan_store_probe(
 /// Propagates probe-request failures ([`ServeError`]); the streamed
 /// requests themselves only tally into the counters.
 pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, ServeError> {
+    if config.shards > 1 {
+        return run_sharded_serve_bench(config);
+    }
     let budget = config.preprocess_budget.max(Duration::from_millis(1));
     let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, config.seed);
     let matrices: Vec<Arc<CsrMatrix<f32>>> = corpus
@@ -580,7 +673,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
     if let Some(store) = &store {
         serve_config = serve_config.plan_store(Arc::clone(store));
     }
-    let serve = ServeEngine::<f32>::start(serve_config.build());
+    let serve = ServeEngine::<f32>::start(serve_config.build()?);
 
     let concurrency = config.concurrency.max(1);
     let stream_start = Instant::now();
@@ -737,6 +830,357 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         cold_probe_path: cold_probe.path,
         batch_probe,
         plan_store_probe,
+        shard_probe: None,
+        manifest,
+    })
+}
+
+/// Monotonic suffix for ephemeral shard-bench store directories, so
+/// concurrent runs in one process never share a tier by accident.
+static EPHEMERAL_STORES: AtomicU64 = AtomicU64::new(0);
+
+/// Quantises values onto the integer grid `{-8, …, 8}` so the shard
+/// probe's sums are exactly representable in `f32` and addition is
+/// associative — the failover path must be *bit*-equal to the
+/// sequential reference, whichever shard and kernel path serves it.
+fn quantize_f32(values: &mut [f32]) {
+    for v in values {
+        *v = (*v * 8.0).round().clamp(-8.0, 8.0);
+    }
+}
+
+/// The sharded serve-bench: the same corpus, schedule and probes as the
+/// single-engine path, but driven through a [`ShardRouter`] over a
+/// shared plan-store tier, with the shard probe killing the probe
+/// structure's owning shard mid-stream (see [`ShardProbe`]).
+fn run_sharded_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, ServeError> {
+    let budget = config.preprocess_budget.max(Duration::from_millis(1));
+    let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, config.seed);
+    let matrices: Vec<Arc<CsrMatrix<f32>>> = corpus
+        .matrices
+        .into_iter()
+        .map(|e| Arc::new(e.matrix))
+        .collect();
+    assert!(!matrices.is_empty(), "corpus must not be empty");
+    let xs: Vec<Arc<DenseMatrix<f32>>> = matrices
+        .iter()
+        .map(|m| {
+            Arc::new(generators::random_dense::<f32>(
+                m.ncols(),
+                config.k,
+                config.seed ^ 1,
+            ))
+        })
+        .collect();
+    let ys: Vec<Arc<DenseMatrix<f32>>> = matrices
+        .iter()
+        .map(|m| {
+            Arc::new(generators::random_dense::<f32>(
+                m.nrows(),
+                config.k,
+                config.seed ^ 2,
+            ))
+        })
+        .collect();
+    let vs: Vec<Arc<Vec<f32>>> = if config.op == BenchOp::Spmv {
+        matrices
+            .iter()
+            .map(|m| {
+                Arc::new(
+                    generators::random_dense::<f32>(m.ncols(), 1, config.seed ^ 4)
+                        .data()
+                        .to_vec(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let bs: Vec<Arc<CsrMatrix<f32>>> = if config.op == BenchOp::Spgemm {
+        matrices
+            .iter()
+            .map(|m| {
+                Arc::new(generators::uniform_random::<f32>(
+                    m.ncols(),
+                    96,
+                    4,
+                    config.seed ^ 5,
+                ))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let schedule = zipf_schedule(config.requests, matrices.len(), config.zipf_s, &mut rng);
+
+    // the router's whole economy needs a shared store tier: use the
+    // configured directory, or an ephemeral one torn down after the run
+    let (store_dir, ephemeral) = match &config.plan_store {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let dir = std::env::temp_dir().join(format!(
+                "spmm-serve-bench-shards-{}-{}",
+                std::process::id(),
+                EPHEMERAL_STORES.fetch_add(1, Ordering::Relaxed)
+            ));
+            // stale leftovers from a killed run must not skew the
+            // duplicate-prepare accounting
+            let _ = std::fs::remove_dir_all(&dir);
+            (dir, true)
+        }
+    };
+    let store = Arc::new(PlanStore::open(&store_dir).map_err(ServeError::Prepare)?);
+
+    let mut shard_template = ServeConfig::builder()
+        .workers(config.workers)
+        .queue_capacity(config.queue_capacity)
+        .cache_capacity(config.cache_capacity)
+        .preprocess_budget(budget);
+    if let Some(batch) = config.batch {
+        shard_template = shard_template.batching(batch);
+    }
+    let router = ShardRouter::<f32>::start(
+        RouterConfig::builder()
+            .shards(config.shards)
+            .shard(shard_template.build()?)
+            .plan_store(Arc::clone(&store))
+            .build()?,
+    )?;
+
+    // -- shard probe, phase 1: the owner prepares (and persists) the
+    //    quantised probe structure before the stream ------------------
+    let mut probe_matrix = generators::uniform_random::<f32>(397, 311, 6, config.seed ^ 0x51AD);
+    quantize_f32(probe_matrix.values_mut());
+    let probe_matrix = Arc::new(probe_matrix);
+    let mut probe_x = generators::random_dense::<f32>(
+        probe_matrix.ncols(),
+        config.k.max(1),
+        config.seed ^ 0x51AE,
+    );
+    quantize_f32(probe_x.data_mut());
+    let probe_x = Arc::new(probe_x);
+    let reference = spmm_kernels::spmm::spmm_rowwise_seq(&probe_matrix, &probe_x)
+        .map_err(ServeError::Execute)?;
+    let probe_fp = MatrixFingerprint::of(&probe_matrix);
+    let victim = router.owner(&probe_fp);
+    let r1 = router.execute(Request::spmm(probe_matrix.clone(), probe_x.clone()))?;
+    let exact_before = r1
+        .output
+        .into_dense()
+        .is_some_and(|d| d.data() == reference.data());
+
+    let concurrency = config.concurrency.max(1);
+    // the stream runs in two phases with the kill at the barrier
+    // between them: killing a shard while other clients are mid-flight
+    // would let the victim's in-flight prepares race the survivor's
+    // re-prepares of the same structures before the write-through
+    // saves land, and the dedup ledger could legitimately show a
+    // transient duplicate. At the barrier the victim drains fully, so
+    // everything it prepared is persisted and phase 2's re-routed
+    // traffic must warm-load instead of re-preparing.
+    let run_phase = |range: std::ops::Range<usize>| -> Vec<Duration> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|client| {
+                    let router = &router;
+                    let schedule = &schedule;
+                    let (matrices, xs, ys, vs, bs) = (&matrices, &xs, &ys, &vs, &bs);
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        let mut latencies = Vec::new();
+                        for idx in range.filter(|idx| idx % concurrency == client) {
+                            let mi = schedule[idx];
+                            let request = match config.op {
+                                BenchOp::Spmv => {
+                                    Request::spmv(matrices[mi].clone(), vs[mi].clone())
+                                }
+                                BenchOp::Spgemm => {
+                                    Request::spgemm(matrices[mi].clone(), bs[mi].clone())
+                                }
+                                BenchOp::Spmm if idx % 5 == 4 => Request::sddmm(
+                                    matrices[mi].clone(),
+                                    xs[mi].clone(),
+                                    ys[mi].clone(),
+                                ),
+                                BenchOp::Spmm => {
+                                    Request::spmm(matrices[mi].clone(), xs[mi].clone())
+                                }
+                            }
+                            .deadline(config.deadline);
+                            let submitted = Instant::now();
+                            if let Ok(ticket) = router.submit(request) {
+                                if ticket.wait().is_ok() {
+                                    latencies.push(submitted.elapsed());
+                                }
+                            }
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        })
+    };
+    let half = schedule.len() / 2;
+    let stream_start = Instant::now();
+    let mut latencies = run_phase(0..half);
+    router.kill(victim);
+    latencies.extend(run_phase(half..schedule.len()));
+    let wall = stream_start.elapsed();
+    latencies.sort_unstable();
+
+    // -- shard probe, phase 2: the structure's traffic must fail over
+    //    and warm-load from the store, bit-exactly --------------------
+    let failover_shard = router.route(&probe_fp).ok_or(ServeError::NoReadyShard {
+        shards: config.shards,
+    })?;
+    let r2 = router.execute(Request::spmm(probe_matrix.clone(), probe_x.clone()))?;
+    let failover_path = r2.path;
+    let failover_preprocess = r2.preprocess;
+    let exact_after = r2
+        .output
+        .into_dense()
+        .is_some_and(|d| d.data() == reference.data());
+
+    // -- hit probe / cold probe, through the router -------------------
+    let hot = 0;
+    router.execute(Request::spmm(matrices[hot].clone(), xs[hot].clone()))?;
+    let hit_probe = router.execute(Request::spmm(matrices[hot].clone(), xs[hot].clone()))?;
+    let cold_matrix = Arc::new(generators::uniform_random::<f32>(
+        731,
+        389,
+        6,
+        config.seed ^ 0xC01D,
+    ));
+    let cold_x = Arc::new(generators::random_dense::<f32>(
+        cold_matrix.ncols(),
+        config.k,
+        config.seed ^ 3,
+    ));
+    let cold_probe = router.execute(Request::spmm(cold_matrix, cold_x).deadline(budget))?;
+
+    // duplicate accounting must be read *before* the standalone probes
+    // below write to (or read from) the same store directory
+    let pre = router.manifest();
+    let counter = |name: &str| pre.counters.get(name).copied().unwrap_or(0);
+    let saves = counter("serve.store.save") + counter("serve.store.save_error");
+    let persisted = store.list().map_err(ServeError::Prepare)?.len() as u64;
+    let shard_probe = ShardProbe {
+        shards: config.shards,
+        victim,
+        failover_shard,
+        failover_path,
+        failover_preprocess,
+        store_warm_hits: counter("serve.store.hit"),
+        duplicate_prepares: saves.saturating_sub(persisted),
+        exact: exact_before && exact_after,
+        ready_shards: router.health().ready_shards(),
+    };
+
+    let batch_probe = config
+        .batch
+        .map(|batch| run_batch_probe(batch, budget, &matrices[hot], config.k, config.seed))
+        .transpose()?;
+    let plan_store_probe = if config.plan_store.is_some() {
+        Some(run_plan_store_probe(
+            &store,
+            &matrices,
+            config.k,
+            config.seed,
+            router.telemetry(),
+        )?)
+    } else {
+        None
+    };
+
+    let stats = router.stats().fleet;
+    let cache = router.cache_stats();
+    let p50_ms = percentile_ms(&latencies, 0.50);
+    let p99_ms = percentile_ms(&latencies, 0.99);
+    let throughput_rps = if wall.as_secs_f64() > 0.0 {
+        latencies.len() as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    let telemetry = router.telemetry();
+    telemetry.gauge("bench.throughput_rps", throughput_rps);
+    telemetry.gauge("bench.p50_ms", p50_ms);
+    telemetry.gauge("bench.p99_ms", p99_ms);
+    telemetry.gauge("bench.hit_rate", cache.hit_rate());
+    telemetry.gauge("bench.shards", config.shards as f64);
+    telemetry.meta("bench.op", &config.op.to_string());
+    telemetry.meta(
+        "bench.hit_probe",
+        &format!(
+            "path={} preprocess_ns={}",
+            hit_probe.path,
+            hit_probe.preprocess.as_nanos()
+        ),
+    );
+    telemetry.meta("bench.cold_probe", &format!("path={}", cold_probe.path));
+    telemetry.meta(
+        "bench.shard_probe",
+        &format!(
+            "shards={} victim={} failover={} path={} preprocess_ns={} warm_hits={} duplicates={} ready_shards={} exact={}",
+            shard_probe.shards,
+            shard_probe.victim,
+            shard_probe.failover_shard,
+            shard_probe.failover_path,
+            shard_probe.failover_preprocess.as_nanos(),
+            shard_probe.store_warm_hits,
+            shard_probe.duplicate_prepares,
+            shard_probe.ready_shards,
+            shard_probe.exact
+        ),
+    );
+    if let Some(probe) = &batch_probe {
+        telemetry.meta(
+            "bench.batch_probe",
+            &format!(
+                "batches={} fused_requests={} exact={}",
+                probe.batches, probe.batched_requests, probe.exact
+            ),
+        );
+    }
+    if let Some(probe) = &plan_store_probe {
+        telemetry.gauge("bench.store.cold_prepare_ms", probe.cold_prepare_ms);
+        telemetry.gauge("bench.store.warm_load_ms", probe.warm_load_ms);
+        telemetry.gauge("bench.store.speedup", probe.speedup);
+        telemetry.meta(
+            "bench.plan_store_probe",
+            &format!(
+                "plans={} cold_prepare_ms={:.3} warm_load_ms={:.3} speedup={:.2} exact={}",
+                probe.plans, probe.cold_prepare_ms, probe.warm_load_ms, probe.speedup, probe.exact
+            ),
+        );
+    }
+    let manifest = router.manifest();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    Ok(ServeBenchReport {
+        config: config.clone(),
+        corpus_size: matrices.len(),
+        wall,
+        throughput_rps,
+        p50_ms,
+        p99_ms,
+        hit_rate: cache.hit_rate(),
+        stats,
+        cache,
+        hit_probe_path: hit_probe.path,
+        hit_probe_preprocess: hit_probe.preprocess,
+        cold_probe_path: cold_probe.path,
+        batch_probe,
+        plan_store_probe,
+        shard_probe: Some(shard_probe),
         manifest,
     })
 }
@@ -902,6 +1346,42 @@ mod tests {
         assert_eq!(report2.hit_probe_path, ServePath::CachedPlan);
         assert_eq!(report2.cold_probe_path, ServePath::Fallback);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_bench_fails_over_without_duplicate_prepares() {
+        let config = ServeBenchConfig {
+            requests: 24,
+            concurrency: 2,
+            workers: 1,
+            cache_capacity: 4,
+            shards: 2,
+            ..ServeBenchConfig::default()
+        };
+        let report = run_serve_bench(&config).unwrap();
+        let probe = report.shard_probe.expect("shards > 1 was configured");
+        assert!(probe.passed(), "{}", report.render());
+        assert!(report.probes_passed(), "{}", report.render());
+        assert_eq!(probe.duplicate_prepares, 0, "{}", report.render());
+        assert_eq!(probe.failover_path, ServePath::CachedPlan);
+        assert!(probe.failover_preprocess.is_zero());
+        assert_ne!(probe.failover_shard, probe.victim);
+        assert_eq!(probe.ready_shards, 1, "one of two shards was killed");
+        assert_eq!(
+            report.manifest.counters.get("serve.router.shard_killed"),
+            Some(&1)
+        );
+        assert!(
+            report.manifest.counters.get("serve.router.routed").copied() >= Some(1),
+            "router must have routed the stream"
+        );
+        assert!(
+            report.manifest.meta.contains_key("bench.shard_probe"),
+            "probe outcome must land in the manifest"
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("sharded: 2 engines"), "{rendered}");
+        assert!(rendered.contains("shard probe"), "{rendered}");
     }
 
     #[test]

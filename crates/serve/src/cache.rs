@@ -11,9 +11,12 @@
 //!   slot's condvar and share the result.
 //! * **Bounded capacity.** Each shard holds at most
 //!   `ceil(capacity / shards)` entries; inserting into a full shard
-//!   evicts the shard's least-recently-used entry. With `shards = 1`
-//!   the eviction order is the exact global LRU order, which the tests
-//!   pin down.
+//!   evicts the shard's least-recently-used *settled* entry. In-flight
+//!   prepares are never evicted (doing so would let a concurrent
+//!   lookup of the same fingerprint re-prepare it); a shard whose
+//!   residents are all in flight briefly overflows instead. With
+//!   `shards = 1` the eviction order is the exact global LRU order,
+//!   which the tests pin down.
 //! * **Exact counters.** Every lookup increments exactly one of
 //!   hit/miss (hit: a usable or in-flight entry existed; miss: this
 //!   call created the slot, claimed a retry, was suppressed, or found
@@ -202,7 +205,13 @@ impl PlanCacheConfigBuilder {
 }
 
 /// A point-in-time snapshot of the cache counters.
+///
+/// `#[non_exhaustive]`: construct it via [`PlanCache::stats`] (or
+/// [`CacheStats::default`]) and read it through the typed accessors,
+/// so new counters can be added without breaking downstream code.
+/// Fleet-level aggregation sums snapshots with [`CacheStats::merge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub struct CacheStats {
     /// Lookups that found an entry (ready or in flight).
     pub hits: u64,
@@ -233,6 +242,70 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing usable.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped to make room at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Slots created (one initial prepare attempt each).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// In-place value refreshes.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries currently poisoned.
+    pub fn poisoned(&self) -> usize {
+        self.poisoned
+    }
+
+    /// The configured total capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Component-wise sum of two snapshots — the fleet view a
+    /// [`ShardRouter`](crate::ShardRouter) aggregates over its shards.
+    /// Counters add; `len`/`poisoned`/`capacity` add too, so the merged
+    /// snapshot reads as "entries resident fleet-wide out of the
+    /// fleet-wide capacity".
+    #[must_use]
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            inserts: self.inserts + other.inserts,
+            refreshes: self.refreshes + other.refreshes,
+            len: self.len + other.len,
+            poisoned: self.poisoned + other.poisoned,
+            capacity: self.capacity + other.capacity,
         }
     }
 }
@@ -556,12 +629,14 @@ impl<T: Scalar> PlanCache<T> {
         })) {
             Ok(Ok(engine)) => {
                 let engine = Arc::new(engine);
-                slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
-                if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
-                    self.telemetry.counter("serve.breaker.close", 1);
-                }
-                // Write-through: persist the paid-for plan so later
-                // processes warm-start. A save failure is logged as a
+                // Write-through *before* the slot settles: persist the
+                // paid-for plan so later processes warm-start. The
+                // order matters — a `Ready` slot is evictable, and if
+                // it were evicted while the save was still in flight a
+                // concurrent lookup of the same fingerprint would miss
+                // both tiers and duplicate the prepare (and the save).
+                // Keeping the slot `Preparing` until the file lands
+                // closes that window. A save failure is logged as a
                 // counter and never fails the request — the caller has
                 // a perfectly good engine in hand.
                 if let Some(store) = &self.store {
@@ -569,6 +644,10 @@ impl<T: Scalar> PlanCache<T> {
                         Ok(_) => self.telemetry.counter("serve.store.save", 1),
                         Err(_) => self.telemetry.counter("serve.store.save_error", 1),
                     }
+                }
+                slot.fulfill(SlotState::Ready(Arc::clone(&engine)));
+                if prior.as_ref().is_some_and(|p| p.breaker == Breaker::Open) {
+                    self.telemetry.counter("serve.breaker.close", 1);
                 }
                 Ok((engine, true))
             }
@@ -687,15 +766,23 @@ impl<T: Scalar> PlanCache<T> {
         cleared
     }
 
-    /// Evicts the shard's least-recently-used entries until an insert
-    /// fits. Waiters on an evicted in-flight slot are unaffected: they
-    /// hold the slot `Arc` and the preparer still fulfills it — the
-    /// result just isn't cached.
+    /// Evicts the shard's least-recently-used *settled* entries until
+    /// an insert fits.
+    ///
+    /// In-flight (`Preparing`) slots are never evicted: dropping one
+    /// hides the prepare from later lookups of the same fingerprint,
+    /// which then also miss the store (the first write-through has not
+    /// landed yet) and pay for a duplicate prepare — exactly the
+    /// coalescing the slot exists to provide. If every resident slot
+    /// is in flight the shard briefly overflows its capacity instead;
+    /// the overflow is bounded by the number of concurrent preparers
+    /// (worker count) and drains on the next settled insert.
     fn evict_lru_if_full(&self, shard: &mut Shard<T>) {
         while shard.entries.len() >= self.per_shard_capacity {
             let victim = shard
                 .entries
                 .iter()
+                .filter(|(_, e)| !matches!(&*lock_clean(&e.slot.state), SlotState::Preparing))
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(fp, _)| *fp);
             match victim {
@@ -854,6 +941,72 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, HERD as u64, "lost a lookup");
         assert_eq!(stats.misses, 1, "only the slot creator is a miss");
         assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn in_flight_prepare_survives_eviction_pressure() {
+        // A `Preparing` slot must never be the LRU victim: evicting it
+        // hides the prepare from a concurrent lookup of the same
+        // fingerprint, which then re-runs the pipeline (and, with a
+        // store tier, double-saves the plan). The shard overflows its
+        // capacity instead and drains once the slot settles.
+        let cache = Arc::new(single_shard(1));
+        let ma = Arc::new(matrix(11));
+        let mb = matrix(12);
+        let fa = MatrixFingerprint::of(&*ma);
+        let prepares = Arc::new(AtomicUsize::new(0));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+
+        let slow = {
+            let (cache, ma, prepares) = (cache.clone(), ma.clone(), prepares.clone());
+            std::thread::spawn(move || {
+                cache
+                    .get_or_prepare(fa, || {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                        prepares.fetch_add(1, Ordering::SeqCst);
+                        prepare(&ma)
+                    })
+                    .unwrap()
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        // B lands in the full single-slot shard while A is in flight:
+        // the insert must not evict A's preparing slot
+        cache
+            .get_or_prepare(MatrixFingerprint::of(&mb), || prepare(&mb))
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 0, "in-flight A was evicted");
+        assert_eq!(cache.len(), 2, "shard overflows instead of evicting");
+
+        // a second lookup of A coalesces onto the surviving slot —
+        // whether it arrives before or after the release, the prepare
+        // closure below must never run
+        let waiter = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                cache
+                    .get_or_prepare(fa, || panic!("coalesced lookup re-ran the prepare"))
+                    .unwrap()
+            })
+        };
+        release_tx.send(()).unwrap();
+        let (_, fresh) = slow.join().unwrap();
+        assert!(fresh, "the slot creator pays for the prepare");
+        let (_, fresh) = waiter.join().unwrap();
+        assert!(!fresh, "the coalesced lookup shares the result");
+        assert_eq!(prepares.load(Ordering::SeqCst), 1);
+
+        // once A settles, the next insert evicts the settled overflow
+        // back under the capacity bound
+        let mc = matrix(13);
+        cache
+            .get_or_prepare(MatrixFingerprint::of(&mc), || prepare(&mc))
+            .unwrap();
+        assert_eq!(cache.len(), 1, "overflow drains once slots settle");
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]

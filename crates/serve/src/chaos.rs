@@ -31,6 +31,7 @@ use crate::bench::zipf_schedule;
 use crate::cache::CacheStats;
 use crate::engine::{HealthSnapshot, Request, ServeConfig, ServeEngine, ServeStats};
 use crate::error::ServeError;
+use crate::router::{RouterConfig, ShardRouter};
 use crate::store::PlanStore;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -76,6 +77,12 @@ pub struct ChaosBenchConfig {
     /// prove a failing disk tier degrades to live preparation without
     /// losing exactness. Default: no store.
     pub plan_store: Option<PathBuf>,
+    /// Engines behind the [`ShardRouter`]. At `1` (the default) the
+    /// stream drives a single [`ServeEngine`] exactly as before; above
+    /// it the same Zipf traffic and fault schedule flow through
+    /// rendezvous routing, and the exactness bar is unchanged — every
+    /// success must stay bit-equal whichever shard served it.
+    pub shards: usize,
 }
 
 impl Default for ChaosBenchConfig {
@@ -92,6 +99,7 @@ impl Default for ChaosBenchConfig {
             faults: None,
             batch: None,
             plan_store: None,
+            shards: 1,
         }
     }
 }
@@ -143,6 +151,12 @@ impl ChaosBenchReport {
             "chaos-bench: {} requests over {} matrices, {} clients, {} workers, seed {}\n",
             c.requests, self.corpus_size, c.concurrency, c.workers, c.seed
         ));
+        if c.shards > 1 {
+            out.push_str(&format!(
+                "  sharded: {} engines behind rendezvous routing (fleet-merged counters below)\n",
+                c.shards
+            ));
+        }
         out.push_str(&format!(
             "  faults: {}\n",
             c.faults.as_deref().unwrap_or("(none armed)")
@@ -300,6 +314,60 @@ fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
         .collect()
 }
 
+/// The serving surface the chaos stream drives: one engine, or a
+/// rendezvous-routed fleet of them behind a [`ShardRouter`]. The
+/// delegating methods keep the stream loop and the end-of-run
+/// snapshots identical either way; the router's fleet-level merges
+/// stand in for the single engine's counters.
+enum ChaosTarget {
+    Engine(ServeEngine<f64>),
+    Router(ShardRouter<f64>),
+}
+
+impl ChaosTarget {
+    fn execute(&self, request: Request<f64>) -> Result<crate::engine::Response<f64>, ServeError> {
+        match self {
+            ChaosTarget::Engine(engine) => engine.execute(request),
+            ChaosTarget::Router(router) => router.execute(request),
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        match self {
+            ChaosTarget::Engine(engine) => engine.stats(),
+            ChaosTarget::Router(router) => router.stats().fleet,
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            ChaosTarget::Engine(engine) => engine.cache_stats(),
+            ChaosTarget::Router(router) => router.cache_stats(),
+        }
+    }
+
+    fn health(&self) -> HealthSnapshot {
+        match self {
+            ChaosTarget::Engine(engine) => engine.health(),
+            ChaosTarget::Router(router) => router.health().fleet().clone(),
+        }
+    }
+
+    fn telemetry(&self) -> spmm_telemetry::TelemetryHandle {
+        match self {
+            ChaosTarget::Engine(engine) => engine.telemetry().clone(),
+            ChaosTarget::Router(router) => router.telemetry().clone(),
+        }
+    }
+
+    fn manifest(&self) -> RunManifest {
+        match self {
+            ChaosTarget::Engine(engine) => engine.manifest(),
+            ChaosTarget::Router(router) => router.manifest(),
+        }
+    }
+}
+
 /// Whether a successful response is bit-equal to its reference.
 fn is_exact(case: &ChaosCase, op: ChaosOp, output: &Output<f64>) -> bool {
     match (op, output) {
@@ -351,7 +419,16 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
         let store = PlanStore::open(dir).map_err(ServeError::Prepare)?;
         serve_config = serve_config.plan_store(Arc::new(store));
     }
-    let serve = ServeEngine::<f64>::start(serve_config.build());
+    let serve = if config.shards > 1 {
+        ChaosTarget::Router(ShardRouter::<f64>::start(
+            RouterConfig::builder()
+                .shards(config.shards)
+                .shard(serve_config.build()?)
+                .build()?,
+        )?)
+    } else {
+        ChaosTarget::Engine(ServeEngine::<f64>::start(serve_config.build()?))
+    };
 
     let concurrency = config.concurrency.max(1);
     let stream_start = Instant::now();
@@ -433,6 +510,9 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
     telemetry.gauge("chaos.ok", ok as f64);
     telemetry.gauge("chaos.failed", failed as f64);
     telemetry.gauge("chaos.exact", exact as f64);
+    if config.shards > 1 {
+        telemetry.gauge("chaos.shards", config.shards as f64);
+    }
     telemetry.meta("chaos.seed", &config.seed.to_string());
     if let Some(spec) = &config.faults {
         telemetry.meta("chaos.faults", spec);

@@ -90,6 +90,14 @@ pub struct ServeConfig {
     /// back, and [`ServeEngine::start`] warm-loads every compatible
     /// stored plan before traffic arrives. Default: disabled.
     pub plan_store: Option<Arc<PlanStore>>,
+    /// Whether [`ServeEngine::start`] eagerly materialises every
+    /// compatible stored plan into the cache when a plan store is
+    /// attached. A standalone engine wants this (a restart starts
+    /// warm); a [`ShardRouter`](crate::ShardRouter) shard does not —
+    /// eager loading would duplicate every plan across all shards, so
+    /// the router leaves warm starts to on-demand read-through by the
+    /// owning shard. Default: `true`.
+    pub warm_start: bool,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +119,7 @@ impl Default for ServeConfig {
             clock: cache.clock,
             batch: None,
             plan_store: None,
+            warm_start: true,
         }
     }
 }
@@ -129,13 +138,15 @@ pub struct ServeConfigBuilder {
 }
 
 impl ServeConfigBuilder {
-    /// Sets the worker-thread count (clamped to at least 1).
+    /// Sets the worker-thread count. Must be at least 1; zero is
+    /// rejected by [`build`](ServeConfigBuilder::build).
     pub fn workers(mut self, workers: usize) -> Self {
-        self.config.workers = workers.max(1);
+        self.config.workers = workers;
         self
     }
 
-    /// Sets the admission-control queue bound.
+    /// Sets the admission-control queue bound. Must be at least 1;
+    /// zero is rejected by [`build`](ServeConfigBuilder::build).
     pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.config.queue_capacity = queue_capacity;
         self
@@ -220,9 +231,36 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Finishes the configuration.
-    pub fn build(self) -> ServeConfig {
-        self.config
+    /// Sets whether startup eagerly warm-loads every compatible plan
+    /// from the attached store (see [`ServeConfig::warm_start`]).
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.config.warm_start = warm_start;
+        self
+    }
+
+    /// Validates and finishes the configuration.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] when `workers` or `queue_capacity`
+    /// is zero — an engine started with either would deadlock (no
+    /// worker can ever drain the queue, or no request can ever be
+    /// admitted), so the mistake is reported here instead.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        if self.config.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "workers",
+                value: 0,
+                minimum: 1,
+            });
+        }
+        if self.config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "queue_capacity",
+                value: 0,
+                minimum: 1,
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -332,12 +370,6 @@ impl<T: Scalar> Request<T> {
         self
     }
 
-    /// Former name of [`Request::deadline`].
-    #[deprecated(since = "0.6.0", note = "renamed to `deadline`")]
-    pub fn with_deadline(self, deadline: Duration) -> Self {
-        self.deadline(deadline)
-    }
-
     /// The request's matrix.
     pub fn matrix(&self) -> &CsrMatrix<T> {
         &self.matrix
@@ -403,7 +435,13 @@ impl<T> Ticket<T> {
 }
 
 /// Monotonic serving counters (exact, not sampled).
+///
+/// `#[non_exhaustive]`: obtain snapshots from [`ServeEngine::stats`]
+/// and read them through the typed accessors, so new counters can be
+/// added without breaking downstream code. Fleet-level aggregation
+/// sums snapshots with [`ServeStats::merge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -427,6 +465,76 @@ pub struct ServeStats {
     /// Fusion candidates left queued because their remaining deadline
     /// was tighter than the batch's.
     pub batch_deadline_skips: u64,
+}
+
+impl ServeStats {
+    /// Requests accepted into the queue.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests rejected by admission control.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Requests that produced a response.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests that resolved to an error after admission.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Requests served by the row-wise fallback.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Requests abandoned in the queue past their deadline.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded
+    }
+
+    /// Fallback servings caused by a quarantined fingerprint.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Fused batches executed.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Requests served as part of a fused batch.
+    pub fn batched_requests(&self) -> u64 {
+        self.batched_requests
+    }
+
+    /// Fusion candidates skipped for deadline reasons.
+    pub fn batch_deadline_skips(&self) -> u64 {
+        self.batch_deadline_skips
+    }
+
+    /// Component-wise sum of two snapshots — the fleet view a
+    /// [`ShardRouter`](crate::ShardRouter) aggregates over its shards.
+    #[must_use]
+    pub fn merge(&self, other: &ServeStats) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted + other.submitted,
+            rejected: self.rejected + other.rejected,
+            completed: self.completed + other.completed,
+            failed: self.failed + other.failed,
+            fallbacks: self.fallbacks + other.fallbacks,
+            deadline_exceeded: self.deadline_exceeded + other.deadline_exceeded,
+            quarantined: self.quarantined + other.quarantined,
+            batches: self.batches + other.batches,
+            batched_requests: self.batched_requests + other.batched_requests,
+            batch_deadline_skips: self.batch_deadline_skips + other.batch_deadline_skips,
+        }
+    }
 }
 
 /// A point-in-time health/readiness snapshot of the serving engine
@@ -458,6 +566,73 @@ impl HealthSnapshot {
     /// Readiness: accepting work and at least one live worker to do it.
     pub fn ready(&self) -> bool {
         self.accepting && self.workers_alive > 0
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The admission bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Worker threads currently inside their serving loop.
+    pub fn workers_alive(&self) -> usize {
+        self.workers_alive
+    }
+
+    /// Worker threads the engine started with.
+    pub fn workers_total(&self) -> usize {
+        self.workers_total
+    }
+
+    /// Requests whose processing panicked past `catch_unwind`.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics
+    }
+
+    /// Whether admission control is accepting new work.
+    pub fn accepting(&self) -> bool {
+        self.accepting
+    }
+
+    /// The plan cache's counter snapshot.
+    pub fn cache(&self) -> &CacheStats {
+        &self.cache
+    }
+
+    /// Fingerprints whose circuit breaker is currently open.
+    pub fn open_breakers(&self) -> usize {
+        self.open_breakers
+    }
+
+    /// Fingerprints quarantined as poisoned.
+    pub fn poisoned_plans(&self) -> usize {
+        self.poisoned_plans
+    }
+
+    /// Component-wise fleet aggregation over two snapshots: gauges and
+    /// counters sum; `accepting` is true when *any* side accepts. On a
+    /// merged snapshot [`ready`](HealthSnapshot::ready) therefore reads
+    /// as "some shard accepts and some shard has live workers" — for
+    /// per-shard readiness routing, consult
+    /// [`RouterHealth`](crate::RouterHealth) instead, which keeps the
+    /// unmerged snapshots.
+    #[must_use]
+    pub fn merge(&self, other: &HealthSnapshot) -> HealthSnapshot {
+        HealthSnapshot {
+            queue_depth: self.queue_depth + other.queue_depth,
+            queue_capacity: self.queue_capacity + other.queue_capacity,
+            workers_alive: self.workers_alive + other.workers_alive,
+            workers_total: self.workers_total + other.workers_total,
+            worker_panics: self.worker_panics + other.worker_panics,
+            accepting: self.accepting || other.accepting,
+            cache: self.cache.merge(&other.cache),
+            open_breakers: self.open_breakers + other.open_breakers,
+            poisoned_plans: self.poisoned_plans + other.poisoned_plans,
+        }
     }
 }
 
@@ -926,8 +1101,10 @@ impl<T: Scalar> ServeEngine<T> {
             cache_config = cache_config.store(Arc::clone(store));
         }
         let cache = PlanCache::new(cache_config.build());
-        if let Some(store) = &config.plan_store {
-            Self::warm_load(store, &cache, &telemetry);
+        if config.warm_start {
+            if let Some(store) = &config.plan_store {
+                Self::warm_load(store, &cache, &telemetry);
+            }
         }
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
@@ -1127,8 +1304,42 @@ mod tests {
             ServeConfig::builder()
                 .workers(workers)
                 .queue_capacity(queue)
-                .build(),
+                .build()
+                .unwrap(),
         )
+    }
+
+    #[test]
+    fn builder_rejects_configs_that_would_deadlock() {
+        let err = ServeConfig::builder().workers(0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig {
+                field: "workers",
+                value: 0,
+                minimum: 1,
+            }
+        );
+        assert!(err.to_string().contains("workers = 0"), "{err}");
+        let err = ServeConfig::builder()
+            .queue_capacity(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig {
+                field: "queue_capacity",
+                value: 0,
+                minimum: 1,
+            }
+        );
+        // the defaults and any positive pair build fine
+        assert!(ServeConfig::builder().build().is_ok());
+        assert!(ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -1272,7 +1483,8 @@ mod tests {
                 .workers(1)
                 .queue_capacity(32)
                 .batching(BatchConfig::default())
-                .build(),
+                .build()
+                .unwrap(),
         );
         // warm the shared structure, pin the worker on a cold decoy,
         // then pile one SpMM and two SpMV requests up behind it
@@ -1292,7 +1504,13 @@ mod tests {
             .map(|t| t.wait().unwrap())
             .collect();
 
-        let solo = ServeEngine::start(ServeConfig::builder().workers(1).queue_capacity(32).build());
+        let solo = ServeEngine::start(
+            ServeConfig::builder()
+                .workers(1)
+                .queue_capacity(32)
+                .build()
+                .unwrap(),
+        );
         let spmm_ref = solo.execute(Request::spmm(m.clone(), x.clone())).unwrap();
         assert_eq!(
             spmm_ref.output.into_dense().unwrap().data(),
@@ -1468,7 +1686,8 @@ mod tests {
                 .workers(1)
                 .queue_capacity(32)
                 .batching(BatchConfig::default())
-                .build(),
+                .build()
+                .unwrap(),
         );
         // warm the shared structure so the fused pass runs on a cached
         // plan, then pin the single worker on a cold decoy while the
@@ -1488,7 +1707,13 @@ mod tests {
         // an identically configured engine without batching is the
         // unbatched reference: both serve from a cached ASpT plan, so
         // the fused slices must match it bit for bit
-        let solo = ServeEngine::start(ServeConfig::builder().workers(1).queue_capacity(32).build());
+        let solo = ServeEngine::start(
+            ServeConfig::builder()
+                .workers(1)
+                .queue_capacity(32)
+                .build()
+                .unwrap(),
+        );
         for (x, resp) in xs.iter().zip(&responses) {
             let reference = solo.execute(Request::spmm(m.clone(), x.clone())).unwrap();
             assert_eq!(
@@ -1539,7 +1764,8 @@ mod tests {
             ServeConfig::builder()
                 .workers(1)
                 .plan_store(store.clone())
-                .build(),
+                .build()
+                .unwrap(),
         );
         let cold = first.execute(Request::spmm(m.clone(), x.clone())).unwrap();
         assert_eq!(cold.path, ServePath::FreshPlan);
@@ -1549,8 +1775,13 @@ mod tests {
 
         // restarted process: the plan is warm-loaded before traffic,
         // so the very first request is a cache hit with zero preprocess
-        let second =
-            ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+        let second = ServeEngine::<f64>::start(
+            ServeConfig::builder()
+                .workers(1)
+                .plan_store(store)
+                .build()
+                .unwrap(),
+        );
         assert_eq!(second.manifest().counters["serve.store.warm"], 1);
         assert_eq!(second.cache_stats().inserts, 1, "seeded at startup");
         let warm = second.execute(Request::spmm(m, x)).unwrap();

@@ -68,6 +68,24 @@ pub enum ServeError {
         /// Time remaining in the current backoff window.
         retry_in: Duration,
     },
+    /// A configuration value was rejected at build time — starting an
+    /// engine with it would deadlock (for example a worker pool of
+    /// zero threads can never drain the queue).
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// The smallest accepted value.
+        minimum: usize,
+    },
+    /// Every shard in the router's fleet reported not-ready (shut down
+    /// or without live workers), so the request could not be placed
+    /// anywhere.
+    NoReadyShard {
+        /// The fleet size that was consulted.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -100,6 +118,20 @@ impl fmt::Display for ServeError {
                 f,
                 "prepare retry suppressed ({failures} consecutive failures); \
                  backoff expires in {retry_in:?}"
+            ),
+            ServeError::InvalidConfig {
+                field,
+                value,
+                minimum,
+            } => write!(
+                f,
+                "invalid configuration: {field} = {value} (must be at least \
+                 {minimum}) — starting with it would deadlock"
+            ),
+            ServeError::NoReadyShard { shards } => write!(
+                f,
+                "no ready shard: all {shards} shards are shut down or have \
+                 no live workers; the request was not placed"
             ),
         }
     }
@@ -143,6 +175,15 @@ mod tests {
         };
         assert!(e.to_string().contains("backoff"), "{e}");
         assert!(e.to_string().contains('2'), "{e}");
+        let e = ServeError::InvalidConfig {
+            field: "workers",
+            value: 0,
+            minimum: 1,
+        };
+        assert!(e.to_string().contains("workers = 0"), "{e}");
+        assert!(e.to_string().contains("at least 1"), "{e}");
+        let e = ServeError::NoReadyShard { shards: 4 };
+        assert!(e.to_string().contains("4 shards"), "{e}");
     }
 
     #[test]
@@ -166,6 +207,12 @@ mod tests {
                 failures: 1,
                 retry_in: Duration::ZERO,
             },
+            ServeError::InvalidConfig {
+                field: "queue_capacity",
+                value: 0,
+                minimum: 1,
+            },
+            ServeError::NoReadyShard { shards: 2 },
         ] {
             assert!(e.source().is_none(), "{e} must be a leaf error");
         }

@@ -25,6 +25,11 @@
 //!   its solo answer) and deadline-aware (a tighter-deadline candidate
 //!   never rides along). Opt in via
 //!   [`ServeConfigBuilder::batching`](engine::ServeConfigBuilder::batching).
+//! * [`ShardRouter`] — fleet-scale sharding: N serve engines behind
+//!   rendezvous hashing on the fingerprint, a shared read-through
+//!   [`PlanStore`] tier, fleet-level stats/health aggregation and
+//!   failover that warm-loads plans from the store instead of
+//!   re-preparing (see the [`router`] module docs).
 //! * [`run_serve_bench`] — the `serve-bench` workload driver: Zipf
 //!   matrix popularity over the generator corpus, concurrent clients,
 //!   and deterministic hit/cold probes for the caching contract.
@@ -53,11 +58,13 @@ pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
+pub mod router;
 pub mod store;
 
 pub use batch::BatchConfig;
 pub use bench::{
     run_serve_bench, BatchProbe, BenchOp, PlanStoreProbe, ServeBenchConfig, ServeBenchReport,
+    ShardProbe,
 };
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
 pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};
@@ -67,6 +74,10 @@ pub use engine::{
 };
 pub use error::ServeError;
 pub use fingerprint::MatrixFingerprint;
+pub use router::{
+    rendezvous_order, rendezvous_pick, RouterConfig, RouterConfigBuilder, RouterHealth,
+    RouterStats, ShardRouter,
+};
 pub use store::{PlanStore, StoredPlan};
 
 use std::sync::{Mutex, MutexGuard, PoisonError};

@@ -57,7 +57,8 @@ fn random_batch_compositions_stay_bit_identical_to_solo_references() {
                 .workers(1)
                 .queue_capacity(128)
                 .batching(BatchConfig::default().max_batch_k(48).k_block(16))
-                .build(),
+                .build()
+                .unwrap(),
         );
         // warm both structures so the fused passes run on cached plans
         for (i, m) in mats.iter().enumerate() {
@@ -137,10 +138,16 @@ fn fused_and_unbatched_engines_agree_bit_for_bit() {
             .workers(1)
             .queue_capacity(64)
             .batching(BatchConfig::default())
-            .build(),
+            .build()
+            .unwrap(),
     );
-    let solo =
-        ServeEngine::<f64>::start(ServeConfig::builder().workers(1).queue_capacity(64).build());
+    let solo = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(64)
+            .build()
+            .unwrap(),
+    );
 
     batched
         .execute(Request::spmm(m.clone(), xs[0].clone()))

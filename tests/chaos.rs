@@ -95,7 +95,8 @@ fn breaker_opens_probes_half_open_and_recovers_on_schedule() {
             .retry_backoff_base(Duration::from_millis(10))
             .breaker_cooldown(Duration::from_millis(100))
             .clock(clock)
-            .build(),
+            .build()
+            .unwrap(),
     );
     let (m, x) = integer_case(chaos_seed());
     let counter = |name: &str| serve.telemetry().counter_value(name);
@@ -159,7 +160,7 @@ fn poisoned_slot_quarantines_with_exact_fallback_then_recovers() {
     let guard = FaultPlan::parse("serve.cache.prepare:panic@1", chaos_seed())
         .unwrap()
         .arm();
-    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build());
+    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build().unwrap());
     let (m, x) = integer_case(chaos_seed() ^ 1);
     let expected = spmm_rowwise_seq(&m, &x).unwrap();
 
@@ -208,7 +209,7 @@ fn reorder_round_panic_is_contained_and_quarantined() {
     let _guard = FaultPlan::parse("reorder.round1:panic@1", chaos_seed())
         .unwrap()
         .arm();
-    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build());
+    let serve = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).build().unwrap());
     let (m, x) = integer_case(chaos_seed() ^ 2);
     let expected = spmm_rowwise_seq(&m, &x).unwrap();
 
@@ -267,6 +268,67 @@ fn chaos_bench_under_mixed_faults_holds_the_invariants() {
     }
     assert_eq!(report.health.workers_alive, config.workers);
     assert!(report.health.ready());
+}
+
+/// The sharded fleet under the same mixed fault schedule: rendezvous
+/// routing must not weaken any invariant — every request is answered,
+/// every success is bit-equal to its reference, and the fleet-merged
+/// health still reports all workers alive. Global fault points reach
+/// every shard, so the schedule fires exactly as it does single-engine.
+#[test]
+fn chaos_bench_sharded_fleet_holds_the_invariants_under_faults() {
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 96;
+    config.concurrency = 4;
+    config.workers = 2;
+    config.shards = 3;
+    config.seed = chaos_seed();
+    config.k = 8;
+    config.faults = Some(
+        "serve.cache.prepare:error@every:3,kernel.execute:error@every:5,\
+         serve.router.route:error@every:11"
+            .into(),
+    );
+    let report = run_chaos_bench(&config).unwrap();
+
+    assert_eq!(
+        report.ok + report.failed,
+        config.requests,
+        "lost requests: {}",
+        report.render()
+    );
+    assert_eq!(
+        report.exact,
+        report.ok,
+        "inexact successful responses: {}",
+        report.render()
+    );
+    assert!(report.all_successes_exact());
+    assert!(report.failed > 0, "the schedule injected nothing");
+    for point in [
+        "serve.cache.prepare",
+        "kernel.execute",
+        "serve.router.route",
+    ] {
+        assert!(
+            report.fault_hits.get(point).copied().unwrap_or(0) > 0,
+            "{point} never fired: {:?}",
+            report.fault_hits
+        );
+    }
+    // fleet-merged health: shards × workers, all alive, fleet ready
+    assert_eq!(
+        report.health.workers_alive,
+        config.workers * config.shards,
+        "{}",
+        report.render()
+    );
+    assert!(report.health.ready());
+    assert!(
+        report.manifest.counters.get("serve.router.routed").copied() >= Some(1),
+        "the stream must have flowed through the router"
+    );
+    assert!(report.render().contains("sharded: 3 engines"));
 }
 
 /// Multi-RHS batching under injected failure: the fused k-blocked
@@ -329,7 +391,8 @@ fn store_load_fault_degrades_to_live_prepare_exactly() {
         ServeConfig::builder()
             .workers(1)
             .plan_store(store.clone())
-            .build(),
+            .build()
+            .unwrap(),
     );
     let (m, x) = integer_case(chaos_seed() ^ 5);
     let expected = spmm_rowwise_seq(&m, &x).unwrap();
@@ -355,8 +418,13 @@ fn store_load_fault_degrades_to_live_prepare_exactly() {
 
     // the plan survived the faulted load, so a restarted engine past
     // the schedule warm-starts and serves its first request cached
-    let serve =
-        ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+    let serve = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .plan_store(store)
+            .build()
+            .unwrap(),
+    );
     assert_eq!(serve.telemetry().counter_value("serve.store.warm"), 1);
     let resp = serve.execute(Request::spmm(m, x)).unwrap();
     assert_eq!(resp.path, ServePath::CachedPlan);

@@ -202,14 +202,21 @@ fn serve_engine_warm_starts_from_disk() {
         ServeConfig::builder()
             .workers(1)
             .plan_store(store.clone())
-            .build(),
+            .build()
+            .unwrap(),
     );
     let cold = a.execute(Request::spmm(m.clone(), x.clone())).unwrap();
     assert_eq!(cold.path, ServePath::FreshPlan);
     assert_eq!(a.telemetry().counter_value("serve.store.save"), 1);
     a.shutdown();
 
-    let b = ServeEngine::<f64>::start(ServeConfig::builder().workers(1).plan_store(store).build());
+    let b = ServeEngine::<f64>::start(
+        ServeConfig::builder()
+            .workers(1)
+            .plan_store(store)
+            .build()
+            .unwrap(),
+    );
     assert_eq!(b.telemetry().counter_value("serve.store.warm"), 1);
     let warm = b.execute(Request::spmm(m, x)).unwrap();
     assert_eq!(warm.path, ServePath::CachedPlan);

@@ -13,7 +13,8 @@ fn serve(workers: usize, queue: usize) -> ServeEngine<f64> {
         ServeConfig::builder()
             .workers(workers)
             .queue_capacity(queue)
-            .build(),
+            .build()
+            .unwrap(),
     )
 }
 
@@ -53,7 +54,8 @@ fn cold_miss_under_deadline_completes_via_rowwise_fallback() {
         ServeConfig::builder()
             .workers(1)
             .preprocess_budget(Duration::from_millis(25))
-            .build(),
+            .build()
+            .unwrap(),
     );
     let m = generators::shuffled_block_diagonal::<f64>(32, 16, 48, 16, 7);
     let x = generators::random_dense::<f64>(m.ncols(), 16, 3);

@@ -115,86 +115,12 @@ impl<T: Scalar> AsptMatrix<T> {
         let nrows = m.nrows();
         let npanels = nrows.div_ceil(config.panel_height);
 
-        struct PanelOut<T> {
-            panel: Panel<T>,
-            // per row of the panel: (col, value, src) going to remainder
-            rest: Vec<Vec<(u32, T, u32)>>,
-        }
-
         let outs: Vec<PanelOut<T>> = (0..npanels)
             .into_par_iter()
             .map(|p| {
                 let row_start = p * config.panel_height;
                 let row_end = (row_start + config.panel_height).min(nrows);
-
-                // 1. count nonzeros per column within the panel
-                let mut counts: HashMap<u32, u32> = HashMap::new();
-                for r in row_start..row_end {
-                    for &c in m.row_cols(r) {
-                        *counts.entry(c).or_insert(0) += 1;
-                    }
-                }
-
-                // 2. dense columns, sorted by count desc then col asc
-                let mut dense: Vec<(u32, u32)> = counts
-                    .into_iter()
-                    .filter(|&(_, cnt)| cnt as usize >= config.min_col_nnz)
-                    .collect();
-                dense.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-
-                // 3. group dense columns into tiles of tile_width
-                let ntiles = dense.len().div_ceil(config.tile_width);
-                let mut tiles: Vec<DenseTile<T>> = (0..ntiles)
-                    .map(|t| {
-                        let lo = t * config.tile_width;
-                        let hi = (lo + config.tile_width).min(dense.len());
-                        DenseTile {
-                            cols: dense[lo..hi].iter().map(|&(c, _)| c).collect(),
-                            rowptr: vec![0],
-                            colidx: Vec::new(),
-                            values: Vec::new(),
-                            src_idx: Vec::new(),
-                        }
-                    })
-                    .collect();
-                let col_to_tile: HashMap<u32, u32> = dense
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &(c, _))| (c, (k / config.tile_width) as u32))
-                    .collect();
-
-                // 4. scatter panel nonzeros into tiles / remainder
-                let mut rest: Vec<Vec<(u32, T, u32)>> = Vec::with_capacity(row_end - row_start);
-                for r in row_start..row_end {
-                    let (cols, vals) = m.row(r);
-                    let base = m.rowptr()[r];
-                    let mut rest_row = Vec::new();
-                    for (off, (&c, &v)) in cols.iter().zip(vals).enumerate() {
-                        let src = (base + off) as u32;
-                        match col_to_tile.get(&c) {
-                            Some(&t) => {
-                                let tile = &mut tiles[t as usize];
-                                tile.colidx.push(c);
-                                tile.values.push(v);
-                                tile.src_idx.push(src);
-                            }
-                            None => rest_row.push((c, v, src)),
-                        }
-                    }
-                    for tile in &mut tiles {
-                        tile.rowptr.push(tile.colidx.len());
-                    }
-                    rest.push(rest_row);
-                }
-
-                PanelOut {
-                    panel: Panel {
-                        row_start,
-                        row_end,
-                        tiles,
-                    },
-                    rest,
-                }
+                tile_panel(m, config, row_start, row_end)
             })
             .collect();
 
@@ -463,6 +389,239 @@ impl<T: Scalar> AsptMatrix<T> {
         }
         CsrMatrix::from_parts(self.nrows, self.ncols, rowptr, colidx, values)
             .expect("reconstruction preserves CSR invariants")
+    }
+
+    /// Splices an updated decomposition for `reordered`, a matrix whose
+    /// structure differs from this decomposition's source only inside
+    /// `touched_panels`: those panels are re-tiled from scratch, every
+    /// other panel keeps its tile layout verbatim with source indices
+    /// shifted to the new nonzero extents and values re-read from
+    /// `reordered`. This is the incremental-delta fast path — the cost
+    /// is `O(nnz)` remapping plus re-tiling only the touched panels.
+    ///
+    /// The untouched-panel contract is *checked*, not trusted: if any
+    /// row outside `touched_panels` changed its nonzero count or column
+    /// set, the splice fails with `SparseError::InvalidStructure`
+    /// rather than producing a corrupt tiling.
+    pub fn splice(
+        &self,
+        reordered: &CsrMatrix<T>,
+        touched_panels: &[usize],
+    ) -> Result<Self, spmm_sparse::SparseError> {
+        use spmm_sparse::SparseError;
+        let bad = |msg: String| Err(SparseError::InvalidStructure(format!("splice: {msg}")));
+        if reordered.nrows() != self.nrows || reordered.ncols() != self.ncols {
+            return bad(format!(
+                "shape {}x{} does not match decomposition {}x{}",
+                reordered.nrows(),
+                reordered.ncols(),
+                self.nrows,
+                self.ncols
+            ));
+        }
+        let npanels = self.panels.len();
+        let mut touched = vec![false; npanels];
+        for &p in touched_panels {
+            if p >= npanels {
+                return bad(format!("touched panel {p} out of range ({npanels} panels)"));
+            }
+            touched[p] = true;
+        }
+
+        // reconstruct the old per-row nonzero extents so surviving
+        // panels' src indices can be shifted into the new ones
+        let mut old_rowptr = vec![0usize; self.nrows + 1];
+        for panel in &self.panels {
+            for r in panel.rows() {
+                let rel = r - panel.row_start;
+                let tile_nnz: usize = panel
+                    .tiles
+                    .iter()
+                    .map(|t| t.rowptr[rel + 1] - t.rowptr[rel])
+                    .sum();
+                old_rowptr[r + 1] = tile_nnz + self.remainder.row_nnz(r);
+            }
+        }
+        for r in 0..self.nrows {
+            old_rowptr[r + 1] += old_rowptr[r];
+        }
+
+        let outs: Vec<PanelOut<T>> = (0..npanels)
+            .into_par_iter()
+            .map(|p| -> Result<PanelOut<T>, SparseError> {
+                let row_start = p * self.config.panel_height;
+                let row_end = (row_start + self.config.panel_height).min(self.nrows);
+                if touched[p] {
+                    return Ok(tile_panel(reordered, &self.config, row_start, row_end));
+                }
+                // surviving panel: same layout, remapped src + values
+                let changed = |r: usize| {
+                    SparseError::InvalidStructure(format!(
+                        "splice: row {r} changed structure but panel {p} was not marked touched"
+                    ))
+                };
+                for r in row_start..row_end {
+                    if reordered.row_nnz(r) != old_rowptr[r + 1] - old_rowptr[r] {
+                        return Err(changed(r));
+                    }
+                }
+                let old_panel = &self.panels[p];
+                let mut tiles = old_panel.tiles.clone();
+                for tile in &mut tiles {
+                    for rel in 0..(row_end - row_start) {
+                        let r = row_start + rel;
+                        for k in tile.rowptr[rel]..tile.rowptr[rel + 1] {
+                            let off = match (tile.src_idx[k] as usize).checked_sub(old_rowptr[r]) {
+                                Some(off) if off < reordered.row_nnz(r) => off,
+                                _ => return Err(changed(r)),
+                            };
+                            let new_src = reordered.rowptr()[r] + off;
+                            if reordered.colidx()[new_src] != tile.colidx[k] {
+                                return Err(changed(r));
+                            }
+                            tile.src_idx[k] = new_src as u32;
+                            tile.values[k] = reordered.values()[new_src];
+                        }
+                    }
+                }
+                let rem_rowptr = self.remainder.rowptr();
+                let mut rest: Vec<Vec<(u32, T, u32)>> = Vec::with_capacity(row_end - row_start);
+                for r in row_start..row_end {
+                    let mut rest_row = Vec::with_capacity(self.remainder.row_nnz(r));
+                    for e in rem_rowptr[r]..rem_rowptr[r + 1] {
+                        let off = match (self.remainder_src[e] as usize).checked_sub(old_rowptr[r])
+                        {
+                            Some(off) if off < reordered.row_nnz(r) => off,
+                            _ => return Err(changed(r)),
+                        };
+                        let new_src = reordered.rowptr()[r] + off;
+                        let c = self.remainder.colidx()[e];
+                        if reordered.colidx()[new_src] != c {
+                            return Err(changed(r));
+                        }
+                        rest_row.push((c, reordered.values()[new_src], new_src as u32));
+                    }
+                    rest.push(rest_row);
+                }
+                Ok(PanelOut {
+                    panel: Panel {
+                        row_start,
+                        row_end,
+                        tiles,
+                    },
+                    rest,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // assemble exactly like `build`: remainder rows in order, then
+        // full re-validation through `from_parts`
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        let mut remainder_src = Vec::new();
+        let mut panels = Vec::with_capacity(npanels);
+        for out in outs {
+            panels.push(out.panel);
+            for row in out.rest {
+                for (c, v, s) in row {
+                    colidx.push(c);
+                    values.push(v);
+                    remainder_src.push(s);
+                }
+                rowptr.push(colidx.len());
+            }
+        }
+        let remainder = CsrMatrix::from_parts(self.nrows, self.ncols, rowptr, colidx, values)?;
+        Self::from_parts(self.config, panels, remainder, remainder_src)
+    }
+}
+
+/// The outcome of tiling one panel: its dense tiles plus the entries
+/// left for the sparse remainder, per row as `(col, value, src)`.
+struct PanelOut<T> {
+    panel: Panel<T>,
+    rest: Vec<Vec<(u32, T, u32)>>,
+}
+
+/// Tiles one panel of `m` (rows `row_start..row_end`): counts nonzeros
+/// per column, stages columns with at least `min_col_nnz` into tiles of
+/// `tile_width` (count-descending, column-ascending), and scatters each
+/// nonzero into its tile or the remainder.
+fn tile_panel<T: Scalar>(
+    m: &CsrMatrix<T>,
+    config: &AsptConfig,
+    row_start: usize,
+    row_end: usize,
+) -> PanelOut<T> {
+    // 1. count nonzeros per column within the panel
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for r in row_start..row_end {
+        for &c in m.row_cols(r) {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    // 2. dense columns, sorted by count desc then col asc
+    let mut dense: Vec<(u32, u32)> = counts
+        .into_iter()
+        .filter(|&(_, cnt)| cnt as usize >= config.min_col_nnz)
+        .collect();
+    dense.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // 3. group dense columns into tiles of tile_width
+    let ntiles = dense.len().div_ceil(config.tile_width);
+    let mut tiles: Vec<DenseTile<T>> = (0..ntiles)
+        .map(|t| {
+            let lo = t * config.tile_width;
+            let hi = (lo + config.tile_width).min(dense.len());
+            DenseTile {
+                cols: dense[lo..hi].iter().map(|&(c, _)| c).collect(),
+                rowptr: vec![0],
+                colidx: Vec::new(),
+                values: Vec::new(),
+                src_idx: Vec::new(),
+            }
+        })
+        .collect();
+    let col_to_tile: HashMap<u32, u32> = dense
+        .iter()
+        .enumerate()
+        .map(|(k, &(c, _))| (c, (k / config.tile_width) as u32))
+        .collect();
+
+    // 4. scatter panel nonzeros into tiles / remainder
+    let mut rest: Vec<Vec<(u32, T, u32)>> = Vec::with_capacity(row_end - row_start);
+    for r in row_start..row_end {
+        let (cols, vals) = m.row(r);
+        let base = m.rowptr()[r];
+        let mut rest_row = Vec::new();
+        for (off, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+            let src = (base + off) as u32;
+            match col_to_tile.get(&c) {
+                Some(&t) => {
+                    let tile = &mut tiles[t as usize];
+                    tile.colidx.push(c);
+                    tile.values.push(v);
+                    tile.src_idx.push(src);
+                }
+                None => rest_row.push((c, v, src)),
+            }
+        }
+        for tile in &mut tiles {
+            tile.rowptr.push(tile.colidx.len());
+        }
+        rest.push(rest_row);
+    }
+
+    PanelOut {
+        panel: Panel {
+            row_start,
+            row_end,
+            tiles,
+        },
+        rest,
     }
 }
 
@@ -738,6 +897,70 @@ mod tests {
         let (cfg, panels, rem, mut src) = parts();
         src.pop();
         assert!(AsptMatrix::from_parts(cfg, panels, rem, src).is_err());
+    }
+
+    #[test]
+    fn splice_retiles_only_touched_panels() {
+        // paper_figure: panel height 3 → panels {0,1,2} and {3,4,5}.
+        // A delta confined to row 4 touches only panel 1.
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        let patched = m
+            .apply_structural_delta(&[(4, 5, 77.0)], &[(4, 0)])
+            .unwrap();
+        let spliced = aspt.splice(&patched, &[1]).unwrap();
+        // must equal a from-scratch decomposition of the patched matrix
+        let fresh = AsptMatrix::build(&patched, &AsptConfig::paper_figure());
+        assert_eq!(spliced, fresh);
+        assert_eq!(spliced.to_csr(), patched);
+        // untouched panel 0 is reused verbatim
+        assert_eq!(spliced.panels()[0], aspt.panels()[0]);
+    }
+
+    #[test]
+    fn splice_remaps_src_indices_after_upstream_shift() {
+        // a delta in panel 0 shifts every later nonzero index; panel 1
+        // survives but its src map must follow
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        let patched = m
+            .apply_structural_delta(&[(0, 1, 50.0), (1, 0, 51.0)], &[(2, 2)])
+            .unwrap();
+        let spliced = aspt.splice(&patched, &[0]).unwrap();
+        assert_eq!(
+            spliced,
+            AsptMatrix::build(&patched, &AsptConfig::paper_figure())
+        );
+        for panel in spliced.panels() {
+            for tile in &panel.tiles {
+                for (k, &s) in tile.src_idx.iter().enumerate() {
+                    assert_eq!(patched.values()[s as usize], tile.values[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splice_rejects_unmarked_structural_change() {
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        let patched = m.apply_structural_delta(&[(4, 5, 77.0)], &[]).unwrap();
+        // row 4 lives in panel 1; claiming only panel 0 changed must fail
+        assert!(aspt.splice(&patched, &[0]).is_err());
+        // same-nnz reshaping of a row is also caught (col set differs)
+        let reshaped = m.apply_structural_delta(&[(4, 5, 1.0)], &[(4, 0)]).unwrap();
+        assert!(aspt.splice(&reshaped, &[]).is_err());
+        // shape mismatch and panel index out of range
+        let wide = CsrMatrix::<f64>::identity(7);
+        assert!(aspt.splice(&wide, &[0]).is_err());
+        assert!(aspt.splice(&m, &[9]).is_err());
+    }
+
+    #[test]
+    fn splice_with_no_touched_panels_is_identity() {
+        let m = fig1();
+        let aspt = AsptMatrix::build(&m, &AsptConfig::paper_figure());
+        assert_eq!(aspt.splice(&m, &[]).unwrap(), aspt);
     }
 
     #[test]

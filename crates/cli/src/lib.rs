@@ -19,19 +19,21 @@ usage:
       classes: scattered powerlaw rmat banded stencil clustered
                shuffled noisy diagonal cf
   spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
+  spmm-rr plan     gc --store <dir> [--keep N]
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--op spmm|spmv|spgemm] [--batch]
                       [--max-batch-k N] [--k-block N] [--plan-store DIR]
-                      [--shards N]
+                      [--shards N] [--deltas]
   spmm-rr chaos-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--faults \"point:action@hits,...\"] [--batch]
-                      [--plan-store DIR] [--shards N]
+                      [--plan-store DIR] [--shards N] [--deltas]
       actions: error panic delay:<ms>ms    hits: N every:N N..M *
-      points:  kernel.prepare kernel.execute reorder.round1
-               reorder.round2 serve.cache.prepare serve.worker
-               serve.store.load serve.store.save serve.router.route";
+      points:  kernel.prepare kernel.execute kernel.delta
+               reorder.round1 reorder.round2 serve.cache.prepare
+               serve.cache.delta serve.worker serve.store.load
+               serve.store.save serve.store.delta serve.router.route";
 
 /// One allowed flag of a subcommand: name (without `--`) and whether it
 /// consumes a value.
@@ -45,7 +47,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
         "profile" => Some(&[("k", true), ("device", true), ("json", false)]),
         "reorder" => Some(&[("out", true), ("order", true)]),
         "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
-        "plan" => Some(&[("store", true)]),
+        "plan" => Some(&[("store", true), ("keep", true)]),
         "serve-bench" => Some(&[
             ("requests", true),
             ("concurrency", true),
@@ -61,6 +63,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("k-block", true),
             ("plan-store", true),
             ("shards", true),
+            ("deltas", false),
         ]),
         "chaos-bench" => Some(&[
             ("requests", true),
@@ -75,6 +78,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
             ("batch", false),
             ("plan-store", true),
             ("shards", true),
+            ("deltas", false),
         ]),
         _ => None,
     }
@@ -143,6 +147,16 @@ pub enum Invocation {
         path: PathBuf,
         /// Plan-store directory.
         store: PathBuf,
+    },
+    /// `plan gc --store <dir> [--keep N]` — delete all but the
+    /// `keep` most recently written plan files from the store, so a
+    /// long-lived store (epoch-versioned delta files included) does
+    /// not grow without bound.
+    PlanGc {
+        /// Plan-store directory.
+        store: PathBuf,
+        /// How many of the newest plan files survive.
+        keep: usize,
     },
     /// `serve-bench [--requests N] [--concurrency N] [--workers N]
     /// [--cache N] [--zipf S] [--seed N] [--k N] [--json]
@@ -259,12 +273,24 @@ impl Invocation {
             "plan" => {
                 let action = positional
                     .first()
-                    .ok_or("missing plan action (save, load or verify)")?
+                    .ok_or("missing plan action (save, load, verify or gc)")?
                     .clone();
+                if action == "gc" {
+                    return Ok(Invocation::PlanGc {
+                        store: flags.get("store").ok_or("plan requires --store")?.into(),
+                        keep: match flags.get("keep") {
+                            Some(v) => v.parse().map_err(|_| format!("bad --keep value '{v}'"))?,
+                            None => 8,
+                        },
+                    });
+                }
                 if !matches!(action.as_str(), "save" | "load" | "verify") {
                     return Err(format!(
-                        "unknown plan action '{action}' (save, load or verify)"
+                        "unknown plan action '{action}' (save, load, verify or gc)"
                     ));
+                }
+                if flags.contains_key("keep") {
+                    return Err("--keep is only valid for 'plan gc'".into());
                 }
                 Ok(Invocation::Plan {
                     action,
@@ -323,6 +349,7 @@ impl Invocation {
                 if config.shards == 0 {
                     return Err("bad --shards value '0' (need at least one shard)".into());
                 }
+                config.deltas = flags.contains_key("deltas");
                 Ok(Invocation::ServeBench {
                     config,
                     json: flags.contains_key("json"),
@@ -361,6 +388,7 @@ impl Invocation {
                 if config.shards == 0 {
                     return Err("bad --shards value '0' (need at least one shard)".into());
                 }
+                config.deltas = flags.contains_key("deltas");
                 Ok(Invocation::ChaosBench {
                     config,
                     json: flags.contains_key("json"),
@@ -522,6 +550,21 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
                 },
                 other => Err(format!("unknown plan action '{other}'")),
             }
+        }
+        Invocation::PlanGc { store, keep } => {
+            let store = PlanStore::open(store).map_err(|e| e.to_string())?;
+            let deleted = store.gc(*keep).map_err(|e| e.to_string())?;
+            let survivors = store.list().map_err(|e| e.to_string())?.len();
+            let mut out = format!(
+                "plan gc: deleted {} plan file(s), kept the {} newest ({} on disk)\n",
+                deleted.len(),
+                keep,
+                survivors
+            );
+            for path in &deleted {
+                let _ = writeln!(out, "  removed {}", path.display());
+            }
+            Ok(out)
         }
         Invocation::ServeBench { config, json } => {
             let report = run_serve_bench(config).map_err(|e| e.to_string())?;
@@ -1089,6 +1132,113 @@ mod tests {
         assert!(
             Invocation::parse(&s(&["plan", "save", "m.mtx", "--store", "d", "--k", "8"])).is_err()
         );
+    }
+
+    #[test]
+    fn parse_plan_gc() {
+        let inv =
+            Invocation::parse(&s(&["plan", "gc", "--store", "plans", "--keep", "3"])).unwrap();
+        assert_eq!(
+            inv,
+            Invocation::PlanGc {
+                store: "plans".into(),
+                keep: 3,
+            }
+        );
+        // --keep defaults to 8 and gc needs no matrix positional
+        match Invocation::parse(&s(&["plan", "gc", "--store", "plans"])).unwrap() {
+            Invocation::PlanGc { keep, .. } => assert_eq!(keep, 8),
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(Invocation::parse(&s(&["plan", "gc"])).is_err()); // no --store
+        assert!(Invocation::parse(&s(&["plan", "gc", "--store", "d", "--keep", "x"])).is_err());
+        // --keep is a gc-only flag
+        let err = Invocation::parse(&s(&[
+            "plan", "save", "m.mtx", "--store", "d", "--keep", "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--keep"), "{err}");
+    }
+
+    #[test]
+    fn parse_deltas_flag() {
+        for cmd in ["serve-bench", "chaos-bench"] {
+            match Invocation::parse(&s(&[cmd, "--deltas"])).unwrap() {
+                Invocation::ServeBench { config, .. } => assert!(config.deltas),
+                Invocation::ChaosBench { config, .. } => assert!(config.deltas),
+                other => panic!("wrong invocation: {other:?}"),
+            }
+            match Invocation::parse(&s(&[cmd])).unwrap() {
+                Invocation::ServeBench { config, .. } => assert!(!config.deltas),
+                Invocation::ChaosBench { config, .. } => assert!(!config.deltas),
+                other => panic!("wrong invocation: {other:?}"),
+            }
+        }
+        assert!(Invocation::parse(&s(&["analyze", "m.mtx", "--deltas"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_plan_gc_keeps_newest_plans() {
+        let dir = std::env::temp_dir().join(format!("spmm_cli_gc_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_dir = dir.join("plans");
+        for (i, class) in ["shuffled", "banded", "clustered"].iter().enumerate() {
+            let input = dir.join(format!("m{i}.mtx"));
+            run(&Invocation::Generate {
+                class: (*class).into(),
+                out: input.clone(),
+                seed: 5 + i as u64,
+                scale: 1,
+            })
+            .unwrap();
+            run(&Invocation::Plan {
+                action: "save".into(),
+                path: input,
+                store: store_dir.clone(),
+            })
+            .unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let out = run(&Invocation::PlanGc {
+            store: store_dir.clone(),
+            keep: 1,
+        })
+        .unwrap();
+        assert!(out.contains("deleted 2 plan file(s)"), "{out}");
+        assert!(out.contains("kept the 1 newest (1 on disk)"), "{out}");
+        assert_eq!(
+            PlanStore::open(&store_dir).unwrap().list().unwrap().len(),
+            1
+        );
+        // idempotent: nothing left to collect
+        let again = run(&Invocation::PlanGc {
+            store: store_dir,
+            keep: 1,
+        })
+        .unwrap();
+        assert!(again.contains("deleted 0 plan file(s)"), "{again}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_bench_with_deltas_reports_the_epoch_chain() {
+        let inv = Invocation::parse(&s(&[
+            "chaos-bench",
+            "--requests",
+            "24",
+            "--concurrency",
+            "2",
+            "--workers",
+            "2",
+            "--k",
+            "8",
+            "--deltas",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("deltas: committed"), "{out}");
+        assert!(out.contains("final epoch exact"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
     }
 
     #[test]

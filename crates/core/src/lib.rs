@@ -118,9 +118,9 @@ pub mod prelude {
     };
     pub use spmm_serve::{
         rendezvous_order, rendezvous_pick, run_chaos_bench, run_serve_bench, BatchConfig,
-        BatchProbe, BenchOp, CacheStats, ChaosBenchConfig, ChaosBenchReport, HealthSnapshot,
-        MatrixFingerprint, PlanCache, PlanCacheConfig, PlanStore, PlanStoreProbe, Request,
-        RequestOp, Response, RouterConfig, RouterHealth, RouterStats, ServeBenchConfig,
+        BatchProbe, BenchOp, CacheStats, ChaosBenchConfig, ChaosBenchReport, DeltaProbe,
+        HealthSnapshot, MatrixFingerprint, PlanCache, PlanCacheConfig, PlanStore, PlanStoreProbe,
+        Request, RequestOp, Response, RouterConfig, RouterHealth, RouterStats, ServeBenchConfig,
         ServeBenchReport, ServeConfig, ServeEngine, ServeError, ServePath, ServeStats, ShardProbe,
         ShardRouter, StoredPlan, Ticket,
     };

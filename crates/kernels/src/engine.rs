@@ -8,14 +8,15 @@
 //! caller's original row / nonzero order**, so reordering is invisible
 //! to users of the results.
 
-use spmm_aspt::AsptMatrix;
+use spmm_aspt::{dense_ratio_of, AsptMatrix};
 use spmm_faults::FaultPoint;
 use spmm_gpu_sim::kernels::{
     simulate_sddmm_aspt, simulate_spgemm_clustered, simulate_spmm_aspt,
     simulate_spmm_aspt_kblocked, simulate_spmv_aspt,
 };
 use spmm_gpu_sim::{DeviceConfig, SimReport};
-use spmm_reorder::{plan_reordering_with, ReorderConfig, ReorderPlan};
+use spmm_reorder::{plan_region_recluster_with, plan_reordering_with, ReorderConfig, ReorderPlan};
+use spmm_sparse::similarity::jaccard;
 use spmm_sparse::{CsrMatrix, DenseMatrix, Permutation, Scalar, SparseError};
 use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
 use std::sync::Arc;
@@ -35,6 +36,11 @@ pub static FAULT_KERNEL_PREPARE: FaultPoint = FaultPoint::new("kernel.prepare");
 /// surfaces like an operand validation failure.
 pub static FAULT_KERNEL_EXECUTE: FaultPoint = FaultPoint::new("kernel.execute");
 
+/// Fault point at the head of [`Engine::apply_delta`], before any
+/// patching: an injected error surfaces like a delta validation
+/// failure, leaving the engine untouched.
+pub static FAULT_KERNEL_DELTA: FaultPoint = FaultPoint::new("kernel.delta");
+
 /// Engine construction options.
 ///
 /// The struct is `#[non_exhaustive]`: construct it with
@@ -48,7 +54,7 @@ pub static FAULT_KERNEL_EXECUTE: FaultPoint = FaultPoint::new("kernel.execute");
 /// let config = EngineConfig::builder().k_hint(64).build();
 /// assert_eq!(config.k_hint, Some(64));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct EngineConfig {
     /// Reordering pipeline configuration (LSH, clustering, ASpT, skip
@@ -62,6 +68,23 @@ pub struct EngineConfig {
     /// for its [`PrepareReport`]; when this handle is enabled, every
     /// event is teed to it as well.
     pub telemetry: TelemetryHandle,
+    /// Jaccard drift past which [`Engine::apply_delta`] re-clusters a
+    /// touched row panel instead of splicing its tiles through. A
+    /// panel's drift is `1 − avg J(old row, new row)` over its touched
+    /// rows; 0.0 re-clusters on any structural change, 1.0 never
+    /// re-clusters. Default 0.5.
+    pub delta_drift_threshold: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            reorder: ReorderConfig::default(),
+            k_hint: None,
+            telemetry: TelemetryHandle::default(),
+            delta_drift_threshold: 0.5,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -93,6 +116,12 @@ impl EngineConfigBuilder {
     /// Sets the telemetry sink.
     pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the Jaccard drift threshold for incremental deltas.
+    pub fn delta_drift_threshold(mut self, threshold: f64) -> Self {
+        self.config.delta_drift_threshold = threshold;
         self
     }
 
@@ -378,6 +407,15 @@ pub struct Engine<T> {
     /// The handle execution methods emit through (tees to `collector`
     /// and any caller-configured sink).
     telemetry: TelemetryHandle,
+    /// The caller-configured sink alone (no internal collector), so
+    /// [`Engine::apply_delta`] can wire successor engines to the same
+    /// external telemetry without double-teeing this engine's collector.
+    user_telemetry: TelemetryHandle,
+    /// Reordering configuration retained for panel-local re-clustering
+    /// under [`Engine::apply_delta`].
+    reorder_config: ReorderConfig,
+    /// Jaccard drift threshold for [`Engine::apply_delta`].
+    delta_drift_threshold: f64,
 }
 
 impl<T: Scalar> Engine<T> {
@@ -441,6 +479,9 @@ impl<T: Scalar> Engine<T> {
             k_hint: config.k_hint,
             collector,
             telemetry,
+            user_telemetry: config.telemetry.clone(),
+            reorder_config: config.reorder,
+            delta_drift_threshold: config.delta_drift_threshold,
         })
     }
 
@@ -514,6 +555,7 @@ impl<T: Scalar> Engine<T> {
             return bad("tiling does not reconstruct the reordered matrix".to_string());
         }
         let collector = Arc::new(Collector::new());
+        let user_telemetry = telemetry.clone();
         let telemetry = if telemetry.is_enabled() {
             TelemetryHandle::new(Arc::new(FanoutRecorder::new(vec![
                 collector.clone() as Arc<dyn Recorder>,
@@ -525,6 +567,7 @@ impl<T: Scalar> Engine<T> {
         let report = PrepareReport {
             manifest: collector.manifest(),
         };
+        let reorder_config = ReorderConfig::builder().aspt(*aspt.config()).build();
         Ok(Self {
             original_ncols: reordered.ncols(),
             plan: Arc::new(plan),
@@ -535,6 +578,9 @@ impl<T: Scalar> Engine<T> {
             k_hint,
             collector,
             telemetry,
+            user_telemetry,
+            reorder_config,
+            delta_drift_threshold: 0.5,
         })
     }
 
@@ -957,6 +1003,168 @@ impl<T: Scalar> Engine<T> {
             out[j] = values[old];
         }
         out
+    }
+
+    /// Reconstructs the *original* (pre-reordering) matrix this engine
+    /// was prepared from — the inverse of the row permutation applied
+    /// over the reordered CSR. Callers that fingerprint or mutate the
+    /// source structure (the serving layer's delta path) use this; it
+    /// costs one `O(nnz)` permutation.
+    pub fn source_matrix(&self) -> CsrMatrix<T> {
+        if self.plan.row_perm.is_identity() {
+            (*self.reordered).clone()
+        } else {
+            self.reordered.permute_rows(&self.plan.row_perm.inverse())
+        }
+    }
+
+    /// Incrementally re-prepares this engine for a structural delta on
+    /// the *original* matrix: `added` edges are inserted, `removed`
+    /// edges dropped (coordinates in original row space). Instead of a
+    /// cold [`Engine::prepare`], the existing analysis is patched:
+    ///
+    /// 1. the source CSR is patched
+    ///    ([`CsrMatrix::apply_structural_delta`], which rejects
+    ///    malformed deltas up front);
+    /// 2. touched rows are classified into row panels, and each touched
+    ///    panel's Jaccard drift (`1 − avg J(old row, new row)`) is
+    ///    measured against the configured
+    ///    [`EngineConfig::delta_drift_threshold`];
+    /// 3. panels past the threshold are re-clustered *locally* (the §4
+    ///    round-1 decision re-run on the drifted region) with a
+    ///    trial-and-error acceptance: the new order is kept only when
+    ///    it improves the region's dense ratio;
+    /// 4. the tiling is spliced ([`AsptMatrix::splice`]): surviving
+    ///    panels keep their tiles verbatim (source indices remapped),
+    ///    touched panels are re-tiled.
+    ///
+    /// The result is a fully validated successor engine; `self` is
+    /// untouched, so a failure at any stage leaves the old engine
+    /// serving. Outputs are *numerically* exact regardless of how the
+    /// successor's panel assignment differs from what a from-scratch
+    /// prepare would choose — reordering is invisible in results.
+    ///
+    /// # Errors
+    /// Fails on malformed deltas ([`SparseError::DeltaOutOfBounds`],
+    /// [`SparseError::DeltaDuplicate`],
+    /// [`SparseError::DeltaMissingEdge`]), on injected
+    /// [`FAULT_KERNEL_DELTA`] faults, or when the spliced parts fail
+    /// validation.
+    pub fn apply_delta(
+        &self,
+        added: &[(usize, usize, T)],
+        removed: &[(usize, usize)],
+    ) -> Result<Self, SparseError> {
+        FAULT_KERNEL_DELTA
+            .fire()
+            .map_err(|e| SparseError::InvalidStructure(e.to_string()))?;
+        let patched = self
+            .source_matrix()
+            .apply_structural_delta(added, removed)?;
+
+        // touched rows, in reordered row space
+        let old_perm = &self.plan.row_perm;
+        let inv = old_perm.inverse();
+        let mut touched_rows: Vec<usize> = added
+            .iter()
+            .map(|&(r, _, _)| r)
+            .chain(removed.iter().map(|&(r, _)| r))
+            .map(|r| inv.old_of(r) as usize)
+            .collect();
+        touched_rows.sort_unstable();
+        touched_rows.dedup();
+        let panel_height = self.aspt.config().panel_height;
+        let mut touched_panels: Vec<usize> =
+            touched_rows.iter().map(|&r| r / panel_height).collect();
+        touched_panels.dedup();
+
+        // tentative: the patched matrix under the unchanged permutation
+        let (mut reordered, mut nnz_map) = patched.permute_rows_with_map(old_perm);
+
+        // drift per touched panel: how far each panel's touched rows
+        // moved from the structure the clustering was computed on
+        let mut drifted: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        for &p in &touched_panels {
+            let mut sim_sum = 0.0f64;
+            let mut n = 0usize;
+            while i < touched_rows.len() && touched_rows[i] / panel_height == p {
+                let r = touched_rows[i];
+                sim_sum += jaccard(self.reordered.row_cols(r), reordered.row_cols(r));
+                n += 1;
+                i += 1;
+            }
+            if 1.0 - sim_sum / n as f64 > self.delta_drift_threshold {
+                drifted.push(p);
+            }
+        }
+        self.telemetry
+            .counter("delta.touched_rows", touched_rows.len() as u64);
+        self.telemetry
+            .counter("delta.touched_panels", touched_panels.len() as u64);
+        self.telemetry
+            .counter("delta.drifted_panels", drifted.len() as u64);
+
+        // re-cluster the union of drifted panels, §4-style: re-run the
+        // round-1 decision locally, keep the new order only when the
+        // trial shows it improves the region's dense ratio
+        let mut row_perm = old_perm.clone();
+        if !drifted.is_empty() {
+            let nrows = reordered.nrows();
+            let region_rows: Vec<u32> = drifted
+                .iter()
+                .flat_map(|&p| {
+                    let start = p * panel_height;
+                    (start..(start + panel_height).min(nrows)).map(|r| r as u32)
+                })
+                .collect();
+            let region = reordered.extract_rows(&region_rows);
+            if let Some((local_perm, _stats)) =
+                plan_region_recluster_with(&region, &self.reorder_config, &self.telemetry)
+            {
+                let aspt_cfg = self.reorder_config.aspt;
+                let reclustered = region.permute_rows(&local_perm);
+                let accepted =
+                    dense_ratio_of(&reclustered, &aspt_cfg) > dense_ratio_of(&region, &aspt_cfg);
+                self.telemetry
+                    .counter("delta.recluster_accepted", u64::from(accepted));
+                if accepted {
+                    // lift the local order to an adjustment over all
+                    // rows (identity outside the drifted slots), then
+                    // fold it into the row permutation
+                    let mut order: Vec<u32> = (0..nrows as u32).collect();
+                    for (local_new, &slot) in region_rows.iter().enumerate() {
+                        order[slot as usize] = region_rows[local_perm.old_of(local_new) as usize];
+                    }
+                    let adjust = Permutation::from_order(order)?;
+                    row_perm = adjust.compose(old_perm);
+                    let (re, map) = patched.permute_rows_with_map(&row_perm);
+                    reordered = re;
+                    nnz_map = map;
+                }
+            }
+        }
+
+        let aspt = self.aspt.splice(&reordered, &touched_panels)?;
+        let plan = ReorderPlan {
+            round1_applied: !row_perm.is_identity(),
+            row_perm,
+            dense_ratio_after: aspt.dense_ratio(),
+            ..(*self.plan).clone()
+        };
+        let mut engine = Self::from_parts(
+            plan,
+            aspt,
+            reordered,
+            nnz_map,
+            self.k_hint,
+            &self.user_telemetry,
+        )?;
+        // chained deltas keep the configured knobs, not the from_parts
+        // defaults
+        engine.reorder_config = self.reorder_config;
+        engine.delta_drift_threshold = self.delta_drift_threshold;
+        Ok(engine)
     }
 
     /// Non-destructive [`Engine::update_values`]: a new engine with the
@@ -1452,6 +1660,108 @@ mod tests {
             &noop,
         )
         .is_err());
+    }
+
+    #[test]
+    fn source_matrix_inverts_the_reordering() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(engine.plan().round1_applied);
+        assert_eq!(engine.source_matrix(), m);
+        // identity path
+        let id = generators::pinned_block_diagonal::<f64>(8, 16, 12);
+        let engine = Engine::prepare(&id, &cfg()).unwrap();
+        assert!(!engine.plan().needs_reordering());
+        assert_eq!(engine.source_matrix(), id);
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_prepare_numerically() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        let added = [(3usize, 40usize, 2.5f64), (17, 1, -1.0), (63, 0, 4.0)];
+        let removed = [(3usize, m.row_cols(3)[0] as usize)];
+        let patched = m.apply_structural_delta(&added, &removed).unwrap();
+
+        let inc = engine.apply_delta(&added, &removed).unwrap();
+        assert_eq!(inc.source_matrix(), patched);
+
+        // results agree with a reference on the patched structure
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 7);
+        let expected = spmm_rowwise_seq(&patched, &x).unwrap();
+        assert!(expected.max_abs_diff(&inc.spmm(&x).unwrap()) < 1e-10);
+        let fresh = Engine::prepare(&patched, &cfg()).unwrap();
+        assert!(fresh.spmm(&x).unwrap().max_abs_diff(&inc.spmm(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn apply_delta_chains_and_handles_row_lifecycle() {
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 5);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        // empty row 2 entirely, then repopulate it in a second delta
+        let row2: Vec<(usize, usize)> = m.row_cols(2).iter().map(|&c| (2, c as usize)).collect();
+        let e1 = engine.apply_delta(&[], &row2).unwrap();
+        assert_eq!(e1.source_matrix().row_nnz(2), 0);
+        let e2 = e1.apply_delta(&[(2, 5, 9.0), (2, 11, -3.0)], &[]).unwrap();
+        let final_m = m
+            .apply_structural_delta(&[], &row2)
+            .unwrap()
+            .apply_structural_delta(&[(2, 5, 9.0), (2, 11, -3.0)], &[])
+            .unwrap();
+        assert_eq!(e2.source_matrix(), final_m);
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 2);
+        let expected = spmm_rowwise_seq(&final_m, &x).unwrap();
+        assert!(expected.max_abs_diff(&e2.spmm(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_deltas_and_leaves_self_usable() {
+        let m = generators::shuffled_block_diagonal::<f64>(32, 8, 24, 8, 7);
+        let engine = Engine::prepare(&m, &cfg()).unwrap();
+        assert!(matches!(
+            engine.apply_delta(&[(999, 0, 1.0)], &[]),
+            Err(SparseError::DeltaOutOfBounds { .. })
+        ));
+        let existing = (0usize, m.row_cols(0)[0] as usize);
+        assert!(matches!(
+            engine.apply_delta(&[], &[existing, existing]),
+            Err(SparseError::DeltaDuplicate { .. })
+        ));
+        let absent = (0..m.ncols() as u32)
+            .find(|c| m.row_cols(1).binary_search(c).is_err())
+            .unwrap() as usize;
+        assert!(matches!(
+            engine.apply_delta(&[], &[(1, absent)]),
+            Err(SparseError::DeltaMissingEdge { .. })
+        ));
+        // the failed delta left the engine serving correct answers
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 3);
+        let expected = spmm_rowwise_seq(&m, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn delta_drift_threshold_zero_forces_recluster_path() {
+        // drift 0.0 re-clusters every touched panel; results must stay
+        // exact either way
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 9);
+        let config = EngineConfig::builder()
+            .reorder(cfg().reorder)
+            .delta_drift_threshold(0.0)
+            .build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let added = [(5usize, 2usize, 1.0f64), (40, 30, 2.0)];
+        let inc = engine.apply_delta(&added, &[]).unwrap();
+        let patched = m.apply_structural_delta(&added, &[]).unwrap();
+        assert_eq!(inc.source_matrix(), patched);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 11);
+        let expected = spmm_rowwise_seq(&patched, &x).unwrap();
+        assert!(expected.max_abs_diff(&inc.spmm(&x).unwrap()) < 1e-10);
+        // sddmm + spgemm stay exact through the delta too
+        let y = generators::random_dense::<f64>(m.nrows(), 8, 12);
+        let e = sddmm_rowwise_seq(&patched, &x, &y).unwrap();
+        let g = inc.sddmm(&x, &y).unwrap();
+        assert!(e.iter().zip(&g).all(|(a, b)| (a - b).abs() < 1e-10));
     }
 
     #[test]

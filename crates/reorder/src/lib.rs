@@ -29,7 +29,7 @@ pub mod union_find;
 pub use cluster::{cluster_rows, ClusterStats};
 pub use metrics::ReorderMetrics;
 pub use pipeline::{
-    plan_reordering, plan_reordering_with, ReorderConfig, ReorderConfigBuilder, ReorderPlan,
-    ReorderPolicy,
+    plan_region_recluster_with, plan_reordering, plan_reordering_with, ReorderConfig,
+    ReorderConfigBuilder, ReorderPlan, ReorderPolicy,
 };
 pub use union_find::UnionFind;

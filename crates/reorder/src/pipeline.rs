@@ -296,6 +296,41 @@ pub fn plan_reordering_with<T: Scalar>(
     }
 }
 
+/// Re-clusters one *region* of an already-reordered matrix — the union
+/// of the row panels a structural delta drifted — re-running the §4
+/// round-1 decision locally instead of re-planning the whole matrix.
+///
+/// `region` is the submatrix made of the drifted panels' rows (in their
+/// current reordered order); the returned permutation is in that local
+/// row space: local slot `k` should hold region row `perm.old_of(k)`.
+///
+/// Returns `None` when the region needs no re-clustering: fewer than
+/// two rows, dense ratio already above
+/// [`ReorderPolicy::skip_round1_dense_ratio`] (unless
+/// [`ReorderPolicy::force_round1`]), or clustering lands on the
+/// identity order.
+pub fn plan_region_recluster_with<T: Scalar>(
+    region: &CsrMatrix<T>,
+    config: &ReorderConfig,
+    telemetry: &TelemetryHandle,
+) -> Option<(Permutation, ClusterStats)> {
+    if region.nrows() < 2 {
+        return None;
+    }
+    let dense_ratio = dense_ratio_of(region, &config.aspt);
+    telemetry.gauge("delta.region_dense_ratio", dense_ratio);
+    if !config.policy.force_round1 && dense_ratio > config.policy.skip_round1_dense_ratio {
+        return None;
+    }
+    let _span = telemetry.span("region_recluster");
+    let pairs = generate_candidates_with(region, &config.lsh, telemetry);
+    let (perm, stats) = cluster_rows(region, &pairs, config.threshold_size);
+    if perm.is_identity() {
+        return None;
+    }
+    Some((perm, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +452,37 @@ mod tests {
                 assert_eq!(plan.row_perm.len(), m.nrows());
             }
         }
+    }
+
+    #[test]
+    fn region_recluster_recovers_shuffled_region() {
+        let m = generators::shuffled_block_diagonal::<f64>(64, 16, 48, 16, 3);
+        let telemetry = TelemetryHandle::noop();
+        let got = plan_region_recluster_with(&m, &quick_config(), &telemetry);
+        let (perm, stats) = got.expect("a shuffled sparse region should re-cluster");
+        assert_eq!(perm.len(), m.nrows());
+        assert!(stats.merges > 0);
+        let re = m.permute_rows(&perm);
+        let cfg = quick_config();
+        assert!(
+            dense_ratio_of(&re, &cfg.aspt) > dense_ratio_of(&m, &cfg.aspt),
+            "local re-cluster should recover dense ratio"
+        );
+    }
+
+    #[test]
+    fn region_recluster_respects_skip_heuristic() {
+        // already-dense region: §4 says leave it alone
+        let m = generators::block_diagonal::<f64>(8, 32, 48, 16, 3);
+        let telemetry = TelemetryHandle::noop();
+        assert!(plan_region_recluster_with(&m, &quick_config(), &telemetry).is_none());
+        // degenerate region: nothing to reorder even when forced
+        let tiny = CsrMatrix::<f64>::from_parts(1, 4, vec![0, 1], vec![2], vec![1.0]).unwrap();
+        let cfg = ReorderConfig {
+            policy: ReorderPolicy::always(),
+            ..quick_config()
+        };
+        assert!(plan_region_recluster_with(&tiny, &cfg, &telemetry).is_none());
     }
 
     #[test]

@@ -125,6 +125,13 @@ pub struct ServeBenchConfig {
     /// warm-loads instead of re-preparing. Default 1 (no router; the
     /// classic single-engine path, byte-for-byte unchanged).
     pub shards: usize,
+    /// Run the structural-delta probe: for every corpus structure,
+    /// apply a ≤ 1 %-of-nnz delta incrementally
+    /// ([`Engine::apply_delta`]) and from scratch ([`Engine::prepare`]
+    /// on the patched matrix), compare answers bit for bit, and time
+    /// both paths — the incremental path must win by ≥ 3×. Default:
+    /// disabled.
+    pub deltas: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -144,6 +151,7 @@ impl Default for ServeBenchConfig {
             batch: None,
             plan_store: None,
             shards: 1,
+            deltas: false,
         }
     }
 }
@@ -201,6 +209,42 @@ impl PlanStoreProbe {
     /// answers and a ≥ 10× warm-start speedup.
     pub fn passed(&self) -> bool {
         self.exact && self.speedup >= 10.0
+    }
+}
+
+/// Outcome of the structural-delta probe: for every corpus structure,
+/// a small delta (≤ 1 % of nnz churned: half removed edges, half added
+/// edges) is applied both incrementally ([`Engine::apply_delta`] on
+/// the already-prepared engine) and from scratch ([`Engine::prepare`]
+/// on the patched matrix). Operands are quantised onto the integer
+/// grid so both engines must answer SpMM **bit-identically**; the
+/// incremental path re-preprocesses only the row panels the delta
+/// actually drifted, so it must be at least 3× faster in aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct DeltaProbe {
+    /// Total wall-clock milliseconds of from-scratch `Engine::prepare`
+    /// over the patched structures.
+    pub prepare_ms: f64,
+    /// Total wall-clock milliseconds of incremental
+    /// `Engine::apply_delta` over the same deltas.
+    pub apply_ms: f64,
+    /// `prepare_ms / apply_ms`.
+    pub speedup: f64,
+    /// Structures probed (the corpus size).
+    pub structures: usize,
+    /// Edges churned (added + removed) across all probed deltas.
+    pub edges_churned: usize,
+    /// Whether every incremental engine answered SpMM bit-identically
+    /// to its from-scratch twin.
+    pub exact: bool,
+}
+
+impl DeltaProbe {
+    /// Whether the probe observed its contractual outcome: bit-exact
+    /// answers and a ≥ 3× incremental speedup on a ≤ 1 %-nnz delta.
+    pub fn passed(&self) -> bool {
+        self.exact && self.speedup >= 3.0
     }
 }
 
@@ -291,6 +335,9 @@ pub struct ServeBenchReport {
     pub plan_store_probe: Option<PlanStoreProbe>,
     /// The shard probe's outcome; `None` on single-engine runs.
     pub shard_probe: Option<ShardProbe>,
+    /// The structural-delta probe's outcome; `None` when `deltas` is
+    /// off.
+    pub delta_probe: Option<DeltaProbe>,
     /// The run manifest snapshot, counters and probe outcomes included.
     pub manifest: RunManifest,
 }
@@ -305,6 +352,7 @@ impl ServeBenchReport {
             && self.batch_probe.is_none_or(|p| p.passed())
             && self.plan_store_probe.is_none_or(|p| p.passed())
             && self.shard_probe.is_none_or(|p| p.passed())
+            && self.delta_probe.is_none_or(|p| p.passed())
     }
 
     /// Renders the human-readable summary the CLI prints.
@@ -390,6 +438,22 @@ impl ServeBenchReport {
                 probe.exact,
                 if probe.passed() {
                     "ok (bit-exact warm start, >= 10x faster than prepare)"
+                } else {
+                    "FAILED"
+                }
+            ));
+        }
+        if let Some(probe) = &self.delta_probe {
+            out.push_str(&format!(
+                "  delta probe: {} structures, {} edges churned, prepare {:.3} ms, apply {:.3} ms, speedup {:.1}x, exact={} -> {}\n",
+                probe.structures,
+                probe.edges_churned,
+                probe.prepare_ms,
+                probe.apply_ms,
+                probe.speedup,
+                probe.exact,
+                if probe.passed() {
+                    "ok (bit-exact incremental re-prepare, >= 3x faster than from-scratch)"
                 } else {
                     "FAILED"
                 }
@@ -582,6 +646,105 @@ fn run_plan_store_probe(
     })
 }
 
+/// Builds the probe's deterministic ≤ 1 %-nnz delta for `m`: every
+/// `nnz / budget`-th edge is removed (spreading the churn across the
+/// whole row range, so several row panels drift) and an equal number
+/// of previously-absent integer-grid edges is added on a disjoint set
+/// of coordinates.
+#[allow(clippy::type_complexity)]
+fn probe_delta(m: &CsrMatrix<f32>, seed: u64) -> (Vec<(usize, usize, f32)>, Vec<(usize, usize)>) {
+    let nnz = m.nnz();
+    let budget = (nnz / 200).max(1);
+    let step = (nnz / budget).max(1);
+    let mut removed = Vec::with_capacity(budget);
+    let mut edge = 0usize;
+    'rows: for r in 0..m.nrows() {
+        for &c in m.row_cols(r) {
+            if edge.is_multiple_of(step) {
+                removed.push((r, c as usize));
+                if removed.len() == budget {
+                    break 'rows;
+                }
+            }
+            edge += 1;
+        }
+    }
+    let mut used: std::collections::HashSet<(usize, usize)> = removed.iter().copied().collect();
+    let mut added = Vec::with_capacity(budget);
+    let nrows = m.nrows();
+    let mut r = (seed as usize) % nrows.max(1);
+    let mut attempts = 0;
+    while added.len() < budget && attempts < nrows * 2 {
+        attempts += 1;
+        let cols = m.row_cols(r);
+        let fresh = (0..m.ncols() as u32)
+            .find(|c| cols.binary_search(c).is_err() && !used.contains(&(r, *c as usize)));
+        if let Some(c) = fresh {
+            used.insert((r, c as usize));
+            added.push((r, c as usize, ((added.len() % 9) as f32) - 4.0));
+        }
+        r = (r + 1) % nrows;
+    }
+    (added, removed)
+}
+
+/// Measures the incremental re-prepare contract: for every corpus
+/// structure (values quantised onto the integer grid), time
+/// `Engine::apply_delta` against a from-scratch `Engine::prepare` of
+/// the patched matrix, and compare SpMM answers bit for bit.
+fn run_delta_probe(
+    matrices: &[Arc<CsrMatrix<f32>>],
+    k: usize,
+    seed: u64,
+) -> Result<DeltaProbe, ServeError> {
+    let engine_config = EngineConfig::default();
+    let k = k.max(1);
+    let mut prepare = Duration::ZERO;
+    let mut apply = Duration::ZERO;
+    let mut edges_churned = 0usize;
+    let mut exact = true;
+    for (i, m) in matrices.iter().enumerate() {
+        // quantised twin: plan decisions are structural, so timings are
+        // representative, and integer-grid values make the bit-equality
+        // comparison meaningful across different plans
+        let mut q = (**m).clone();
+        quantize_f32(q.values_mut());
+        let base = Engine::prepare(&q, &engine_config).map_err(ServeError::Prepare)?;
+        let (added, removed) = probe_delta(&q, seed ^ i as u64);
+        edges_churned += added.len() + removed.len();
+        let apply_start = Instant::now();
+        let incremental = base
+            .apply_delta(&added, &removed)
+            .map_err(ServeError::Prepare)?;
+        apply += apply_start.elapsed();
+        let patched = q
+            .apply_structural_delta(&added, &removed)
+            .map_err(ServeError::Prepare)?;
+        let prepare_start = Instant::now();
+        let fresh = Engine::prepare(&patched, &engine_config).map_err(ServeError::Prepare)?;
+        prepare += prepare_start.elapsed();
+        let mut x = generators::random_dense::<f32>(q.ncols(), k, seed ^ (0xDE17A + i as u64));
+        quantize_f32(x.data_mut());
+        exact &= incremental.spmm(&x).map_err(ServeError::Execute)?.data()
+            == fresh.spmm(&x).map_err(ServeError::Execute)?.data();
+    }
+    let prepare_ms = prepare.as_secs_f64() * 1e3;
+    let apply_ms = apply.as_secs_f64() * 1e3;
+    let speedup = if apply_ms > 0.0 {
+        prepare_ms / apply_ms
+    } else {
+        f64::INFINITY
+    };
+    Ok(DeltaProbe {
+        prepare_ms,
+        apply_ms,
+        speedup,
+        structures: matrices.len(),
+        edges_churned,
+        exact,
+    })
+}
+
 /// Runs the serving benchmark and returns the measured report. The
 /// probes' contractual outcomes are asserted by the caller (or CI) via
 /// [`ServeBenchReport::probes_passed`], not by this function — a
@@ -760,6 +923,12 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         })
         .transpose()?;
 
+    // -- delta probe: incremental vs from-scratch re-prepare ------------
+    let delta_probe = config
+        .deltas
+        .then(|| run_delta_probe(&matrices, config.k, config.seed))
+        .transpose()?;
+
     let stats = serve.stats();
     let cache = serve.cache_stats();
     let p50_ms = percentile_ms(&latencies, 0.50);
@@ -813,6 +982,9 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
             ),
         );
     }
+    if let Some(probe) = &delta_probe {
+        record_delta_probe(telemetry, probe);
+    }
     let manifest = serve.manifest();
 
     Ok(ServeBenchReport {
@@ -831,8 +1003,30 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Se
         batch_probe,
         plan_store_probe,
         shard_probe: None,
+        delta_probe,
         manifest,
     })
+}
+
+/// Records the delta probe's outcome into the run telemetry so the
+/// JSON manifest (`--json`, the CI perf smoke) carries the speedup
+/// gauge the ≥ 3× assertion reads.
+fn record_delta_probe(telemetry: &TelemetryHandle, probe: &DeltaProbe) {
+    telemetry.gauge("bench.delta.prepare_ms", probe.prepare_ms);
+    telemetry.gauge("bench.delta.apply_ms", probe.apply_ms);
+    telemetry.gauge("bench.delta.speedup", probe.speedup);
+    telemetry.meta(
+        "bench.delta_probe",
+        &format!(
+            "structures={} edges_churned={} prepare_ms={:.3} apply_ms={:.3} speedup={:.2} exact={}",
+            probe.structures,
+            probe.edges_churned,
+            probe.prepare_ms,
+            probe.apply_ms,
+            probe.speedup,
+            probe.exact
+        ),
+    );
 }
 
 /// Monotonic suffix for ephemeral shard-bench store directories, so
@@ -1097,6 +1291,10 @@ fn run_sharded_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport
     } else {
         None
     };
+    let delta_probe = config
+        .deltas
+        .then(|| run_delta_probe(&matrices, config.k, config.seed))
+        .transpose()?;
 
     let stats = router.stats().fleet;
     let cache = router.cache_stats();
@@ -1160,6 +1358,9 @@ fn run_sharded_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport
             ),
         );
     }
+    if let Some(probe) = &delta_probe {
+        record_delta_probe(telemetry, probe);
+    }
     let manifest = router.manifest();
     if ephemeral {
         let _ = std::fs::remove_dir_all(&store_dir);
@@ -1181,6 +1382,7 @@ fn run_sharded_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport
         batch_probe,
         plan_store_probe,
         shard_probe: Some(shard_probe),
+        delta_probe,
         manifest,
     })
 }
@@ -1382,6 +1584,45 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("sharded: 2 engines"), "{rendered}");
         assert!(rendered.contains("shard probe"), "{rendered}");
+    }
+
+    #[test]
+    fn delta_probe_is_exact_and_beats_from_scratch_prepare() {
+        let config = ServeBenchConfig {
+            requests: 12,
+            concurrency: 2,
+            workers: 2,
+            cache_capacity: 4,
+            deltas: true,
+            ..ServeBenchConfig::default()
+        };
+        let report = run_serve_bench(&config).unwrap();
+        let probe = report.delta_probe.expect("deltas were enabled");
+        assert!(
+            probe.exact,
+            "incremental plans deviated: {}",
+            report.render()
+        );
+        assert_eq!(probe.structures, report.corpus_size);
+        assert!(probe.edges_churned >= probe.structures * 2);
+        // the hard 3x bar is asserted by the release-mode CI perf
+        // smoke; in-test (possibly debug, loaded machine) the floor is
+        // that incremental must still win
+        assert!(
+            probe.speedup > 1.0,
+            "apply_delta must beat prepare: {}",
+            report.render()
+        );
+        assert!(
+            report.manifest.gauges.contains_key("bench.delta.speedup"),
+            "speedup gauge must land in the manifest for the CI assert"
+        );
+        assert!(
+            report.manifest.meta.contains_key("bench.delta_probe"),
+            "probe outcome must land in the manifest"
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("delta probe"), "{rendered}");
     }
 
     #[test]

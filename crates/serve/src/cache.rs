@@ -68,6 +68,13 @@ use std::time::Duration;
 /// action poisons the slot exactly like a real mid-prepare panic.
 pub static FAULT_SERVE_CACHE_PREPARE: FaultPoint = FaultPoint::new("serve.cache.prepare");
 
+/// Fault point fired inside [`PlanCache::apply_delta`], between the
+/// incremental re-prepare and the commit of the new epoch — the widest
+/// window in which a delta can die with the new plan fully built but
+/// not yet installed. Any action (error or panic) aborts the delta:
+/// the old fingerprint's slot is restored and keeps serving.
+pub static FAULT_SERVE_CACHE_DELTA: FaultPoint = FaultPoint::new("serve.cache.delta");
+
 /// Construction options for [`PlanCache`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -338,6 +345,12 @@ enum SlotState<T> {
     Preparing,
     /// The shared, ready-to-execute plan.
     Ready(Arc<Engine<T>>),
+    /// An exclusive in-place mutation — a value refresh or a
+    /// structural delta — has claimed the slot. Readers keep being
+    /// served the carried pre-mutation engine (epoch semantics: there
+    /// is no window in which lookups miss); other mutations wait on
+    /// the condvar until the claimer settles the slot back to `Ready`.
+    Updating(Arc<Engine<T>>),
     /// The last prepare returned an error; the slot persists so
     /// backoff and breaker state survive between attempts.
     Failed(FailureState),
@@ -375,7 +388,40 @@ impl<T: Scalar> PlanSlot<T> {
                         .wait(state)
                         .unwrap_or_else(PoisonError::into_inner)
                 }
-                SlotState::Ready(engine) => return Ok(Arc::clone(engine)),
+                SlotState::Ready(engine) | SlotState::Updating(engine) => {
+                    return Ok(Arc::clone(engine))
+                }
+                SlotState::Failed(fs) => return Err(ServeError::Prepare(fs.error.clone())),
+                SlotState::Poisoned => return Err(ServeError::PoisonedPlan),
+            }
+        }
+    }
+
+    /// Claims the slot for an exclusive mutation: waits out an
+    /// in-flight prepare *and any other in-flight mutation*, then moves
+    /// `Ready` → `Updating` and returns the engine being mutated. The
+    /// claimer owns the slot until it calls [`PlanSlot::fulfill`] —
+    /// either with the mutated engine or, on failure, with the engine
+    /// returned here (restoring the pre-mutation epoch). This is what
+    /// makes mutations linearizable: a value refresh that lands during
+    /// an in-flight structural delta waits here instead of overwriting
+    /// the slot mid-delta and being silently reverted by the delta's
+    /// restore path.
+    fn claim_for_update(&self) -> Result<Arc<Engine<T>>, ServeError> {
+        let mut state = lock_clean(&self.state);
+        loop {
+            match &*state {
+                SlotState::Preparing | SlotState::Updating(_) => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner)
+                }
+                SlotState::Ready(engine) => {
+                    let engine = Arc::clone(engine);
+                    *state = SlotState::Updating(Arc::clone(&engine));
+                    return Ok(engine);
+                }
                 SlotState::Failed(fs) => return Err(ServeError::Prepare(fs.error.clone())),
                 SlotState::Poisoned => return Err(ServeError::PoisonedPlan),
             }
@@ -388,6 +434,12 @@ struct Entry<T> {
     slot: Arc<PlanSlot<T>>,
     /// Global tick of the last lookup that touched this entry.
     last_used: u64,
+    /// Epoch of the plan: `0` for a plan prepared (or warm-loaded)
+    /// from scratch, `n+1` for a plan installed by a structural delta
+    /// applied to a generation-`n` plan. Purely observational — it
+    /// lets operators and tests tell a delta-descended plan from a
+    /// fresh prepare of the same structure.
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
@@ -494,7 +546,11 @@ impl<T: Scalar> PlanCache<T> {
             let ready = {
                 let state = lock_clean(&entry.slot.state);
                 match &*state {
-                    SlotState::Ready(engine) => Some(Arc::clone(engine)),
+                    // an in-flight mutation still serves its pre-
+                    // mutation snapshot: deltas have no eviction window
+                    SlotState::Ready(engine) | SlotState::Updating(engine) => {
+                        Some(Arc::clone(engine))
+                    }
                     _ => None,
                 }
             };
@@ -554,6 +610,7 @@ impl<T: Scalar> PlanCache<T> {
                         Entry {
                             slot: Arc::clone(&slot),
                             last_used: tick,
+                            generation: 0,
                         },
                     );
                     (slot, true)
@@ -700,6 +757,7 @@ impl<T: Scalar> PlanCache<T> {
             Entry {
                 slot,
                 last_used: tick,
+                generation: 0,
             },
         );
         drop(shard);
@@ -715,6 +773,13 @@ impl<T: Scalar> PlanCache<T> {
     /// consistent snapshot while new lookups see the new values.
     /// Returns `Ok(false)` when nothing is cached under `fp`.
     ///
+    /// The refresh *claims* the slot (`Ready` → `Updating`) before
+    /// reading the engine, so it serializes against any in-flight
+    /// structural delta on the same fingerprint: it refreshes whatever
+    /// the delta settled on, instead of overwriting the slot mid-delta
+    /// with a pre-delta snapshot and being reverted by the delta's
+    /// restore — a lost update that would resurrect stale values.
+    ///
     /// # Errors
     /// [`ServeError::Prepare`] on a value-length mismatch, plus
     /// whatever an in-flight prepare for this fingerprint resolves to.
@@ -726,14 +791,163 @@ impl<T: Scalar> PlanCache<T> {
                 None => return Ok(false),
             }
         };
-        let current = slot.wait()?;
-        let refreshed = current
-            .with_updated_values(values)
-            .map_err(ServeError::Prepare)?;
+        let current = slot.claim_for_update()?;
+        let refreshed = match current.with_updated_values(values) {
+            Ok(refreshed) => refreshed,
+            Err(e) => {
+                // release the claim; the pre-refresh plan stays live
+                slot.fulfill(SlotState::Ready(current));
+                return Err(ServeError::Prepare(e));
+            }
+        };
         slot.fulfill(SlotState::Ready(Arc::new(refreshed)));
         self.refreshes.fetch_add(1, Ordering::Relaxed);
         self.telemetry.counter("serve.cache.refresh", 1);
         Ok(true)
+    }
+
+    /// Applies a structural delta to the plan cached under `fp` and
+    /// installs the result as a *new* entry keyed by the post-delta
+    /// structure's fingerprint, which is returned. Returns `Ok(None)`
+    /// when nothing is cached under `fp` (callers fall back to a
+    /// from-scratch prepare of the patched matrix).
+    ///
+    /// The swap is epoch-style and leaves no unserveable window:
+    ///
+    /// 1. the old slot is claimed (`Ready` → `Updating`) — lookups of
+    ///    `fp` keep being served the pre-delta engine throughout;
+    /// 2. [`Engine::apply_delta`] re-prepares incrementally, off every
+    ///    lock;
+    /// 3. with a store attached, the new epoch is persisted under the
+    ///    *new* fingerprint ([`PlanStore::save_delta`]) before anything
+    ///    in memory changes — the old file is untouched, so a crash at
+    ///    any instant leaves a warm-loadable snapshot;
+    /// 4. the new entry is installed (generation = old + 1), and only
+    ///    then is the old slot released back to `Ready`.
+    ///
+    /// Any failure — a malformed delta, an injected fault at
+    /// `kernel.delta`, [`FAULT_SERVE_CACHE_DELTA`] or
+    /// `serve.store.delta`, a panic, a failed save — aborts the delta:
+    /// the old slot is restored and `fp` keeps serving exactly as if
+    /// the delta was never attempted (counted as `serve.delta.abort`).
+    ///
+    /// # Errors
+    /// [`ServeError::Prepare`] wrapping the underlying
+    /// [`SparseError`]; [`ServeError::PoisonedPlan`] when the cached
+    /// entry is poisoned.
+    pub fn apply_delta(
+        &self,
+        fp: &MatrixFingerprint,
+        added: &[(usize, usize, T)],
+        removed: &[(usize, usize)],
+    ) -> Result<Option<MatrixFingerprint>, ServeError> {
+        let (slot, old_generation) = {
+            let shard = lock_clean(self.shard_for(fp));
+            match shard.entries.get(fp) {
+                Some(entry) => (Arc::clone(&entry.slot), entry.generation),
+                None => return Ok(None),
+            }
+        };
+        self.telemetry.counter("serve.delta.attempt", 1);
+        let old = match slot.claim_for_update() {
+            Ok(engine) => engine,
+            Err(e) => {
+                self.telemetry.counter("serve.delta.abort", 1);
+                return Err(e);
+            }
+        };
+        let abort = |e: ServeError| -> ServeError {
+            slot.fulfill(SlotState::Ready(Arc::clone(&old)));
+            self.telemetry.counter("serve.delta.abort", 1);
+            e
+        };
+        // The incremental re-prepare runs off every lock, inside a
+        // panic boundary: a fault-injected panic (kernel.delta or
+        // serve.cache.delta with a panic action) must degrade to the
+        // old plan, never poison it — the pre-delta epoch is intact by
+        // construction.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Engine<T>, ServeError> {
+            let engine = old
+                .apply_delta(added, removed)
+                .map_err(ServeError::Prepare)?;
+            FAULT_SERVE_CACHE_DELTA
+                .fire()
+                .map_err(|e| ServeError::Prepare(SparseError::InvalidStructure(e.to_string())))?;
+            Ok(engine)
+        }));
+        let new_engine = match outcome {
+            Ok(Ok(engine)) => Arc::new(engine),
+            Ok(Err(e)) => return Err(abort(e)),
+            Err(_panic) => {
+                return Err(abort(ServeError::Prepare(SparseError::InvalidStructure(
+                    "structural delta panicked; pre-delta plan retained".into(),
+                ))))
+            }
+        };
+        let new_fp = MatrixFingerprint::of(&new_engine.source_matrix());
+        if let Some(store) = &self.store {
+            match store.save_delta(&new_fp, &new_engine) {
+                Ok(_) => self.telemetry.counter("serve.store.save", 1),
+                Err(e) => {
+                    // unlike the write-through on a prepare, a failed
+                    // delta save fails the delta: committing only in
+                    // memory would leave a restart unable to recover
+                    // the new epoch while the old file claims to be
+                    // current
+                    self.telemetry.counter("serve.store.save_error", 1);
+                    return Err(abort(ServeError::Prepare(e)));
+                }
+            }
+        }
+        // commit: install the new epoch first, release the old slot
+        // second — at no instant is neither fingerprint serveable
+        {
+            let tick = self.next_tick();
+            let mut shard = lock_clean(self.shard_for(&new_fp));
+            match shard.entries.get_mut(&new_fp) {
+                Some(entry) => {
+                    // the structure was independently cached (or a
+                    // prior delta landed on the same structure): the
+                    // delta's engine wins, waiters on an in-flight
+                    // prepare are fulfilled with it
+                    entry.generation = old_generation + 1;
+                    entry.last_used = tick;
+                    entry
+                        .slot
+                        .fulfill(SlotState::Ready(Arc::clone(&new_engine)));
+                }
+                None => {
+                    self.evict_lru_if_full(&mut shard);
+                    shard.entries.insert(
+                        new_fp,
+                        Entry {
+                            slot: Arc::new(PlanSlot {
+                                state: Mutex::new(SlotState::Ready(Arc::clone(&new_engine))),
+                                ready: Condvar::new(),
+                            }),
+                            last_used: tick,
+                            generation: old_generation + 1,
+                        },
+                    );
+                    self.inserts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.counter("serve.cache.insert", 1);
+                }
+            }
+        }
+        slot.fulfill(SlotState::Ready(old));
+        self.telemetry.counter("serve.delta.commit", 1);
+        Ok(Some(new_fp))
+    }
+
+    /// The generation of the entry cached under `fp`: `0` for a fresh
+    /// prepare or warm load, `n+1` for a plan installed by
+    /// [`PlanCache::apply_delta`] on a generation-`n` plan. `None`
+    /// when nothing is cached under `fp`.
+    pub fn generation(&self, fp: &MatrixFingerprint) -> Option<u64> {
+        lock_clean(self.shard_for(fp))
+            .entries
+            .get(fp)
+            .map(|e| e.generation)
     }
 
     /// Drops the entry for `fp` (the targeted recovery path for a
@@ -773,16 +987,24 @@ impl<T: Scalar> PlanCache<T> {
     /// hides the prepare from later lookups of the same fingerprint,
     /// which then also miss the store (the first write-through has not
     /// landed yet) and pay for a duplicate prepare — exactly the
-    /// coalescing the slot exists to provide. If every resident slot
-    /// is in flight the shard briefly overflows its capacity instead;
-    /// the overflow is bounded by the number of concurrent preparers
-    /// (worker count) and drains on the next settled insert.
+    /// coalescing the slot exists to provide. Claimed (`Updating`)
+    /// slots are likewise pinned: evicting one orphans the mutation's
+    /// settle, silently discarding a refresh or a delta restore. If
+    /// every resident slot is in flight the shard briefly overflows
+    /// its capacity instead; the overflow is bounded by the number of
+    /// concurrent preparers (worker count) and drains on the next
+    /// settled insert.
     fn evict_lru_if_full(&self, shard: &mut Shard<T>) {
         while shard.entries.len() >= self.per_shard_capacity {
             let victim = shard
                 .entries
                 .iter()
-                .filter(|(_, e)| !matches!(&*lock_clean(&e.slot.state), SlotState::Preparing))
+                .filter(|(_, e)| {
+                    !matches!(
+                        &*lock_clean(&e.slot.state),
+                        SlotState::Preparing | SlotState::Updating(_)
+                    )
+                })
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(fp, _)| *fp);
             match victim {
@@ -1220,6 +1442,226 @@ mod tests {
         let (_, fresh) = cache.get_or_prepare(fb, || prepare(&mb)).unwrap();
         assert!(fresh, "swept fingerprint is preparable again");
         assert_eq!(cache.clear_poisoned(), 0, "sweep is idempotent");
+    }
+
+    /// A column absent from `row` of `m` (for building valid deltas).
+    fn absent_col(m: &CsrMatrix<f64>, row: usize) -> usize {
+        (0..m.ncols() as u32)
+            .rev()
+            .find(|c| m.row_cols(row).binary_search(c).is_err())
+            .unwrap() as usize
+    }
+
+    #[test]
+    fn structural_delta_installs_new_epoch_and_keeps_old_serveable() {
+        let _quiet = spmm_faults::quiesce();
+        let cache = single_shard(8);
+        let m = matrix(61);
+        let fp = MatrixFingerprint::of(&m);
+        cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+
+        let added = [(0usize, absent_col(&m, 0), 3.0f64)];
+        let r = (0..m.nrows()).find(|&r| m.row_nnz(r) > 0).unwrap();
+        let removed = [(r, m.row_cols(r)[0] as usize)];
+        let new_fp = cache.apply_delta(&fp, &added, &removed).unwrap().unwrap();
+        let patched = m.apply_structural_delta(&added, &removed).unwrap();
+        assert_ne!(new_fp, fp, "a structural delta must move the key");
+        assert_eq!(MatrixFingerprint::of(&patched), new_fp);
+
+        // both epochs are serveable, each answering for its structure
+        let old_engine = cache.try_get(&fp).expect("old epoch still cached");
+        let new_engine = cache.try_get(&new_fp).expect("new epoch installed");
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 5);
+        let e_old = spmm_kernels::spmm::spmm_rowwise_seq(&m, &x).unwrap();
+        let e_new = spmm_kernels::spmm::spmm_rowwise_seq(&patched, &x).unwrap();
+        assert!(e_old.max_abs_diff(&old_engine.spmm(&x).unwrap()) < 1e-10);
+        assert!(e_new.max_abs_diff(&new_engine.spmm(&x).unwrap()) < 1e-10);
+
+        // generations record the epoch lineage
+        assert_eq!(cache.generation(&fp), Some(0));
+        assert_eq!(cache.generation(&new_fp), Some(1));
+        let third = [(1usize, absent_col(&patched, 1), -2.0f64)];
+        let fp3 = cache.apply_delta(&new_fp, &third, &[]).unwrap().unwrap();
+        assert_eq!(cache.generation(&fp3), Some(2));
+
+        // unknown fingerprint: a no-op, not an error
+        let other = MatrixFingerprint::of(&matrix(999));
+        assert!(cache.apply_delta(&other, &added, &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn failed_and_faulted_deltas_degrade_to_the_old_plan() {
+        let tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache: PlanCache<f64> = PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(8)
+                .shards(1)
+                .telemetry(TelemetryHandle::new(tel.clone()))
+                .build(),
+        );
+        let m = matrix(67);
+        let fp = MatrixFingerprint::of(&m);
+        cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        let len_before = cache.len();
+        let good_add = [(0usize, absent_col(&m, 0), 1.0f64)];
+
+        // malformed delta: rejected up front with the structured error
+        let err = cache.apply_delta(&fp, &[(9999, 0, 1.0)], &[]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Prepare(SparseError::DeltaOutOfBounds { .. })
+            ),
+            "{err:?}"
+        );
+
+        // a delta killed at either in-process stage — start of the
+        // incremental re-prepare, or post-build pre-commit — by either
+        // an error or a panic, degrades to the old plan
+        for spec in [
+            "kernel.delta:error@1",
+            "kernel.delta:panic@1",
+            "serve.cache.delta:error@1",
+            "serve.cache.delta:panic@1",
+        ] {
+            let guard = spmm_faults::FaultPlan::parse(spec, 7).unwrap().arm();
+            let err = cache.apply_delta(&fp, &good_add, &[]).unwrap_err();
+            assert!(matches!(err, ServeError::Prepare(_)), "{spec}: {err:?}");
+            assert_eq!(guard.hits(spec.split(':').next().unwrap()), 1, "{spec}");
+        }
+
+        assert_eq!(cache.len(), len_before, "aborted deltas must not install");
+        assert_eq!(cache.generation(&fp), Some(0));
+        let engine = cache.try_get(&fp).expect("old plan still serves");
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 9);
+        let expected = spmm_kernels::spmm::spmm_rowwise_seq(&m, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        assert_eq!(tel.counter_value("serve.delta.attempt"), 5);
+        assert_eq!(tel.counter_value("serve.delta.abort"), 5);
+        assert_eq!(tel.counter_value("serve.delta.commit"), 0);
+    }
+
+    #[test]
+    fn value_refresh_during_inflight_delta_cannot_resurrect_pre_delta_plan() {
+        // Regression: update_values used to read the slot's engine
+        // without claiming it, so a refresh landing while a structural
+        // delta held the slot would be overwritten by the delta's
+        // restore — the refresh reported Ok(true) yet the pre-delta
+        // values came back. The claim (Ready → Updating) makes the
+        // refresh wait for the delta to settle.
+        let (clock, _driver) = ClockHandle::manual();
+        let cache: PlanCache<f64> = PlanCache::new(
+            PlanCacheConfig::builder()
+                .capacity(4)
+                .shards(1)
+                .clock(clock)
+                .build(),
+        );
+        let m = matrix(71);
+        let fp = MatrixFingerprint::of(&m);
+        cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+
+        // simulate the in-flight delta exactly as apply_delta does:
+        // claim the slot, settle later
+        let slot = {
+            let shard = lock_clean(cache.shard_for(&fp));
+            Arc::clone(&shard.entries.get(&fp).unwrap().slot)
+        };
+        let claimed = slot.claim_for_update().unwrap();
+
+        let new_values: Vec<f64> = (0..m.nnz()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let refreshed = cache.update_values(&fp, &new_values);
+                done_tx.send(refreshed).unwrap();
+            });
+            // the refresh must block while the delta holds the claim
+            assert!(
+                done_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                "refresh ran during an in-flight delta"
+            );
+            // readers are still served the pre-delta snapshot meanwhile
+            assert!(cache.try_get(&fp).is_some(), "no eviction window");
+            // the delta settles (its restore path)
+            slot.fulfill(SlotState::Ready(claimed));
+            let refreshed = done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("refresh must resume once the delta settles");
+            assert!(refreshed.unwrap(), "refresh applies after the delta");
+        });
+
+        // the refresh survives: the settled slot carries the new
+        // values, not the pre-delta ones the old code resurrected
+        let engine = cache.try_get(&fp).unwrap();
+        let mut m2 = m.clone();
+        m2.values_mut().copy_from_slice(&new_values);
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 13);
+        let expected = spmm_kernels::spmm::spmm_rowwise_seq(&m2, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn delta_write_through_lands_before_commit_and_retains_old_file() {
+        let _quiet = spmm_faults::quiesce();
+        let dir = temp_store_dir("delta");
+        let m = matrix(73);
+        let fp = MatrixFingerprint::of(&m);
+        let tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache = with_store(&dir, TelemetryHandle::new(tel.clone()));
+        cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+
+        let added = [(0usize, absent_col(&m, 0), 2.0f64)];
+        let new_fp = cache.apply_delta(&fp, &added, &[]).unwrap().unwrap();
+        let store = PlanStore::open(&dir).unwrap();
+        assert!(store.verify::<f64>(&fp).unwrap(), "old epoch file retained");
+        assert!(store.verify::<f64>(&new_fp).unwrap(), "new epoch persisted");
+
+        // a restart warm-loads the delta'd epoch from disk
+        let cache_b = with_store(&dir, TelemetryHandle::default());
+        let (engine, fresh) = cache_b
+            .get_or_prepare(new_fp, || unreachable!("store hit must skip prepare"))
+            .unwrap();
+        assert!(!fresh);
+        let patched = m.apply_structural_delta(&added, &[]).unwrap();
+        let x = generators::random_dense::<f64>(m.ncols(), 4, 17);
+        let expected = spmm_kernels::spmm::spmm_rowwise_seq(&patched, &x).unwrap();
+        assert!(expected.max_abs_diff(&engine.spmm(&x).unwrap()) < 1e-10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulted_delta_save_aborts_without_touching_either_tier() {
+        let dir = temp_store_dir("delta-fault");
+        let m = matrix(79);
+        let fp = MatrixFingerprint::of(&m);
+        let tel = Arc::new(spmm_telemetry::Collector::new());
+        let cache = with_store(&dir, TelemetryHandle::new(tel.clone()));
+        {
+            let _quiet = spmm_faults::quiesce();
+            cache.get_or_prepare(fp, || prepare(&m)).unwrap();
+        }
+
+        let added = [(0usize, absent_col(&m, 0), 2.0f64)];
+        let guard = spmm_faults::FaultPlan::parse("serve.store.delta:error@1", 7)
+            .unwrap()
+            .arm();
+        let err = cache.apply_delta(&fp, &added, &[]).unwrap_err();
+        assert!(matches!(err, ServeError::Prepare(_)), "{err:?}");
+        assert_eq!(guard.hits("serve.store.delta"), 1);
+        drop(guard);
+
+        // no new epoch anywhere: cache still has exactly the old entry,
+        // store still has exactly the old file
+        assert_eq!(cache.len(), 1);
+        assert!(cache.try_get(&fp).is_some(), "old plan still serves");
+        let store = PlanStore::open(&dir).unwrap();
+        let plans = store.list().unwrap();
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].fingerprint, fp);
+        assert_eq!(tel.counter_value("serve.delta.abort"), 1);
+        assert_eq!(tel.counter_value("serve.store.save_error"), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn temp_store_dir(tag: &str) -> std::path::PathBuf {

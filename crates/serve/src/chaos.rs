@@ -31,17 +31,19 @@ use crate::bench::zipf_schedule;
 use crate::cache::CacheStats;
 use crate::engine::{HealthSnapshot, Request, ServeConfig, ServeEngine, ServeStats};
 use crate::error::ServeError;
+use crate::fingerprint::MatrixFingerprint;
 use crate::router::{RouterConfig, ShardRouter};
 use crate::store::PlanStore;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spmm_data::generators;
 use spmm_faults::FaultPlan;
-use spmm_kernels::{sddmm, spgemm, spmm, spmv, Output};
+use spmm_kernels::{sddmm, spgemm, spmm, spmv, Engine, EngineConfig, Output};
 use spmm_sparse::{CsrMatrix, DenseMatrix, SparseError};
 use spmm_telemetry::RunManifest;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -83,6 +85,16 @@ pub struct ChaosBenchConfig {
     /// rendezvous routing, and the exactness bar is unchanged — every
     /// success must stay bit-equal whichever shard served it.
     pub shards: usize,
+    /// Live structural deltas: a mutator thread chains
+    /// [`apply_delta`](crate::PlanCache::apply_delta) epochs over the
+    /// hottest corpus structure *while* the client stream runs. Every
+    /// client checks against the reference of the epoch it actually
+    /// sent, so the swap must never serve a mixed or partial plan; the
+    /// fault schedule can target `kernel.delta`, `serve.cache.delta`
+    /// and `serve.store.delta` to kill a delta mid-flight, and a
+    /// failed delta must leave the old epoch fully serveable. Default:
+    /// disabled.
+    pub deltas: bool,
 }
 
 impl Default for ChaosBenchConfig {
@@ -100,6 +112,7 @@ impl Default for ChaosBenchConfig {
             batch: None,
             plan_store: None,
             shards: 1,
+            deltas: false,
         }
     }
 }
@@ -132,14 +145,30 @@ pub struct ChaosBenchReport {
     /// The run manifest, `serve.breaker.*` / `serve.retry.*` /
     /// `serve.quarantined` counters included.
     pub manifest: RunManifest,
+    /// Structural-delta epochs the mutator committed during the stream
+    /// (`0` unless [`ChaosBenchConfig::deltas`] is on).
+    pub deltas_committed: usize,
+    /// Delta attempts that resolved to an error — injected faults
+    /// included. Each must have left the old epoch serveable, which the
+    /// concurrent clients verify bit-for-bit.
+    pub deltas_failed: usize,
+    /// Post-stream verdict on the final committed epoch: its
+    /// chained-incremental plan served all four kernel families
+    /// bit-equal to the sequential references **and** to a from-scratch
+    /// `Engine::prepare` over the same structure. `None` when
+    /// `deltas` is off.
+    pub final_epoch_exact: Option<bool>,
 }
 
 impl ChaosBenchReport {
     /// The headline contract: every response the engine called
     /// successful was bit-equal to the reference, and every request
-    /// was answered.
+    /// was answered. Under `--deltas` the final committed epoch must
+    /// additionally match a from-scratch prepare bit-for-bit.
     pub fn all_successes_exact(&self) -> bool {
-        self.exact == self.ok && self.ok + self.failed == self.config.requests
+        self.exact == self.ok
+            && self.ok + self.failed == self.config.requests
+            && self.final_epoch_exact != Some(false)
     }
 
     /// Renders the human-readable summary the CLI prints.
@@ -194,6 +223,21 @@ impl ChaosBenchReport {
                 counter("serve.store.save"),
                 counter("serve.store.reject"),
                 counter("serve.store.save_error"),
+            ));
+        }
+        if c.deltas {
+            out.push_str(&format!(
+                "  deltas: committed {}  failed {}  final epoch {}   (attempt {}  commit {}  abort {})\n",
+                self.deltas_committed,
+                self.deltas_failed,
+                match self.final_epoch_exact {
+                    Some(true) => "exact (bit-equal to from-scratch prepare)",
+                    Some(false) => "FAILED",
+                    None => "unchecked",
+                },
+                counter("serve.delta.attempt"),
+                counter("serve.delta.commit"),
+                counter("serve.delta.abort"),
             ));
         }
         out.push_str(&format!(
@@ -263,6 +307,36 @@ struct ChaosCase {
     spgemm_ref: CsrMatrix<f64>,
 }
 
+/// Computes the four sequential references for a (quantised) operand
+/// set and packs them into a [`ChaosCase`].
+fn make_case(
+    matrix: Arc<CsrMatrix<f64>>,
+    x: Arc<DenseMatrix<f64>>,
+    y: Arc<DenseMatrix<f64>>,
+    v: Arc<Vec<f64>>,
+    b: Arc<CsrMatrix<f64>>,
+) -> ChaosCase {
+    let spmm_ref = spmm::spmm_rowwise_seq(&matrix, &x)
+        .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+    let spmv_ref = spmv::spmv_rowwise_seq(&matrix, &v)
+        .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+    let sddmm_ref = sddmm::sddmm_rowwise_seq(&matrix, &x, &y)
+        .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+    let spgemm_ref = spgemm::spgemm_gustavson_seq(&matrix, &b)
+        .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
+    ChaosCase {
+        matrix,
+        x,
+        y,
+        v,
+        b,
+        spmm_ref,
+        spmv_ref,
+        sddmm_ref,
+        spgemm_ref,
+    }
+}
+
 fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
     (0..6u64)
         .map(|i| {
@@ -291,27 +365,86 @@ fn build_corpus(config: &ChaosBenchConfig) -> Vec<ChaosCase> {
                 config.seed ^ (0xBEEF + i),
             );
             quantize(b.values_mut());
-            let spmm_ref = spmm::spmm_rowwise_seq(&matrix, &x)
-                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
-            let spmv_ref = spmv::spmv_rowwise_seq(&matrix, &v)
-                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
-            let sddmm_ref = sddmm::sddmm_rowwise_seq(&matrix, &x, &y)
-                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
-            let spgemm_ref = spgemm::spgemm_gustavson_seq(&matrix, &b)
-                .unwrap_or_else(|e| unreachable!("generated corpus is valid: {e}"));
-            ChaosCase {
-                matrix: Arc::new(matrix),
-                x: Arc::new(x),
-                y: Arc::new(y),
-                v: Arc::new(v),
-                b: Arc::new(b),
-                spmm_ref,
-                spmv_ref,
-                sddmm_ref,
-                spgemm_ref,
-            }
+            make_case(
+                Arc::new(matrix),
+                Arc::new(x),
+                Arc::new(y),
+                Arc::new(v),
+                Arc::new(b),
+            )
         })
         .collect()
+}
+
+/// Epochs the `--deltas` mutator chains over the stream. `epochs[0]`
+/// is the hottest corpus structure untouched; `deltas[e]` patches
+/// `epochs[e]` into `epochs[e + 1]`. Every epoch shares the base
+/// case's dense/vector/sparse operands (a structural delta never
+/// changes the shape), so each epoch only recomputes references.
+struct DeltaScript {
+    epochs: Vec<ChaosCase>,
+    #[allow(clippy::type_complexity)]
+    deltas: Vec<(Vec<(usize, usize, f64)>, Vec<(usize, usize)>)>,
+}
+
+/// Structural-delta epochs the mutator walks per `--deltas` run.
+const DELTA_EPOCHS: usize = 4;
+
+/// The deterministic delta for epoch `e`: remove one existing edge and
+/// add one previously-absent edge (integer-grid value) in a different
+/// row, so chained epochs shrink and grow rows — including emptying a
+/// one-edge row — without ever tripping the up-front delta validation.
+#[allow(clippy::type_complexity)]
+fn epoch_delta(m: &CsrMatrix<f64>, e: usize) -> (Vec<(usize, usize, f64)>, Vec<(usize, usize)>) {
+    let nrows = m.nrows();
+    let mut removed = Vec::new();
+    for off in 0..nrows {
+        let r = (e * 5 + off) % nrows;
+        let cols = m.row_cols(r);
+        if !cols.is_empty() {
+            removed.push((r, cols[e % cols.len()] as usize));
+            break;
+        }
+    }
+    let mut added = Vec::new();
+    for off in 0..nrows {
+        let r = (e * 7 + 3 + off) % nrows;
+        let cols = m.row_cols(r);
+        let fresh = (0..m.ncols() as u32)
+            .find(|c| cols.binary_search(c).is_err() && !removed.contains(&(r, *c as usize)));
+        if let Some(c) = fresh {
+            added.push((r, c as usize, ((e % 9) as f64) - 4.0));
+            break;
+        }
+    }
+    (added, removed)
+}
+
+fn build_delta_script(base: &ChaosCase) -> DeltaScript {
+    let mut epochs = vec![make_case(
+        base.matrix.clone(),
+        base.x.clone(),
+        base.y.clone(),
+        base.v.clone(),
+        base.b.clone(),
+    )];
+    let mut deltas = Vec::new();
+    for e in 0..DELTA_EPOCHS {
+        let prev = &epochs[e].matrix;
+        let (added, removed) = epoch_delta(prev, e);
+        let next = prev
+            .apply_structural_delta(&added, &removed)
+            .unwrap_or_else(|err| unreachable!("scripted delta is valid by construction: {err}"));
+        epochs.push(make_case(
+            Arc::new(next),
+            base.x.clone(),
+            base.y.clone(),
+            base.v.clone(),
+            base.b.clone(),
+        ));
+        deltas.push((added, removed));
+    }
+    DeltaScript { epochs, deltas }
 }
 
 /// The serving surface the chaos stream drives: one engine, or a
@@ -329,6 +462,18 @@ impl ChaosTarget {
         match self {
             ChaosTarget::Engine(engine) => engine.execute(request),
             ChaosTarget::Router(router) => router.execute(request),
+        }
+    }
+
+    fn apply_delta(
+        &self,
+        fp: &MatrixFingerprint,
+        added: &[(usize, usize, f64)],
+        removed: &[(usize, usize)],
+    ) -> Result<Option<MatrixFingerprint>, ServeError> {
+        match self {
+            ChaosTarget::Engine(engine) => engine.apply_delta(fp, added, removed),
+            ChaosTarget::Router(router) => router.apply_delta(fp, added, removed),
         }
     }
 
@@ -431,14 +576,72 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
     };
 
     let concurrency = config.concurrency.max(1);
+    // --deltas: a scripted epoch chain over the hottest structure, a
+    // shared committed-epoch watermark the clients read, and mutator
+    // tallies. Clients always check against the epoch they *sent*, so
+    // the watermark only has to be monotonic, not synchronised with
+    // the serving side.
+    let delta_script = config.deltas.then(|| build_delta_script(&corpus[0]));
+    let committed_epoch = AtomicUsize::new(0);
+    let deltas_committed = AtomicUsize::new(0);
+    let deltas_failed = AtomicUsize::new(0);
     let stream_start = Instant::now();
     // (ok, failed, exact) per client, summed after the stream drains
     let tallies: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+        if let Some(script) = &delta_script {
+            let serve = &serve;
+            let committed_epoch = &committed_epoch;
+            let deltas_committed = &deltas_committed;
+            let deltas_failed = &deltas_failed;
+            scope.spawn(move || {
+                for (e, (added, removed)) in script.deltas.iter().enumerate() {
+                    let fp = MatrixFingerprint::of(&script.epochs[e].matrix);
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        match serve.apply_delta(&fp, added, removed) {
+                            Ok(Some(_)) => {
+                                committed_epoch.store(e + 1, Ordering::Release);
+                                deltas_committed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(None) => {
+                                // the epoch's plan is not resident (cold
+                                // start or evicted): drive one request
+                                // through the serving path to prepare
+                                // it, then retry the delta
+                                let epoch = &script.epochs[e];
+                                let _ = serve
+                                    .execute(Request::spmm(epoch.matrix.clone(), epoch.x.clone()));
+                            }
+                            Err(_) => {
+                                // injected or real — the old epoch must
+                                // still serve, which the concurrent
+                                // clients are verifying right now
+                                deltas_failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if attempts >= 32 {
+                            // a persistent fault schedule (e.g. `@*`)
+                            // can legitimately pin the fleet on the old
+                            // epoch; report honestly and stop mutating
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    // let some client traffic land on the new epoch
+                    // before chaining the next delta on top of it
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         let handles: Vec<_> = (0..concurrency)
             .map(|client| {
                 let serve = &serve;
                 let schedule = &schedule;
                 let corpus = &corpus;
+                let delta_script = &delta_script;
+                let committed_epoch = &committed_epoch;
                 scope.spawn(move || {
                     let (mut ok, mut failed, mut exact) = (0, 0, 0);
                     for (idx, &mi) in schedule
@@ -446,7 +649,17 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
                         .enumerate()
                         .filter(|(idx, _)| idx % concurrency == client)
                     {
-                        let case = &corpus[mi];
+                        let case = match (mi, delta_script) {
+                            // the mutating structure: send the latest
+                            // committed epoch and check against *its*
+                            // reference — whatever the mutator does
+                            // next, this structure's plan must answer
+                            // for this structure
+                            (0, Some(script)) => {
+                                &script.epochs[committed_epoch.load(Ordering::Acquire)]
+                            }
+                            _ => &corpus[mi],
+                        };
                         // round-robin over the four kernel families so
                         // every path sees the fault schedule
                         let op = match idx % 4 {
@@ -503,6 +716,41 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
     };
     drop(guard);
 
+    // --deltas epilogue, run clean (faults disarmed): the final
+    // committed epoch's plan is the product of every chained
+    // incremental patch that landed — it must serve all four kernel
+    // families bit-equal to the sequential references, and SpMM must
+    // additionally match a from-scratch prepare over the final
+    // structure bit-for-bit.
+    let final_epoch_exact = delta_script.as_ref().map(|script| {
+        let case = &script.epochs[committed_epoch.load(Ordering::Acquire)];
+        let mut all_exact = true;
+        for op in [
+            ChaosOp::Spmm,
+            ChaosOp::Spmv,
+            ChaosOp::Sddmm,
+            ChaosOp::Spgemm,
+        ] {
+            let request = match op {
+                ChaosOp::Spmm => Request::spmm(case.matrix.clone(), case.x.clone()),
+                ChaosOp::Spmv => Request::spmv(case.matrix.clone(), case.v.clone()),
+                ChaosOp::Sddmm => {
+                    Request::sddmm(case.matrix.clone(), case.x.clone(), case.y.clone())
+                }
+                ChaosOp::Spgemm => Request::spgemm(case.matrix.clone(), case.b.clone()),
+            };
+            match serve.execute(request) {
+                Ok(resp) => all_exact &= is_exact(case, op, &resp.output),
+                Err(_) => all_exact = false,
+            }
+        }
+        all_exact &= Engine::prepare(&case.matrix, &EngineConfig::default())
+            .and_then(|fresh| fresh.spmm(&case.x))
+            .map(|out| out.data() == case.spmm_ref.data())
+            .unwrap_or(false);
+        all_exact
+    });
+
     let stats = serve.stats();
     let cache = serve.cache_stats();
     let health = serve.health();
@@ -512,6 +760,16 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
     telemetry.gauge("chaos.exact", exact as f64);
     if config.shards > 1 {
         telemetry.gauge("chaos.shards", config.shards as f64);
+    }
+    if config.deltas {
+        telemetry.gauge(
+            "chaos.deltas_committed",
+            deltas_committed.load(Ordering::Relaxed) as f64,
+        );
+        telemetry.gauge(
+            "chaos.deltas_failed",
+            deltas_failed.load(Ordering::Relaxed) as f64,
+        );
     }
     telemetry.meta("chaos.seed", &config.seed.to_string());
     if let Some(spec) = &config.faults {
@@ -531,6 +789,9 @@ pub fn run_chaos_bench(config: &ChaosBenchConfig) -> Result<ChaosBenchReport, Se
         cache,
         health,
         manifest,
+        deltas_committed: deltas_committed.load(Ordering::Relaxed),
+        deltas_failed: deltas_failed.load(Ordering::Relaxed),
+        final_epoch_exact,
     })
 }
 
@@ -578,6 +839,32 @@ mod tests {
         let err = run_chaos_bench(&config).unwrap_err();
         assert!(matches!(err, ServeError::Prepare(_)), "{err:?}");
         assert!(err.to_string().contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn delta_script_chains_valid_epochs() {
+        let config = ChaosBenchConfig::default();
+        let corpus = build_corpus(&config);
+        let script = build_delta_script(&corpus[0]);
+        assert_eq!(script.epochs.len(), DELTA_EPOCHS + 1);
+        assert_eq!(script.deltas.len(), DELTA_EPOCHS);
+        for e in 0..DELTA_EPOCHS {
+            let (added, removed) = &script.deltas[e];
+            assert!(!added.is_empty() && !removed.is_empty());
+            // added values stay on the integer grid (bit-exactness)
+            assert!(added.iter().all(|&(_, _, v)| v.fract() == 0.0));
+            // replaying the scripted delta reproduces the next epoch
+            let next = script.epochs[e]
+                .matrix
+                .apply_structural_delta(added, removed)
+                .unwrap();
+            assert!(next.same_structure(&script.epochs[e + 1].matrix));
+            assert_eq!(next.values(), script.epochs[e + 1].matrix.values());
+            // a structural delta never changes the shape, so the base
+            // case's operands stay valid for every epoch
+            assert_eq!(next.nrows(), corpus[0].matrix.nrows());
+            assert_eq!(next.ncols(), corpus[0].matrix.ncols());
+        }
     }
 
     // Clean and faulted end-to-end runs live in tests/chaos.rs, where

@@ -1212,6 +1212,32 @@ impl<T: Scalar> ServeEngine<T> {
         self.inner.cache.update_values(fp, values)
     }
 
+    /// Applies a structural delta to the plan cached under `fp`,
+    /// installing the incrementally re-prepared plan under the
+    /// post-delta structure's fingerprint (returned). Requests carrying
+    /// the old structure keep hitting the old plan throughout and
+    /// after; requests carrying the new structure hit the new plan from
+    /// the moment this returns. Returns `Ok(None)` when nothing is
+    /// cached under `fp` — the new structure will simply be prepared
+    /// from scratch on first contact. See [`PlanCache::apply_delta`]
+    /// for the epoch-swap and crash-safety protocol, and
+    /// [`Engine::apply_delta`] for what is recomputed.
+    ///
+    /// # Errors
+    /// [`ServeError::Prepare`] when the delta is malformed (structured
+    /// `SparseError::Delta*` variants), when the incremental re-prepare
+    /// fails or is killed by an injected fault, or when the new epoch
+    /// cannot be persisted; in every case the old plan remains fully
+    /// serveable.
+    pub fn apply_delta(
+        &self,
+        fp: &MatrixFingerprint,
+        added: &[(usize, usize, T)],
+        removed: &[(usize, usize)],
+    ) -> Result<Option<MatrixFingerprint>, ServeError> {
+        self.inner.cache.apply_delta(fp, added, removed)
+    }
+
     /// Snapshots the serving counters.
     pub fn stats(&self) -> ServeStats {
         let i = &self.inner;

@@ -12,7 +12,11 @@
 //!   the preprocessing pipeline would produce the same plan for both.
 //! * [`PlanCache`] — a sharded, capacity-bounded LRU from fingerprint
 //!   to `Arc<Engine<T>>` with coalesced preparation (a thundering herd
-//!   prepares exactly once) and in-place value refreshes.
+//!   prepares exactly once), in-place value refreshes, and live
+//!   structural deltas: [`PlanCache::apply_delta`] patches a cached
+//!   plan incrementally and installs the new epoch with an atomic swap
+//!   — readers keep hitting the old plan until the instant the new one
+//!   is ready, and a failed or faulted delta degrades to the old plan.
 //! * [`ServeEngine`] — a bounded-queue worker pool with admission
 //!   control ([`ServeError::Overloaded`]), per-request deadlines, and
 //!   graceful degradation: a cold miss without preprocessing headroom
@@ -63,8 +67,8 @@ pub mod store;
 
 pub use batch::BatchConfig;
 pub use bench::{
-    run_serve_bench, BatchProbe, BenchOp, PlanStoreProbe, ServeBenchConfig, ServeBenchReport,
-    ShardProbe,
+    run_serve_bench, BatchProbe, BenchOp, DeltaProbe, PlanStoreProbe, ServeBenchConfig,
+    ServeBenchReport, ShardProbe,
 };
 pub use cache::{CacheStats, PlanCache, PlanCacheConfig, PlanCacheConfigBuilder};
 pub use chaos::{run_chaos_bench, ChaosBenchConfig, ChaosBenchReport};

@@ -479,6 +479,46 @@ impl<T: Scalar> ShardRouter<T> {
         Ok(refreshed)
     }
 
+    /// Applies a structural delta to the plan for `fp` on exactly one
+    /// shard — the first of `fp`'s rendezvous candidates that actually
+    /// holds the plan (its owner while the fleet is healthy; after a
+    /// failover, the backup that prepared it). Walking past shards that
+    /// do not hold the plan keeps the fleet invariant the router exists
+    /// for: a structure's plan — old epoch or new — lives on one shard,
+    /// never N.
+    ///
+    /// The returned fingerprint is the *new* structure's key, and its
+    /// traffic re-routes through rendezvous independently: when the new
+    /// fingerprint's owner is a different shard, that shard warm-loads
+    /// the delta'd plan from the shared store tier on first contact
+    /// ([`PlanStore::save_delta`] persisted it before the swap
+    /// committed). Without a store tier, the new owner re-prepares from
+    /// scratch — correct, just not incremental.
+    ///
+    /// Returns `Ok(None)` when no shard holds a plan for `fp`.
+    ///
+    /// # Errors
+    /// The delta error the holding shard reports; the old plan on that
+    /// shard remains fully serveable (see
+    /// [`PlanCache::apply_delta`](crate::cache::PlanCache::apply_delta)).
+    pub fn apply_delta(
+        &self,
+        fp: &MatrixFingerprint,
+        added: &[(usize, usize, T)],
+        removed: &[(usize, usize)],
+    ) -> Result<Option<MatrixFingerprint>, ServeError> {
+        for idx in self.candidates(fp) {
+            match self.shards[idx].apply_delta(fp, added, removed)? {
+                Some(new_fp) => {
+                    self.telemetry.counter("serve.router.delta", 1);
+                    return Ok(Some(new_fp));
+                }
+                None => continue,
+            }
+        }
+        Ok(None)
+    }
+
     /// Takes one shard down (stops its admission, drains what it
     /// already accepted) — the fault-injection path the chaos bench
     /// uses to prove graceful degradation. Subsequent traffic for the
@@ -695,5 +735,54 @@ mod tests {
         assert_eq!(resp.path, crate::ServePath::CachedPlan);
         let got = resp.output.into_dense().unwrap();
         assert!(expected.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn structural_delta_lands_on_one_shard_and_both_epochs_serve() {
+        let _quiet = spmm_faults::quiesce();
+        let router = small_router(3);
+        let m = generators::uniform_random::<f64>(96, 96, 5, 77);
+        let x = generators::random_dense::<f64>(m.ncols(), 8, 1);
+        let fp = MatrixFingerprint::of(&m);
+        router.execute(Request::spmm(m.clone(), x.clone())).unwrap();
+
+        let existing = (0usize, m.row_cols(0)[0] as usize);
+        let absent = (0..m.ncols() as u32)
+            .find(|c| m.row_cols(1).binary_search(c).is_err())
+            .unwrap() as usize;
+        let added = [(1usize, absent, 2.5f64)];
+        let removed = [existing];
+        let new_fp = router.apply_delta(&fp, &added, &removed).unwrap().unwrap();
+        assert_ne!(new_fp, fp);
+
+        // The delta landed on exactly one shard — the fleet never holds
+        // duplicate residents for a structure.
+        let holders = router
+            .shards
+            .iter()
+            .filter(|s| s.cache().try_get(&new_fp).is_some())
+            .count();
+        assert_eq!(holders, 1);
+
+        // Both epochs keep serving exact answers through the router.
+        let m_new = m.apply_structural_delta(&added, &removed).unwrap();
+        for mat in [m.clone(), m_new.clone()] {
+            let expected = spmm_kernels::spmm::spmm_rowwise_seq(&mat, &x).unwrap();
+            let got = router
+                .execute(Request::spmm(mat, x.clone()))
+                .unwrap()
+                .output
+                .into_dense()
+                .unwrap();
+            assert!(expected.max_abs_diff(&got) < 1e-10);
+        }
+
+        // A fingerprint no shard holds is a routed no-op.
+        let stranger = generators::uniform_random::<f64>(32, 32, 3, 5);
+        let stranger_fp = MatrixFingerprint::of(&stranger);
+        assert!(router
+            .apply_delta(&stranger_fp, &[], &[(0, 0)])
+            .unwrap()
+            .is_none());
     }
 }

@@ -64,6 +64,13 @@ pub static FAULT_STORE_LOAD: FaultPoint = FaultPoint::new("serve.store.load");
 /// request that triggered the write-through.
 pub static FAULT_STORE_SAVE: FaultPoint = FaultPoint::new("serve.store.save");
 
+/// Fault point inside [`PlanStore::save_delta`], fired before the new
+/// epoch's file is written: an injected error surfaces as a failed
+/// delta commit, which the plan cache aborts — the old fingerprint's
+/// file is untouched, so both the in-memory plan and its on-disk
+/// snapshot keep serving the pre-delta epoch.
+pub static FAULT_STORE_DELTA: FaultPoint = FaultPoint::new("serve.store.delta");
+
 const MAGIC: &[u8; 8] = b"SPMMPLAN";
 const VERSION: u32 = 1;
 /// Header length: magic + version + scalar width + fingerprint +
@@ -186,6 +193,75 @@ impl PlanStore {
         FAULT_STORE_SAVE
             .fire()
             .map_err(|e| SparseError::Io(e.to_string()))?;
+        self.write_plan(fp, engine)
+    }
+
+    /// [`PlanStore::save`] for the commit leg of a structural delta:
+    /// writes the post-delta engine under the *new* fingerprint via the
+    /// same temp-file + atomic-rename protocol, without touching the
+    /// old fingerprint's file. The two files coexist until
+    /// [`PlanStore::gc`] reclaims superseded epochs, so a crash at any
+    /// instant leaves at least one warm-loadable snapshot: before the
+    /// rename the old epoch, after it both.
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::Io`] on filesystem errors (including
+    /// an injected [`FAULT_STORE_DELTA`]).
+    pub fn save_delta<T: Scalar>(
+        &self,
+        new_fp: &MatrixFingerprint,
+        engine: &Engine<T>,
+    ) -> Result<PathBuf, SparseError> {
+        FAULT_STORE_DELTA
+            .fire()
+            .map_err(|e| SparseError::Io(e.to_string()))?;
+        self.write_plan(new_fp, engine)
+    }
+
+    /// Deletes superseded `.spmmplan` files, keeping the
+    /// `keep_latest_n` most recently modified ones (ties broken by
+    /// path for determinism). Returns the paths deleted. Non-plan
+    /// files in the directory are never touched.
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::Io`] when the directory cannot be
+    /// read or a victim cannot be deleted (a victim that disappeared
+    /// concurrently is not an error).
+    pub fn gc(&self, keep_latest_n: usize) -> Result<Vec<PathBuf>, SparseError> {
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.root).map_err(|e| SparseError::Io(e.to_string()))? {
+            let entry = entry.map_err(|e| SparseError::Io(e.to_string()))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("spmmplan") {
+                continue;
+            }
+            let modified = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .map_err(|e| SparseError::Io(e.to_string()))?;
+            files.push((modified, path));
+        }
+        // newest first; the suffix past keep_latest_n is reclaimed
+        files.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut deleted = Vec::new();
+        for (_, path) in files.into_iter().skip(keep_latest_n) {
+            match fs::remove_file(&path) {
+                Ok(()) => deleted.push(path),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(SparseError::Io(e.to_string())),
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// The shared write leg of [`PlanStore::save`] and
+    /// [`PlanStore::save_delta`]: encode, write to a temp file, fsync,
+    /// rename into place.
+    fn write_plan<T: Scalar>(
+        &self,
+        fp: &MatrixFingerprint,
+        engine: &Engine<T>,
+    ) -> Result<PathBuf, SparseError> {
         let bytes = encode_engine(fp, engine);
         let path = self.path_for::<T>(fp);
         let tmp = self.root.join(format!(
@@ -907,6 +983,82 @@ mod tests {
         // pristine bytes still load fine afterwards
         fs::write(&path, &pristine).unwrap();
         assert!(store.verify::<f32>(&fp).unwrap());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_delta_retains_the_old_epoch_file() {
+        let (store, dir) = temp_store();
+        let m = generators::shuffled_block_diagonal::<f64>(48, 12, 32, 12, 11);
+        let engine = engine_for(&m);
+        let fp = MatrixFingerprint::of(&m);
+        store.save(&fp, &engine).unwrap();
+
+        let next = engine.apply_delta(&[(0, 30, 2.0)], &[]).unwrap();
+        let new_fp = MatrixFingerprint::of(&next.source_matrix());
+        assert_ne!(new_fp, fp, "a structural delta must move the key");
+        store.save_delta(&new_fp, &next).unwrap();
+
+        // both epochs warm-loadable, old file untouched
+        assert!(store.verify::<f64>(&fp).unwrap());
+        assert!(store.verify::<f64>(&new_fp).unwrap());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_ledger_matches_surviving_fingerprints() {
+        let (store, dir) = temp_store();
+        let mats: Vec<CsrMatrix<f64>> = (0..4)
+            .map(|i| generators::uniform_random::<f64>(24 + i, 24, 4, 70 + i as u64))
+            .collect();
+        for m in &mats {
+            store
+                .save(&MatrixFingerprint::of(m), &engine_for(m))
+                .unwrap();
+            // saves land within the same clock tick on fast filesystems;
+            // nudge mtimes apart so recency order is the save order
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // a stray non-plan file must survive any gc
+        let stray = store.root().join("notes.txt");
+        fs::write(&stray, b"keep me").unwrap();
+
+        let deleted = store.gc(2).unwrap();
+        assert_eq!(deleted.len(), 2);
+
+        // ledger: files on disk == live (listed) fingerprints, and the
+        // survivors are exactly the two most recent saves
+        let survivors = store.list().unwrap();
+        assert_eq!(survivors.len(), 2);
+        let on_disk: Vec<_> = fs::read_dir(store.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("spmmplan"))
+            .collect();
+        assert_eq!(on_disk.len(), survivors.len());
+        for p in &survivors {
+            assert!(
+                on_disk.contains(&p.path),
+                "{:?} listed but not on disk",
+                p.path
+            );
+        }
+        for m in &mats[2..] {
+            let fp = MatrixFingerprint::of(m);
+            assert!(
+                survivors.iter().any(|p| p.fingerprint == fp),
+                "recent plan was collected"
+            );
+            assert!(store.verify::<f64>(&fp).unwrap());
+        }
+        for m in &mats[..2] {
+            assert!(!store.contains::<f64>(&MatrixFingerprint::of(m)));
+        }
+        assert!(stray.exists(), "gc must not touch non-plan files");
+
+        // keeping more than exist is a no-op
+        assert!(store.gc(10).unwrap().is_empty());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -477,6 +477,119 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Applies a structural delta: inserts every `(row, col, value)`
+    /// in `added` and drops every `(row, col)` in `removed`, returning
+    /// the patched matrix. The shape is unchanged — a "new" row is an
+    /// empty row gaining its first edge, a "dead" row keeps its slot
+    /// with zero nonzeros.
+    ///
+    /// Malformed deltas are rejected up front, before any splicing:
+    ///
+    /// * any coordinate outside `nrows × ncols` →
+    ///   [`SparseError::DeltaOutOfBounds`];
+    /// * the same coordinate listed twice (within `added`, within
+    ///   `removed`, or once in each — the order would be ambiguous) or
+    ///   an added edge that already exists →
+    ///   [`SparseError::DeltaDuplicate`] (use value refresh, not a
+    ///   delta, to change an existing entry);
+    /// * removal of an edge the matrix does not contain →
+    ///   [`SparseError::DeltaMissingEdge`].
+    pub fn apply_structural_delta(
+        &self,
+        added: &[(usize, usize, T)],
+        removed: &[(usize, usize)],
+    ) -> Result<Self, SparseError> {
+        let mut seen: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::with_capacity(added.len() + removed.len());
+        for &(r, c, _) in added {
+            if r >= self.nrows || c >= self.ncols {
+                return Err(SparseError::DeltaOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+            if !seen.insert((r, c)) || self.row_cols(r).binary_search(&(c as u32)).is_ok() {
+                return Err(SparseError::DeltaDuplicate { row: r, col: c });
+            }
+        }
+        for &(r, c) in removed {
+            if r >= self.nrows || c >= self.ncols {
+                return Err(SparseError::DeltaOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+            if !seen.insert((r, c)) {
+                return Err(SparseError::DeltaDuplicate { row: r, col: c });
+            }
+            if self.row_cols(r).binary_search(&(c as u32)).is_err() {
+                return Err(SparseError::DeltaMissingEdge { row: r, col: c });
+            }
+        }
+
+        let mut adds: Vec<(usize, u32, T)> =
+            added.iter().map(|&(r, c, v)| (r, c as u32, v)).collect();
+        adds.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut rems: Vec<(usize, u32)> = removed.iter().map(|&(r, c)| (r, c as u32)).collect();
+        rems.sort_unstable();
+
+        let new_nnz = self.nnz() + adds.len() - rems.len();
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(new_nnz);
+        let mut values = Vec::with_capacity(new_nnz);
+        let (mut ai, mut ri) = (0usize, 0usize);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let add_start = ai;
+            while ai < adds.len() && adds[ai].0 == r {
+                ai += 1;
+            }
+            let row_adds = &adds[add_start..ai];
+            let rem_start = ri;
+            while ri < rems.len() && rems[ri].0 == r {
+                ri += 1;
+            }
+            let row_rems = &rems[rem_start..ri];
+            if row_adds.is_empty() && row_rems.is_empty() {
+                colidx.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+            } else {
+                let mut aj = 0usize;
+                for (k, &c) in cols.iter().enumerate() {
+                    if row_rems.binary_search(&(r, c)).is_ok() {
+                        continue;
+                    }
+                    while aj < row_adds.len() && row_adds[aj].1 < c {
+                        colidx.push(row_adds[aj].1);
+                        values.push(row_adds[aj].2);
+                        aj += 1;
+                    }
+                    colidx.push(c);
+                    values.push(vals[k]);
+                }
+                for &(_, c, v) in &row_adds[aj..] {
+                    colidx.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        let out = Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        };
+        debug_assert!(out.check_invariants().is_ok());
+        Ok(out)
+    }
+
     /// `true` if the two matrices have identical sparsity structure
     /// (shape, rowptr and colidx), ignoring values.
     pub fn same_structure(&self, other: &Self) -> bool {
@@ -739,6 +852,116 @@ mod tests {
         let f: CsrMatrix<f32> = m.cast();
         assert!(m.same_structure(&f.cast::<f64>()));
         assert_eq!(f.values()[0], 1.0f32);
+    }
+
+    #[test]
+    fn delta_add_remove_mixed() {
+        let m = fig1();
+        // remove (1,3), add (1,2) and (5,0): same nnz, row 1 reshaped,
+        // row 5 gains an edge.
+        let out = m
+            .apply_structural_delta(&[(1, 2, 99.0), (5, 0, -7.0)], &[(1, 3)])
+            .unwrap();
+        assert_eq!(out.nnz(), m.nnz() + 1);
+        assert_eq!(out.row_cols(1), &[1, 2, 5]);
+        assert_eq!(out.row(5), (&[0u32, 5] as &[_], &[-7.0, 13.0] as &[_]));
+        assert!(out.check_invariants().is_ok());
+        // untouched rows keep their exact content
+        assert_eq!(out.row(4), m.row(4));
+        // equivalent to rebuilding from COO
+        let mut coo = out.to_coo();
+        coo.sum_duplicates();
+        assert_eq!(CsrMatrix::from_coo(&coo), out);
+    }
+
+    #[test]
+    fn delta_can_empty_and_populate_rows() {
+        let m = fig1();
+        // empty row 3 entirely, give previously-single-entry row 5 more
+        // edges
+        let out = m
+            .apply_structural_delta(&[(5, 1, 1.0), (5, 3, 2.0)], &[(3, 1), (3, 2)])
+            .unwrap();
+        assert_eq!(out.row_nnz(3), 0);
+        assert_eq!(out.row_cols(5), &[1, 3, 5]);
+        // inverse delta restores the original matrix exactly
+        let back = out
+            .apply_structural_delta(&[(3, 1, 8.0), (3, 2, 9.0)], &[(5, 1), (5, 3)])
+            .unwrap();
+        assert!(back.same_structure(&m));
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let m = fig1();
+        assert_eq!(m.apply_structural_delta(&[], &[]).unwrap(), m);
+    }
+
+    #[test]
+    fn delta_rejects_out_of_bounds() {
+        let m = fig1();
+        assert_eq!(
+            m.apply_structural_delta(&[(6, 0, 1.0)], &[]),
+            Err(SparseError::DeltaOutOfBounds {
+                row: 6,
+                col: 0,
+                nrows: 6,
+                ncols: 6
+            })
+        );
+        assert_eq!(
+            m.apply_structural_delta(&[(0, 9, 1.0)], &[]),
+            Err(SparseError::DeltaOutOfBounds {
+                row: 0,
+                col: 9,
+                nrows: 6,
+                ncols: 6
+            })
+        );
+        assert!(matches!(
+            m.apply_structural_delta(&[], &[(9, 9)]),
+            Err(SparseError::DeltaOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_rejects_duplicates() {
+        let m = fig1();
+        // duplicate within added
+        assert_eq!(
+            m.apply_structural_delta(&[(0, 1, 1.0), (0, 1, 2.0)], &[]),
+            Err(SparseError::DeltaDuplicate { row: 0, col: 1 })
+        );
+        // duplicate within removed
+        assert_eq!(
+            m.apply_structural_delta(&[], &[(0, 4), (0, 4)]),
+            Err(SparseError::DeltaDuplicate { row: 0, col: 4 })
+        );
+        // same coordinate added and removed — ambiguous order
+        assert_eq!(
+            m.apply_structural_delta(&[(0, 4, 5.0)], &[(0, 4)]),
+            Err(SparseError::DeltaDuplicate { row: 0, col: 4 })
+        );
+        // adding an edge that already exists
+        assert_eq!(
+            m.apply_structural_delta(&[(1, 3, 5.0)], &[]),
+            Err(SparseError::DeltaDuplicate { row: 1, col: 3 })
+        );
+    }
+
+    #[test]
+    fn delta_rejects_missing_removal() {
+        let m = fig1();
+        assert_eq!(
+            m.apply_structural_delta(&[], &[(0, 1)]),
+            Err(SparseError::DeltaMissingEdge { row: 0, col: 1 })
+        );
+        // rejection happens before any splicing: matrix unchanged on
+        // a mixed valid/invalid delta
+        assert_eq!(
+            m.apply_structural_delta(&[(0, 1, 2.0)], &[(5, 4)]),
+            Err(SparseError::DeltaMissingEdge { row: 5, col: 4 })
+        );
     }
 
     #[test]

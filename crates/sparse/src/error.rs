@@ -25,6 +25,32 @@ pub enum SparseError {
     },
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
+    /// A structural-delta coordinate lies outside the matrix shape.
+    DeltaOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Matrix row count.
+        nrows: usize,
+        /// Matrix column count.
+        ncols: usize,
+    },
+    /// The same coordinate appears more than once across a delta's
+    /// `added` + `removed` lists, or an added edge already exists.
+    DeltaDuplicate {
+        /// Row of the duplicated coordinate.
+        row: usize,
+        /// Column of the duplicated coordinate.
+        col: usize,
+    },
+    /// A delta asks to remove an edge the matrix does not contain.
+    DeltaMissingEdge {
+        /// Row of the missing edge.
+        row: usize,
+        /// Column of the missing edge.
+        col: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -39,6 +65,24 @@ impl fmt::Display for SparseError {
                 write!(f, "matrix market parse error at line {line}: {msg}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::DeltaOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "delta coordinate ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::DeltaDuplicate { row, col } => {
+                write!(
+                    f,
+                    "delta coordinate ({row}, {col}) duplicated or already present"
+                )
+            }
+            SparseError::DeltaMissingEdge { row, col } => {
+                write!(f, "delta removes nonexistent edge ({row}, {col})")
+            }
         }
     }
 }
@@ -69,6 +113,22 @@ mod tests {
             msg: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn display_delta_variants() {
+        let e = SparseError::DeltaOutOfBounds {
+            row: 9,
+            col: 4,
+            nrows: 3,
+            ncols: 5,
+        };
+        assert!(e.to_string().contains("(9, 4)"));
+        assert!(e.to_string().contains("3x5"));
+        let e = SparseError::DeltaDuplicate { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = SparseError::DeltaMissingEdge { row: 0, col: 7 };
+        assert!(e.to_string().contains("nonexistent edge (0, 7)"));
     }
 
     #[test]

@@ -484,6 +484,143 @@ fn chaos_bench_with_faulted_plan_store_stays_exact() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Live structural deltas with nothing armed: the mutator chains every
+/// scripted epoch through the epoch-swapped cache while the stream
+/// runs, no request fails, every success stays bit-exact against the
+/// reference of the epoch it was actually sent to, and the final
+/// chained plan answers bit-identically to a from-scratch prepare.
+#[test]
+fn chaos_bench_with_deltas_commits_every_epoch_and_stays_exact() {
+    let _guard = quiesce();
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 64;
+    config.concurrency = 3;
+    config.workers = 2;
+    config.seed = chaos_seed();
+    config.k = 8;
+    config.deltas = true;
+    let report = run_chaos_bench(&config).unwrap();
+    assert_eq!(report.failed, 0, "{}", report.render());
+    assert!(report.all_successes_exact(), "{}", report.render());
+    assert_eq!(report.deltas_committed, 4, "{}", report.render());
+    assert_eq!(report.deltas_failed, 0, "{}", report.render());
+    assert_eq!(report.final_epoch_exact, Some(true), "{}", report.render());
+    let counter = |name: &str| report.manifest.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("serve.delta.attempt") >= 4);
+    assert!(counter("serve.delta.commit") >= 4);
+    assert_eq!(counter("serve.delta.abort"), 0, "{}", report.render());
+}
+
+/// A fault killing the delta mid-flight — at the kernel's incremental
+/// re-prepare, the cache's swap shim, or the store's crash-safe save —
+/// must degrade to the old epoch (still serveable, still exact) and
+/// never fail a request; the mutator's retry then lands the epoch once
+/// the schedule moves past. Panics at the two in-boundary points are
+/// absorbed by the cache's catch_unwind, never by the test harness.
+#[test]
+fn mid_delta_faults_degrade_to_the_old_epoch_then_commit() {
+    let store_dir =
+        std::env::temp_dir().join(format!("spmm-chaos-delta-store-{}", std::process::id()));
+    for (point, action) in [
+        ("kernel.delta", "error"),
+        ("kernel.delta", "panic"),
+        ("serve.cache.delta", "error"),
+        ("serve.cache.delta", "panic"),
+        ("serve.store.delta", "error"),
+    ] {
+        let mut config = ChaosBenchConfig::default();
+        config.requests = 48;
+        config.concurrency = 3;
+        config.workers = 2;
+        config.seed = chaos_seed() ^ 0xDE17A;
+        config.k = 8;
+        config.deltas = true;
+        config.faults = Some(format!("{point}:{action}@every:2"));
+        if point == "serve.store.delta" {
+            std::fs::remove_dir_all(&store_dir).ok();
+            config.plan_store = Some(store_dir.clone());
+        }
+        let report = run_chaos_bench(&config).unwrap();
+        let ctx = format!("{point}:{action}: {}", report.render());
+        assert_eq!(report.failed, 0, "delta fault failed a request: {ctx}");
+        assert!(report.all_successes_exact(), "{ctx}");
+        assert_eq!(report.deltas_committed, 4, "{ctx}");
+        assert!(report.deltas_failed > 0, "the schedule never fired: {ctx}");
+        assert_eq!(report.final_epoch_exact, Some(true), "{ctx}");
+        assert!(
+            report.fault_hits.get(point).copied().unwrap_or(0) > 0,
+            "{point} never fired: {ctx}"
+        );
+        let aborts = report
+            .manifest
+            .counters
+            .get("serve.delta.abort")
+            .copied()
+            .unwrap_or(0);
+        assert!(aborts > 0, "failed deltas must be accounted: {ctx}");
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+/// A persistent fault that refuses every delta attempt pins the stream
+/// on epoch 0: the mutator gives up honestly, nothing commits, yet the
+/// old plan keeps serving bit-exact answers and the final-epoch check
+/// (now epoch 0) still matches a from-scratch prepare.
+#[test]
+fn persistent_delta_fault_pins_the_old_epoch_without_wrong_answers() {
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 48;
+    config.concurrency = 3;
+    config.workers = 2;
+    config.seed = chaos_seed() ^ 0x01D;
+    config.k = 8;
+    config.deltas = true;
+    config.faults = Some("kernel.delta:error@*".into());
+    let report = run_chaos_bench(&config).unwrap();
+    assert_eq!(report.failed, 0, "{}", report.render());
+    assert!(report.all_successes_exact(), "{}", report.render());
+    assert_eq!(report.deltas_committed, 0, "{}", report.render());
+    assert!(report.deltas_failed > 0, "{}", report.render());
+    assert_eq!(report.final_epoch_exact, Some(true), "{}", report.render());
+    assert!(report.fault_hits.get("kernel.delta").copied().unwrap_or(0) > 0);
+}
+
+/// The sharded fleet under live deltas and a faulted swap shim: each
+/// delta lands on exactly the shard holding the plan, the new epoch's
+/// fingerprint re-routes through rendezvous, and no interleaving of
+/// faults, retries and concurrent traffic loses a request or an exact
+/// answer.
+#[test]
+fn sharded_fleet_chains_deltas_under_faults() {
+    let mut config = ChaosBenchConfig::default();
+    config.requests = 64;
+    config.concurrency = 3;
+    config.workers = 2;
+    config.shards = 3;
+    config.seed = chaos_seed() ^ 0x5AAD;
+    config.k = 8;
+    config.deltas = true;
+    config.faults = Some("serve.cache.delta:error@every:3".into());
+    let report = run_chaos_bench(&config).unwrap();
+    assert_eq!(report.failed, 0, "{}", report.render());
+    assert!(report.all_successes_exact(), "{}", report.render());
+    assert_eq!(report.deltas_committed, 4, "{}", report.render());
+    assert_eq!(report.final_epoch_exact, Some(true), "{}", report.render());
+    let counter = |name: &str| report.manifest.counters.get(name).copied().unwrap_or(0);
+    assert!(
+        counter("serve.router.delta") >= 1,
+        "deltas must flow through the router: {}",
+        report.render()
+    );
+    assert_eq!(
+        report.health.workers_alive,
+        config.workers * config.shards,
+        "{}",
+        report.render()
+    );
+    assert!(report.health.ready());
+}
+
 /// A clean chaos-bench run is indistinguishable from a plain benchmark:
 /// no failures, full exactness, no resilience counters in the manifest.
 #[test]

@@ -1,0 +1,302 @@
+//! Property suite for live structural deltas: a chain of incremental
+//! [`Engine::apply_delta`] calls must stay **bit-equal** to a
+//! from-scratch [`Engine::prepare`] of the final (and every
+//! intermediate) patched matrix.
+//!
+//! All values live on the integer grid `(v * 8.0).round().clamp(-8.0,
+//! 8.0)`, so every partial sum is exactly representable in both `f32`
+//! and `f64` and floating-point addition is associative on the inputs
+//! we use. That makes `==` on output data a meaningful oracle even
+//! though the incremental engine's panel layout may legitimately
+//! differ from the from-scratch plan's.
+//!
+//! The delta scripts are seed-driven and cover the structural corner
+//! cases: pure adds, pure removals, mixed batches, a step that empties
+//! a row entirely, and a step that repopulates a previously-emptied
+//! row.
+
+use spmm_rr::prelude::*;
+use std::collections::HashSet;
+
+/// Self-contained xorshift64* PRNG so the delta sequences reproduce
+/// from the seed alone, independent of any generator internals.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A value on the integer grid `[-8, 8]`, exactly representable in
+/// `f32` and `f64` alike.
+fn grid_value<T: Scalar>(rng: &mut Rng) -> T {
+    T::from_f64(rng.below(17) as f64 - 8.0)
+}
+
+fn quantize<T: Scalar>(values: &mut [T]) {
+    for v in values {
+        *v = T::from_f64((v.to_f64() * 8.0).round().clamp(-8.0, 8.0));
+    }
+}
+
+/// Pick up to `count` distinct existing edges to remove.
+fn random_removals<T: Scalar>(
+    m: &CsrMatrix<T>,
+    rng: &mut Rng,
+    count: usize,
+) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for r in 0..m.nrows() {
+        for c in m.row_cols(r) {
+            edges.push((r, *c as usize));
+        }
+    }
+    let mut picked = Vec::new();
+    let mut seen = HashSet::new();
+    for _ in 0..count * 4 {
+        if picked.len() == count || edges.is_empty() {
+            break;
+        }
+        let e = edges[rng.below(edges.len())];
+        if seen.insert(e) {
+            picked.push(e);
+        }
+    }
+    picked
+}
+
+/// Pick up to `count` coordinates absent from the matrix (and from
+/// `forbidden`, so an add never collides with a same-batch removal).
+fn random_adds<T: Scalar>(
+    m: &CsrMatrix<T>,
+    rng: &mut Rng,
+    count: usize,
+    forbidden: &[(usize, usize)],
+) -> Vec<(usize, usize, T)> {
+    let mut used: HashSet<(usize, usize)> = forbidden.iter().copied().collect();
+    for r in 0..m.nrows() {
+        for c in m.row_cols(r) {
+            used.insert((r, *c as usize));
+        }
+    }
+    let mut added = Vec::new();
+    let mut attempts = 0;
+    while added.len() < count && attempts < count * 64 {
+        attempts += 1;
+        let coord = (rng.below(m.nrows()), rng.below(m.ncols()));
+        if used.insert(coord) {
+            added.push((coord.0, coord.1, grid_value::<T>(rng)));
+        }
+    }
+    added
+}
+
+/// Every edge of row `r`, as a removal batch.
+fn empty_row<T: Scalar>(m: &CsrMatrix<T>, r: usize) -> Vec<(usize, usize)> {
+    m.row_cols(r).iter().map(|c| (r, *c as usize)).collect()
+}
+
+/// After each delta step the incremental engine must answer SpMM, SpMV
+/// and SDDMM bit-identically to a fresh prepare of the same structure.
+fn assert_step_exact<T: Scalar>(incremental: &Engine<T>, m: &CsrMatrix<T>, seed: u64, step: usize) {
+    let fresh = Engine::prepare(m, &EngineConfig::default()).expect("from-scratch prepare");
+    assert!(
+        incremental.source_matrix().same_structure(m),
+        "step {step}: incremental engine diverged from the patched structure"
+    );
+    assert_eq!(
+        incremental.source_matrix().values(),
+        m.values(),
+        "step {step}: incremental engine diverged from the patched values"
+    );
+
+    let k = 8;
+    let mut x = generators::random_dense::<T>(m.ncols(), k, seed ^ (step as u64) << 8);
+    quantize(x.data_mut());
+    let mut y = generators::random_dense::<T>(m.nrows(), k, seed ^ (step as u64) << 8 ^ 0x59);
+    quantize(y.data_mut());
+    let mut v = generators::random_dense::<T>(m.ncols(), 1, seed ^ (step as u64) << 8 ^ 0xA1);
+    quantize(v.data_mut());
+    let v = v.data().to_vec();
+
+    assert_eq!(
+        incremental.spmm(&x).expect("incremental spmm").data(),
+        fresh.spmm(&x).expect("fresh spmm").data(),
+        "step {step}: chained apply_delta spmm diverged from from-scratch prepare"
+    );
+    assert_eq!(
+        incremental.spmv(&v).expect("incremental spmv"),
+        fresh.spmv(&v).expect("fresh spmv"),
+        "step {step}: chained apply_delta spmv diverged from from-scratch prepare"
+    );
+    assert_eq!(
+        incremental.sddmm(&x, &y).expect("incremental sddmm"),
+        fresh.sddmm(&x, &y).expect("fresh sddmm"),
+        "step {step}: chained apply_delta sddmm diverged from from-scratch prepare"
+    );
+}
+
+/// One full scripted chain for a scalar type: base matrix → pure adds
+/// → pure removals → mixed batch → empty a row → repopulate it, with a
+/// bit-equality check against from-scratch at every step.
+fn chained_deltas_track_from_scratch<T: Scalar>(seed: u64) {
+    let mut rng = Rng::new(seed);
+    let mut m = generators::uniform_random::<T>(72, 72, 5, seed);
+    quantize(m.values_mut());
+    let mut incremental = Engine::prepare(&m, &EngineConfig::default()).expect("base prepare");
+
+    // step 0: pure adds
+    let added = random_adds(&m, &mut rng, 12, &[]);
+    assert!(!added.is_empty());
+    m = m.apply_structural_delta(&added, &[]).expect("patch adds");
+    incremental = incremental.apply_delta(&added, &[]).expect("delta adds");
+    assert_step_exact(&incremental, &m, seed, 0);
+
+    // step 1: pure removals
+    let removed = random_removals(&m, &mut rng, 12);
+    assert!(!removed.is_empty());
+    m = m
+        .apply_structural_delta(&[], &removed)
+        .expect("patch removals");
+    incremental = incremental
+        .apply_delta(&[], &removed)
+        .expect("delta removals");
+    assert_step_exact(&incremental, &m, seed, 1);
+
+    // step 2: mixed batch (adds and removals in one delta)
+    let removed = random_removals(&m, &mut rng, 8);
+    let added = random_adds(&m, &mut rng, 8, &removed);
+    m = m
+        .apply_structural_delta(&added, &removed)
+        .expect("patch mixed");
+    incremental = incremental
+        .apply_delta(&added, &removed)
+        .expect("delta mixed");
+    assert_step_exact(&incremental, &m, seed, 2);
+
+    // step 3: empty an entire row — the panel containing it must
+    // re-derive without tripping on a zero-length row
+    let victim = rng.below(m.nrows());
+    let removed = empty_row(&m, victim);
+    assert!(!removed.is_empty(), "uniform_random rows are non-empty");
+    m = m
+        .apply_structural_delta(&[], &removed)
+        .expect("patch row-empty");
+    incremental = incremental
+        .apply_delta(&[], &removed)
+        .expect("delta row-empty");
+    assert_eq!(m.row_cols(victim).len(), 0);
+    assert_step_exact(&incremental, &m, seed, 3);
+
+    // step 4: repopulate the emptied row
+    let cols: Vec<usize> = (0..4).map(|i| (victim * 3 + i * 7) % m.ncols()).collect();
+    let added: Vec<(usize, usize, T)> = cols
+        .into_iter()
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .map(|c| (victim, c, grid_value::<T>(&mut rng)))
+        .collect();
+    m = m
+        .apply_structural_delta(&added, &[])
+        .expect("patch row-repopulate");
+    incremental = incremental
+        .apply_delta(&added, &[])
+        .expect("delta row-repopulate");
+    assert!(!m.row_cols(victim).is_empty());
+    assert_step_exact(&incremental, &m, seed, 4);
+}
+
+#[test]
+fn chained_deltas_bit_equal_from_scratch_f64() {
+    for seed in [3, 1041, 77_777] {
+        chained_deltas_track_from_scratch::<f64>(seed);
+    }
+}
+
+#[test]
+fn chained_deltas_bit_equal_from_scratch_f32() {
+    for seed in [5, 2093, 99_991] {
+        chained_deltas_track_from_scratch::<f32>(seed);
+    }
+}
+
+/// Heavy churn: many small random mixed deltas chained back to back,
+/// checked only at the end — exercises drift accumulation across panel
+/// splices rather than per-step correctness.
+#[test]
+fn long_delta_chain_converges_to_from_scratch() {
+    let seed = 0xDE17A;
+    let mut rng = Rng::new(seed);
+    let mut m = generators::uniform_random::<f64>(96, 96, 6, seed);
+    quantize(m.values_mut());
+    let mut incremental = Engine::prepare(&m, &EngineConfig::default()).expect("base prepare");
+
+    for _ in 0..12 {
+        let removed = random_removals(&m, &mut rng, 5);
+        let added = random_adds(&m, &mut rng, 5, &removed);
+        m = m
+            .apply_structural_delta(&added, &removed)
+            .expect("patch step");
+        incremental = incremental
+            .apply_delta(&added, &removed)
+            .expect("delta step");
+    }
+    assert_step_exact(&incremental, &m, seed, 12);
+}
+
+/// A rejected delta must leave the engine untouched: same structure,
+/// same answers, usable for further (valid) deltas.
+#[test]
+fn failed_delta_leaves_engine_serveable() {
+    let seed = 0xBADD;
+    let mut m = generators::uniform_random::<f64>(48, 48, 4, seed);
+    quantize(m.values_mut());
+    let engine = Engine::prepare(&m, &EngineConfig::default()).expect("base prepare");
+    let mut x = generators::random_dense::<f64>(m.ncols(), 8, seed ^ 0xF00);
+    quantize(x.data_mut());
+    let before = engine.spmm(&x).expect("pre-delta spmm");
+
+    // out-of-bounds add, duplicate add, and removal of an absent edge
+    // must each surface a descriptive error without mutating `engine`
+    let existing = (0usize, m.row_cols(0)[0] as usize);
+    let absent_col = (0..m.ncols())
+        .find(|c| !m.row_cols(0).contains(&(*c as u32)))
+        .expect("48-wide row with 4 nnz has absent cols");
+    for (added, removed) in [
+        (vec![(m.nrows(), 0, 1.0)], vec![]),
+        (vec![(existing.0, existing.1, 1.0)], vec![]),
+        (vec![], vec![(0, absent_col)]),
+    ] {
+        let err = engine.apply_delta(&added, &removed);
+        assert!(
+            err.is_err(),
+            "malformed delta was accepted: {added:?} {removed:?}"
+        );
+    }
+    let after = engine.spmm(&x).expect("post-failure spmm");
+    assert_eq!(
+        before.data(),
+        after.data(),
+        "failed delta perturbed the plan"
+    );
+
+    // and a valid delta still applies on the same engine afterwards
+    let added = vec![(0, absent_col, 2.0)];
+    let next = engine.apply_delta(&added, &[]).expect("valid delta");
+    m = m.apply_structural_delta(&added, &[]).expect("patch");
+    assert_step_exact(&next, &m, seed, 99);
+}

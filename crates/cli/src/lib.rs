@@ -20,6 +20,7 @@ usage:
                shuffled noisy diagonal cf
   spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
   spmm-rr plan     gc --store <dir> [--keep N]
+  spmm-rr microbench [--k N] [--reps N] [--seed N] [--json]
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--op spmm|spmv|spgemm] [--batch]
@@ -48,6 +49,7 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
         "reorder" => Some(&[("out", true), ("order", true)]),
         "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
         "plan" => Some(&[("store", true), ("keep", true)]),
+        "microbench" => Some(&[("k", true), ("reps", true), ("seed", true), ("json", false)]),
         "serve-bench" => Some(&[
             ("requests", true),
             ("concurrency", true),
@@ -157,6 +159,19 @@ pub enum Invocation {
         store: PathBuf,
         /// How many of the newest plan files survive.
         keep: usize,
+    },
+    /// `microbench [--k N] [--reps N] [--seed N] [--json]` — time the
+    /// generic k-blocked ASpT SpMM kernel against the monomorphized
+    /// microkernels on the Quick corpus, one row per specialized width.
+    Microbench {
+        /// Total dense-operand width swept by the blocked passes.
+        k: usize,
+        /// Timing repetitions per kernel (the best rep is kept).
+        reps: usize,
+        /// Corpus and operand seed.
+        seed: u64,
+        /// Emit the run-manifest JSON instead of the table.
+        json: bool,
     },
     /// `serve-bench [--requests N] [--concurrency N] [--workers N]
     /// [--cache N] [--zipf S] [--seed N] [--k N] [--json]
@@ -298,6 +313,27 @@ impl Invocation {
                     store: flags.get("store").ok_or("plan requires --store")?.into(),
                 })
             }
+            "microbench" => {
+                let parse = |name: &str, default: usize| -> Result<usize, String> {
+                    match flags.get(name) {
+                        Some(v) => v.parse().map_err(|_| format!("bad --{name} value '{v}'")),
+                        None => Ok(default),
+                    }
+                };
+                let k = parse("k", 96)?;
+                if k == 0 {
+                    return Err("bad --k value '0' (need at least one column)".into());
+                }
+                Ok(Invocation::Microbench {
+                    k,
+                    reps: parse("reps", 5)?.max(1),
+                    seed: match flags.get("seed") {
+                        Some(v) => v.parse().map_err(|_| format!("bad --seed value '{v}'"))?,
+                        None => 42,
+                    },
+                    json: flags.contains_key("json"),
+                })
+            }
             "serve-bench" => {
                 let mut config = ServeBenchConfig::default();
                 let parse_usize = |flags: &std::collections::HashMap<String, String>,
@@ -335,10 +371,16 @@ impl Invocation {
                         );
                     }
                     if let Some(v) = flags.get("k-block") {
-                        batch = batch.k_block(
-                            v.parse()
-                                .map_err(|_| format!("bad --k-block value '{v}'"))?,
-                        );
+                        let kb: usize = v
+                            .parse()
+                            .map_err(|_| format!("bad --k-block value '{v}'"))?;
+                        if kb == 0 {
+                            return Err(
+                                "bad --k-block value '0' (need a block of at least one column)"
+                                    .into(),
+                            );
+                        }
+                        batch = batch.k_block(kb);
                     }
                     config.batch = Some(batch);
                 }
@@ -566,6 +608,12 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
             }
             Ok(out)
         }
+        Invocation::Microbench {
+            k,
+            reps,
+            seed,
+            json,
+        } => microbench(*k, *reps, *seed, *json),
         Invocation::ServeBench { config, json } => {
             let report = run_serve_bench(config).map_err(|e| e.to_string())?;
             if !report.probes_passed() {
@@ -714,6 +762,116 @@ pub fn bench(m: &CsrMatrix<f32>, k: usize, device: &DeviceConfig) -> Result<Stri
         trial.rr_speedup_vs_best_other()
     );
     Ok(out)
+}
+
+/// The `microbench` report body: the generic k-blocked ASpT SpMM
+/// kernel head-to-head against the monomorphized microkernels
+/// ([`spmm_aspt_kblocked_auto`]) on the Quick corpus, one row per
+/// specialized width. Each matrix's ASpT decomposition and operand are
+/// built once outside the timed region, every timed pair is first
+/// cross-checked bit-for-bit, and the best of `reps` repetitions is
+/// kept per kernel. With `json`, emits the run manifest whose
+/// `micro.speedup*` gauges the CI perf-smoke gate reads.
+///
+/// # Errors
+/// Fails when a kernel rejects its operands or a specialized width
+/// diverges from the generic result (which would be a bug, not noise).
+pub fn microbench(k: usize, reps: usize, seed: u64, json: bool) -> Result<String, String> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    let reps = reps.max(1);
+    let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, seed);
+    let prepared: Vec<(String, AsptMatrix<f32>, DenseMatrix<f32>)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, cm)| {
+            let aspt = AsptMatrix::build(&cm.matrix, &AsptConfig::default());
+            let x = generators::random_dense::<f32>(cm.matrix.ncols(), k, seed ^ (i as u64 + 1));
+            (cm.name.clone(), aspt, x)
+        })
+        .collect();
+
+    let collector = Arc::new(Collector::new());
+    let telemetry = TelemetryHandle::new(collector.clone());
+    telemetry.meta("bench", "microbench");
+    telemetry.meta("corpus", "quick");
+    telemetry.meta("k", &k.to_string());
+    telemetry.meta("reps", &reps.to_string());
+    telemetry.meta("seed", &seed.to_string());
+
+    let time_best =
+        |f: &mut dyn FnMut() -> Result<DenseMatrix<f32>, String>| -> Result<f64, String> {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let y = f()?;
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(&y);
+                best = best.min(dt);
+            }
+            Ok(best)
+        };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "microkernel bench: Quick corpus ({} matrices), K = {k}, best of {reps}",
+        prepared.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  {:>12}  {:>8}",
+        "k_block", "generic (ms)", "micro (ms)", "speedup"
+    );
+    let mut generic_sum = 0.0f64;
+    let mut micro_sum = 0.0f64;
+    for &w in MICRO_WIDTHS.iter().filter(|&&w| w <= k) {
+        let mut generic_total = 0.0f64;
+        let mut micro_total = 0.0f64;
+        for (name, aspt, x) in &prepared {
+            // the first (untimed) pair doubles as warm-up and as the
+            // bit-exactness cross-check
+            let yg = spmm_aspt_kblocked(aspt, x, w).map_err(|e| e.to_string())?;
+            let ym = spmm_aspt_kblocked_auto(aspt, x, w).map_err(|e| e.to_string())?;
+            if yg.data() != ym.data() {
+                return Err(format!(
+                    "microkernel k_block={w} diverged from the generic kernel on '{name}'"
+                ));
+            }
+            generic_total +=
+                time_best(&mut || spmm_aspt_kblocked(aspt, x, w).map_err(|e| e.to_string()))?;
+            micro_total +=
+                time_best(&mut || spmm_aspt_kblocked_auto(aspt, x, w).map_err(|e| e.to_string()))?;
+        }
+        let speedup = generic_total / micro_total;
+        telemetry.gauge(&format!("micro.generic_s.k{w}"), generic_total);
+        telemetry.gauge(&format!("micro.micro_s.k{w}"), micro_total);
+        telemetry.gauge(&format!("micro.speedup.k{w}"), speedup);
+        generic_sum += generic_total;
+        micro_sum += micro_total;
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12.3}  {:>12.3}  {:>7.2}x",
+            w,
+            generic_total * 1e3,
+            micro_total * 1e3,
+            speedup
+        );
+    }
+    if micro_sum == 0.0 {
+        return Err(format!(
+            "no specialized width fits K = {k} (narrowest microkernel is {})",
+            MICRO_WIDTHS[0]
+        ));
+    }
+    let overall = generic_sum / micro_sum;
+    telemetry.gauge("micro.speedup", overall);
+    let _ = writeln!(out, "overall: {overall:.2}x");
+    if json {
+        Ok(collector.manifest().to_json(true))
+    } else {
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -915,6 +1073,11 @@ mod tests {
         }
         assert!(Invocation::parse(&s(&["serve-bench", "--max-batch-k", "x"])).is_err());
         assert!(Invocation::parse(&s(&["serve-bench", "--k-block"])).is_err());
+        // a zero-width block is a targeted parse error, not a panic or
+        // a silent clamp to 1
+        let err = Invocation::parse(&s(&["serve-bench", "--k-block", "0"])).unwrap_err();
+        assert!(err.contains("--k-block"), "{err}");
+        assert!(err.contains("at least one column"), "{err}");
         // chaos-bench takes the boolean flag only
         match Invocation::parse(&s(&["chaos-bench", "--batch"])).unwrap() {
             Invocation::ChaosBench { config, .. } => {
@@ -923,6 +1086,77 @@ mod tests {
             other => panic!("wrong invocation: {other:?}"),
         }
         assert!(Invocation::parse(&s(&["chaos-bench", "--max-batch-k", "8"])).is_err());
+    }
+
+    #[test]
+    fn parse_microbench() {
+        let inv = Invocation::parse(&s(&[
+            "microbench",
+            "--k",
+            "64",
+            "--reps",
+            "3",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Microbench {
+                k: 64,
+                reps: 3,
+                seed: 9,
+                json: true,
+            }
+        );
+        // defaults
+        assert_eq!(
+            Invocation::parse(&s(&["microbench"])).unwrap(),
+            Invocation::Microbench {
+                k: 96,
+                reps: 5,
+                seed: 42,
+                json: false,
+            }
+        );
+        let err = Invocation::parse(&s(&["microbench", "--k", "0"])).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        assert!(Invocation::parse(&s(&["microbench", "--k", "x"])).is_err());
+        assert!(Invocation::parse(&s(&["microbench", "--device", "p100"])).is_err());
+    }
+
+    #[test]
+    fn microbench_runs_and_reports_every_width() {
+        use spmm_core::telemetry::RunManifest;
+        let out = run(&Invocation::Microbench {
+            k: 32,
+            reps: 1,
+            seed: 11,
+            json: false,
+        })
+        .unwrap();
+        for w in MICRO_WIDTHS.iter().filter(|&&w| w <= 32) {
+            assert!(
+                out.lines()
+                    .any(|l| l.trim_start().starts_with(&w.to_string())),
+                "{out}"
+            );
+        }
+        assert!(out.contains("overall:"), "{out}");
+
+        let json = run(&Invocation::Microbench {
+            k: 32,
+            reps: 1,
+            seed: 11,
+            json: true,
+        })
+        .unwrap();
+        let manifest = RunManifest::from_json(&json).unwrap();
+        assert!(manifest.gauges.contains_key("micro.speedup"), "{json}");
+        assert!(manifest.gauges.contains_key("micro.speedup.k8"), "{json}");
+        assert!(manifest.gauges.contains_key("micro.speedup.k32"), "{json}");
+        assert_eq!(manifest.meta.get("k").map(String::as_str), Some("32"));
     }
 
     #[test]

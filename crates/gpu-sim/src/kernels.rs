@@ -289,6 +289,63 @@ pub fn simulate_spmm_aspt_kblocked<T: Scalar>(
         .unwrap_or_else(|| run_blocks(&[], k.max(1), T::BYTES, device))
 }
 
+/// Per-thread register budget assumed for the microkernel working-set
+/// model: 255 allocatable 32-bit registers (the 256th is reserved), the
+/// limit on P100 and V100 alike.
+pub const MICRO_REGFILE_BYTES_PER_THREAD: usize = 255 * 4;
+
+/// Live register bytes a monomorphized microkernel pass holds per
+/// thread at block width `k_block`: the `[T; KB]` output accumulator
+/// plus the staged `X` block it multiplies against. This is the
+/// quantity that bounds how wide a specialized block can go before the
+/// accumulator spills to local memory.
+pub fn micro_register_bytes(k_block: usize, elem_bytes: usize) -> usize {
+    2 * k_block * elem_bytes
+}
+
+/// Simulates the column-blocked ASpT SpMM kernel with register-blocked
+/// (microkernel) passes. Passes whose accumulator working set fits the
+/// register budget ([`micro_register_bytes`] vs
+/// [`MICRO_REGFILE_BYTES_PER_THREAD`]) behave exactly like
+/// [`simulate_spmm_aspt_kblocked`]: the `Y` block stays register
+/// resident and is written once per touched row per pass. Over-budget
+/// widths spill the accumulator to thread-local memory, which the model
+/// charges as one extra `Y`-block read + write round trip through the
+/// memory system per nonzero — the traffic a register-resident
+/// accumulator exists to avoid.
+pub fn simulate_spmm_aspt_kblocked_micro<T: Scalar>(
+    aspt: &AsptMatrix<T>,
+    remainder_order: Option<&Permutation>,
+    k: usize,
+    k_block: usize,
+    device: &DeviceConfig,
+) -> SimReport {
+    kblock_pass_widths(k, k_block)
+        .into_iter()
+        .map(|w| {
+            let spills = micro_register_bytes(w, T::BYTES) > MICRO_REGFILE_BYTES_PER_THREAD;
+            let mut dense_blocks = spmm_aspt_dense_blocks(aspt, w);
+            let mut rest_blocks =
+                spmm_rowwise_blocks(aspt.remainder(), w, remainder_order, DEFAULT_ROWS_PER_BLOCK);
+            if spills {
+                let wb = (w * T::BYTES) as u64;
+                for b in dense_blocks.iter_mut().chain(rest_blocks.iter_mut()) {
+                    // flops are 2 per (nonzero, column) in both block
+                    // kinds, so nnz = flops / (2 * w); each spilled
+                    // nonzero round-trips the Y block
+                    let nnz = b.flops / (2 * w as u64);
+                    b.stream_read_bytes += nnz * wb;
+                    b.stream_write_bytes += nnz * wb;
+                }
+            }
+            let dense = run_blocks(&dense_blocks, w, T::BYTES, device);
+            let rest = run_blocks(&rest_blocks, w, T::BYTES, device);
+            combine(&dense, &rest)
+        })
+        .reduce(|a, b| combine(&a, &b))
+        .unwrap_or_else(|| run_blocks(&[], k.max(1), T::BYTES, device))
+}
+
 /// Simulates the row-wise SpMV kernel — the `k = 1` instantiation of
 /// the row-wise SpMM trace (the cuSPARSE-like csrmv baseline).
 pub fn simulate_spmv_rowwise<T: Scalar>(m: &CsrMatrix<T>, device: &DeviceConfig) -> SimReport {
@@ -749,6 +806,47 @@ mod tests {
         let blocked = simulate_spmm_aspt_kblocked(&aspt, None, 128, 32, &d);
         assert_eq!(full.flops, blocked.flops);
         assert_eq!(simulate_spmm_aspt_kblocked(&aspt, None, 128, 256, &d), full);
+    }
+
+    #[test]
+    fn micro_simulation_matches_generic_within_register_budget() {
+        // every specialized width fits the register file for f32 and
+        // f64, so the micro simulation is exactly the generic k-blocked
+        // trace there
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let aspt = AsptMatrix::build(&m, &aspt_cfg());
+        let d = small_device();
+        for kb in [8usize, 16, 32] {
+            assert!(micro_register_bytes(kb, 8) <= MICRO_REGFILE_BYTES_PER_THREAD);
+            assert_eq!(
+                simulate_spmm_aspt_kblocked_micro(&aspt, None, 96, kb, &d),
+                simulate_spmm_aspt_kblocked(&aspt, None, 96, kb, &d),
+                "in-budget width {kb} must match the generic trace"
+            );
+        }
+    }
+
+    #[test]
+    fn micro_simulation_charges_spill_traffic_over_budget() {
+        // a hypothetical 256-wide f64 block (4096 accumulator bytes)
+        // blows the 1020-byte register file: the model must charge the
+        // per-nonzero Y round trip and run slower than the in-register
+        // trace, while arithmetic stays identical
+        let m = generators::block_diagonal::<f64>(32, 16, 24, 12, 3);
+        let aspt = AsptMatrix::build(&m, &aspt_cfg());
+        let d = small_device();
+        let wide = 256usize;
+        assert!(micro_register_bytes(wide, 8) > MICRO_REGFILE_BYTES_PER_THREAD);
+        let spilled = simulate_spmm_aspt_kblocked_micro(&aspt, None, wide, wide, &d);
+        let resident = simulate_spmm_aspt_kblocked(&aspt, None, wide, wide, &d);
+        assert_eq!(spilled.flops, resident.flops);
+        assert!(
+            spilled.traffic.dram_bytes > resident.traffic.dram_bytes,
+            "spill {} !> resident {}",
+            spilled.traffic.dram_bytes,
+            resident.traffic.dram_bytes
+        );
+        assert!(spilled.time_s > resident.time_s);
     }
 
     #[test]

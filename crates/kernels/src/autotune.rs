@@ -226,9 +226,10 @@ pub fn tuned_engine<T: Scalar>(
     Ok((engine, report))
 }
 
-/// Default candidate widths for [`choose_k_block`] — powers of two
-/// spanning the paper's K sweep (Tables 3/4 use 32–512).
-pub const DEFAULT_K_BLOCK_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
+/// Default candidate widths for [`choose_k_block`] — the microkernel
+/// widths plus powers of two spanning the paper's K sweep (Tables 3/4
+/// use 32–512).
+pub const DEFAULT_K_BLOCK_CANDIDATES: [usize; 5] = [8, 16, 32, 64, 128];
 
 /// Picks the column-block width for the batched (fused multi-RHS)
 /// kernel by simulating [`Engine::simulate_spmm_kblocked`] at each
@@ -236,13 +237,20 @@ pub const DEFAULT_K_BLOCK_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
 /// Candidates are clamped to `[1, k_total]` and deduplicated (every
 /// width ≥ `k_total` collapses to the same single-pass kernel).
 /// Returns the winning width plus every candidate's report; ties keep
-/// the earlier candidate.
+/// the earlier candidate. An empty candidate list falls back to
+/// [`DEFAULT_K_BLOCK_CANDIDATES`], so the returned best is always a
+/// simulated width with its report in the trial vec.
 pub fn choose_k_block<T: Scalar>(
     engine: &Engine<T>,
     k_total: usize,
     candidates: &[usize],
     device: &DeviceConfig,
 ) -> (usize, Vec<(usize, SimReport)>) {
+    let candidates: &[usize] = if candidates.is_empty() {
+        &DEFAULT_K_BLOCK_CANDIDATES
+    } else {
+        candidates
+    };
     let mut trials: Vec<(usize, SimReport)> = Vec::with_capacity(candidates.len());
     let mut best = k_total.max(1);
     let mut best_time = f64::INFINITY;
@@ -258,8 +266,52 @@ pub fn choose_k_block<T: Scalar>(
         }
         trials.push((kb, report));
     }
+    debug_assert!(
+        trials.iter().any(|(w, _)| *w == best),
+        "the chosen width must come from a simulated trial"
+    );
     (best, trials)
 }
+
+/// Plan-time microkernel width selection: simulates the register-
+/// blocked k-blocked kernel ([`Engine::simulate_spmm_kblocked_micro`])
+/// at every eligible width in [`crate::micro::MICRO_WIDTHS`] and
+/// returns the fastest, or `None` when `k_total` is narrower than every
+/// specialized width (the generic path runs). The fused width each
+/// trial simulates is capped at [`MICRO_SELECTION_K_CAP`] so selection
+/// cost stays bounded while every candidate still divides the trial
+/// operand evenly.
+pub fn choose_micro_width<T: Scalar>(
+    engine: &Engine<T>,
+    k_total: usize,
+    device: &DeviceConfig,
+) -> Option<usize> {
+    let eligible: Vec<usize> = crate::micro::MICRO_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w <= k_total)
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    let k_sim = k_total.min(MICRO_SELECTION_K_CAP);
+    let mut best = eligible[0];
+    let mut best_time = f64::INFINITY;
+    for &w in &eligible {
+        let report = engine.simulate_spmm_kblocked_micro(k_sim, w, device);
+        if report.time_s < best_time {
+            best_time = report.time_s;
+            best = w;
+        }
+    }
+    crate::micro::micro_width_for(best)
+}
+
+/// Fused-operand width cap for [`choose_micro_width`] trials: a common
+/// multiple of the microkernel widths (3 × 32), so every candidate sees
+/// only full-width passes and selection cost does not grow with the
+/// caller's `k_hint`.
+pub const MICRO_SELECTION_K_CAP: usize = 96;
 
 /// [`choose_variant`] for a concrete [`KernelOp`]: the kernel family
 /// and dense width are read off the op, so callers that already hold
@@ -504,6 +556,47 @@ mod tests {
         let (_, clamped) = choose_k_block(&engine, 8, &[16, 32, 64], &device());
         assert_eq!(clamped.len(), 1);
         assert_eq!(clamped[0].0, 8);
+    }
+
+    #[test]
+    fn choose_k_block_empty_candidates_fall_back_to_defaults() {
+        // regression: an empty candidate list used to crown
+        // `k_total.max(1)` with an empty trial vec — a width that was
+        // never simulated
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let config = EngineConfig::builder().reorder(reorder_cfg()).build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let (best, trials) = choose_k_block(&engine, 128, &[], &device());
+        assert!(!trials.is_empty(), "empty candidates must still simulate");
+        assert!(trials.iter().any(|(w, _)| *w == best));
+        let (def_best, def_trials) =
+            choose_k_block(&engine, 128, &DEFAULT_K_BLOCK_CANDIDATES, &device());
+        assert_eq!(best, def_best);
+        assert_eq!(trials.len(), def_trials.len());
+
+        // fully-duplicate-after-clamp candidates dedupe to one
+        // *simulated* trial whose width is the chosen best
+        let (best, trials) = choose_k_block(&engine, 1, &[64, 128], &device());
+        assert_eq!(best, 1);
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].0, 1);
+    }
+
+    #[test]
+    fn choose_micro_width_picks_a_specialized_width() {
+        let m = generators::block_diagonal::<f32>(32, 16, 24, 12, 3);
+        let config = EngineConfig::builder().reorder(reorder_cfg()).build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let w = choose_micro_width(&engine, 128, &device());
+        assert!(
+            matches!(w, Some(w) if crate::micro::MICRO_WIDTHS.contains(&w)),
+            "wide operands must select a specialized width, got {w:?}"
+        );
+        // exactly the narrowest width is eligible at k = 8
+        assert_eq!(choose_micro_width(&engine, 8, &device()), Some(8));
+        // operands narrower than every specialized width run generic
+        assert_eq!(choose_micro_width(&engine, 7, &device()), None);
+        assert_eq!(choose_micro_width(&engine, 0, &device()), None);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use spmm_aspt::{dense_ratio_of, AsptMatrix};
 use spmm_faults::FaultPoint;
 use spmm_gpu_sim::kernels::{
     simulate_sddmm_aspt, simulate_spgemm_clustered, simulate_spmm_aspt,
-    simulate_spmm_aspt_kblocked, simulate_spmv_aspt,
+    simulate_spmm_aspt_kblocked, simulate_spmm_aspt_kblocked_micro, simulate_spmv_aspt,
 };
 use spmm_gpu_sim::{DeviceConfig, SimReport};
 use spmm_reorder::{plan_region_recluster_with, plan_reordering_with, ReorderConfig, ReorderPlan};
@@ -22,9 +22,10 @@ use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, Telemetry
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::sddmm::sddmm_aspt;
+use crate::micro::spmm_aspt_kblocked_auto;
+use crate::sddmm::sddmm_aspt_auto;
 use crate::spgemm::spgemm_clustered;
-use crate::spmm::{spmm_aspt, spmm_aspt_kblocked};
+use crate::spmm::spmm_aspt;
 use crate::spmv::spmv_aspt;
 
 /// Fault point at the head of [`Engine::prepare`], after the CSR
@@ -416,6 +417,12 @@ pub struct Engine<T> {
     reorder_config: ReorderConfig,
     /// Jaccard drift threshold for [`Engine::apply_delta`].
     delta_drift_threshold: f64,
+    /// Plan-selected microkernel width (one of
+    /// [`crate::micro::MICRO_WIDTHS`]), chosen during
+    /// [`Engine::prepare`] when a `k_hint` is given and restored by the
+    /// plan-store codec on warm start — re-selection never runs twice
+    /// for the same plan. `None` runs the generic k-blocked kernels.
+    micro_width: Option<usize>,
 }
 
 impl<T: Scalar> Engine<T> {
@@ -469,7 +476,7 @@ impl<T: Scalar> Engine<T> {
             "preprocessing_ns",
             &report.manifest.total_duration_ns().to_string(),
         );
-        Ok(Self {
+        let mut engine = Self {
             plan: Arc::new(plan),
             aspt: Arc::new(aspt),
             reordered: Arc::new(reordered),
@@ -482,7 +489,21 @@ impl<T: Scalar> Engine<T> {
             user_telemetry: config.telemetry.clone(),
             reorder_config: config.reorder,
             delta_drift_threshold: config.delta_drift_threshold,
-        })
+            micro_width: None,
+        };
+        // plan-time microkernel selection (§4 trial-and-error, one
+        // level below the variant choice): simulate the register-
+        // blocked widths once here, record the winner, and let the
+        // plan-store codec carry it so warm starts never re-select
+        if let Some(k) = engine.k_hint {
+            let _span = engine.telemetry.span("prepare.micro_select");
+            engine.micro_width =
+                crate::autotune::choose_micro_width(&engine, k, &DeviceConfig::p100());
+            if let Some(w) = engine.micro_width {
+                engine.telemetry.meta("micro_width", &w.to_string());
+            }
+        }
+        Ok(engine)
     }
 
     /// Rehydrates an engine from previously prepared parts — the plan
@@ -581,7 +602,23 @@ impl<T: Scalar> Engine<T> {
             user_telemetry,
             reorder_config,
             delta_drift_threshold: 0.5,
+            micro_width: None,
         })
+    }
+
+    /// The plan-selected microkernel width, if one was chosen (during
+    /// [`Engine::prepare`] with a `k_hint`, or restored from a stored
+    /// plan). `None` means the generic k-blocked kernels run.
+    pub fn micro_width(&self) -> Option<usize> {
+        self.micro_width
+    }
+
+    /// Overrides the microkernel width — the plan-store codec's hook
+    /// for restoring a recorded choice without re-running selection.
+    /// Widths outside [`crate::micro::MICRO_WIDTHS`] simply route to
+    /// the generic kernels at dispatch.
+    pub fn set_micro_width(&mut self, width: Option<usize>) {
+        self.micro_width = width;
     }
 
     /// The reordering plan that was applied.
@@ -680,7 +717,7 @@ impl<T: Scalar> Engine<T> {
             KernelOp::SpmmKBlocked { x, k_block } => {
                 let _span = self.telemetry.span("exec.spmm");
                 self.record_exec_counters();
-                let y_reord = spmm_aspt_kblocked(&self.aspt, x, k_block)?;
+                let y_reord = spmm_aspt_kblocked_auto(&self.aspt, x, k_block)?;
                 let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
                 self.unpermute_rows(&y_reord, &mut y);
                 Ok(Output::Dense(y))
@@ -867,7 +904,13 @@ impl<T: Scalar> Engine<T> {
             y_perm = p;
             &y_perm
         };
-        sddmm_aspt(&self.aspt, x, y_for_kernel, self.reordered.rowptr())
+        sddmm_aspt_auto(
+            &self.aspt,
+            x,
+            y_for_kernel,
+            self.reordered.rowptr(),
+            self.micro_width,
+        )
     }
 
     /// Scatters reordered-nonzero-order values into source order:
@@ -919,6 +962,32 @@ impl<T: Scalar> Engine<T> {
         report
             .traffic
             .record_to(&self.telemetry, "sim.spmm_kblocked");
+        report
+    }
+
+    /// Simulated performance of the *register-blocked microkernel*
+    /// variant of the column-blocked SpMM kernel: the same pass
+    /// structure as [`Engine::simulate_spmm_kblocked`], plus spill
+    /// traffic when `2 · k_block` accumulator/operand registers per
+    /// thread exceed the modeled register file. This is what
+    /// [`crate::autotune::choose_micro_width`] ranks at plan time.
+    pub fn simulate_spmm_kblocked_micro(
+        &self,
+        k: usize,
+        k_block: usize,
+        device: &DeviceConfig,
+    ) -> SimReport {
+        let _span = self.telemetry.span("sim.spmm_kblocked_micro");
+        let report = simulate_spmm_aspt_kblocked_micro(
+            &self.aspt,
+            self.remainder_order(),
+            k,
+            k_block,
+            device,
+        );
+        report
+            .traffic
+            .record_to(&self.telemetry, "sim.spmm_kblocked_micro");
         report
     }
 
@@ -1164,6 +1233,7 @@ impl<T: Scalar> Engine<T> {
         // defaults
         engine.reorder_config = self.reorder_config;
         engine.delta_drift_threshold = self.delta_drift_threshold;
+        engine.micro_width = self.micro_width;
         Ok(engine)
     }
 

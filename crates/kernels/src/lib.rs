@@ -8,6 +8,9 @@
 //! * [`spmm`] — Alg 1 row-wise SpMM (sequential reference + rayon
 //!   row-parallel) and the ASpT-structured kernel (dense tiles
 //!   accumulated panel-parallel + remainder).
+//! * [`micro`] — monomorphized `[T; KB]` register-accumulator
+//!   microkernels for the k-blocked hot path (KB ∈ {8, 16, 32}),
+//!   selected at plan time, bit-identical to the generic kernels.
 //! * [`sddmm`] — Alg 2 SDDMM, same three variants.
 //! * [`spmv`] — the dedicated `k = 1` path: flat-slice operand, scalar
 //!   accumulators, bit-identical to SpMM on an `n × 1` operand.
@@ -24,6 +27,7 @@
 
 pub mod autotune;
 pub mod engine;
+pub mod micro;
 pub mod sddmm;
 pub mod spgemm;
 pub mod spmm;
@@ -34,3 +38,6 @@ pub use autotune::{
     Kernel, TrialReport, Variant,
 };
 pub use engine::{Engine, EngineConfig, EngineConfigBuilder, KernelOp, Output, PrepareReport};
+pub use micro::{
+    micro_width_for, spmm_aspt_kblocked_auto, spmm_rowwise_kblocked_auto, MICRO_WIDTHS,
+};

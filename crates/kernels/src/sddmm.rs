@@ -93,6 +93,43 @@ pub fn sddmm_aspt<T: Scalar>(
     y: &DenseMatrix<T>,
     src_rowptr: &[usize],
 ) -> Result<Vec<T>, SparseError> {
+    sddmm_aspt_with(aspt, x, y, src_rowptr, dot)
+}
+
+/// [`sddmm_aspt`] with a plan-selected microkernel dot product:
+/// `micro_width` in [`crate::micro::MICRO_WIDTHS`] routes the inner
+/// product through the fixed-trip-count chunked dot (bit-identical —
+/// one accumulator chain in the same element order), anything else
+/// runs the plain slice dot.
+pub fn sddmm_aspt_auto<T: Scalar>(
+    aspt: &AsptMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &DenseMatrix<T>,
+    src_rowptr: &[usize],
+    micro_width: Option<usize>,
+) -> Result<Vec<T>, SparseError> {
+    use crate::micro::dot_chunked;
+    match micro_width {
+        Some(8) => sddmm_aspt_with(aspt, x, y, src_rowptr, dot_chunked::<T, 8>),
+        Some(16) => sddmm_aspt_with(aspt, x, y, src_rowptr, dot_chunked::<T, 16>),
+        Some(32) => sddmm_aspt_with(aspt, x, y, src_rowptr, dot_chunked::<T, 32>),
+        _ => sddmm_aspt(aspt, x, y, src_rowptr),
+    }
+}
+
+/// The shared ASpT SDDMM body, generic over the inner-product kernel so
+/// the monomorphized chunked dot and the plain slice dot run the exact
+/// same traversal and scatter.
+fn sddmm_aspt_with<T: Scalar, D>(
+    aspt: &AsptMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &DenseMatrix<T>,
+    src_rowptr: &[usize],
+    dot: D,
+) -> Result<Vec<T>, SparseError>
+where
+    D: Fn(&[T], &[T]) -> T + Sync,
+{
     check_dims(aspt.nrows(), aspt.ncols(), x, y)?;
     let nnz = aspt.nnz();
     let mut out = vec![T::ZERO; nnz];
@@ -243,6 +280,28 @@ mod tests {
         assert!(sddmm_rowwise_seq(&s, &x, &y_bad_k).is_err());
         let x_bad = generators::random_dense::<f64>(4, 4, 1);
         assert!(sddmm_rowwise_seq(&s, &x_bad, &y3).is_err());
+    }
+
+    #[test]
+    fn micro_dot_sddmm_is_bit_identical_to_generic() {
+        let s = generators::block_diagonal::<f64>(5, 16, 24, 10, 7);
+        for k in [7, 16, 33] {
+            let x = generators::random_dense::<f64>(s.ncols(), k, 3);
+            let y = generators::random_dense::<f64>(s.nrows(), k, 5);
+            let aspt = AsptMatrix::build(&s, &AsptConfig::paper_figure());
+            let generic = sddmm_aspt(&aspt, &x, &y, s.rowptr()).unwrap();
+            for w in crate::micro::MICRO_WIDTHS {
+                let micro = sddmm_aspt_auto(&aspt, &x, &y, s.rowptr(), Some(w)).unwrap();
+                let same = generic
+                    .iter()
+                    .zip(&micro)
+                    .all(|(a, b)| a.to_bits64() == b.to_bits64());
+                assert!(same, "micro dot deviates at k={k} width={w}");
+            }
+            // a non-specialized width falls back to the plain dot
+            let fallback = sddmm_aspt_auto(&aspt, &x, &y, s.rowptr(), None).unwrap();
+            assert_eq!(generic, fallback);
+        }
     }
 
     #[test]

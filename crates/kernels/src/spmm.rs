@@ -4,7 +4,7 @@ use rayon::prelude::*;
 use spmm_aspt::AsptMatrix;
 use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
 
-fn check_dims<T: Scalar>(
+pub(crate) fn check_dims<T: Scalar>(
     s: &CsrMatrix<T>,
     x: &DenseMatrix<T>,
 ) -> Result<(usize, usize), SparseError> {
@@ -19,11 +19,29 @@ fn check_dims<T: Scalar>(
 
 /// `y_row += v * x_row` over a full row of width `k`.
 #[inline]
-fn axpy<T: Scalar>(y_row: &mut [T], v: T, x_row: &[T]) {
+pub(crate) fn axpy<T: Scalar>(y_row: &mut [T], v: T, x_row: &[T]) {
     debug_assert_eq!(y_row.len(), x_row.len());
     for (y, &x) in y_row.iter_mut().zip(x_row) {
         *y = v.mul_add(x, *y);
     }
+}
+
+/// Slices `data` (row-major, `k` columns) into per-panel chunks.
+/// Panels cover consecutive disjoint row ranges, so the chunks
+/// partition the output and panel parallelism over them is safe.
+pub(crate) fn panel_chunks<'a, T: Scalar>(
+    aspt: &AsptMatrix<T>,
+    data: &'a mut [T],
+    k: usize,
+) -> Vec<&'a mut [T]> {
+    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(aspt.panels().len());
+    let mut rest = data;
+    for panel in aspt.panels() {
+        let (head, tail) = rest.split_at_mut((panel.row_end - panel.row_start) * k);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks
 }
 
 /// Sequential row-wise SpMM — the Alg 1 reference every other kernel is
@@ -67,31 +85,44 @@ pub fn spmm_rowwise_par<T: Scalar>(
 /// Column-blocked row-parallel SpMM for fused multi-RHS operands:
 /// tiles `X`/`Y` over `k_block`-wide column blocks so each sparse
 /// traversal pass touches only an `X` working set of
-/// `X.nrows × k_block` elements. Per output element the accumulation
-/// order is exactly that of [`spmm_rowwise_seq`] — columns never mix —
-/// so the result is bit-identical to the unblocked kernels.
+/// `X.nrows × k_block` elements. The block loop runs *inside* each
+/// row's task, so rayon forks and joins exactly once regardless of how
+/// many passes `k / k_block` implies. Per output element the
+/// accumulation order is exactly that of [`spmm_rowwise_seq`] — columns
+/// never mix — so the result is bit-identical to the unblocked kernels.
+///
+/// `k_block = 0` is rejected at the configuration boundaries (the
+/// serving `BatchConfig` builder and the CLI parse); here it is a
+/// debug assertion, clamped to 1 in release builds.
 pub fn spmm_rowwise_kblocked<T: Scalar>(
     s: &CsrMatrix<T>,
     x: &DenseMatrix<T>,
     k_block: usize,
 ) -> Result<DenseMatrix<T>, SparseError> {
+    debug_assert!(
+        k_block > 0,
+        "k_block = 0 (zero block width is rejected at the config/CLI boundary)"
+    );
     let (m, k) = check_dims(s, x)?;
     let kb = k_block.max(1);
     let mut y = DenseMatrix::zeros(m, k);
-    let mut c0 = 0;
-    while c0 < k {
-        let c1 = (c0 + kb).min(k);
-        y.data_mut()
-            .par_chunks_mut(k)
-            .enumerate()
-            .for_each(|(i, y_row)| {
-                let (cols, vals) = s.row(i);
+    if k == 0 {
+        return Ok(y);
+    }
+    y.data_mut()
+        .par_chunks_mut(k)
+        .enumerate()
+        .for_each(|(i, y_row)| {
+            let (cols, vals) = s.row(i);
+            let mut c0 = 0;
+            while c0 < k {
+                let c1 = (c0 + kb).min(k);
                 for (&c, &v) in cols.iter().zip(vals) {
                     axpy(&mut y_row[c0..c1], v, &x.row(c as usize)[c0..c1]);
                 }
-            });
-        c0 = c1;
-    }
+                c0 = c1;
+            }
+        });
     Ok(y)
 }
 
@@ -111,17 +142,7 @@ pub fn spmm_aspt<T: Scalar>(
     }
     let k = x.ncols();
     let mut y = DenseMatrix::zeros(aspt.nrows(), k);
-
-    // slice the output into per-panel chunks (panels cover consecutive
-    // disjoint row ranges)
-    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(aspt.panels().len());
-    let mut rest: &mut [T] = y.data_mut();
-    for panel in aspt.panels() {
-        let (head, tail) = rest.split_at_mut((panel.row_end - panel.row_start) * k);
-        chunks.push(head);
-        rest = tail;
-    }
-
+    let chunks = panel_chunks(aspt, y.data_mut(), k);
     let remainder = aspt.remainder();
     aspt.panels()
         .par_iter()
@@ -153,15 +174,25 @@ pub fn spmm_aspt<T: Scalar>(
 /// Column-blocked ASpT SpMM — the batched multi-RHS kernel. Processes
 /// the fused operand one `k_block`-wide column block at a time; each
 /// pass runs the same dense-tile + remainder traversal as [`spmm_aspt()`]
-/// restricted to that block's columns. The per-element accumulation
-/// order matches `spmm_aspt` exactly (blocking only partitions columns,
-/// never reorders nonzeros), so the output is bit-identical while the
-/// dense working set per pass stays bounded.
+/// restricted to that block's columns. The output split and the rayon
+/// fork/join happen once: the block loop runs inside each panel's task,
+/// so pass count never multiplies scheduling overhead. The per-element
+/// accumulation order matches `spmm_aspt` exactly (blocking only
+/// partitions columns, never reorders nonzeros), so the output is
+/// bit-identical while the dense working set per pass stays bounded.
+///
+/// `k_block = 0` is rejected at the configuration boundaries (the
+/// serving `BatchConfig` builder and the CLI parse); here it is a
+/// debug assertion, clamped to 1 in release builds.
 pub fn spmm_aspt_kblocked<T: Scalar>(
     aspt: &AsptMatrix<T>,
     x: &DenseMatrix<T>,
     k_block: usize,
 ) -> Result<DenseMatrix<T>, SparseError> {
+    debug_assert!(
+        k_block > 0,
+        "k_block = 0 (zero block width is rejected at the config/CLI boundary)"
+    );
     if aspt.ncols() != x.nrows() {
         return Err(SparseError::DimensionMismatch {
             expected: format!("S.ncols ({}) == X.nrows", aspt.ncols()),
@@ -171,27 +202,17 @@ pub fn spmm_aspt_kblocked<T: Scalar>(
     let k = x.ncols();
     let kb = k_block.max(1);
     let mut y = DenseMatrix::zeros(aspt.nrows(), k);
+    let chunks = panel_chunks(aspt, y.data_mut(), k);
     let remainder = aspt.remainder();
 
-    let mut c0 = 0;
-    while c0 < k {
-        let c1 = (c0 + kb).min(k);
-
-        // per-pass panel chunks (panels cover consecutive disjoint row
-        // ranges, so the split is identical every pass)
-        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(aspt.panels().len());
-        let mut rest: &mut [T] = y.data_mut();
-        for panel in aspt.panels() {
-            let (head, tail) = rest.split_at_mut((panel.row_end - panel.row_start) * k);
-            chunks.push(head);
-            rest = tail;
-        }
-
-        aspt.panels()
-            .par_iter()
-            .zip(chunks)
-            .for_each(|(panel, y_chunk)| {
-                let panel_rows = panel.row_end - panel.row_start;
+    aspt.panels()
+        .par_iter()
+        .zip(chunks)
+        .for_each(|(panel, y_chunk)| {
+            let panel_rows = panel.row_end - panel.row_start;
+            let mut c0 = 0;
+            while c0 < k {
+                let c1 = (c0 + kb).min(k);
                 for tile in &panel.tiles {
                     for rel in 0..panel_rows {
                         let y_row = &mut y_chunk[rel * k + c0..rel * k + c1];
@@ -212,9 +233,9 @@ pub fn spmm_aspt_kblocked<T: Scalar>(
                         axpy(y_row, v, &x.row(c as usize)[c0..c1]);
                     }
                 }
-            });
-        c0 = c1;
-    }
+                c0 = c1;
+            }
+        });
     Ok(y)
 }
 
@@ -366,13 +387,14 @@ mod tests {
 
     #[test]
     fn kblocked_handles_degenerate_shapes() {
-        // zero block width is clamped to 1; k == 0 produces an empty output
+        // k_block == 1 degenerates to column-at-a-time; k == 0 produces
+        // an empty output
         let s = generators::banded::<f64>(10, 2, 3, 1);
         let x = generators::random_dense::<f64>(10, 5, 2);
         let reference = spmm_rowwise_seq(&s, &x).unwrap();
         assert_eq!(
             reference.data(),
-            spmm_rowwise_kblocked(&s, &x, 0).unwrap().data()
+            spmm_rowwise_kblocked(&s, &x, 1).unwrap().data()
         );
         let empty_x = DenseMatrix::<f64>::zeros(10, 0);
         let y = spmm_rowwise_kblocked(&s, &empty_x, 8).unwrap();
@@ -382,6 +404,46 @@ mod tests {
         assert_eq!((y.nrows(), y.ncols()), (10, 0));
         assert!(spmm_aspt_kblocked(&aspt, &generators::random_dense::<f64>(4, 3, 1), 2).is_err());
         assert!(spmm_rowwise_kblocked(&s, &generators::random_dense::<f64>(4, 3, 1), 2).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "k_block = 0")]
+    fn zero_k_block_is_a_debug_assertion() {
+        let s = generators::banded::<f64>(10, 2, 3, 1);
+        let x = generators::random_dense::<f64>(10, 5, 2);
+        let _ = spmm_rowwise_kblocked(&s, &x, 0);
+    }
+
+    /// Regression for the fused single-pass restructure: the k-blocked
+    /// kernels (which used to fork/join per column block) stay
+    /// bit-identical to their unblocked references on every Quick
+    /// corpus class.
+    #[test]
+    fn kblocked_fused_pass_is_bit_identical_on_quick_corpus() {
+        use spmm_data::corpus::{Corpus, CorpusProfile};
+        let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, 23);
+        for cm in corpus.iter() {
+            let s = &cm.matrix;
+            let x = generators::random_dense::<f32>(s.ncols(), 21, 29);
+            let seq = spmm_rowwise_seq(s, &x).unwrap();
+            let aspt = AsptMatrix::build(s, &AsptConfig::default());
+            let tiled = spmm_aspt(&aspt, &x).unwrap();
+            for kb in [1, 8, 21, 64] {
+                assert_eq!(
+                    seq.data(),
+                    spmm_rowwise_kblocked(s, &x, kb).unwrap().data(),
+                    "rowwise k_block={kb} deviates on {}",
+                    cm.name
+                );
+                assert_eq!(
+                    tiled.data(),
+                    spmm_aspt_kblocked(&aspt, &x, kb).unwrap().data(),
+                    "aspt k_block={kb} deviates on {}",
+                    cm.name
+                );
+            }
+        }
     }
 
     #[test]

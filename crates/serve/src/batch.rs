@@ -65,10 +65,23 @@ impl BatchConfig {
         self
     }
 
-    /// Sets the column-block width of the fused pass (clamped to at
-    /// least 1).
+    /// Sets the column-block width of the fused pass.
+    ///
+    /// # Panics
+    /// Panics when `k_block` is 0 — a zero-width column block can never
+    /// make progress, and silently coercing it to 1 used to hide the
+    /// caller's bug. ([`ServeConfigBuilder::build`] reports the same
+    /// condition as a structured [`ServeError::InvalidConfig`] for
+    /// configs assembled without this setter.)
+    ///
+    /// [`ServeConfigBuilder::build`]: crate::ServeConfigBuilder::build
+    /// [`ServeError::InvalidConfig`]: crate::ServeError::InvalidConfig
     pub fn k_block(mut self, k_block: usize) -> Self {
-        self.k_block = k_block.max(1);
+        assert!(
+            k_block > 0,
+            "BatchConfig::k_block must be at least 1 (a zero-width column block never progresses)"
+        );
+        self.k_block = k_block;
         self
     }
 }

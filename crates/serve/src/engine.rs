@@ -26,7 +26,9 @@ use crate::fingerprint::MatrixFingerprint;
 use crate::lock_clean;
 use crate::store::PlanStore;
 use spmm_faults::{ClockHandle, FaultPoint};
-use spmm_kernels::{sddmm, spgemm, spmm, spmv, Engine, EngineConfig, KernelOp, Output};
+use spmm_kernels::{
+    sddmm, spgemm, spmm, spmm_rowwise_kblocked_auto, spmv, Engine, EngineConfig, KernelOp, Output,
+};
 use spmm_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
 use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, TelemetryHandle};
 use std::collections::VecDeque;
@@ -244,7 +246,9 @@ impl ServeConfigBuilder {
     /// [`ServeError::InvalidConfig`] when `workers` or `queue_capacity`
     /// is zero — an engine started with either would deadlock (no
     /// worker can ever drain the queue, or no request can ever be
-    /// admitted), so the mistake is reported here instead.
+    /// admitted) — or when batching is enabled with a zero
+    /// `batch.k_block` / `batch.max_batch_k`, either of which would
+    /// leave the fused pass unable to make progress.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         if self.config.workers == 0 {
             return Err(ServeError::InvalidConfig {
@@ -259,6 +263,24 @@ impl ServeConfigBuilder {
                 value: 0,
                 minimum: 1,
             });
+        }
+        if let Some(batch) = &self.config.batch {
+            // a zero-width column block can never sweep the fused
+            // operand; a zero column cap can never admit a member
+            if batch.k_block == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "batch.k_block",
+                    value: 0,
+                    minimum: 1,
+                });
+            }
+            if batch.max_batch_k == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "batch.max_batch_k",
+                    value: 0,
+                    minimum: 1,
+                });
+            }
         }
         Ok(self.config)
     }
@@ -896,14 +918,21 @@ impl<T: Scalar> Inner<T> {
                         .map_or_else(|| BatchConfig::default().k_block, |s| s.config().k_block);
                     let service_start = Instant::now();
                     let outcome = match &engine {
-                        Some(engine) => engine
-                            .execute(KernelOp::SpmmKBlocked { x: &fused, k_block })
-                            .map_err(ServeError::Execute),
+                        Some(engine) => {
+                            // the plan's microkernel selection, when it
+                            // made one, overrides the configured block
+                            // width so the fused pass hits the
+                            // specialized bodies
+                            let k_block = engine.micro_width().unwrap_or(k_block);
+                            engine
+                                .execute(KernelOp::SpmmKBlocked { x: &fused, k_block })
+                                .map_err(ServeError::Execute)
+                        }
                         None => {
                             for _ in &live {
                                 self.count(&self.fallbacks, "serve.fallback");
                             }
-                            spmm::spmm_rowwise_kblocked(&head.matrix, &fused, k_block)
+                            spmm_rowwise_kblocked_auto(&head.matrix, &fused, k_block)
                                 .map(Output::Dense)
                                 .map_err(ServeError::Execute)
                         }
@@ -1366,6 +1395,48 @@ mod tests {
             .queue_capacity(1)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_width_batch_blocks() {
+        // assembled without the (panicking) setter, the zero block is
+        // still caught at build time with a structured error
+        let batch = BatchConfig {
+            k_block: 0,
+            ..BatchConfig::default()
+        };
+        let err = ServeConfig::builder().batching(batch).build().unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig {
+                field: "batch.k_block",
+                value: 0,
+                minimum: 1,
+            }
+        );
+        let batch = BatchConfig {
+            max_batch_k: 0,
+            ..BatchConfig::default()
+        };
+        let err = ServeConfig::builder().batching(batch).build().unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig {
+                field: "batch.max_batch_k",
+                value: 0,
+                minimum: 1,
+            }
+        );
+        assert!(ServeConfig::builder()
+            .batching(BatchConfig::default())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k_block must be at least 1")]
+    fn zero_k_block_panics_in_the_setter() {
+        let _ = BatchConfig::default().k_block(0);
     }
 
     #[test]

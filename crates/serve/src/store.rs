@@ -9,7 +9,7 @@
 //! restarted server materialises the engine by deserialising instead of
 //! re-preparing.
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! ```text
 //! magic    "SPMMPLAN"                     8 bytes
@@ -18,6 +18,9 @@
 //! fingerprint nrows/ncols/nnz/hash        4 × u64
 //! k_hint   u64 (u64::MAX = none)          8
 //! variant  u8 (autotuner execution tag)   1
+//! micro    u8 (0 = generic, else the      1   (version ≥ 2 only)
+//!              plan-selected microkernel
+//!              width, one of 8/16/32)
 //! sections, in order: PLAN RCSR NMAP ASPT
 //!   tag        4 ASCII bytes
 //!   length     u64
@@ -41,6 +44,12 @@
 //! which needs values to answer requests. A caller whose values have
 //! drifted since the snapshot refreshes them in place via
 //! [`Engine::update_values`] — still no re-preparation.
+//!
+//! Version-1 files (written before the microkernel layer existed) are
+//! still readable: they carry no micro byte, so the rebuilt engine
+//! routes through the generic k-blocked kernels. New files are always
+//! written at version 2, and a warm start restores the recorded width
+//! without re-running selection.
 
 use crate::fingerprint::MatrixFingerprint;
 use spmm_aspt::{AsptConfig, AsptMatrix, DenseTile, Panel};
@@ -72,10 +81,24 @@ pub static FAULT_STORE_SAVE: FaultPoint = FaultPoint::new("serve.store.save");
 pub static FAULT_STORE_DELTA: FaultPoint = FaultPoint::new("serve.store.delta");
 
 const MAGIC: &[u8; 8] = b"SPMMPLAN";
-const VERSION: u32 = 1;
-/// Header length: magic + version + scalar width + fingerprint +
-/// k_hint + variant tag.
-const HEADER_LEN: usize = 8 + 4 + 4 + 32 + 8 + 1;
+const VERSION: u32 = 2;
+/// Oldest version the reader still speaks (no micro byte — decoded
+/// engines run the generic k-blocked kernels).
+const MIN_VERSION: u32 = 1;
+/// Version-1 header length: magic + version + scalar width +
+/// fingerprint + k_hint + variant tag.
+const HEADER_LEN_V1: usize = 8 + 4 + 4 + 32 + 8 + 1;
+/// Current header length: version 1 plus the microkernel-width byte.
+const HEADER_LEN: usize = HEADER_LEN_V1 + 1;
+
+/// Header length of a given format version.
+fn header_len(version: u32) -> usize {
+    if version >= 2 {
+        HEADER_LEN
+    } else {
+        HEADER_LEN_V1
+    }
+}
 
 const TAG_PLAN: &[u8; 4] = b"PLAN";
 const TAG_RCSR: &[u8; 4] = b"RCSR";
@@ -358,7 +381,7 @@ impl PlanStore {
             let Ok(bytes) = fs::read(&path) else {
                 continue;
             };
-            let Ok((fp, scalar_bytes)) = decode_header(&bytes) else {
+            let Ok((fp, scalar_bytes, _version)) = decode_header(&bytes) else {
                 continue;
             };
             plans.push(StoredPlan {
@@ -487,6 +510,9 @@ fn encode_engine<T: Scalar>(fp: &MatrixFingerprint, engine: &Engine<T>) -> Vec<u
     let k_hint = engine.k_hint().map_or(u64::MAX, |k| k as u64);
     out.extend_from_slice(&k_hint.to_le_bytes());
     out.push(variant_tag(variant_of(engine)));
+    // version 2: the plan-selected microkernel width (0 = generic), so
+    // a warm start never re-runs selection
+    out.push(engine.micro_width().map_or(0, |w| w as u8));
 
     // PLAN: permutations, flags, indicator ratios, clustering stats
     let plan = engine.plan();
@@ -658,9 +684,10 @@ impl<'a> Dec<'a> {
 }
 
 /// Parses and validates the fixed-size header, returning the embedded
-/// fingerprint and scalar width.
-fn decode_header(bytes: &[u8]) -> Result<(MatrixFingerprint, usize), SparseError> {
-    if bytes.len() < HEADER_LEN {
+/// fingerprint, scalar width and format version (within
+/// `MIN_VERSION..=VERSION`).
+fn decode_header(bytes: &[u8]) -> Result<(MatrixFingerprint, usize, u32), SparseError> {
+    if bytes.len() < HEADER_LEN_V1 {
         return Err(corrupt("file shorter than header"));
     }
     let mut d = Dec::new(bytes);
@@ -674,10 +701,13 @@ fn decode_header(bytes: &[u8]) -> Result<(MatrixFingerprint, usize), SparseError
         version_bytes[2],
         version_bytes[3],
     ]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(corrupt(format!(
-            "unsupported version {version} (reader speaks {VERSION})"
+            "unsupported version {version} (reader speaks {MIN_VERSION}..={VERSION})"
         )));
+    }
+    if bytes.len() < header_len(version) {
+        return Err(corrupt("file shorter than header"));
     }
     let sb = d.take(4)?;
     let scalar_bytes = u32::from_le_bytes([sb[0], sb[1], sb[2], sb[3]]) as usize;
@@ -691,6 +721,7 @@ fn decode_header(bytes: &[u8]) -> Result<(MatrixFingerprint, usize), SparseError
     Ok((
         MatrixFingerprint::from_raw(nrows, ncols, nnz, hash),
         scalar_bytes,
+        version,
     ))
 }
 
@@ -725,7 +756,7 @@ fn decode_engine<T: Scalar>(
     bytes: &[u8],
     telemetry: &TelemetryHandle,
 ) -> Result<Engine<T>, SparseError> {
-    let (fp, scalar_bytes) = decode_header(bytes)?;
+    let (fp, scalar_bytes, version) = decode_header(bytes)?;
     if scalar_bytes != T::BYTES {
         return Err(corrupt(format!(
             "scalar width {scalar_bytes} does not match requested {}",
@@ -738,10 +769,20 @@ fn decode_engine<T: Scalar>(
         )));
     }
     let mut d = Dec::new(bytes);
-    let _ = d.take(HEADER_LEN - 9)?;
+    let _ = d.take(8 + 4 + 4 + 32)?; // magic + version + scalar + fingerprint
     let k_hint_raw = d.u64()?;
     let k_hint = (k_hint_raw != u64::MAX).then_some(k_hint_raw as usize);
     let variant = d.u8()?;
+    // version 1 predates microkernel selection: no byte, generic path
+    let micro_width = if version >= 2 {
+        match d.u8()? {
+            0 => None,
+            w if spmm_kernels::MICRO_WIDTHS.contains(&(w as usize)) => Some(w as usize),
+            w => return Err(corrupt(format!("bad microkernel width tag {w}"))),
+        }
+    } else {
+        None
+    };
 
     let mut p = decode_section(&mut d, TAG_PLAN)?;
     let row_perm = Permutation::from_order(p.u32_vec()?)?;
@@ -803,7 +844,10 @@ fn decode_engine<T: Scalar>(
     d.done()?;
 
     let aspt = AsptMatrix::from_parts(config, panels, remainder, remainder_src)?;
-    let engine = Engine::from_parts(plan, aspt, reordered, nnz_map, k_hint, telemetry)?;
+    let mut engine = Engine::from_parts(plan, aspt, reordered, nnz_map, k_hint, telemetry)?;
+    // restore the recorded microkernel choice — the whole point of the
+    // version-2 byte is that a warm start never re-selects
+    engine.set_micro_width(micro_width);
 
     // stale-tag check: the variant byte must agree with the plan it
     // rides with
@@ -983,6 +1027,83 @@ mod tests {
         // pristine bytes still load fine afterwards
         fs::write(&path, &pristine).unwrap();
         assert!(store.verify::<f32>(&fp).unwrap());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn micro_width_round_trips_without_reselection() {
+        let (store, dir) = temp_store();
+        let m = generators::shuffled_block_diagonal::<f32>(64, 16, 48, 16, 13);
+        let config = EngineConfig::builder().k_hint(64).build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        let width = engine.micro_width();
+        assert!(
+            width.is_some(),
+            "a k_hint of 64 must select a microkernel width at plan time"
+        );
+        let fp = MatrixFingerprint::of(&m);
+        store.save(&fp, &engine).unwrap();
+        let loaded = store
+            .load::<f32>(&fp, &TelemetryHandle::noop())
+            .unwrap()
+            .unwrap();
+        // the recorded width is restored verbatim, with no prepare (and
+        // hence no re-selection) on the warm path
+        assert_eq!(loaded.micro_width(), width);
+        assert!(loaded.preprocessing_time().is_zero());
+        let x = generators::random_dense::<f32>(m.ncols(), 64, 17);
+        assert_eq!(
+            engine.spmm(&x).unwrap().data(),
+            loaded.spmm(&x).unwrap().data()
+        );
+
+        // a corrupt width tag is a reject, not a silent fallback
+        let path = store.path_for::<f32>(&fp);
+        let pristine = fs::read(&path).unwrap();
+        let mut bad = pristine.clone();
+        bad[HEADER_LEN - 1] = 5;
+        fs::write(&path, &bad).unwrap();
+        let err = store
+            .load::<f32>(&fp, &TelemetryHandle::noop())
+            .unwrap_err();
+        assert!(err.to_string().contains("microkernel width"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version1_files_still_load_via_the_generic_path() {
+        let (store, dir) = temp_store();
+        let m = generators::shuffled_block_diagonal::<f64>(48, 12, 32, 12, 19);
+        let config = EngineConfig::builder().k_hint(32).build();
+        let engine = Engine::prepare(&m, &config).unwrap();
+        assert!(engine.micro_width().is_some());
+        let fp = MatrixFingerprint::of(&m);
+        store.save(&fp, &engine).unwrap();
+        let path = store.path_for::<f64>(&fp);
+        let v2 = fs::read(&path).unwrap();
+
+        // surgically rewrite the file as version 1: patch the version
+        // word and drop the micro byte (the last header byte)
+        let mut v1 = Vec::with_capacity(v2.len() - 1);
+        v1.extend_from_slice(&v2[..8]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[12..HEADER_LEN - 1]);
+        v1.extend_from_slice(&v2[HEADER_LEN..]);
+        fs::write(&path, &v1).unwrap();
+
+        let loaded = store
+            .load::<f64>(&fp, &TelemetryHandle::noop())
+            .unwrap()
+            .unwrap();
+        // no micro byte to restore: the old plan runs the generic
+        // kernels, and results still match exactly
+        assert_eq!(loaded.micro_width(), None);
+        assert_eq!(loaded.k_hint(), engine.k_hint());
+        let x = generators::random_dense::<f64>(m.ncols(), 16, 23);
+        assert_eq!(
+            engine.spmm(&x).unwrap().data(),
+            loaded.spmm(&x).unwrap().data()
+        );
         let _ = fs::remove_dir_all(dir);
     }
 

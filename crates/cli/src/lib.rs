@@ -21,6 +21,7 @@ usage:
   spmm-rr plan     <save|load|verify> <matrix.mtx> --store <dir>
   spmm-rr plan     gc --store <dir> [--keep N]
   spmm-rr microbench [--k N] [--reps N] [--seed N] [--json]
+  spmm-rr formatbench [--k N] [--reps N] [--seed N] [--json]
   spmm-rr serve-bench [--requests N] [--concurrency N] [--workers N]
                       [--cache N] [--zipf S] [--seed N] [--k N] [--json]
                       [--op spmm|spmv|spgemm] [--batch]
@@ -49,7 +50,9 @@ fn flag_spec(cmd: &str) -> Option<&'static [FlagSpec]> {
         "reorder" => Some(&[("out", true), ("order", true)]),
         "generate" => Some(&[("out", true), ("seed", true), ("scale", true)]),
         "plan" => Some(&[("store", true), ("keep", true)]),
-        "microbench" => Some(&[("k", true), ("reps", true), ("seed", true), ("json", false)]),
+        "microbench" | "formatbench" => {
+            Some(&[("k", true), ("reps", true), ("seed", true), ("json", false)])
+        }
         "serve-bench" => Some(&[
             ("requests", true),
             ("concurrency", true),
@@ -167,6 +170,21 @@ pub enum Invocation {
         /// Total dense-operand width swept by the blocked passes.
         k: usize,
         /// Timing repetitions per kernel (the best rep is kept).
+        reps: usize,
+        /// Corpus and operand seed.
+        seed: u64,
+        /// Emit the run-manifest JSON instead of the table.
+        json: bool,
+    },
+    /// `formatbench [--k N] [--reps N] [--seed N] [--json]` — run the
+    /// plan-time format trial over every Quick-corpus class and report,
+    /// per class, the simulated speedup of the chosen format over the
+    /// incumbent CSR/ASpT configuration (≥ 1 by construction: the trial
+    /// never adopts a regressing format).
+    Formatbench {
+        /// Dense-operand width the trial is ranked at.
+        k: usize,
+        /// Timing repetitions per kernel for the wall-clock columns.
         reps: usize,
         /// Corpus and operand seed.
         seed: u64,
@@ -313,7 +331,7 @@ impl Invocation {
                     store: flags.get("store").ok_or("plan requires --store")?.into(),
                 })
             }
-            "microbench" => {
+            "microbench" | "formatbench" => {
                 let parse = |name: &str, default: usize| -> Result<usize, String> {
                     match flags.get(name) {
                         Some(v) => v.parse().map_err(|_| format!("bad --{name} value '{v}'")),
@@ -324,14 +342,26 @@ impl Invocation {
                 if k == 0 {
                     return Err("bad --k value '0' (need at least one column)".into());
                 }
-                Ok(Invocation::Microbench {
-                    k,
-                    reps: parse("reps", 5)?.max(1),
-                    seed: match flags.get("seed") {
-                        Some(v) => v.parse().map_err(|_| format!("bad --seed value '{v}'"))?,
-                        None => 42,
-                    },
-                    json: flags.contains_key("json"),
+                let reps = parse("reps", 5)?.max(1);
+                let seed = match flags.get("seed") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --seed value '{v}'"))?,
+                    None => 42,
+                };
+                let json = flags.contains_key("json");
+                Ok(if cmd == "microbench" {
+                    Invocation::Microbench {
+                        k,
+                        reps,
+                        seed,
+                        json,
+                    }
+                } else {
+                    Invocation::Formatbench {
+                        k,
+                        reps,
+                        seed,
+                        json,
+                    }
                 })
             }
             "serve-bench" => {
@@ -568,7 +598,7 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
                         })?;
                     let loaded = start.elapsed();
                     Ok(format!(
-                        "loaded plan {fp} in {:.1} ms ({} rows, {} nonzeros, reordering {}, zero preprocessing)",
+                        "loaded plan {fp} in {:.1} ms ({} rows, {} nonzeros, reordering {}, {}, zero preprocessing)",
                         loaded.as_secs_f64() * 1e3,
                         m.nrows(),
                         m.nnz(),
@@ -577,14 +607,16 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
                         } else {
                             "skipped"
                         },
+                        plan_choices(&engine),
                     ))
                 }
-                "verify" => match store.verify::<f32>(&fp) {
-                    Ok(true) => Ok(format!(
-                        "plan {fp} verifies: header, section checksums and fingerprint all match ({})",
+                "verify" => match store.load::<f32>(&fp, &TelemetryHandle::noop()) {
+                    Ok(Some(engine)) => Ok(format!(
+                        "plan {fp} verifies: header, section checksums and fingerprint all match ({}) ({})",
+                        plan_choices(&engine),
                         store.path_for::<f32>(&fp).display()
                     )),
-                    Ok(false) => Err(format!(
+                    Ok(None) => Err(format!(
                         "no stored plan for {fp} in {}",
                         store.root().display()
                     )),
@@ -614,6 +646,12 @@ pub fn run(inv: &Invocation) -> Result<String, String> {
             seed,
             json,
         } => microbench(*k, *reps, *seed, *json),
+        Invocation::Formatbench {
+            k,
+            reps,
+            seed,
+            json,
+        } => formatbench(*k, *reps, *seed, *json),
         Invocation::ServeBench { config, json } => {
             let report = run_serve_bench(config).map_err(|e| e.to_string())?;
             if !report.probes_passed() {
@@ -867,6 +905,165 @@ pub fn microbench(k: usize, reps: usize, seed: u64, json: bool) -> Result<String
     let overall = generic_sum / micro_sum;
     telemetry.gauge("micro.speedup", overall);
     let _ = writeln!(out, "overall: {overall:.2}x");
+    if json {
+        Ok(collector.manifest().to_json(true))
+    } else {
+        Ok(out)
+    }
+}
+
+/// What the stored plan executes with, for `plan load` / `plan verify`
+/// output: the chosen variant, the physical format and the microkernel
+/// width.
+fn plan_choices<T: Scalar>(engine: &Engine<T>) -> String {
+    let variant = match engine.format_choice() {
+        FormatChoice::SellCSigma { .. } => "sell-c-sigma",
+        FormatChoice::Csb { .. } => "csb",
+        FormatChoice::Csr => {
+            if engine.plan().needs_reordering() {
+                "aspt-rr"
+            } else {
+                "aspt-nr"
+            }
+        }
+    };
+    format!(
+        "variant {variant}, format {}, micro width {}",
+        engine.format_choice().label(),
+        engine
+            .micro_width()
+            .map_or_else(|| "generic".to_string(), |w| w.to_string()),
+    )
+}
+
+/// The `formatbench` report body: run the plan-time format trial
+/// ([`choose_format`]) over every Quick-corpus class at width `k` and
+/// report, per class, the chosen format and its simulated speedup over
+/// the incumbent CSR/ASpT configuration — ≥ 1 by construction, because
+/// the trial only adopts strictly faster challengers. Each chosen
+/// format's kernel is also cross-checked bit-for-bit against the
+/// sequential row-wise reference, and wall-clock columns (best of
+/// `reps`) show the measured CPU cost of both paths for context. With
+/// `json`, emits the run manifest whose `format.speedup.*` gauges the
+/// CI perf-smoke gate reads.
+///
+/// # Errors
+/// Fails when preparation rejects a corpus matrix or a chosen format's
+/// kernel diverges from the row-wise reference (a bug, not noise).
+pub fn formatbench(k: usize, reps: usize, seed: u64, json: bool) -> Result<String, String> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    let reps = reps.max(1);
+    let corpus = Corpus::<f32>::generate(CorpusProfile::Quick, seed);
+    let device = DeviceConfig::p100();
+
+    let collector = Arc::new(Collector::new());
+    let telemetry = TelemetryHandle::new(collector.clone());
+    telemetry.meta("bench", "formatbench");
+    telemetry.meta("corpus", "quick");
+    telemetry.meta("k", &k.to_string());
+    telemetry.meta("reps", &reps.to_string());
+    telemetry.meta("seed", &seed.to_string());
+
+    let time_best =
+        |f: &mut dyn FnMut() -> Result<DenseMatrix<f32>, String>| -> Result<f64, String> {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let y = f()?;
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(&y);
+                best = best.min(dt);
+            }
+            Ok(best)
+        };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "format zoo bench: Quick corpus by class, K = {k}, trial on the simulated transaction model"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>14}  {:>11}  {:>8}  {:>12}  {:>12}",
+        "class", "chosen", "sim speedup", "skipped", "aspt (ms)", "chosen (ms)"
+    );
+    let mut incumbent_sum = 0.0f64;
+    let mut chosen_sum = 0.0f64;
+    let mut skipped_total = 0u64;
+    for class in MatrixClass::ALL {
+        let mut class_incumbent = 0.0f64;
+        let mut class_chosen = 0.0f64;
+        let mut class_skipped = 0u32;
+        let mut chosen_label = String::from("csr");
+        let mut aspt_wall = 0.0f64;
+        let mut chosen_wall = 0.0f64;
+        for cm in corpus.of_class(class) {
+            let engine =
+                Engine::prepare(&cm.matrix, &EngineConfig::default()).map_err(|e| e.to_string())?;
+            let (payload, trial) = choose_format(&engine, k, &device);
+            class_incumbent += trial.incumbent.time_s;
+            class_chosen += trial
+                .candidates
+                .iter()
+                .map(|(_, r)| r.time_s)
+                .fold(trial.incumbent.time_s, f64::min);
+            class_skipped += trial.skipped;
+            if trial.chosen != FormatChoice::Csr {
+                chosen_label = trial.chosen.label();
+            }
+            let x = generators::random_dense::<f32>(cm.matrix.ncols(), k, seed ^ 0x5eed);
+            if let Some(p) = &payload {
+                // the winner must agree with the row-wise reference bit
+                // for bit before any timing is trusted
+                let reference = spmm_rowwise_seq(&cm.matrix, &x).map_err(|e| e.to_string())?;
+                let y = p.spmm(&x).map_err(|e| e.to_string())?;
+                if y.data() != reference.data() {
+                    return Err(format!(
+                        "format {} diverged from the row-wise reference on '{}'",
+                        trial.chosen, cm.name
+                    ));
+                }
+            }
+            let aspt_t = time_best(&mut || engine.spmm(&x).map_err(|e| e.to_string()))?;
+            aspt_wall += aspt_t;
+            chosen_wall += match &payload {
+                Some(p) => time_best(&mut || p.spmm(&x).map_err(|e| e.to_string()))?,
+                None => aspt_t,
+            };
+        }
+        let speedup = if class_chosen > 0.0 {
+            class_incumbent / class_chosen
+        } else {
+            1.0
+        };
+        telemetry.gauge(&format!("format.speedup.{}", class.label()), speedup);
+        telemetry.meta(&format!("format.chosen.{}", class.label()), &chosen_label);
+        incumbent_sum += class_incumbent;
+        chosen_sum += class_chosen;
+        skipped_total += u64::from(class_skipped);
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>14}  {:>10.2}x  {:>8}  {:>12.3}  {:>12.3}",
+            class.label(),
+            chosen_label,
+            speedup,
+            class_skipped,
+            aspt_wall * 1e3,
+            chosen_wall * 1e3
+        );
+    }
+    let overall = if chosen_sum > 0.0 {
+        incumbent_sum / chosen_sum
+    } else {
+        1.0
+    };
+    telemetry.gauge("format.speedup", overall);
+    telemetry.counter("tune.format.skipped", skipped_total);
+    let _ = writeln!(
+        out,
+        "overall: {overall:.2}x (skipped candidates: {skipped_total})"
+    );
     if json {
         Ok(collector.manifest().to_json(true))
     } else {
@@ -1157,6 +1354,76 @@ mod tests {
         assert!(manifest.gauges.contains_key("micro.speedup.k8"), "{json}");
         assert!(manifest.gauges.contains_key("micro.speedup.k32"), "{json}");
         assert_eq!(manifest.meta.get("k").map(String::as_str), Some("32"));
+    }
+
+    #[test]
+    fn parse_formatbench() {
+        let inv = Invocation::parse(&s(&[
+            "formatbench",
+            "--k",
+            "48",
+            "--reps",
+            "2",
+            "--seed",
+            "7",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Formatbench {
+                k: 48,
+                reps: 2,
+                seed: 7,
+                json: true,
+            }
+        );
+        // defaults
+        assert_eq!(
+            Invocation::parse(&s(&["formatbench"])).unwrap(),
+            Invocation::Formatbench {
+                k: 96,
+                reps: 5,
+                seed: 42,
+                json: false,
+            }
+        );
+        let err = Invocation::parse(&s(&["formatbench", "--k", "0"])).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        assert!(Invocation::parse(&s(&["formatbench", "--shards", "2"])).is_err());
+    }
+
+    #[test]
+    fn formatbench_runs_and_reports_every_class() {
+        use spmm_core::telemetry::RunManifest;
+        let json = run(&Invocation::Formatbench {
+            k: 32,
+            reps: 1,
+            seed: 11,
+            json: true,
+        })
+        .unwrap();
+        let manifest = RunManifest::from_json(&json).unwrap();
+        let overall = manifest.gauges["format.speedup"];
+        assert!(
+            overall >= 1.0,
+            "strict-win adoption cannot regress: {overall}"
+        );
+        for class in MatrixClass::ALL {
+            let gauge = format!("format.speedup.{}", class.label());
+            assert!(
+                manifest.gauges.get(&gauge).is_some_and(|&s| s >= 1.0),
+                "{gauge} missing or < 1 in {json}"
+            );
+            assert!(
+                manifest
+                    .meta
+                    .contains_key(&format!("format.chosen.{}", class.label())),
+                "chosen label missing for {}",
+                class.label()
+            );
+        }
+        assert!(manifest.counters.contains_key("tune.format.skipped"));
     }
 
     #[test]

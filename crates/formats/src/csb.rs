@@ -38,14 +38,28 @@ pub struct CsbMatrix<T> {
     values: Vec<T>,
 }
 
+/// Largest admissible block size: block-relative coordinates are `u16`,
+/// so they span `0..=u16::MAX` and `beta` may be at most `65536`.
+pub const MAX_BETA: usize = (u16::MAX as usize) + 1;
+
 impl<T: Scalar> CsbMatrix<T> {
     /// Converts from CSR with block size `beta`.
     ///
     /// # Panics
-    /// Panics if `beta` is 0 or exceeds `u16` range + 1.
+    /// Panics if `beta` is 0 or exceeds `u16` range + 1. Use
+    /// [`CsbMatrix::try_from_csr`] for untrusted block sizes.
     pub fn from_csr(m: &CsrMatrix<T>, beta: usize) -> Self {
-        assert!(beta >= 1, "beta must be >= 1");
-        assert!(beta <= 1 << 16, "beta must fit block-relative u16 indices");
+        match Self::try_from_csr(m, beta) {
+            Ok(csb) => csb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Converts from CSR with block size `beta`, validating that the
+    /// block size fits the `u16` block-relative coordinates instead of
+    /// silently truncating (or panicking) on oversized blocks.
+    pub fn try_from_csr(m: &CsrMatrix<T>, beta: usize) -> Result<Self, SparseError> {
+        Self::check_beta(beta)?;
         let nrows = m.nrows();
         let ncols = m.ncols();
         let nblock_rows = nrows.div_ceil(beta).max(1);
@@ -86,7 +100,7 @@ impl<T: Scalar> CsbMatrix<T> {
             blockptr[i + 1] += blockptr[i];
         }
 
-        Self {
+        Ok(Self {
             nrows,
             ncols,
             beta,
@@ -98,7 +112,131 @@ impl<T: Scalar> CsbMatrix<T> {
             rel_row,
             rel_col,
             values,
+        })
+    }
+
+    fn check_beta(beta: usize) -> Result<(), SparseError> {
+        if beta == 0 {
+            return Err(SparseError::InvalidStructure(
+                "csb: beta must be >= 1".to_string(),
+            ));
         }
+        if beta > MAX_BETA {
+            return Err(SparseError::InvalidStructure(format!(
+                "csb: beta {beta} exceeds {MAX_BETA}; block-relative coordinates are u16 \
+                 and would be truncated"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reassembles a CSB matrix from raw arrays (the `.spmmplan` decode
+    /// path), validating every structural invariant `from_csr`
+    /// guarantees: pointer monotonicity, canonical block / entry
+    /// ordering, and block-relative coordinates inside the block and
+    /// the matrix. Rejects anything malformed with a descriptive error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        beta: usize,
+        blockptr: Vec<usize>,
+        block_col: Vec<u32>,
+        entryptr: Vec<usize>,
+        rel_row: Vec<u16>,
+        rel_col: Vec<u16>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        let bad = |msg: String| Err(SparseError::InvalidStructure(format!("csb: {msg}")));
+        Self::check_beta(beta)?;
+        let nblock_rows = nrows.div_ceil(beta).max(1);
+        let nblock_cols = ncols.div_ceil(beta).max(1);
+        if blockptr.len() != nblock_rows + 1 || blockptr.first() != Some(&0) {
+            return bad(format!(
+                "blockptr must be {} extents starting at 0",
+                nblock_rows + 1
+            ));
+        }
+        if blockptr.windows(2).any(|w| w[0] > w[1]) {
+            return bad("blockptr must be non-decreasing".to_string());
+        }
+        if *blockptr.last().unwrap() != block_col.len() {
+            return bad(format!(
+                "blockptr covers {} blocks but {} are stored",
+                blockptr.last().unwrap(),
+                block_col.len()
+            ));
+        }
+        if entryptr.len() != block_col.len() + 1 || entryptr.first() != Some(&0) {
+            return bad(format!(
+                "entryptr must be {} extents starting at 0",
+                block_col.len() + 1
+            ));
+        }
+        if entryptr.windows(2).any(|w| w[0] > w[1]) {
+            return bad("entryptr must be non-decreasing".to_string());
+        }
+        if *entryptr.last().unwrap() != values.len() {
+            return bad(format!(
+                "entryptr covers {} entries but {} are stored",
+                entryptr.last().unwrap(),
+                values.len()
+            ));
+        }
+        if rel_row.len() != values.len() || rel_col.len() != values.len() {
+            return bad("rel_row/rel_col/values lengths disagree".to_string());
+        }
+        for br in 0..nblock_rows {
+            let row_base = br * beta;
+            let mut prev_bc: Option<u32> = None;
+            for b in blockptr[br]..blockptr[br + 1] {
+                let bc = block_col[b];
+                if (bc as usize) >= nblock_cols {
+                    return bad(format!("block column {bc} out of range {nblock_cols}"));
+                }
+                if prev_bc.is_some_and(|p| p >= bc) {
+                    return bad("block columns must be strictly increasing per block row".into());
+                }
+                prev_bc = Some(bc);
+                if entryptr[b] == entryptr[b + 1] {
+                    return bad("empty blocks must not be stored".to_string());
+                }
+                let col_base = bc as usize * beta;
+                let mut prev: Option<(u16, u16)> = None;
+                for e in entryptr[b]..entryptr[b + 1] {
+                    let (rr, rc) = (rel_row[e], rel_col[e]);
+                    if rr as usize >= beta || rc as usize >= beta {
+                        return bad(format!(
+                            "relative coordinate ({rr}, {rc}) outside beta {beta}"
+                        ));
+                    }
+                    if row_base + rr as usize >= nrows || col_base + rc as usize >= ncols {
+                        return bad(format!(
+                            "entry ({}, {}) outside {nrows}x{ncols}",
+                            row_base + rr as usize,
+                            col_base + rc as usize
+                        ));
+                    }
+                    if prev.is_some_and(|p| p >= (rr, rc)) {
+                        return bad("entries must be strictly (row, col)-sorted per block".into());
+                    }
+                    prev = Some((rr, rc));
+                }
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            beta,
+            nblock_rows,
+            nblock_cols,
+            blockptr,
+            block_col,
+            entryptr,
+            rel_row,
+            rel_col,
+            values,
+        })
     }
 
     /// Converts back to CSR.
@@ -144,6 +282,46 @@ impl<T: Scalar> CsbMatrix<T> {
     /// Number of non-empty blocks.
     pub fn n_blocks(&self) -> usize {
         self.block_col.len()
+    }
+
+    /// Number of block rows.
+    pub fn nblock_rows(&self) -> usize {
+        self.nblock_rows
+    }
+
+    /// Number of block columns.
+    pub fn nblock_cols(&self) -> usize {
+        self.nblock_cols
+    }
+
+    /// CSR-style extents over block rows.
+    pub fn blockptr(&self) -> &[usize] {
+        &self.blockptr
+    }
+
+    /// Block-column id of each stored block.
+    pub fn block_col(&self) -> &[u32] {
+        &self.block_col
+    }
+
+    /// Entry extents per stored block.
+    pub fn entryptr(&self) -> &[usize] {
+        &self.entryptr
+    }
+
+    /// Block-relative row of each entry.
+    pub fn rel_row(&self) -> &[u16] {
+        &self.rel_row
+    }
+
+    /// Block-relative column of each entry.
+    pub fn rel_col(&self) -> &[u16] {
+        &self.rel_col
+    }
+
+    /// Entry values, in storage order.
+    pub fn values(&self) -> &[T] {
+        &self.values
     }
 
     /// Mean entries per non-empty block — CSB's reuse indicator
@@ -207,6 +385,54 @@ impl<T: Scalar> CsbMatrix<T> {
                             *yj = v.mul_add(xj, *yj);
                         }
                     }
+                }
+            });
+        Ok(y)
+    }
+
+    /// Column-blocked block-row-parallel SpMM for fused multi-RHS
+    /// operands (the batched serve path): each block row sweeps the
+    /// operand in `k_block`-column passes. Per output element the
+    /// accumulation order is identical to [`CsbMatrix::spmm_seq`], so
+    /// results are bit-identical to the unblocked kernels.
+    pub fn spmm_kblocked(
+        &self,
+        x: &DenseMatrix<T>,
+        k_block: usize,
+    ) -> Result<DenseMatrix<T>, SparseError> {
+        self.check_dims(x)?;
+        let k = x.ncols();
+        let kb = k_block.clamp(1, k.max(1));
+        let mut y = DenseMatrix::zeros(self.nrows, k);
+        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(self.nblock_rows);
+        let mut rest: &mut [T] = y.data_mut();
+        for br in 0..self.nblock_rows {
+            let rows = (br * self.beta + self.beta).min(self.nrows) - br * self.beta;
+            let (head, tail) = rest.split_at_mut(rows * k);
+            chunks.push(head);
+            rest = tail;
+        }
+        (0..self.nblock_rows)
+            .into_par_iter()
+            .zip(chunks)
+            .for_each(|(br, y_chunk)| {
+                let mut j0 = 0usize;
+                while j0 < k {
+                    let j1 = (j0 + kb).min(k);
+                    for b in self.blockptr[br]..self.blockptr[br + 1] {
+                        let col_base = self.block_col[b] as usize * self.beta;
+                        for e in self.entryptr[b]..self.entryptr[b + 1] {
+                            let r = self.rel_row[e] as usize;
+                            let c = col_base + self.rel_col[e] as usize;
+                            let v = self.values[e];
+                            let y_row = &mut y_chunk[r * k + j0..r * k + j1];
+                            let x_row = &x.row(c)[j0..j1];
+                            for (yj, &xj) in y_row.iter_mut().zip(x_row) {
+                                *yj = v.mul_add(xj, *yj);
+                            }
+                        }
+                    }
+                    j0 = j1;
                 }
             });
         Ok(y)
@@ -338,5 +564,68 @@ mod tests {
     fn zero_beta_panics() {
         let m = CsrMatrix::<f64>::identity(4);
         let _ = CsbMatrix::from_csr(&m, 0);
+    }
+
+    #[test]
+    fn beta_boundary_at_u16_range() {
+        let m = generators::uniform_random::<f64>(64, 64, 4, 9);
+        // largest admissible block size: relative coords span 0..=65535
+        let csb = CsbMatrix::try_from_csr(&m, MAX_BETA).unwrap();
+        assert_eq!(csb.to_csr(), m);
+        // one past the u16 range must be a descriptive error, not a
+        // silent truncation
+        let err = CsbMatrix::try_from_csr(&m, MAX_BETA + 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("u16"), "undescriptive error: {msg}");
+        assert!(CsbMatrix::try_from_csr(&m, 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_malformed() {
+        let m = generators::noisy_shuffled_clusters::<f64>(6, 16, 24, 10, 3, 11);
+        let csb = CsbMatrix::from_csr(&m, 16);
+        let rebuilt = CsbMatrix::from_parts(
+            csb.nrows(),
+            csb.ncols(),
+            csb.beta(),
+            csb.blockptr().to_vec(),
+            csb.block_col().to_vec(),
+            csb.entryptr().to_vec(),
+            csb.rel_row().to_vec(),
+            csb.rel_col().to_vec(),
+            csb.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, csb);
+
+        // out-of-range relative coordinate
+        let mut bad_rel = csb.rel_col().to_vec();
+        bad_rel[0] = csb.beta() as u16; // == beta, one past the valid range
+        assert!(CsbMatrix::from_parts(
+            csb.nrows(),
+            csb.ncols(),
+            csb.beta(),
+            csb.blockptr().to_vec(),
+            csb.block_col().to_vec(),
+            csb.entryptr().to_vec(),
+            csb.rel_row().to_vec(),
+            bad_rel,
+            csb.values().to_vec(),
+        )
+        .is_err());
+
+        // truncated entry arrays
+        assert!(CsbMatrix::from_parts(
+            csb.nrows(),
+            csb.ncols(),
+            csb.beta(),
+            csb.blockptr().to_vec(),
+            csb.block_col().to_vec(),
+            csb.entryptr().to_vec(),
+            csb.rel_row()[..csb.nnz() - 1].to_vec(),
+            csb.rel_col().to_vec(),
+            csb.values().to_vec(),
+        )
+        .is_err());
     }
 }

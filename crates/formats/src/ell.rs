@@ -29,9 +29,37 @@ pub struct EllMatrix<T> {
 
 impl<T: Scalar> EllMatrix<T> {
     /// Converts from CSR. `width` becomes `max_row_nnz`.
+    ///
+    /// # Panics
+    /// Panics if `nrows × max_row_nnz` overflows. Use
+    /// [`EllMatrix::try_from_csr`] for a recoverable error and a
+    /// padding-blowup cap.
     pub fn from_csr(m: &CsrMatrix<T>) -> Self {
+        match Self::try_from_csr(m, f64::INFINITY) {
+            Ok(ell) => ell,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Converts from CSR, checking the `nrows × max_row_nnz` slot
+    /// arithmetic for overflow and rejecting padding blowups past
+    /// `max_padding_factor` *before* allocating — the "format not
+    /// applicable" signal the autotuner treats as a skip.
+    pub fn try_from_csr(m: &CsrMatrix<T>, max_padding_factor: f64) -> Result<Self, SparseError> {
         let nrows = m.nrows();
         let width = m.max_row_nnz();
+        let slots = nrows.checked_mul(width).ok_or_else(|| {
+            SparseError::InvalidStructure(format!(
+                "ell: padded slot count {nrows} x {width} overflows usize"
+            ))
+        })?;
+        if slots as f64 > max_padding_factor * m.nnz().max(1) as f64 {
+            return Err(SparseError::InvalidStructure(format!(
+                "ell: format not applicable — padding factor {:.2} exceeds cap {:.2}",
+                slots as f64 / m.nnz().max(1) as f64,
+                max_padding_factor
+            )));
+        }
         let mut colidx = vec![PAD; nrows * width];
         let mut values = vec![T::ZERO; nrows * width];
         for i in 0..nrows {
@@ -41,14 +69,14 @@ impl<T: Scalar> EllMatrix<T> {
                 values[k * nrows + i] = v;
             }
         }
-        Self {
+        Ok(Self {
             nrows,
             ncols: m.ncols(),
             width,
             colidx,
             values,
             nnz: m.nnz(),
-        }
+        })
     }
 
     /// Converts back to CSR (drops padding).
@@ -271,6 +299,19 @@ mod tests {
         assert_eq!(stream, 2 * 5 * 8);
         let x_reads: usize = blocks.iter().map(|b| b.x_rows.len()).sum();
         assert_eq!(x_reads, 6); // only the real nonzeros touch X
+    }
+
+    #[test]
+    fn padding_cap_signals_not_applicable() {
+        let m = generators::power_law::<f64>(512, 512, 4096, 0.9, 2);
+        let factor = EllMatrix::from_csr(&m).padding_factor();
+        assert!(factor > 3.0);
+        let err = EllMatrix::try_from_csr(&m, 2.0).unwrap_err();
+        assert!(
+            err.to_string().contains("not applicable"),
+            "cap error should read as a skip signal: {err}"
+        );
+        assert!(EllMatrix::try_from_csr(&m, factor + 1.0).is_ok());
     }
 
     #[test]

@@ -51,9 +51,33 @@ impl<T: Scalar> SellPMatrix<T> {
     /// `sigma == 0` or `sigma <= slice_height` disables sorting.
     ///
     /// # Panics
-    /// Panics if `slice_height == 0`.
+    /// Panics if `slice_height == 0` or if the padded layout would
+    /// overflow address arithmetic. Use [`SellPMatrix::try_from_csr`]
+    /// to get a recoverable error (and a padding-blowup cap) instead.
     pub fn from_csr(m: &CsrMatrix<T>, slice_height: usize, sigma: usize) -> Self {
-        assert!(slice_height >= 1, "slice_height must be >= 1");
+        match Self::try_from_csr(m, slice_height, sigma, f64::INFINITY) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Converts from CSR, guarding the padding arithmetic: the total
+    /// padded slot count is accumulated with checked arithmetic (no
+    /// silent `rows × max_width` wraparound) and compared against
+    /// `max_padding_factor × nnz` *before* anything is allocated.
+    /// A blowup past the cap returns a descriptive "format not
+    /// applicable" error the autotuner treats as a skip.
+    pub fn try_from_csr(
+        m: &CsrMatrix<T>,
+        slice_height: usize,
+        sigma: usize,
+        max_padding_factor: f64,
+    ) -> Result<Self, SparseError> {
+        if slice_height == 0 {
+            return Err(SparseError::InvalidStructure(
+                "sell: slice_height must be >= 1".to_string(),
+            ));
+        }
         let nrows = m.nrows();
 
         // σ-window sort by descending row length (stable for determinism)
@@ -65,10 +89,11 @@ impl<T: Scalar> SellPMatrix<T> {
         }
         let perm = Permutation::from_order(order).expect("chunk sort keeps the index set");
 
+        // dry pass: slice widths and the total padded slot count, before
+        // any allocation is sized from them
         let nslices = nrows.div_ceil(slice_height);
-        let mut slices = Vec::with_capacity(nslices);
-        let mut colidx = Vec::new();
-        let mut values = Vec::new();
+        let mut widths = Vec::with_capacity(nslices);
+        let mut total_slots = 0usize;
         for s in 0..nslices {
             let row_start = s * slice_height;
             let height = (row_start + slice_height).min(nrows) - row_start;
@@ -76,6 +101,28 @@ impl<T: Scalar> SellPMatrix<T> {
                 .map(|r| m.row_nnz(perm.old_of(row_start + r) as usize))
                 .max()
                 .unwrap_or(0);
+            let slots = height
+                .checked_mul(width)
+                .and_then(|s| total_slots.checked_add(s));
+            total_slots = slots.ok_or_else(|| {
+                SparseError::InvalidStructure("sell: padded slot count overflows usize".to_string())
+            })?;
+            widths.push(width);
+        }
+        if total_slots as f64 > max_padding_factor * m.nnz().max(1) as f64 {
+            return Err(SparseError::InvalidStructure(format!(
+                "sell: format not applicable — padding factor {:.2} exceeds cap {:.2}",
+                total_slots as f64 / m.nnz().max(1) as f64,
+                max_padding_factor
+            )));
+        }
+
+        let mut slices = Vec::with_capacity(nslices);
+        let mut colidx = Vec::with_capacity(total_slots);
+        let mut values = Vec::with_capacity(total_slots);
+        for (s, &width) in widths.iter().enumerate() {
+            let row_start = s * slice_height;
+            let height = (row_start + slice_height).min(nrows) - row_start;
             let offset = colidx.len();
             colidx.resize(offset + height * width, PAD);
             values.resize(offset + height * width, T::ZERO);
@@ -93,7 +140,7 @@ impl<T: Scalar> SellPMatrix<T> {
                 offset,
             });
         }
-        Self {
+        Ok(Self {
             nrows,
             ncols: m.ncols(),
             slice_height,
@@ -102,7 +149,109 @@ impl<T: Scalar> SellPMatrix<T> {
             values,
             perm,
             nnz: m.nnz(),
+        })
+    }
+
+    /// Reassembles a SELL matrix from raw arrays (the `.spmmplan`
+    /// decode path). The slice geometry is re-derived from
+    /// `slice_height` and the per-slice widths; every invariant
+    /// `from_csr` guarantees is re-validated: the σ permutation is a
+    /// permutation, column indices are in range and strictly increasing
+    /// per row, padding forms a suffix of each row, and padded value
+    /// slots are zero.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        slice_height: usize,
+        widths: Vec<usize>,
+        colidx: Vec<u32>,
+        values: Vec<T>,
+        order: Vec<u32>,
+    ) -> Result<Self, SparseError> {
+        let bad = |msg: String| Err(SparseError::InvalidStructure(format!("sell: {msg}")));
+        if slice_height == 0 {
+            return bad("slice_height must be >= 1".to_string());
         }
+        if order.len() != nrows {
+            return bad(format!(
+                "permutation covers {} of {nrows} rows",
+                order.len()
+            ));
+        }
+        let perm = Permutation::from_order(order)?;
+        let nslices = nrows.div_ceil(slice_height);
+        if widths.len() != nslices {
+            return bad(format!(
+                "{} slice widths for {nslices} slices",
+                widths.len()
+            ));
+        }
+        if colidx.len() != values.len() {
+            return bad("colidx/values lengths disagree".to_string());
+        }
+        let mut slices = Vec::with_capacity(nslices);
+        let mut offset = 0usize;
+        let mut nnz = 0usize;
+        for (s, &width) in widths.iter().enumerate() {
+            let row_start = s * slice_height;
+            let height = (row_start + slice_height).min(nrows) - row_start;
+            let slots = height
+                .checked_mul(width)
+                .and_then(|n| offset.checked_add(n));
+            let end = match slots {
+                Some(e) if e <= colidx.len() => e,
+                _ => return bad("slice extents overflow the stored slots".to_string()),
+            };
+            for r in 0..height {
+                let mut prev: Option<u32> = None;
+                let mut padded = false;
+                for k in 0..width {
+                    let i = offset + k * height + r;
+                    let c = colidx[i];
+                    if c == PAD {
+                        padded = true;
+                        if values[i] != T::ZERO {
+                            return bad("padding slot holds a nonzero value".to_string());
+                        }
+                        continue;
+                    }
+                    if padded {
+                        return bad("real entry after a padding slot".to_string());
+                    }
+                    if c as usize >= ncols {
+                        return bad(format!("column {c} out of range {ncols}"));
+                    }
+                    if prev.is_some_and(|p| p >= c) {
+                        return bad("columns must be strictly increasing per row".to_string());
+                    }
+                    prev = Some(c);
+                    nnz += 1;
+                }
+            }
+            slices.push(Slice {
+                row_start,
+                height,
+                width,
+                offset,
+            });
+            offset = end;
+        }
+        if offset != colidx.len() {
+            return bad(format!(
+                "slices cover {offset} slots but {} are stored",
+                colidx.len()
+            ));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            slice_height,
+            slices,
+            colidx,
+            values,
+            perm,
+            nnz,
+        })
     }
 
     /// Converts back to CSR, undoing the σ permutation.
@@ -158,6 +307,32 @@ impl<T: Scalar> SellPMatrix<T> {
     /// Stored slots including padding.
     pub fn stored_slots(&self) -> usize {
         self.colidx.len()
+    }
+
+    /// Per-slice padded widths, in slice order (the only free part of
+    /// the slice geometry — starts, heights and offsets are derived
+    /// from `slice_height`).
+    pub fn slice_widths(&self) -> Vec<usize> {
+        self.slices.iter().map(|s| s.width).collect()
+    }
+
+    /// Column indices in the sliced column-major layout ([`PAD`] marks
+    /// padding slots).
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Values in the sliced column-major layout (zero in padding
+    /// slots).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The σ-sort row permutation (identity when sorting is off):
+    /// `perm.old_of(p)` is the input row stored at permuted position
+    /// `p`.
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
     }
 
     /// `stored_slots / nnz` — strictly between ELL's factor and 1.
@@ -223,6 +398,59 @@ impl<T: Scalar> SellPMatrix<T> {
                             *yj = v.mul_add(xj, *yj);
                         }
                     }
+                }
+            });
+        let mut y = DenseMatrix::zeros(self.nrows, k);
+        for p in 0..self.nrows {
+            let original = self.perm.old_of(p) as usize;
+            y.row_mut(original).copy_from_slice(y_perm.row(p));
+        }
+        Ok(y)
+    }
+
+    /// Column-blocked slice-parallel SpMM for fused multi-RHS operands
+    /// (the batched serve path): each slice sweeps the operand in
+    /// `k_block`-column passes. Per output element the accumulation
+    /// order is slot-ascending exactly as in [`SellPMatrix::spmm_seq`],
+    /// so results are bit-identical to the unblocked kernels.
+    pub fn spmm_kblocked(
+        &self,
+        x: &DenseMatrix<T>,
+        k_block: usize,
+    ) -> Result<DenseMatrix<T>, SparseError> {
+        self.check_dims(x)?;
+        let k = x.ncols();
+        let kb = k_block.clamp(1, k.max(1));
+        let mut y_perm = DenseMatrix::zeros(self.nrows, k);
+        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(self.slices.len());
+        let mut rest: &mut [T] = y_perm.data_mut();
+        for slice in &self.slices {
+            let (head, tail) = rest.split_at_mut(slice.height * k);
+            chunks.push(head);
+            rest = tail;
+        }
+        self.slices
+            .par_iter()
+            .zip(chunks)
+            .for_each(|(slice, y_chunk)| {
+                let mut j0 = 0usize;
+                while j0 < k {
+                    let j1 = (j0 + kb).min(k);
+                    for r in 0..slice.height {
+                        let y_row = &mut y_chunk[r * k + j0..r * k + j1];
+                        for slot in 0..slice.width {
+                            let c = self.colidx[slice.offset + slot * slice.height + r];
+                            if c == PAD {
+                                continue;
+                            }
+                            let v = self.values[slice.offset + slot * slice.height + r];
+                            let x_row = &x.row(c as usize)[j0..j1];
+                            for (yj, &xj) in y_row.iter_mut().zip(x_row) {
+                                *yj = v.mul_add(xj, *yj);
+                            }
+                        }
+                    }
+                    j0 = j1;
                 }
             });
         let mut y = DenseMatrix::zeros(self.nrows, k);
@@ -382,5 +610,87 @@ mod tests {
     fn zero_slice_height_panics() {
         let m = CsrMatrix::<f64>::identity(4);
         let _ = SellPMatrix::from_csr(&m, 0, 0);
+    }
+
+    #[test]
+    fn padding_cap_rejects_blowup_before_allocating() {
+        // one long row among many empty ones: ELL-style blowup that a
+        // slice containing the long row still pays for
+        let mut rowptr = vec![0usize; 65];
+        for p in rowptr.iter_mut().skip(1) {
+            *p = 64;
+        }
+        let m = CsrMatrix::<f64>::from_parts(64, 64, rowptr, (0..64u32).collect(), vec![1.0; 64])
+            .unwrap();
+        // slice height 64 → every row padded to width 64
+        let err = SellPMatrix::try_from_csr(&m, 64, 0, 4.0).unwrap_err();
+        assert!(
+            err.to_string().contains("not applicable"),
+            "cap error should read as a skip signal: {err}"
+        );
+        // the uncapped build still works and reports the blowup honestly
+        let s = SellPMatrix::try_from_csr(&m, 64, 0, f64::INFINITY).unwrap();
+        assert_eq!(s.padding_factor(), 64.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_malformed() {
+        let m = generators::power_law::<f64>(100, 90, 700, 0.85, 12);
+        let s = SellPMatrix::from_csr(&m, 8, 32);
+        let rebuilt = SellPMatrix::from_parts(
+            s.nrows(),
+            s.ncols(),
+            s.slice_height(),
+            s.slice_widths(),
+            s.colidx().to_vec(),
+            s.values().to_vec(),
+            s.perm().order().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.nnz(), m.nnz());
+
+        // column out of range
+        let mut bad_cols = s.colidx().to_vec();
+        let real = bad_cols.iter().position(|&c| c != PAD).unwrap();
+        bad_cols[real] = s.ncols() as u32;
+        assert!(SellPMatrix::from_parts(
+            s.nrows(),
+            s.ncols(),
+            s.slice_height(),
+            s.slice_widths(),
+            bad_cols,
+            s.values().to_vec(),
+            s.perm().order().to_vec(),
+        )
+        .is_err());
+
+        // nonzero value in a padding slot
+        if let Some(pad) = s.colidx().iter().position(|&c| c == PAD) {
+            let mut bad_vals = s.values().to_vec();
+            bad_vals[pad] = 3.0;
+            assert!(SellPMatrix::from_parts(
+                s.nrows(),
+                s.ncols(),
+                s.slice_height(),
+                s.slice_widths(),
+                s.colidx().to_vec(),
+                bad_vals,
+                s.perm().order().to_vec(),
+            )
+            .is_err());
+        }
+
+        // truncated permutation
+        assert!(SellPMatrix::from_parts(
+            s.nrows(),
+            s.ncols(),
+            s.slice_height(),
+            s.slice_widths(),
+            s.colidx().to_vec(),
+            s.values().to_vec(),
+            s.perm().order()[..s.nrows() - 1].to_vec(),
+        )
+        .is_err());
     }
 }

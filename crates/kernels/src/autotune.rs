@@ -8,6 +8,7 @@
 //! variant wins.
 
 use crate::engine::{Engine, EngineConfig, KernelOp, Output};
+use crate::format::{FormatChoice, FormatPayload};
 use serde::{Deserialize, Serialize};
 use spmm_aspt::AsptMatrix;
 use spmm_gpu_sim::kernels::{
@@ -32,7 +33,8 @@ pub enum Kernel {
     Spgemm,
 }
 
-/// One of the execution strategies the paper compares.
+/// One of the execution strategies the paper compares, plus the format
+/// zoo's physical-layout variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Variant {
     /// Row-wise kernel on the original matrix (the cuSPARSE-like
@@ -42,6 +44,12 @@ pub enum Variant {
     AsptNr,
     /// ASpT with row reordering (this paper).
     AsptRr,
+    /// SELL-C-σ physical layout over the (possibly reordered) matrix,
+    /// chosen by plan-time format selection ([`choose_format`]).
+    SellCSigma,
+    /// CSB physical layout over the (possibly reordered) matrix,
+    /// chosen by plan-time format selection ([`choose_format`]).
+    Csb,
 }
 
 /// Simulated outcomes of the trial.
@@ -312,6 +320,148 @@ pub fn choose_micro_width<T: Scalar>(
 /// only full-width passes and selection cost does not grow with the
 /// caller's `k_hint`.
 pub const MICRO_SELECTION_K_CAP: usize = 96;
+
+/// Dense-width cap for [`choose_format`] trials, mirroring
+/// [`MICRO_SELECTION_K_CAP`]: the traffic *ordering* between layouts is
+/// stable in `k` well before the caller's full `k_hint`, so selection
+/// cost stays bounded.
+pub const FORMAT_SELECTION_K_CAP: usize = 96;
+
+/// Outcome of the plan-time format trial: the incumbent ASpT/CSR
+/// configuration raced against every applicable format-zoo candidate
+/// on the gpu-sim transaction model.
+#[derive(Debug, Clone)]
+pub struct FormatTrialReport {
+    /// The winning layout (`Csr` when no challenger strictly beat the
+    /// incumbent — ties keep CSR, so a chosen format never regresses on
+    /// the simulated metric).
+    pub chosen: FormatChoice,
+    /// The incumbent's simulated SpMM performance (this engine's ASpT
+    /// configuration).
+    pub incumbent: SimReport,
+    /// Every candidate that was built and simulated.
+    pub candidates: Vec<(FormatChoice, SimReport)>,
+    /// Candidates skipped by the structure heuristics or the "format
+    /// not applicable" guards (also counted as `tune.format.skipped`).
+    pub skipped: u32,
+}
+
+impl FormatTrialReport {
+    /// Simulated speedup of the chosen configuration over the
+    /// incumbent (1.0 when CSR was kept; never below 1.0 by
+    /// construction).
+    pub fn speedup_vs_incumbent(&self) -> f64 {
+        let chosen_time = self
+            .candidates
+            .iter()
+            .find(|(c, _)| *c == self.chosen)
+            .map_or(self.incumbent.time_s, |(_, r)| r.time_s);
+        if chosen_time > 0.0 {
+            self.incumbent.time_s / chosen_time
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Plan-time format selection — the §4 trial widened to physical
+/// layouts. Builds every applicable format-zoo candidate over the
+/// engine's *reordered* matrix (SELL-C-σ at the σ candidates, CSB at
+/// the β candidates), simulates each against the incumbent ASpT
+/// configuration, and returns the winning payload (`None` keeps CSR).
+///
+/// Hopeless candidates are skipped before they are built, mirroring the
+/// paper's skip heuristics: SELL candidates whose padded layout would
+/// blow the [`crate::format::MAX_FORMAT_PADDING`] cap, and CSB
+/// candidates whose estimated block occupancy (one `O(nnz)` pass) is
+/// below [`crate::format::MIN_CSB_OCCUPANCY`]. Skips are counted in the
+/// engine's telemetry as `tune.format.skipped`.
+///
+/// A challenger must be *strictly* faster than both the incumbent and
+/// every other candidate; ties keep CSR. The autotuner therefore never
+/// picks a format that regresses on the simulated metric.
+pub fn choose_format<T: Scalar>(
+    engine: &Engine<T>,
+    k_total: usize,
+    device: &DeviceConfig,
+) -> (Option<FormatPayload<T>>, FormatTrialReport) {
+    let telemetry = engine.telemetry_handle();
+    let m = engine.reordered();
+    let k = k_total.clamp(1, FORMAT_SELECTION_K_CAP);
+    let incumbent = engine.simulate_spmm(k, device);
+
+    let mut skipped = 0u32;
+    let skip = |n: &mut u32| {
+        *n += 1;
+        telemetry.counter("tune.format.skipped", 1);
+    };
+    let mut candidates: Vec<(FormatChoice, SimReport)> = Vec::new();
+    let mut best: Option<FormatPayload<T>> = None;
+    let mut best_time = incumbent.time_s;
+
+    for sigma in crate::format::SELL_SIGMA_CANDIDATES {
+        let choice = FormatChoice::SellCSigma {
+            slice_height: crate::format::SELL_SLICE_HEIGHT,
+            sigma,
+        };
+        match FormatPayload::build(choice, m) {
+            Ok(Some(payload)) => {
+                let report = payload.simulate_spmm(k, device);
+                if report.time_s < best_time {
+                    best_time = report.time_s;
+                    best = Some(payload);
+                }
+                candidates.push((choice, report));
+            }
+            Ok(None) => unreachable!("SellCSigma always builds a payload"),
+            Err(_) => skip(&mut skipped),
+        }
+    }
+
+    let occupancy = |beta: usize| -> f64 {
+        let mut blocks = std::collections::HashSet::new();
+        for (r, c, _) in m.iter() {
+            blocks.insert(((r as usize / beta) as u64) << 32 | (c as usize / beta) as u64);
+        }
+        if blocks.is_empty() {
+            0.0
+        } else {
+            m.nnz() as f64 / blocks.len() as f64
+        }
+    };
+    for beta in crate::format::CSB_BETA_CANDIDATES {
+        let choice = FormatChoice::Csb { beta };
+        if occupancy(beta) < crate::format::MIN_CSB_OCCUPANCY {
+            skip(&mut skipped);
+            continue;
+        }
+        match FormatPayload::build(choice, m) {
+            Ok(Some(payload)) => {
+                let report = payload.simulate_spmm(k, device);
+                if report.time_s < best_time {
+                    best_time = report.time_s;
+                    best = Some(payload);
+                }
+                candidates.push((choice, report));
+            }
+            Ok(None) => unreachable!("Csb always builds a payload"),
+            Err(_) => skip(&mut skipped),
+        }
+    }
+
+    let chosen = best
+        .as_ref()
+        .map_or(FormatChoice::Csr, |payload| payload.choice());
+    (
+        best,
+        FormatTrialReport {
+            chosen,
+            incumbent,
+            candidates,
+            skipped,
+        },
+    )
+}
 
 /// [`choose_variant`] for a concrete [`KernelOp`]: the kernel family
 /// and dense width are read off the op, so callers that already hold

@@ -22,6 +22,7 @@ use spmm_telemetry::{Collector, FanoutRecorder, Recorder, RunManifest, Telemetry
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::format::{FormatChoice, FormatPayload};
 use crate::micro::spmm_aspt_kblocked_auto;
 use crate::sddmm::sddmm_aspt_auto;
 use crate::spgemm::spgemm_clustered;
@@ -423,6 +424,14 @@ pub struct Engine<T> {
     /// plan-store codec on warm start — re-selection never runs twice
     /// for the same plan. `None` runs the generic k-blocked kernels.
     micro_width: Option<usize>,
+    /// Plan-selected physical layout for the SpMM family
+    /// ([`crate::format::FormatPayload`] over the reordered matrix),
+    /// chosen during [`Engine::prepare`] when a `k_hint` is given and
+    /// restored by the plan-store codec on warm start — like
+    /// `micro_width`, re-selection never runs twice for the same plan.
+    /// `None` executes the incumbent CSR/ASpT path. Shared behind `Arc`
+    /// so clones and the serving layer's cached plans reuse one layout.
+    format: Option<Arc<FormatPayload<T>>>,
 }
 
 impl<T: Scalar> Engine<T> {
@@ -490,6 +499,7 @@ impl<T: Scalar> Engine<T> {
             reorder_config: config.reorder,
             delta_drift_threshold: config.delta_drift_threshold,
             micro_width: None,
+            format: None,
         };
         // plan-time microkernel selection (§4 trial-and-error, one
         // level below the variant choice): simulate the register-
@@ -502,6 +512,21 @@ impl<T: Scalar> Engine<T> {
             if let Some(w) = engine.micro_width {
                 engine.telemetry.meta("micro_width", &w.to_string());
             }
+        }
+        // plan-time format selection (the zoo): race SELL-C-σ / CSB
+        // layouts of the reordered matrix against the incumbent ASpT
+        // configuration on the transaction model; a challenger is
+        // adopted only on a strict win, and the plan-store codec
+        // carries the built payload so warm starts never re-select
+        if let Some(k) = engine.k_hint {
+            let _span = engine.telemetry.span("prepare.format_select");
+            let (payload, trial) =
+                crate::autotune::choose_format(&engine, k, &DeviceConfig::p100());
+            engine.format = payload.map(Arc::new);
+            engine.telemetry.meta("format", &trial.chosen.label());
+            engine
+                .telemetry
+                .gauge("tune.format.speedup", trial.speedup_vs_incumbent());
         }
         Ok(engine)
     }
@@ -603,6 +628,7 @@ impl<T: Scalar> Engine<T> {
             reorder_config,
             delta_drift_threshold: 0.5,
             micro_width: None,
+            format: None,
         })
     }
 
@@ -619,6 +645,36 @@ impl<T: Scalar> Engine<T> {
     /// the generic kernels at dispatch.
     pub fn set_micro_width(&mut self, width: Option<usize>) {
         self.micro_width = width;
+    }
+
+    /// The plan-selected physical layout for the SpMM family: `Csr`
+    /// (the incumbent ASpT path) unless format selection chose a
+    /// format-zoo layout during [`Engine::prepare`] or one was restored
+    /// from a stored plan.
+    pub fn format_choice(&self) -> FormatChoice {
+        self.format
+            .as_deref()
+            .map_or(FormatChoice::Csr, FormatPayload::choice)
+    }
+
+    /// The built format payload the SpMM family executes against, when
+    /// a non-CSR format was chosen.
+    pub fn format_payload(&self) -> Option<&FormatPayload<T>> {
+        self.format.as_deref()
+    }
+
+    /// Overrides the format payload — the plan-store codec's hook for
+    /// restoring a persisted layout without re-running selection, and
+    /// the delta path's revert-to-CSR hook (`None`).
+    pub fn set_format(&mut self, payload: Option<FormatPayload<T>>) {
+        self.format = payload.map(Arc::new);
+    }
+
+    /// The engine's internal telemetry handle, for same-crate selection
+    /// code ([`crate::autotune::choose_format`]) that emits counters
+    /// while holding `&Engine`.
+    pub(crate) fn telemetry_handle(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// The reordering plan that was applied.
@@ -717,7 +773,14 @@ impl<T: Scalar> Engine<T> {
             KernelOp::SpmmKBlocked { x, k_block } => {
                 let _span = self.telemetry.span("exec.spmm");
                 self.record_exec_counters();
-                let y_reord = spmm_aspt_kblocked_auto(&self.aspt, x, k_block)?;
+                // format routing: the chosen layout's column-blocked
+                // kernel is bit-identical to its own whole-k kernel,
+                // so the batch path gives the same answers as the
+                // unbatched one for whichever format won
+                let y_reord = match self.format.as_deref() {
+                    Some(f) => f.spmm_kblocked(x, k_block)?,
+                    None => spmm_aspt_kblocked_auto(&self.aspt, x, k_block)?,
+                };
                 let mut y = DenseMatrix::zeros(self.aspt.nrows(), x.ncols());
                 self.unpermute_rows(&y_reord, &mut y);
                 Ok(Output::Dense(y))
@@ -811,7 +874,15 @@ impl<T: Scalar> Engine<T> {
         }
         let _span = self.telemetry.span("exec.spmm");
         self.record_exec_counters();
-        let y_reord = spmm_aspt(&self.aspt, x)?;
+        // format routing: the zoo kernels fold each row in ascending-
+        // column order (bit-exact vs the row-wise reference); the ASpT
+        // path folds tiles before the remainder. On exactly-
+        // representable operands — the serving layer's exactness bars —
+        // every path agrees bit for bit.
+        let y_reord = match self.format.as_deref() {
+            Some(f) => f.spmm(x)?,
+            None => spmm_aspt(&self.aspt, x)?,
+        };
         self.unpermute_rows(&y_reord, y);
         Ok(())
     }
@@ -946,6 +1017,24 @@ impl<T: Scalar> Engine<T> {
         report
     }
 
+    /// Simulated SpMM performance of the path [`Engine::spmm`] would
+    /// actually take: the chosen format's kernel when a non-CSR format
+    /// won the plan-time trial, the ASpT path otherwise. (Kept separate
+    /// from [`Engine::simulate_spmm`], which always models the ASpT
+    /// configuration — that is what [`crate::autotune::choose_variant`]
+    /// and the format trial itself rank against.)
+    pub fn simulate_spmm_chosen(&self, k: usize, device: &DeviceConfig) -> SimReport {
+        match self.format.as_deref() {
+            Some(f) => {
+                let _span = self.telemetry.span("sim.spmm");
+                let report = f.simulate_spmm(k, device);
+                report.traffic.record_to(&self.telemetry, "sim.spmm");
+                report
+            }
+            None => self.simulate_spmm(k, device),
+        }
+    }
+
     /// Simulated performance of the column-blocked SpMM kernel on a
     /// fused multi-RHS operand of total width `k` (the batched
     /// execution path, [`KernelOp::SpmmKBlocked`]) — how the autotuner
@@ -1052,6 +1141,14 @@ impl<T: Scalar> Engine<T> {
             *slot = values[old];
         }
         Arc::make_mut(&mut self.aspt).update_values(reordered.values());
+        // the format payload carries values too: rebuild it from the
+        // refreshed reordered matrix (structure unchanged, so the same
+        // choice is guaranteed to still be buildable)
+        if let Some(choice) = self.format.as_deref().map(FormatPayload::choice) {
+            let rebuilt = FormatPayload::build(choice, &self.reordered)
+                .expect("structure unchanged: format payload must rebuild");
+            self.format = rebuilt.map(Arc::new);
+        }
     }
 
     /// Maps a value array from the original nonzero order into this
@@ -1234,6 +1331,17 @@ impl<T: Scalar> Engine<T> {
         engine.reorder_config = self.reorder_config;
         engine.delta_drift_threshold = self.delta_drift_threshold;
         engine.micro_width = self.micro_width;
+        // keep the plan-time format *choice* without re-running the
+        // trial; the payload must be rebuilt over the new structure. If
+        // the delta made the format inapplicable (padding cap, β
+        // bounds), revert to CSR — a slower answer, never a wrong one.
+        match FormatPayload::build(self.format_choice(), &engine.reordered) {
+            Ok(payload) => engine.format = payload.map(Arc::new),
+            Err(_) => {
+                engine.telemetry.counter("delta.format_reverted", 1);
+                engine.format = None;
+            }
+        }
         Ok(engine)
     }
 

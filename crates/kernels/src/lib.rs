@@ -22,22 +22,28 @@
 //!   simulated performance reports.
 //! * [`autotune`] — the §4 trial-and-error strategy: run the candidate
 //!   variants, keep the fastest.
+//! * [`mod@format`] — the format zoo: SELL-C-σ and CSB as first-class
+//!   plan-time execution variants, raced by the autotuner against the
+//!   incumbent ASpT layout and persisted in the plan.
 
 #![warn(missing_docs)]
 
 pub mod autotune;
 pub mod engine;
+pub mod format;
 pub mod micro;
 pub mod sddmm;
 pub mod spgemm;
 pub mod spmm;
 pub mod spmv;
 
+pub use autotune::{choose_format, FormatTrialReport, FORMAT_SELECTION_K_CAP};
 pub use autotune::{
     choose_variant, choose_variant_for_op, choose_variant_spgemm, tuned_engine, tuned_execute,
     Kernel, TrialReport, Variant,
 };
 pub use engine::{Engine, EngineConfig, EngineConfigBuilder, KernelOp, Output, PrepareReport};
+pub use format::{FormatChoice, FormatPayload};
 pub use micro::{
     micro_width_for, spmm_aspt_kblocked_auto, spmm_rowwise_kblocked_auto, MICRO_WIDTHS,
 };
